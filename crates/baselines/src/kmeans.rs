@@ -1,0 +1,241 @@
+//! Lloyd's k-means with k-means++ seeding, run on one-hot encodings.
+//!
+//! Included because the Euclidean-geometry baseline on indicator vectors
+//! is the natural foil for ROCK (the paper's traditional comparator is
+//! hierarchical, but the same one-hot geometry underlies it), and because
+//! the follow-on literature uses k-means on one-hot categorical data
+//! routinely.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use rock_core::error::{Result, RockError};
+use rock_core::sampling::seeded_rng;
+
+use crate::common::FlatClustering;
+use crate::onehot::{sq_dist, DenseMatrix};
+
+/// k-means configuration.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iter: usize,
+    /// Independent restarts; lowest-inertia run wins.
+    pub n_init: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KMeans {
+    /// Defaults: 50 iterations, 5 restarts.
+    pub fn new(k: usize) -> Self {
+        KMeans {
+            k,
+            max_iter: 50,
+            n_init: 5,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets restarts.
+    pub fn n_init(mut self, n_init: usize) -> Self {
+        self.n_init = n_init.max(1);
+        self
+    }
+
+    /// Clusters the rows of `m`.
+    ///
+    /// # Errors
+    /// * [`RockError::EmptyDataset`] / [`RockError::InvalidK`] on bad input.
+    pub fn fit(&self, m: &DenseMatrix) -> Result<FlatClustering> {
+        let n = m.rows();
+        if n == 0 {
+            return Err(RockError::EmptyDataset);
+        }
+        if self.k == 0 || self.k > n {
+            return Err(RockError::InvalidK { k: self.k, n });
+        }
+        let mut rng = seeded_rng(self.seed);
+        let mut best: Option<FlatClustering> = None;
+        for _ in 0..self.n_init.max(1) {
+            let run = self.run_once(m, &mut rng);
+            if best.as_ref().is_none_or(|b| run.cost < b.cost) {
+                best = Some(run);
+            }
+        }
+        Ok(best.expect("at least one restart"))
+    }
+
+    #[allow(clippy::needless_range_loop)] // dist/assignments are row-index aligned
+    fn run_once(&self, m: &DenseMatrix, rng: &mut StdRng) -> FlatClustering {
+        let (n, d) = (m.rows(), m.cols());
+        // k-means++ seeding.
+        let mut centers: Vec<Vec<f64>> = Vec::with_capacity(self.k);
+        centers.push(m.row(rng.gen_range(0..n)).to_vec());
+        let mut dist: Vec<f64> = (0..n).map(|i| sq_dist(m.row(i), &centers[0])).collect();
+        while centers.len() < self.k {
+            let total: f64 = dist.iter().sum();
+            let pick = if total <= 0.0 {
+                rng.gen_range(0..n)
+            } else {
+                let mut target = rng.gen::<f64>() * total;
+                let mut idx = n - 1;
+                for (i, &w) in dist.iter().enumerate() {
+                    if target < w {
+                        idx = i;
+                        break;
+                    }
+                    target -= w;
+                }
+                idx
+            };
+            centers.push(m.row(pick).to_vec());
+            for i in 0..n {
+                let nd = sq_dist(m.row(i), centers.last().unwrap());
+                if nd < dist[i] {
+                    dist[i] = nd;
+                }
+            }
+        }
+
+        // Lloyd iterations.
+        let mut assignments = vec![0u32; n];
+        let mut iterations = 0usize;
+        for _ in 0..self.max_iter.max(1) {
+            iterations += 1;
+            let mut changed = false;
+            for i in 0..n {
+                let row = m.row(i);
+                let mut best_c = 0u32;
+                let mut best_d = f64::INFINITY;
+                for (c, center) in centers.iter().enumerate() {
+                    let dd = sq_dist(row, center);
+                    if dd < best_d {
+                        best_d = dd;
+                        best_c = c as u32;
+                    }
+                }
+                if assignments[i] != best_c {
+                    assignments[i] = best_c;
+                    changed = true;
+                }
+            }
+            if !changed && iterations > 1 {
+                break;
+            }
+            // Update centers.
+            let mut counts = vec![0usize; self.k];
+            for center in centers.iter_mut() {
+                center.iter_mut().for_each(|v| *v = 0.0);
+            }
+            for i in 0..n {
+                let c = assignments[i] as usize;
+                counts[c] += 1;
+                for (acc, &v) in centers[c].iter_mut().zip(m.row(i)) {
+                    *acc += v;
+                }
+            }
+            for (c, center) in centers.iter_mut().enumerate() {
+                if counts[c] == 0 {
+                    // Re-seed empty cluster at the farthest point.
+                    let far = (0..n)
+                        .max_by(|&a, &b| {
+                            let da = sq_dist(m.row(a), &vec![0.0; d]);
+                            let db = sq_dist(m.row(b), &vec![0.0; d]);
+                            da.total_cmp(&db)
+                        })
+                        .unwrap_or(0);
+                    *center = m.row(far).to_vec();
+                } else {
+                    center.iter_mut().for_each(|v| *v /= counts[c] as f64);
+                }
+            }
+        }
+
+        let cost: f64 = (0..n)
+            .map(|i| sq_dist(m.row(i), &centers[assignments[i] as usize]))
+            .sum();
+        FlatClustering {
+            assignments,
+            k: self.k,
+            cost,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_core::data::{Transaction, TransactionSet};
+
+    fn onehot_blocks() -> (DenseMatrix, Vec<usize>) {
+        let ts: TransactionSet = vec![
+            Transaction::new([0, 1, 2]),
+            Transaction::new([0, 1, 3]),
+            Transaction::new([0, 2, 3]),
+            Transaction::new([10, 11, 12]),
+            Transaction::new([10, 11, 13]),
+            Transaction::new([10, 12, 13]),
+        ]
+        .into_iter()
+        .collect();
+        (
+            crate::onehot::encode_transactions(&ts),
+            vec![0, 0, 0, 1, 1, 1],
+        )
+    }
+
+    #[test]
+    fn separates_two_blocks() {
+        let (m, labels) = onehot_blocks();
+        let c = KMeans::new(2).seed(1).fit(&m).unwrap();
+        c.validate().unwrap();
+        let acc =
+            rock_core::metrics::matched_accuracy(&c.as_predictions(), &labels).unwrap();
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let (m, _) = onehot_blocks();
+        let c1 = KMeans::new(1).seed(2).fit(&m).unwrap();
+        let c2 = KMeans::new(2).seed(2).fit(&m).unwrap();
+        let c3 = KMeans::new(3).seed(2).fit(&m).unwrap();
+        assert!(c2.cost <= c1.cost);
+        assert!(c3.cost <= c2.cost);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (m, _) = onehot_blocks();
+        assert!(KMeans::new(0).fit(&m).is_err());
+        assert!(KMeans::new(99).fit(&m).is_err());
+        let empty = DenseMatrix::zeros(0, 3);
+        assert!(KMeans::new(1).fit(&empty).is_err());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let (m, _) = onehot_blocks();
+        let a = KMeans::new(2).seed(9).fit(&m).unwrap();
+        let b = KMeans::new(2).seed(9).fit(&m).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn k_equals_n_zero_cost() {
+        let (m, _) = onehot_blocks();
+        let c = KMeans::new(6).seed(4).n_init(3).fit(&m).unwrap();
+        assert!(c.cost < 1e-9, "cost {}", c.cost);
+    }
+}

@@ -1,0 +1,334 @@
+//! k-modes (Huang, 1997/1998): the k-means analogue for categorical data.
+//!
+//! Centers are *modes* — per-attribute most frequent values among the
+//! cluster's members — and the distance is the simple matching (Hamming)
+//! dissimilarity. Included as a popular categorical baseline; ROCK's
+//! follow-on literature routinely compares against it.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use rock_core::data::CategoricalTable;
+use rock_core::error::{Result, RockError};
+use rock_core::sampling::seeded_rng;
+
+use crate::common::FlatClustering;
+
+/// Seeding strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KModesInit {
+    /// k distinct random records.
+    Random,
+    /// Distance-proportional seeding (the Hamming analogue of k-means++ /
+    /// D¹ sampling).
+    PlusPlus,
+}
+
+/// k-modes configuration.
+#[derive(Debug, Clone)]
+pub struct KModes {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iter: usize,
+    /// Independent restarts; the lowest-cost run wins.
+    pub n_init: usize,
+    /// Seeding strategy.
+    pub init: KModesInit,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KModes {
+    /// Sensible defaults: 20 iterations, 5 restarts, ++ seeding.
+    pub fn new(k: usize) -> Self {
+        KModes {
+            k,
+            max_iter: 20,
+            n_init: 5,
+            init: KModesInit::PlusPlus,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets restarts.
+    pub fn n_init(mut self, n_init: usize) -> Self {
+        self.n_init = n_init.max(1);
+        self
+    }
+
+    /// Sets the seeding strategy.
+    pub fn init(mut self, init: KModesInit) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Clusters the table.
+    ///
+    /// # Errors
+    /// * [`RockError::EmptyDataset`] / [`RockError::InvalidK`] on bad input.
+    pub fn fit(&self, table: &CategoricalTable) -> Result<FlatClustering> {
+        let n = table.len();
+        if n == 0 {
+            return Err(RockError::EmptyDataset);
+        }
+        if self.k == 0 || self.k > n {
+            return Err(RockError::InvalidK { k: self.k, n });
+        }
+        let rows: Vec<&[Option<u16>]> = (0..n).map(|i| table.row(i).unwrap()).collect();
+        let d = table.num_attributes();
+        // Domain sizes: the schema's interned cardinality, widened by the
+        // codes actually present (rows pushed pre-coded may bypass the
+        // schema's interning).
+        let mut cards: Vec<usize> = table
+            .schema()
+            .iter()
+            .map(|(_, a)| a.cardinality())
+            .collect();
+        for row in &rows {
+            for (a, cell) in row.iter().enumerate() {
+                if let Some(v) = cell {
+                    cards[a] = cards[a].max(*v as usize + 1);
+                }
+            }
+        }
+
+        let mut rng = seeded_rng(self.seed);
+        let mut best: Option<FlatClustering> = None;
+        for _ in 0..self.n_init.max(1) {
+            let run = self.run_once(&rows, d, &cards, &mut rng);
+            if best.as_ref().is_none_or(|b| run.cost < b.cost) {
+                best = Some(run);
+            }
+        }
+        Ok(best.expect("at least one restart"))
+    }
+
+    fn run_once(
+        &self,
+        rows: &[&[Option<u16>]],
+        d: usize,
+        cards: &[usize],
+        rng: &mut StdRng,
+    ) -> FlatClustering {
+        let n = rows.len();
+        // ── Seed modes ────────────────────────────────────────────────
+        let mut modes: Vec<Vec<Option<u16>>> = match self.init {
+            KModesInit::Random => {
+                let mut picked = std::collections::HashSet::new();
+                let mut modes = Vec::with_capacity(self.k);
+                while modes.len() < self.k {
+                    let i = rng.gen_range(0..n);
+                    if picked.insert(i) {
+                        modes.push(rows[i].to_vec());
+                    }
+                    if picked.len() == n {
+                        // Fewer distinct rows than k: duplicate arbitrary.
+                        while modes.len() < self.k {
+                            modes.push(rows[rng.gen_range(0..n)].to_vec());
+                        }
+                    }
+                }
+                modes
+            }
+            KModesInit::PlusPlus => {
+                let mut modes: Vec<Vec<Option<u16>>> = Vec::with_capacity(self.k);
+                modes.push(rows[rng.gen_range(0..n)].to_vec());
+                let mut dist: Vec<f64> = rows
+                    .iter()
+                    .map(|r| mismatch(r, &modes[0]) as f64)
+                    .collect();
+                while modes.len() < self.k {
+                    let total: f64 = dist.iter().sum();
+                    let pick = if total <= 0.0 {
+                        rng.gen_range(0..n)
+                    } else {
+                        let mut target = rng.gen::<f64>() * total;
+                        let mut idx = n - 1;
+                        for (i, &w) in dist.iter().enumerate() {
+                            if target < w {
+                                idx = i;
+                                break;
+                            }
+                            target -= w;
+                        }
+                        idx
+                    };
+                    modes.push(rows[pick].to_vec());
+                    for (i, r) in rows.iter().enumerate() {
+                        let nd = mismatch(r, modes.last().unwrap()) as f64;
+                        if nd < dist[i] {
+                            dist[i] = nd;
+                        }
+                    }
+                }
+                modes
+            }
+        };
+
+        // ── Lloyd iterations ──────────────────────────────────────────
+        let mut assignments = vec![0u32; n];
+        let mut iterations = 0usize;
+        for _ in 0..self.max_iter.max(1) {
+            iterations += 1;
+            // Assign.
+            let mut changed = false;
+            for (i, r) in rows.iter().enumerate() {
+                let mut best_c = 0u32;
+                let mut best_d = usize::MAX;
+                for (c, m) in modes.iter().enumerate() {
+                    let dd = mismatch(r, m);
+                    if dd < best_d {
+                        best_d = dd;
+                        best_c = c as u32;
+                    }
+                }
+                if assignments[i] != best_c {
+                    assignments[i] = best_c;
+                    changed = true;
+                }
+            }
+            if !changed && iterations > 1 {
+                break;
+            }
+            // Update modes: per attribute, the most frequent non-missing
+            // value; empty clusters are re-seeded from a random record.
+            for (c, mode) in modes.iter_mut().enumerate() {
+                let members: Vec<usize> = (0..n)
+                    .filter(|&i| assignments[i] == c as u32)
+                    .collect();
+                if members.is_empty() {
+                    *mode = rows[rng.gen_range(0..n)].to_vec();
+                    continue;
+                }
+                for a in 0..d {
+                    let mut freq = vec![0usize; cards[a].max(1)];
+                    for &i in &members {
+                        if let Some(v) = rows[i][a] {
+                            freq[v as usize] += 1;
+                        }
+                    }
+                    let best_v = freq
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|&(_, c)| *c)
+                        .map(|(v, _)| v as u16);
+                    mode[a] = match best_v {
+                        Some(v) if freq[v as usize] > 0 => Some(v),
+                        _ => None,
+                    };
+                }
+            }
+        }
+
+        let cost: usize = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| mismatch(r, &modes[assignments[i] as usize]))
+            .sum();
+        FlatClustering {
+            assignments,
+            k: self.k,
+            cost: cost as f64,
+            iterations,
+        }
+    }
+}
+
+/// Simple-matching dissimilarity; a missing value mismatches everything
+/// (including another missing value).
+#[inline]
+fn mismatch(a: &[Option<u16>], b: &[Option<u16>]) -> usize {
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| match (x, y) {
+            (Some(u), Some(v)) => u != v,
+            _ => true,
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_core::data::Schema;
+
+    fn table_two_groups(per: usize) -> (CategoricalTable, Vec<usize>) {
+        let mut t = CategoricalTable::new(Schema::with_unnamed(4));
+        let mut labels = Vec::new();
+        for i in 0..per {
+            let odd = ["a", "b", "a", "b"][i % 2];
+            t.push_textual(&["x", "x", "x", odd], "?").unwrap();
+            labels.push(0);
+        }
+        for i in 0..per {
+            let odd = ["c", "d", "c", "d"][i % 2];
+            t.push_textual(&["y", "y", "y", odd], "?").unwrap();
+            labels.push(1);
+        }
+        (t, labels)
+    }
+
+    #[test]
+    fn separates_two_groups() {
+        let (t, labels) = table_two_groups(10);
+        let c = KModes::new(2).seed(1).fit(&t).unwrap();
+        c.validate().unwrap();
+        let acc =
+            rock_core::metrics::matched_accuracy(&c.as_predictions(), &labels).unwrap();
+        assert_eq!(acc, 1.0);
+        assert!(c.cost <= 10.0, "cost {}", c.cost);
+    }
+
+    #[test]
+    fn mismatch_counts_missing_as_difference() {
+        let a = [Some(1u16), None, Some(2)];
+        let b = [Some(1u16), None, Some(3)];
+        assert_eq!(mismatch(&a, &b), 2);
+        assert_eq!(mismatch(&a, &a), 1); // None vs None mismatches
+    }
+
+    #[test]
+    fn random_init_also_works() {
+        let (t, labels) = table_two_groups(8);
+        let c = KModes::new(2)
+            .init(KModesInit::Random)
+            .n_init(5)
+            .seed(3)
+            .fit(&t)
+            .unwrap();
+        let acc =
+            rock_core::metrics::matched_accuracy(&c.as_predictions(), &labels).unwrap();
+        assert!(acc >= 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn k_one_puts_everything_together() {
+        let (t, _) = table_two_groups(5);
+        let c = KModes::new(1).seed(0).fit(&t).unwrap();
+        assert!(c.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (t, _) = table_two_groups(3);
+        assert!(KModes::new(0).fit(&t).is_err());
+        assert!(KModes::new(100).fit(&t).is_err());
+        let empty = CategoricalTable::new(Schema::with_unnamed(2));
+        assert!(KModes::new(1).fit(&empty).is_err());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let (t, _) = table_two_groups(10);
+        let a = KModes::new(2).seed(5).fit(&t).unwrap();
+        let b = KModes::new(2).seed(5).fit(&t).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+    }
+}

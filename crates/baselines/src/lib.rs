@@ -1,0 +1,30 @@
+//! # rock-baselines
+//!
+//! The comparison algorithms from the ROCK evaluation and its follow-on
+//! literature, implemented on the same data model as `rock-core`:
+//!
+//! * [`hierarchical::traditional`] — centroid-based hierarchical
+//!   clustering of one-hot vectors under Euclidean distance (the paper's
+//!   "traditional algorithm"), with single/complete/average/Ward variants
+//!   via [`linkage::Linkage`];
+//! * [`hierarchical::similarity_only`] — agglomeration driven purely by
+//!   pairwise similarity (no links), the strawman §1–2 of the paper argues
+//!   against;
+//! * [`kmodes::KModes`] — Huang's k-modes;
+//! * [`kmeans::KMeans`] — Lloyd's k-means with k-means++ seeding.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod common;
+pub mod hierarchical;
+pub mod kmeans;
+pub mod kmodes;
+pub mod linkage;
+pub mod onehot;
+
+pub use common::FlatClustering;
+pub use hierarchical::{similarity_only, traditional, traditional_table};
+pub use kmeans::KMeans;
+pub use kmodes::{KModes, KModesInit};
+pub use linkage::Linkage;

@@ -1,0 +1,150 @@
+//! One-hot (indicator) encoding of categorical data.
+//!
+//! The ROCK paper's "traditional" comparator runs Euclidean centroid-based
+//! hierarchical clustering over boolean indicator vectors: one dimension
+//! per `(attribute, value)` pair (or per item for baskets), 1 when
+//! present. This module produces those dense vectors.
+
+use rock_core::data::{CategoricalTable, TransactionSet};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable row view.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row view.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Squared Euclidean distance between rows `i` and `j`.
+    pub fn sq_dist(&self, i: usize, j: usize) -> f64 {
+        sq_dist(self.row(i), self.row(j))
+    }
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// One-hot encodes a transaction set: column = item id.
+pub fn encode_transactions(data: &TransactionSet) -> DenseMatrix {
+    let mut m = DenseMatrix::zeros(data.len(), data.universe());
+    for (i, t) in data.iter().enumerate() {
+        let row = m.row_mut(i);
+        for &item in t.items() {
+            row[item as usize] = 1.0;
+        }
+    }
+    m
+}
+
+/// One-hot encodes a categorical table: one column per `(attribute,
+/// value)`; missing cells contribute nothing.
+pub fn encode_table(table: &CategoricalTable) -> DenseMatrix {
+    // Column offsets per attribute.
+    let mut offsets = Vec::with_capacity(table.num_attributes());
+    let mut width = 0usize;
+    for (_, a) in table.schema().iter() {
+        offsets.push(width);
+        width += a.cardinality();
+    }
+    let mut m = DenseMatrix::zeros(table.len(), width);
+    for (i, row) in table.rows().enumerate() {
+        let out = m.row_mut(i);
+        for (a, cell) in row.iter().enumerate() {
+            if let Some(code) = cell {
+                out[offsets[a] + *code as usize] = 1.0;
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_core::data::{Schema, Transaction};
+
+    #[test]
+    fn encode_transactions_basic() {
+        let ts: TransactionSet = vec![Transaction::new([0, 2]), Transaction::new([1])]
+            .into_iter()
+            .collect();
+        let m = encode_transactions(&ts);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(0), &[1.0, 0.0, 1.0]);
+        assert_eq!(m.row(1), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn sq_dist_counts_disagreements() {
+        let ts: TransactionSet = vec![Transaction::new([0, 1]), Transaction::new([1, 2])]
+            .into_iter()
+            .collect();
+        let m = encode_transactions(&ts);
+        // Disagree on items 0 and 2 → squared distance 2.
+        assert_eq!(m.sq_dist(0, 1), 2.0);
+        assert_eq!(m.sq_dist(0, 0), 0.0);
+    }
+
+    #[test]
+    fn encode_table_with_missing() {
+        let mut t = CategoricalTable::new(Schema::with_unnamed(2));
+        t.push_textual(&["y", "a"], "?").unwrap();
+        t.push_textual(&["n", "?"], "?").unwrap();
+        let m = encode_table(&t);
+        // attr0 domain {y,n} → cols 0..2; attr1 domain {a} → col 2.
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(0), &[1.0, 0.0, 1.0]);
+        assert_eq!(m.row(1), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn zeros_and_views() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.row_mut(1)[0] = 5.0;
+        assert_eq!(m.row(1), &[5.0, 0.0]);
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks for ROCK's phase kernels: similarity,
+//! neighbor graph, link table, indexed heap and goodness evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rock_core::agglomerate::GoodnessKey;
+use rock_core::goodness::{Goodness, MarketBasket};
+use rock_core::heap::IndexedHeap;
+use rock_core::links::LinkTable;
+use rock_core::neighbors::NeighborGraph;
+use rock_core::prelude::*;
+use rock_datasets::synthetic::BlockModel;
+
+fn dataset(n_per_block: usize) -> TransactionSet {
+    BlockModel::symmetric(4, n_per_block, 30, 0.4, 0.02)
+        .seed(1)
+        .generate()
+        .0
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let data = dataset(50);
+    let a = data.transaction(0).unwrap();
+    let b = data.transaction(1).unwrap();
+    let far = data.transaction(150).unwrap();
+    let mut g = c.benchmark_group("similarity");
+    g.bench_function("jaccard/same-block", |bench| {
+        bench.iter(|| black_box(Jaccard.sim(black_box(a), black_box(b))))
+    });
+    g.bench_function("jaccard/cross-block", |bench| {
+        bench.iter(|| black_box(Jaccard.sim(black_box(a), black_box(far))))
+    });
+    g.finish();
+}
+
+fn bench_neighbors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("neighbors");
+    g.sample_size(10);
+    for &n in &[100usize, 200] {
+        let data = dataset(n);
+        g.bench_with_input(BenchmarkId::new("compute", data.len()), &data, |b, d| {
+            b.iter(|| NeighborGraph::compute(d, &Jaccard, 0.25, 1).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_links(c: &mut Criterion) {
+    let mut g = c.benchmark_group("links");
+    g.sample_size(10);
+    for &n in &[100usize, 200] {
+        let data = dataset(n);
+        let graph = NeighborGraph::compute(&data, &Jaccard, 0.25, 1).unwrap();
+        g.bench_with_input(BenchmarkId::new("compute", data.len()), &graph, |b, gr| {
+            b.iter(|| LinkTable::compute(gr))
+        });
+    }
+    g.finish();
+}
+
+fn bench_heap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heap");
+    g.bench_function("insert-update-remove/1000", |bench| {
+        bench.iter(|| {
+            let mut h: IndexedHeap<GoodnessKey> = IndexedHeap::with_capacity(1000);
+            for i in 0..1000u32 {
+                h.insert_or_update(i, GoodnessKey::new((i % 97) as f64, i));
+            }
+            for i in (0..1000u32).step_by(3) {
+                h.insert_or_update(i, GoodnessKey::new((i % 31) as f64, i));
+            }
+            for i in (0..1000u32).step_by(2) {
+                black_box(h.remove(i));
+            }
+            while let Some(e) = h.pop() {
+                black_box(e);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_goodness(c: &mut Criterion) {
+    let good = Goodness::new(0.5, &MarketBasket).unwrap();
+    let mut g = c.benchmark_group("goodness");
+    g.bench_function("merge_goodness/cached-pow", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f64;
+            for n in 1..512usize {
+                acc += good.merge_goodness(black_box(7), n, 512 - n);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("merge_goodness/large-pow", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f64;
+            for n in 1..64usize {
+                acc += good.merge_goodness(black_box(7), n * 100, 6400 - n * 100 + 1);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_similarity,
+    bench_neighbors,
+    bench_links,
+    bench_heap,
+    bench_goodness
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! E8 — connected-components shortcut vs full ROCK (follow-on ablation).
+//!
+//! The QROCK observation: when θ separates the clusters cleanly, the
+//! connected components of the neighbor graph *are* the clusters, and the
+//! link/merge machinery is unnecessary. This experiment quantifies when
+//! that holds: on cleanly separated data the shortcut matches ROCK at a
+//! fraction of the cost; as class separation drops (latent-class
+//! concentration sweep) or bridges appear, components collapse into one
+//! blob while links keep working.
+
+use rock_bench::cli::ExpOptions;
+use rock_bench::table::{banner, f4, TextTable};
+use rock_bench::timing::{secs, time_it};
+use rock_core::metrics::matched_accuracy;
+use rock_core::prelude::*;
+use rock_datasets::synthetic::{intro_example, LatentClassModel};
+
+fn main() {
+    let opts = ExpOptions::from_env();
+
+    banner("E8a: concentration sweep — components vs ROCK (latent classes)");
+    let mut t = TextTable::new([
+        "concentration",
+        "ROCK acc",
+        "components acc",
+        "components found",
+        "ROCK time",
+        "comp time",
+    ]);
+    let theta = 0.45;
+    for &conc in &[0.95f64, 0.9, 0.85, 0.8, 0.75, 0.7] {
+        let m = LatentClassModel::uniform(4, opts.scaled(150, 30), 16, 4)
+            .concentration(conc)
+            .seed(opts.seed);
+        let (table, truth) = m.generate();
+        let data = table.to_transactions();
+
+        let (rock, rock_time) = time_it(|| {
+            RockBuilder::new(4, theta)
+                .seed(opts.seed)
+                .build()
+                .fit(&data)
+                .expect("fit")
+        });
+        let rock_pred: Vec<Option<u32>> = rock
+            .assignments()
+            .iter()
+            .map(|a| a.map(|c| c.0))
+            .collect();
+
+        let (comps, comp_time) = time_it(|| {
+            let g = NeighborGraph::compute(&data, &Jaccard, theta, 0).expect("graph");
+            connected_components(&g)
+        });
+        let mut comp_pred: Vec<Option<u32>> = vec![None; data.len()];
+        for (c, members) in comps.iter().enumerate() {
+            for &p in members {
+                comp_pred[p as usize] = Some(c as u32);
+            }
+        }
+
+        t.row([
+            format!("{conc:.2}"),
+            f4(matched_accuracy(&rock_pred, &truth).unwrap()),
+            f4(matched_accuracy(&comp_pred, &truth).unwrap()),
+            comps.len().to_string(),
+            secs(rock_time),
+            secs(comp_time),
+        ]);
+    }
+    t.print();
+
+    banner("E8b: bridges break the shortcut, links survive");
+    let mut t = TextTable::new(["bridges", "ROCK acc", "components acc", "components found"]);
+    // θ = 0.4 lets bridge baskets connect to both sides (their Jaccard to
+    // genuine baskets is exactly 0.4), so the shortcut's failure mode is
+    // visible: one bridge fuses the two components.
+    for bridges in [0usize, 1, 2, 4] {
+        let (data, truth) = intro_example(bridges);
+        let rock = RockBuilder::new(2, 0.4)
+            .neighbor_filter(NeighborFilter::disabled())
+            .seed(opts.seed)
+            .build()
+            .fit(&data)
+            .expect("fit");
+        let rock_pred: Vec<Option<u32>> = rock
+            .assignments()
+            .iter()
+            .map(|a| a.map(|c| c.0))
+            .collect();
+        let g = NeighborGraph::compute(&data, &Jaccard, 0.4, 1).expect("graph");
+        let comps = connected_components(&g);
+        let mut comp_pred: Vec<Option<u32>> = vec![None; data.len()];
+        for (c, members) in comps.iter().enumerate() {
+            for &p in members {
+                comp_pred[p as usize] = Some(c as u32);
+            }
+        }
+        t.row([
+            bridges.to_string(),
+            f4(matched_accuracy(&rock_pred, &truth).unwrap()),
+            f4(matched_accuracy(&comp_pred, &truth).unwrap()),
+            comps.len().to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n(one bridge suffices to fuse the components into a single blob,\n\
+         while the link goodness keeps the genuine clusters apart)"
+    );
+}

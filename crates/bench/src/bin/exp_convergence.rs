@@ -1,0 +1,83 @@
+//! E9 — merge convergence and choosing k from one run (extension).
+//!
+//! ROCK greedily maximizes the criterion function E_l; recording the merge
+//! history exposes (i) the criterion trajectory, (ii) the goodness of each
+//! merge, and (iii) — via the dendrogram — the accuracy at *every* cluster
+//! count from a single run. The goodness cliff should coincide with the
+//! planted cluster count and the accuracy peak.
+
+use rock_bench::cli::ExpOptions;
+use rock_bench::table::{banner, f4, TextTable};
+use rock_core::metrics::matched_accuracy;
+use rock_core::prelude::*;
+use rock_datasets::synthetic::LatentClassModel;
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    let k_true = 6usize;
+    banner("E9: convergence & k-selection from one merge run");
+    let m = LatentClassModel::uniform(k_true, opts.scaled(80, 20), 14, 4)
+        .concentration(0.85)
+        .noise_attributes(0.2)
+        .seed(opts.seed);
+    let (table, truth) = m.generate();
+    let data = table.to_transactions();
+    println!(
+        "{} points, {} latent classes (concentration 0.85, 20% noise attributes)",
+        data.len(),
+        k_true
+    );
+
+    let model = RockBuilder::new(1, 0.4)
+        .record_history(true)
+        .seed(opts.seed)
+        .build()
+        .fit(&data)
+        .expect("fit");
+    let dendro = model.dendrogram().expect("history recorded");
+    println!(
+        "merged down to {} cluster(s) in {} merges",
+        dendro.min_clusters(),
+        dendro.num_merges()
+    );
+
+    banner("accuracy and merge quality vs cluster count (single run, dendrogram cuts)");
+    let mut t = TextTable::new(["k", "accuracy", "goodness of next merge", "criterion E_l"]);
+    let floor = dendro.min_clusters();
+    let steps = dendro.steps();
+    for k in (floor..=24.min(data.len())).rev() {
+        if k != floor && k != k_true && k % 4 != 0 && k > 2 {
+            continue; // print a readable subset
+        }
+        let Some(assign) = dendro.cut_assignments(k) else {
+            continue;
+        };
+        let pred: Vec<Option<u32>> = assign.iter().map(|&c| Some(c)).collect();
+        // The merge that goes from k to k−1 clusters is step n−k.
+        let next_merge = steps.get(data.len() - k).map(|s| s.goodness);
+        let criterion = if data.len() - k == 0 {
+            0.0
+        } else {
+            steps[data.len() - k - 1].criterion
+        };
+        t.row([
+            k.to_string(),
+            f4(matched_accuracy(&pred, &truth).expect("metrics")),
+            next_merge.map_or("-".to_string(), f4),
+            f4(criterion),
+        ]);
+    }
+    t.print();
+
+    let suggested = dendro.suggest_k(k_true).unwrap_or(0);
+    println!("\nsuggest_k (goodness cliff): {suggested}   planted: {k_true}");
+
+    banner("criterion trajectory (every 50th merge)");
+    let mut t = TextTable::new(["merge#", "criterion E_l", "goodness"]);
+    for (i, s) in steps.iter().enumerate() {
+        if i % 50 == 0 || i + 1 == steps.len() {
+            t.row([i.to_string(), f4(s.criterion), f4(s.goodness)]);
+        }
+    }
+    t.print();
+}

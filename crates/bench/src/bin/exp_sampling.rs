@@ -1,0 +1,85 @@
+//! E5 — random sampling + labeling (paper §4.2–4.3).
+//!
+//! The large-data paradigm: cluster a random sample, then label the rest
+//! of the dataset from per-cluster representative sets. This experiment
+//! (i) prints the Chernoff-bound sample sizes for a range of guarantees,
+//! and (ii) sweeps the sample size on the mushroom-like dataset, reporting
+//! full-dataset accuracy after labeling — the quality should approach the
+//! all-points run once the sample covers every sizable group.
+
+use rock_bench::cli::ExpOptions;
+use rock_bench::table::{banner, f4, TextTable};
+use rock_bench::timing::secs;
+use rock_core::metrics::{densify_labels, matched_accuracy, purity};
+use rock_core::prelude::*;
+use rock_datasets::synthetic::MushroomModel;
+
+const THETA: f64 = 0.8;
+const K: usize = 21;
+
+fn main() {
+    let opts = ExpOptions::from_env();
+
+    banner("E5a: Chernoff-bound sample sizes (n = 8124)");
+    let mut t = TextTable::new(["u_min", "xi", "delta", "s_min"]);
+    for (u_min, xi, delta) in [
+        (1828usize, 0.25f64, 0.05f64),
+        (512, 0.25, 0.05),
+        (128, 0.25, 0.05),
+        (128, 0.5, 0.05),
+        (128, 0.25, 0.001),
+        (32, 0.25, 0.05),
+    ] {
+        let s = chernoff_sample_size(8124, u_min, xi, delta).expect("bound");
+        t.row([
+            u_min.to_string(),
+            format!("{xi}"),
+            format!("{delta}"),
+            s.to_string(),
+        ]);
+    }
+    t.print();
+    println!("(smaller clusters / higher confidence need larger samples; capped at n)");
+
+    banner("E5b: full-dataset accuracy vs sample size (mushroom-like)");
+    let model = if opts.scale < 1.0 {
+        MushroomModel::scaled(opts.scaled(8124, 500), K).seed(opts.seed)
+    } else {
+        MushroomModel::default().seed(opts.seed)
+    };
+    let n = model.num_records();
+    let (table, classes, groups) = model.generate();
+    let truth = densify_labels(&classes);
+    let data = table.to_transactions();
+
+    let mut t = TextTable::new([
+        "sample", "group accuracy", "class purity", "clusters", "outliers", "fit_time",
+    ]);
+    for &s in &[250usize, 500, 1000, 2000, 4000] {
+        let s = s.min(n);
+        let rock = RockBuilder::new(K, THETA)
+            .sample(SampleStrategy::Fixed(s))
+            .seed(opts.seed)
+            .build()
+            .fit(&data)
+            .expect("fit");
+        let pred: Vec<Option<u32>> = rock
+            .assignments()
+            .iter()
+            .map(|a| a.map(|c| c.0))
+            .collect();
+        t.row([
+            s.to_string(),
+            f4(matched_accuracy(&pred, &groups).unwrap()),
+            f4(purity(&pred, &truth).unwrap()),
+            rock.num_clusters().to_string(),
+            rock.outliers().len().to_string(),
+            secs(rock.stats().timings.total),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n(Accuracy climbs with sample size as smaller groups get covered;\n\
+         outliers are points whose group had no representative in the sample.)"
+    );
+}

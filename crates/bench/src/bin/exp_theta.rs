@@ -1,0 +1,89 @@
+//! E7 — θ sensitivity.
+//!
+//! The paper tunes θ per dataset (0.73 for votes, 0.8 for mushroom) and
+//! notes the choice matters: too low and everything is everyone's
+//! neighbor, too high and the neighbor graph falls apart. This experiment
+//! sweeps θ on the votes-like and mushroom-like generators and reports
+//! accuracy and the number of clusters actually reachable.
+
+use rock_bench::cli::ExpOptions;
+use rock_bench::table::{banner, f4, TextTable};
+use rock_core::metrics::matched_accuracy;
+use rock_core::prelude::*;
+use rock_datasets::synthetic::{MushroomModel, Party, VotesModel};
+
+fn main() {
+    let opts = ExpOptions::from_env();
+
+    banner("E7: theta sweep — votes-like (noisy regime, k=2)");
+    let model = VotesModel {
+        democrats: opts.scaled(267, 30),
+        republicans: opts.scaled(168, 20),
+        partisan_issues: 10,
+        party_line: 0.75,
+        missing: 0.08,
+        ..VotesModel::default()
+    }
+    .seed(opts.seed);
+    let (table, parties) = model.generate();
+    let truth: Vec<usize> = parties
+        .iter()
+        .map(|p| usize::from(*p == Party::Republican))
+        .collect();
+    let data = table.to_transactions();
+    sweep(
+        &data,
+        &truth,
+        2,
+        &[0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.60],
+        opts.seed,
+    );
+
+    banner("E7: theta sweep — mushroom-like (k = #groups)");
+    let groups = 8;
+    let m = MushroomModel::scaled(opts.scaled(1600, 200), groups).seed(opts.seed);
+    let (mtable, _classes, mgroups) = m.generate();
+    let mdata = mtable.to_transactions();
+    sweep(
+        &mdata,
+        &mgroups,
+        groups,
+        &[0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9],
+        opts.seed,
+    );
+}
+
+fn sweep(data: &TransactionSet, truth: &[usize], k: usize, thetas: &[f64], seed: u64) {
+    let mut t = TextTable::new([
+        "theta",
+        "accuracy",
+        "clusters",
+        "outliers",
+        "avg_degree",
+        "reached_k",
+    ]);
+    for &theta in thetas {
+        match RockBuilder::new(k, theta).seed(seed).build().fit(data) {
+            Ok(model) => {
+                let pred: Vec<Option<u32>> = model
+                    .assignments()
+                    .iter()
+                    .map(|a| a.map(|c| c.0))
+                    .collect();
+                let acc = matched_accuracy(&pred, truth).expect("metrics");
+                t.row([
+                    format!("{theta:.2}"),
+                    f4(acc),
+                    model.num_clusters().to_string(),
+                    model.outliers().len().to_string(),
+                    format!("{:.1}", model.stats().avg_degree),
+                    model.stats().reached_k.to_string(),
+                ]);
+            }
+            Err(e) => {
+                t.row([format!("{theta:.2}"), format!("error: {e}")]);
+            }
+        }
+    }
+    t.print();
+}

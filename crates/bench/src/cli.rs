@@ -1,0 +1,127 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+//!
+//! Every `exp_*` binary accepts `--seed <u64>`, `--scale <f64>` (shrinks
+//! dataset sizes for quick runs) and `--epochs <usize>`; unknown flags
+//! abort with a usage message. No external CLI crate is needed for three
+//! flags.
+
+/// Parsed common experiment options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpOptions {
+    /// RNG seed (default 42).
+    pub seed: u64,
+    /// Size multiplier in `(0, 1]` applied to dataset sizes (default 1.0).
+    pub scale: f64,
+    /// Number of repeated runs for mean ± std reporting (default 3).
+    pub epochs: usize,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            seed: 42,
+            scale: 1.0,
+            epochs: 3,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Parses from an iterator of arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut opts = ExpOptions::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> Result<String, String> {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--seed" => {
+                    opts.seed = take("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--scale" => {
+                    opts.scale = take("--scale")?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?;
+                    if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+                        return Err(format!("--scale must be in (0, 1], got {}", opts.scale));
+                    }
+                }
+                "--epochs" => {
+                    opts.epochs = take("--epochs")?
+                        .parse()
+                        .map_err(|e| format!("--epochs: {e}"))?;
+                    if opts.epochs == 0 {
+                        return Err("--epochs must be positive".to_owned());
+                    }
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: exp_* [--seed <u64>] [--scale <0..1>] [--epochs <n>]".to_owned()
+                    );
+                }
+                other => return Err(format!("unknown flag: {other}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses from the process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Applies the scale factor to a size, keeping at least `min`.
+    pub fn scaled(&self, size: usize, min: usize) -> usize {
+        ((size as f64 * self.scale).round() as usize).max(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExpOptions, String> {
+        ExpOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o, ExpOptions::default());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse(&["--seed", "7", "--scale", "0.5", "--epochs", "10"]).unwrap();
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.epochs, 10);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "x"]).is_err());
+        assert!(parse(&["--scale", "0"]).is_err());
+        assert!(parse(&["--scale", "1.5"]).is_err());
+        assert!(parse(&["--epochs", "0"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn scaled_respects_minimum() {
+        let o = parse(&["--scale", "0.1"]).unwrap();
+        assert_eq!(o.scaled(1000, 50), 100);
+        assert_eq!(o.scaled(100, 50), 50);
+    }
+}

@@ -1,0 +1,13 @@
+//! # rock-bench
+//!
+//! Experiment harness regenerating every table and figure of the ROCK
+//! evaluation (see `DESIGN.md` §4 for the experiment index) plus Criterion
+//! micro-benchmarks. Each `exp_*` binary prints the paper-style table for
+//! one experiment; `EXPERIMENTS.md` records paper-vs-measured results.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cli;
+pub mod table;
+pub mod timing;

@@ -1,0 +1,37 @@
+//! Wall-clock timing helpers for the scalability experiments.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f`, returning its result and elapsed wall-clock time.
+pub fn time_it<T, F: FnOnce() -> T>(f: F) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration as fractional seconds with millisecond precision.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_elapsed_time() {
+        let ((), d) = time_it(|| std::thread::sleep(Duration::from_millis(15)));
+        assert!(d >= Duration::from_millis(14), "elapsed {d:?}");
+    }
+
+    #[test]
+    fn returns_closure_value() {
+        let (v, _) = time_it(|| 6 * 7);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500s");
+    }
+}

@@ -1,0 +1,681 @@
+//! The ROCK agglomerative merge engine (paper §4, procedure `cluster`).
+//!
+//! Every point starts as a singleton cluster. Each cluster `i` owns a
+//! *local heap* `q[i]` of the clusters linked to it, ordered by the
+//! goodness measure; a *global heap* `Q` orders clusters by the goodness of
+//! their best local merge. Each iteration merges the globally best pair
+//! `(u, v)`, folds `v`'s link row into `u`'s, and repairs the heaps of all
+//! affected clusters — `O(links touched · log n)` per merge, exactly the
+//! bookkeeping the paper describes.
+//!
+//! The loop stops when the requested number of clusters is reached or when
+//! no cross-cluster links remain (the paper's termination condition; the
+//! leftover link-free clusters cannot be merged meaningfully).
+//!
+//! Outlier handling follows paper §4.3: optionally, when the number of
+//! clusters first falls to a checkpoint fraction of the starting count,
+//! clusters that are still very small are discarded — outliers tend to form
+//! singletons or tiny groups that stop participating in merges early.
+
+use std::collections::HashMap;
+
+use crate::error::{Result, RockError};
+use crate::goodness::Goodness;
+use crate::heap::IndexedHeap;
+use crate::links::LinkTable;
+
+/// Totally ordered heap key: goodness value with a deterministic id
+/// tie-break (smaller id wins ties, so runs are reproducible).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoodnessKey {
+    /// The goodness value.
+    pub goodness: f64,
+    /// Tie-breaking id (compared in reverse: smaller id = higher priority).
+    pub tie: u32,
+}
+
+impl GoodnessKey {
+    /// Creates a key; `goodness` must not be NaN.
+    pub fn new(goodness: f64, tie: u32) -> Self {
+        debug_assert!(!goodness.is_nan(), "goodness must not be NaN");
+        GoodnessKey { goodness, tie }
+    }
+}
+
+impl Eq for GoodnessKey {}
+
+impl PartialOrd for GoodnessKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for GoodnessKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.goodness
+            .total_cmp(&other.goodness)
+            .then_with(|| other.tie.cmp(&self.tie))
+    }
+}
+
+/// Outlier pruning policy applied during merging (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneConfig {
+    /// When the live cluster count first drops to
+    /// `ceil(checkpoint_fraction · n)`, pruning fires. The paper suggests
+    /// around 1/3.
+    pub checkpoint_fraction: f64,
+    /// Clusters with at most this many members are discarded at the
+    /// checkpoint (the paper suggests 1–2 points).
+    pub max_prune_size: usize,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig {
+            checkpoint_fraction: 1.0 / 3.0,
+            max_prune_size: 2,
+        }
+    }
+}
+
+/// Configuration for [`agglomerate`].
+#[derive(Debug, Clone)]
+pub struct AgglomerateConfig {
+    /// Target number of clusters.
+    pub k: usize,
+    /// Optional mid-run outlier pruning.
+    pub prune: Option<PruneConfig>,
+    /// Record the merge history (one [`MergeStep`] per merge).
+    pub record_history: bool,
+    /// Stop early once the best available merge's goodness falls below
+    /// this value (the paper's alternative termination condition when the
+    /// natural cluster count is unknown). `None` disables it.
+    pub min_goodness: Option<f64>,
+}
+
+impl AgglomerateConfig {
+    /// Plain configuration: merge down to `k`, no pruning, keep history.
+    pub fn new(k: usize) -> Self {
+        AgglomerateConfig {
+            k,
+            prune: None,
+            record_history: true,
+            min_goodness: None,
+        }
+    }
+
+    /// Sets the early-stop goodness threshold.
+    pub fn min_goodness(mut self, threshold: f64) -> Self {
+        self.min_goodness = Some(threshold);
+        self
+    }
+}
+
+/// One merge performed by the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergeStep {
+    /// Cluster slot that survived the merge.
+    pub kept: u32,
+    /// Cluster slot folded into `kept`.
+    pub absorbed: u32,
+    /// Goodness of the merged pair.
+    pub goodness: f64,
+    /// Sizes of `(kept, absorbed)` before the merge.
+    pub sizes: (u32, u32),
+    /// Value of the criterion function E_l after the merge.
+    pub criterion: f64,
+}
+
+/// Result of a run of the merge engine.
+#[derive(Debug, Clone)]
+pub struct Agglomeration {
+    /// For each input point, the dense output cluster index, or `None` if
+    /// the point was pruned as an outlier.
+    pub assignment: Vec<Option<u32>>,
+    /// Member point indices per output cluster, each sorted ascending.
+    /// Clusters are ordered by decreasing size (ties by smallest member).
+    pub clusters: Vec<Vec<u32>>,
+    /// Merge history (empty unless `record_history`).
+    pub history: Vec<MergeStep>,
+    /// Final value of the criterion function E_l.
+    pub criterion: f64,
+    /// Number of merges performed (counted even when history is off).
+    pub merges: usize,
+    /// `true` if the engine reached exactly `k` clusters; `false` if it
+    /// stopped early because no cross-cluster links remained.
+    pub reached_k: bool,
+    /// Points pruned as outliers during merging.
+    pub outliers: Vec<u32>,
+}
+
+/// Runs the ROCK merge engine over `n` points with the given link table.
+///
+/// # Errors
+/// * [`RockError::EmptyDataset`] when `n == 0`.
+/// * [`RockError::InvalidK`] when `k` is 0 or exceeds `n`.
+pub fn agglomerate(
+    n: usize,
+    links: &LinkTable,
+    goodness: &Goodness,
+    config: &AgglomerateConfig,
+) -> Result<Agglomeration> {
+    if n == 0 {
+        return Err(RockError::EmptyDataset);
+    }
+    if config.k == 0 || config.k > n {
+        return Err(RockError::InvalidK { k: config.k, n });
+    }
+    debug_assert_eq!(links.len(), n, "link table size mismatch");
+
+    let mut engine = Engine::new(n, links, goodness, config.record_history);
+    let checkpoint = config.prune.map(|p| {
+        let c = (p.checkpoint_fraction * n as f64).ceil() as usize;
+        (c.clamp(config.k, n), p.max_prune_size)
+    });
+    let mut pruned_at_checkpoint = checkpoint.is_none();
+
+    let mut active = n;
+    while active > config.k {
+        if let Some((at, max_size)) = checkpoint {
+            if !pruned_at_checkpoint && active <= at {
+                engine.prune_small(max_size);
+                pruned_at_checkpoint = true;
+                active = engine.active_count();
+                if active <= config.k {
+                    break;
+                }
+            }
+        }
+        if let Some(threshold) = config.min_goodness {
+            if engine.best_goodness().is_none_or(|g| g < threshold) {
+                break; // remaining merges are below the quality floor
+            }
+        }
+        if !engine.merge_best() {
+            break; // no cross-cluster links remain
+        }
+        active -= 1;
+    }
+
+    Ok(engine.finish(active == config.k))
+}
+
+/// Internal merge-engine state.
+struct Engine<'a> {
+    goodness: &'a Goodness,
+    /// Member lists per slot; empty = inactive slot.
+    members: Vec<Vec<u32>>,
+    /// Cross-link rows per slot: partner slot → link count. Symmetric.
+    rows: Vec<HashMap<u32, u64>>,
+    /// Internal (within-cluster) ordered link counts per slot.
+    internal: Vec<u64>,
+    /// Local heaps.
+    local: Vec<IndexedHeap<GoodnessKey>>,
+    /// Global heap over slots with non-empty local heaps.
+    global: IndexedHeap<GoodnessKey>,
+    history: Vec<MergeStep>,
+    record_history: bool,
+    merges: usize,
+    outliers: Vec<u32>,
+    active: usize,
+}
+
+impl<'a> Engine<'a> {
+    #[allow(clippy::needless_range_loop)] // local heaps & rows are parallel arrays
+    fn new(n: usize, links: &LinkTable, goodness: &'a Goodness, record_history: bool) -> Self {
+        let members: Vec<Vec<u32>> = (0..n as u32).map(|i| vec![i]).collect();
+        // Build symmetric rows from the upper-triangle link table.
+        let mut rows: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n];
+        for (i, j, c) in links.iter() {
+            rows[i as usize].insert(j, c as u64);
+            rows[j as usize].insert(i, c as u64);
+        }
+        let mut local: Vec<IndexedHeap<GoodnessKey>> = Vec::with_capacity(n);
+        let mut global = IndexedHeap::with_capacity(n);
+        for i in 0..n {
+            let mut h = IndexedHeap::with_capacity(rows[i].len());
+            for (&j, &c) in &rows[i] {
+                h.insert_or_update(j, GoodnessKey::new(goodness.merge_goodness(c, 1, 1), j));
+            }
+            if let Some((best, _)) = h.peek() {
+                global.insert_or_update(i as u32, GoodnessKey::new(best.goodness, i as u32));
+            }
+            local.push(h);
+        }
+        Engine {
+            goodness,
+            members,
+            rows,
+            internal: vec![0; n],
+            local,
+            global,
+            history: Vec::new(),
+            record_history,
+            merges: 0,
+            outliers: Vec::new(),
+            active: n,
+        }
+    }
+
+    fn active_count(&self) -> usize {
+        self.active
+    }
+
+    #[inline]
+    fn size(&self, slot: u32) -> usize {
+        self.members[slot as usize].len()
+    }
+
+    /// Goodness of the best available merge, if any.
+    fn best_goodness(&self) -> Option<f64> {
+        self.global.peek().map(|(k, _)| k.goodness)
+    }
+
+    /// Recomputes slot `i`'s entry in the global heap from its local heap.
+    fn refresh_global(&mut self, i: u32) {
+        match self.local[i as usize].peek() {
+            Some((best, _)) => self
+                .global
+                .insert_or_update(i, GoodnessKey::new(best.goodness, i)),
+            None => {
+                self.global.remove(i);
+            }
+        }
+    }
+
+    /// Merges the globally best pair. Returns `false` when no pair exists.
+    fn merge_best(&mut self) -> bool {
+        let Some((_, u)) = self.global.peek() else {
+            return false;
+        };
+        let Some((key, v)) = self.local[u as usize].peek().map(|(k, v)| (*k, v)) else {
+            // Defensive: a slot in the global heap always has a local best.
+            self.global.remove(u);
+            return !self.global.is_empty() && self.merge_best();
+        };
+        self.merge(u, v, key.goodness);
+        true
+    }
+
+    /// Merges cluster `v` into cluster `u`.
+    fn merge(&mut self, u: u32, v: u32, goodness_value: f64) {
+        debug_assert_ne!(u, v);
+        let (nu, nv) = (self.size(u), self.size(v));
+        let cross = self.rows[u as usize].get(&v).copied().unwrap_or(0);
+
+        // Fold members and internal links.
+        let v_members = std::mem::take(&mut self.members[v as usize]);
+        self.members[u as usize].extend(v_members);
+        self.internal[u as usize] += self.internal[v as usize] + 2 * cross;
+        self.internal[v as usize] = 0;
+
+        // Fold v's row into u's; drop the u↔v entry.
+        let v_row = std::mem::take(&mut self.rows[v as usize]);
+        self.rows[u as usize].remove(&v);
+        for (x, c) in v_row {
+            if x == u {
+                continue;
+            }
+            *self.rows[u as usize].entry(x).or_insert(0) += c;
+        }
+
+        // Repair every affected neighbor x: its row and local heap lose u
+        // and v, gaining the merged cluster (slot u) with updated goodness.
+        let nw = nu + nv;
+        let partners: Vec<(u32, u64, usize)> = self.rows[u as usize]
+            .iter()
+            .map(|(&x, &c)| (x, c, self.members[x as usize].len()))
+            .collect();
+        for &(x, c, nx) in &partners {
+            let g = self.goodness.merge_goodness(c, nx, nw);
+            let xr = &mut self.rows[x as usize];
+            xr.remove(&u);
+            xr.remove(&v);
+            xr.insert(u, c);
+            let xl = &mut self.local[x as usize];
+            xl.remove(u);
+            xl.remove(v);
+            xl.insert_or_update(u, GoodnessKey::new(g, u));
+            self.refresh_global(x);
+        }
+
+        // Rebuild u's local heap, retire v's.
+        self.local[v as usize].clear();
+        self.global.remove(v);
+        let good = self.goodness;
+        let ul = &mut self.local[u as usize];
+        ul.clear();
+        for &(x, c, nx) in &partners {
+            let g = good.merge_goodness(c, nw, nx);
+            ul.insert_or_update(x, GoodnessKey::new(g, x));
+        }
+        self.refresh_global(u);
+        self.active -= 1;
+        self.merges += 1;
+
+        if self.record_history {
+            let criterion = self.criterion();
+            self.history.push(MergeStep {
+                kept: u,
+                absorbed: v,
+                goodness: goodness_value,
+                sizes: (nu as u32, nv as u32),
+                criterion,
+            });
+        }
+    }
+
+    /// Discards every active cluster with at most `max_size` members.
+    fn prune_small(&mut self, max_size: usize) {
+        let victims: Vec<u32> = (0..self.members.len() as u32)
+            .filter(|&s| {
+                let m = &self.members[s as usize];
+                !m.is_empty() && m.len() <= max_size
+            })
+            .collect();
+        // Never prune everything: keep at least one cluster.
+        if victims.len() == self.active {
+            return;
+        }
+        for s in victims {
+            let mem = std::mem::take(&mut self.members[s as usize]);
+            self.outliers.extend(mem);
+            self.internal[s as usize] = 0;
+            let row = std::mem::take(&mut self.rows[s as usize]);
+            for (x, _) in row {
+                self.rows[x as usize].remove(&s);
+                self.local[x as usize].remove(s);
+                self.refresh_global(x);
+            }
+            self.local[s as usize].clear();
+            self.global.remove(s);
+            self.active -= 1;
+        }
+    }
+
+    /// Current value of the criterion function E_l.
+    fn criterion(&self) -> f64 {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(i, m)| self.goodness.criterion_term(self.internal[i], m.len()))
+            .sum()
+    }
+
+    fn finish(self, reached_k: bool) -> Agglomeration {
+        let criterion = self.criterion();
+        let n: usize = self.members.iter().map(Vec::len).sum::<usize>() + self.outliers.len();
+        let mut clusters: Vec<Vec<u32>> = self
+            .members
+            .into_iter()
+            .filter(|m| !m.is_empty())
+            .map(|mut m| {
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        clusters.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
+        let mut assignment: Vec<Option<u32>> = vec![None; n];
+        for (c, mem) in clusters.iter().enumerate() {
+            for &p in mem {
+                assignment[p as usize] = Some(c as u32);
+            }
+        }
+        let mut outliers = self.outliers;
+        outliers.sort_unstable();
+        Agglomeration {
+            assignment,
+            clusters,
+            history: self.history,
+            criterion,
+            merges: self.merges,
+            reached_k,
+            outliers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Transaction, TransactionSet};
+    use crate::goodness::MarketBasket;
+    use crate::neighbors::NeighborGraph;
+    use crate::similarity::Jaccard;
+
+    fn pipeline(transactions: Vec<Transaction>, theta: f64, k: usize) -> Agglomeration {
+        let data: TransactionSet = transactions.into_iter().collect();
+        let g = NeighborGraph::compute(&data, &Jaccard, theta, 1).unwrap();
+        let links = LinkTable::compute(&g);
+        let good = Goodness::new(theta, &MarketBasket).unwrap();
+        agglomerate(data.len(), &links, &good, &AgglomerateConfig::new(k)).unwrap()
+    }
+
+    fn block(base: u32, n: usize, shared: usize) -> Vec<Transaction> {
+        // n transactions sharing `shared` common items plus one unique item.
+        (0..n as u32)
+            .map(|i| {
+                let mut items: Vec<u32> = (base..base + shared as u32).collect();
+                items.push(base + 1000 + i);
+                Transaction::new(items)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn goodness_key_ordering() {
+        let a = GoodnessKey::new(1.0, 5);
+        let b = GoodnessKey::new(2.0, 9);
+        assert!(b > a);
+        // Equal goodness: smaller tie id wins.
+        let c = GoodnessKey::new(1.0, 2);
+        assert!(c > a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn two_blocks_recovered() {
+        let mut data = block(0, 6, 4);
+        data.extend(block(500, 6, 4));
+        let out = pipeline(data, 0.5, 2);
+        assert!(out.reached_k);
+        assert_eq!(out.clusters.len(), 2);
+        let sizes: Vec<usize> = out.clusters.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![6, 6]);
+        // Members 0..6 together, 6..12 together.
+        assert_eq!(out.clusters[0], vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(out.clusters[1], vec![6, 7, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn assignment_matches_clusters() {
+        let mut data = block(0, 5, 4);
+        data.extend(block(500, 7, 4));
+        let out = pipeline(data, 0.5, 2);
+        for (c, mem) in out.clusters.iter().enumerate() {
+            for &p in mem {
+                assert_eq!(out.assignment[p as usize], Some(c as u32));
+            }
+        }
+        assert_eq!(
+            out.assignment.iter().filter(|a| a.is_some()).count(),
+            12
+        );
+    }
+
+    #[test]
+    fn stops_when_no_links_remain() {
+        // Three mutually unlinked pairs; asking for 2 clusters must stop at 3.
+        let data = vec![
+            Transaction::new([0, 1]),
+            Transaction::new([0, 1]),
+            Transaction::new([10, 11]),
+            Transaction::new([10, 11]),
+            Transaction::new([20, 21]),
+            Transaction::new([20, 21]),
+        ];
+        let out = pipeline(data, 0.9, 2);
+        assert!(!out.reached_k);
+        // Each pair is mutual-neighbors but has no *common* third neighbor,
+        // so there are no links at all: six singletons remain.
+        assert_eq!(out.clusters.len(), 6);
+    }
+
+    #[test]
+    fn pairs_with_links_do_merge() {
+        // Triples: within a triple every pair has the third point as a
+        // common neighbor → 1 link. Triples are link-free across.
+        let data = vec![
+            Transaction::new([0, 1]),
+            Transaction::new([0, 1]),
+            Transaction::new([0, 1]),
+            Transaction::new([7, 8]),
+            Transaction::new([7, 8]),
+            Transaction::new([7, 8]),
+        ];
+        let out = pipeline(data, 0.9, 2);
+        assert!(out.reached_k);
+        assert_eq!(out.clusters[0], vec![0, 1, 2]);
+        assert_eq!(out.clusters[1], vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn history_records_every_merge() {
+        let mut data = block(0, 4, 4);
+        data.extend(block(500, 4, 4));
+        let out = pipeline(data, 0.5, 2);
+        // 8 points → 2 clusters = 6 merges.
+        assert_eq!(out.history.len(), 6);
+        for step in &out.history {
+            assert!(step.goodness > 0.0);
+            assert_ne!(step.kept, step.absorbed);
+            assert!(step.sizes.0 >= 1 && step.sizes.1 >= 1);
+        }
+    }
+
+    #[test]
+    fn merging_down_to_one_cluster() {
+        let data = block(0, 5, 4);
+        let out = pipeline(data, 0.5, 1);
+        assert!(out.reached_k);
+        assert_eq!(out.clusters.len(), 1);
+        assert_eq!(out.clusters[0].len(), 5);
+        assert!(out.criterion > 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let data: TransactionSet = block(0, 3, 2).into_iter().collect();
+        let g = NeighborGraph::compute(&data, &Jaccard, 0.5, 1).unwrap();
+        let links = LinkTable::compute(&g);
+        let good = Goodness::new(0.5, &MarketBasket).unwrap();
+        assert!(matches!(
+            agglomerate(0, &links, &good, &AgglomerateConfig::new(1)),
+            Err(RockError::EmptyDataset)
+        ));
+        assert!(matches!(
+            agglomerate(3, &links, &good, &AgglomerateConfig::new(0)),
+            Err(RockError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            agglomerate(3, &links, &good, &AgglomerateConfig::new(4)),
+            Err(RockError::InvalidK { .. })
+        ));
+    }
+
+    #[test]
+    fn pruning_discards_small_clusters() {
+        // Two solid blocks of 8 plus two isolated-ish points that link to
+        // nothing: with pruning they become outliers.
+        let mut data = block(0, 8, 4);
+        data.extend(block(500, 8, 4));
+        data.push(Transaction::new([9000, 9001]));
+        data.push(Transaction::new([9500, 9501]));
+        let ts: TransactionSet = data.into_iter().collect();
+        let g = NeighborGraph::compute(&ts, &Jaccard, 0.5, 1).unwrap();
+        let links = LinkTable::compute(&g);
+        let good = Goodness::new(0.5, &MarketBasket).unwrap();
+        let cfg = AgglomerateConfig {
+            k: 2,
+            min_goodness: None,
+            // Fire the checkpoint once only ~4 clusters remain, i.e. after
+            // both blocks have fully coalesced, leaving the two isolated
+            // points as prunable singletons.
+            prune: Some(PruneConfig {
+                checkpoint_fraction: 0.2,
+                max_prune_size: 1,
+            }),
+            record_history: false,
+        };
+        let out = agglomerate(ts.len(), &links, &good, &cfg).unwrap();
+        assert_eq!(out.outliers, vec![16, 17]);
+        assert_eq!(out.clusters.len(), 2);
+        assert!(out.assignment[16].is_none());
+        assert!(out.assignment[17].is_none());
+        assert!(out.reached_k);
+    }
+
+    #[test]
+    fn criterion_is_positive_after_merges() {
+        let mut data = block(0, 6, 4);
+        data.extend(block(500, 6, 4));
+        let out = pipeline(data, 0.5, 2);
+        assert!(out.criterion > 0.0);
+        // History criterion should end at the final criterion.
+        let last = out.history.last().unwrap();
+        assert!((last.criterion - out.criterion).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clusters_sorted_by_decreasing_size() {
+        let mut data = block(0, 9, 4);
+        data.extend(block(500, 4, 4));
+        let out = pipeline(data, 0.5, 2);
+        assert!(out.clusters[0].len() >= out.clusters[1].len());
+        assert_eq!(out.clusters[0].len(), 9);
+    }
+
+    #[test]
+    fn min_goodness_stops_early() {
+        // Two tight blocks joined by one bridge transaction: links exist
+        // across, so unconstrained merging reaches k = 1, but the final
+        // merges have far lower goodness than the within-block ones. A
+        // goodness floor between the two stops at the block structure.
+        let mut data: Vec<Transaction> = (0..8u32)
+            .map(|i| {
+                let b = i / 4;
+                Transaction::new([b * 10, b * 10 + 1, b * 10 + 2])
+            })
+            .collect();
+        data.push(Transaction::new([0, 1, 10, 11])); // bridge
+        let ts: TransactionSet = data.into_iter().collect();
+        let g = NeighborGraph::compute(&ts, &Jaccard, 0.3, 1).unwrap();
+        let links = LinkTable::compute(&g);
+        let good = Goodness::new(0.3, &MarketBasket).unwrap();
+        let unbounded = agglomerate(9, &links, &good, &AgglomerateConfig::new(1)).unwrap();
+        assert_eq!(unbounded.clusters.len(), 1);
+        let first = unbounded.history.first().unwrap().goodness;
+        let last = unbounded.history.last().unwrap().goodness;
+        assert!(first > last, "within-block merges must score higher");
+        let cfg = AgglomerateConfig::new(1).min_goodness((first + last) / 2.0);
+        let stopped = agglomerate(9, &links, &good, &cfg).unwrap();
+        assert!(!stopped.reached_k);
+        assert!(stopped.clusters.len() >= 2);
+        // Every block stays whole: points 0-3 together, 4-7 together.
+        let cluster_of = |p: usize| stopped.assignment[p].unwrap();
+        assert!((1..4).all(|p| cluster_of(p) == cluster_of(0)));
+        assert!((5..8).all(|p| cluster_of(p) == cluster_of(4)));
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let mut data = block(0, 7, 4);
+        data.extend(block(500, 7, 4));
+        let a = pipeline(data.clone(), 0.5, 2);
+        let b = pipeline(data, 0.5, 2);
+        assert_eq!(a.clusters, b.clusters);
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

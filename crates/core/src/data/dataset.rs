@@ -1,0 +1,178 @@
+//! [`TransactionSet`]: the collection type the clustering pipeline consumes.
+
+use crate::error::Result;
+
+use super::transaction::Transaction;
+use super::vocabulary::Vocabulary;
+
+/// An indexed collection of [`Transaction`]s over a common item universe.
+#[derive(Debug, Clone, Default)]
+pub struct TransactionSet {
+    transactions: Vec<Transaction>,
+    universe: usize,
+    vocabulary: Option<Vocabulary>,
+}
+
+impl TransactionSet {
+    /// Creates a set from transactions and the universe size (number of
+    /// distinct items; ids must be `< universe`).
+    pub fn new(transactions: Vec<Transaction>, universe: usize) -> Self {
+        TransactionSet {
+            transactions,
+            universe,
+            vocabulary: None,
+        }
+    }
+
+    /// Creates a set carrying a [`Vocabulary`] for rendering items.
+    pub fn with_vocabulary(
+        transactions: Vec<Transaction>,
+        universe: usize,
+        vocabulary: Vocabulary,
+    ) -> Self {
+        TransactionSet {
+            transactions,
+            universe,
+            vocabulary: Some(vocabulary),
+        }
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Returns `true` if the set holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Size of the item universe.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The attached vocabulary, if any.
+    pub fn vocabulary(&self) -> Option<&Vocabulary> {
+        self.vocabulary.as_ref()
+    }
+
+    /// Returns transaction `i`.
+    pub fn transaction(&self, i: usize) -> Option<&Transaction> {
+        self.transactions.get(i)
+    }
+
+    /// All transactions as a slice.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Iterates over the transactions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Transaction> {
+        self.transactions.iter()
+    }
+
+    /// Mean transaction size (items per transaction).
+    pub fn mean_size(&self) -> f64 {
+        if self.transactions.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.transactions.iter().map(Transaction::len).sum();
+        total as f64 / self.transactions.len() as f64
+    }
+
+    /// Validates every transaction against the universe bound.
+    pub fn validate(&self) -> Result<()> {
+        for t in &self.transactions {
+            t.validate(self.universe)?;
+        }
+        Ok(())
+    }
+
+    /// Builds a new set restricted to the given indices (preserving order);
+    /// used by the sampling phase. Indices must be in range.
+    pub fn subset(&self, indices: &[usize]) -> TransactionSet {
+        TransactionSet {
+            transactions: indices
+                .iter()
+                .map(|&i| self.transactions[i].clone())
+                .collect(),
+            universe: self.universe,
+            vocabulary: self.vocabulary.clone(),
+        }
+    }
+}
+
+impl FromIterator<Transaction> for TransactionSet {
+    /// Collects transactions, inferring the universe as `max item + 1`.
+    fn from_iter<I: IntoIterator<Item = Transaction>>(iter: I) -> Self {
+        let transactions: Vec<Transaction> = iter.into_iter().collect();
+        let universe = transactions
+            .iter()
+            .filter_map(|t| t.items().last().copied())
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        TransactionSet::new(transactions, universe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TransactionSet {
+        vec![
+            Transaction::new([0, 1, 2]),
+            Transaction::new([1, 2, 3]),
+            Transaction::new([7]),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn from_iter_infers_universe() {
+        let ts = sample();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.universe(), 8);
+        assert!(ts.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_set() {
+        let ts: TransactionSet = Vec::new().into_iter().collect();
+        assert!(ts.is_empty());
+        assert_eq!(ts.universe(), 0);
+        assert_eq!(ts.mean_size(), 0.0);
+    }
+
+    #[test]
+    fn mean_size() {
+        let ts = sample();
+        assert!((ts.mean_size() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_preserves_order_and_universe() {
+        let ts = sample();
+        let sub = ts.subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.transaction(0).unwrap().items(), &[7]);
+        assert_eq!(sub.transaction(1).unwrap().items(), &[0, 1, 2]);
+        assert_eq!(sub.universe(), 8);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let ts = TransactionSet::new(vec![Transaction::new([5])], 3);
+        assert!(ts.validate().is_err());
+    }
+
+    #[test]
+    fn iter_and_slice_access() {
+        let ts = sample();
+        assert_eq!(ts.iter().count(), 3);
+        assert_eq!(ts.transactions().len(), 3);
+        assert!(ts.transaction(9).is_none());
+    }
+}

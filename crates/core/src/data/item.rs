@@ -1,0 +1,136 @@
+//! Item and attribute identifier newtypes.
+//!
+//! ROCK operates on *transactions*: sets of items. For market-basket data an
+//! item is a product; for tabular categorical data an item is an
+//! `(attribute, value)` pair, so that two records share an item exactly when
+//! they agree on an attribute (records with missing values simply contribute
+//! fewer items — the treatment the ROCK paper uses for the Congressional
+//! Votes dataset).
+//!
+//! Identifiers are thin newtypes over integers so that the compiler keeps
+//! item ids, attribute ids and cluster ids from being mixed up, at zero
+//! runtime cost.
+
+use std::fmt;
+
+/// Identifier of an item in a [`Vocabulary`](super::Vocabulary).
+///
+/// Items are dense: a vocabulary with `m` items uses ids `0..m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ItemId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+impl From<ItemId> for u32 {
+    #[inline]
+    fn from(v: ItemId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Identifier of an attribute (column) in a categorical table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for AttrId {
+    #[inline]
+    fn from(v: u16) -> Self {
+        AttrId(v)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attr{}", self.0)
+    }
+}
+
+/// Identifier of a cluster produced by the clustering pipeline.
+///
+/// Cluster ids returned by the public API are dense (`0..k`), re-numbered
+/// from the internal merge-slot ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterId(pub u32);
+
+impl ClusterId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ClusterId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        ClusterId(v)
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_id_roundtrip() {
+        let id = ItemId::from(7u32);
+        assert_eq!(id.index(), 7);
+        assert_eq!(u32::from(id), 7);
+        assert_eq!(id.to_string(), "#7");
+    }
+
+    #[test]
+    fn attr_id_roundtrip() {
+        let id = AttrId::from(3u16);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "attr3");
+    }
+
+    #[test]
+    fn cluster_id_display_and_order() {
+        let a = ClusterId(1);
+        let b = ClusterId(2);
+        assert!(a < b);
+        assert_eq!(b.to_string(), "C2");
+    }
+
+    #[test]
+    fn ids_are_hashable() {
+        use std::collections::HashSet;
+        let set: HashSet<ItemId> = [ItemId(0), ItemId(1), ItemId(0)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

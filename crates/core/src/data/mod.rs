@@ -1,0 +1,20 @@
+//! Data model: items, transactions, schemas, tables and transaction sets.
+//!
+//! The clustering pipeline consumes [`TransactionSet`]s — indexed
+//! collections of item sets. Tabular categorical data ([`CategoricalTable`])
+//! converts to transactions by treating every present `(attribute, value)`
+//! cell as an item, which is how the ROCK paper handles the UCI datasets.
+
+mod dataset;
+mod item;
+mod schema;
+mod table;
+mod transaction;
+mod vocabulary;
+
+pub use dataset::TransactionSet;
+pub use item::{AttrId, ClusterId, ItemId};
+pub use schema::{Attribute, Schema};
+pub use table::CategoricalTable;
+pub use transaction::Transaction;
+pub use vocabulary::{ItemKey, Vocabulary};

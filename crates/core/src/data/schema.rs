@@ -1,0 +1,179 @@
+//! Schemas for tabular categorical data.
+//!
+//! A [`Schema`] describes the attributes (columns) of a categorical table
+//! and interns the value domain of each attribute. Cell values are stored
+//! as small dense codes (`u16`) into the per-attribute domain, which keeps
+//! tables compact and makes one-hot encoding and item conversion trivial.
+
+use std::collections::HashMap;
+
+use super::item::AttrId;
+
+/// Description of one categorical attribute: its name and value domain.
+#[derive(Debug, Clone, Default)]
+pub struct Attribute {
+    /// Human-readable column name.
+    pub name: String,
+    values: Vec<String>,
+    index: HashMap<String, u16>,
+}
+
+impl Attribute {
+    /// Creates an attribute with the given name and an empty domain.
+    pub fn new(name: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            values: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Number of distinct values observed for this attribute.
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Interns a value, returning its dense code.
+    pub fn intern(&mut self, value: &str) -> u16 {
+        if let Some(&c) = self.index.get(value) {
+            return c;
+        }
+        let code = u16::try_from(self.values.len()).expect("attribute domain exceeds u16");
+        self.values.push(value.to_owned());
+        self.index.insert(value.to_owned(), code);
+        code
+    }
+
+    /// Looks up the code of a value without interning.
+    pub fn code(&self, value: &str) -> Option<u16> {
+        self.index.get(value).copied()
+    }
+
+    /// Returns the textual value for a code.
+    pub fn value(&self, code: u16) -> Option<&str> {
+        self.values.get(code as usize).map(String::as_str)
+    }
+
+    /// Iterates the domain in code order.
+    pub fn values(&self) -> impl Iterator<Item = &str> {
+        self.values.iter().map(String::as_str)
+    }
+}
+
+/// Ordered collection of [`Attribute`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a schema with `d` attributes named `a0..a{d-1}`.
+    pub fn with_unnamed(d: usize) -> Self {
+        Schema {
+            attributes: (0..d).map(|i| Attribute::new(format!("a{i}"))).collect(),
+        }
+    }
+
+    /// Creates a schema from column names.
+    pub fn with_names<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Self {
+        Schema {
+            attributes: names.into_iter().map(Attribute::new).collect(),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Returns `true` if the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Immutable access to an attribute.
+    pub fn attribute(&self, attr: AttrId) -> Option<&Attribute> {
+        self.attributes.get(attr.index())
+    }
+
+    /// Mutable access to an attribute (for interning during load).
+    pub fn attribute_mut(&mut self, attr: AttrId) -> Option<&mut Attribute> {
+        self.attributes.get_mut(attr.index())
+    }
+
+    /// Iterates `(AttrId, &Attribute)` in column order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttrId(i as u16), a))
+    }
+
+    /// Total number of `(attribute, value)` pairs across all domains — the
+    /// width of a one-hot encoding and the size of the derived item universe.
+    pub fn total_cardinality(&self) -> usize {
+        self.attributes.iter().map(Attribute::cardinality).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_codes() {
+        let mut a = Attribute::new("color");
+        assert_eq!(a.intern("red"), 0);
+        assert_eq!(a.intern("blue"), 1);
+        assert_eq!(a.intern("red"), 0);
+        assert_eq!(a.cardinality(), 2);
+        assert_eq!(a.value(1), Some("blue"));
+        assert_eq!(a.code("blue"), Some(1));
+        assert_eq!(a.code("green"), None);
+    }
+
+    #[test]
+    fn schema_with_unnamed_columns() {
+        let s = Schema::with_unnamed(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.attribute(AttrId(2)).unwrap().name, "a2");
+        assert!(s.attribute(AttrId(3)).is_none());
+    }
+
+    #[test]
+    fn schema_with_names() {
+        let s = Schema::with_names(["cap-shape", "odor"]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.attribute(AttrId(1)).unwrap().name, "odor");
+    }
+
+    #[test]
+    fn total_cardinality_sums_domains() {
+        let mut s = Schema::with_unnamed(2);
+        s.attribute_mut(AttrId(0)).unwrap().intern("y");
+        s.attribute_mut(AttrId(0)).unwrap().intern("n");
+        s.attribute_mut(AttrId(1)).unwrap().intern("x");
+        assert_eq!(s.total_cardinality(), 3);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let s = Schema::with_names(["u", "v"]);
+        let names: Vec<&str> = s.iter().map(|(_, a)| a.name.as_str()).collect();
+        assert_eq!(names, vec!["u", "v"]);
+    }
+
+    #[test]
+    fn attribute_values_in_code_order() {
+        let mut a = Attribute::new("x");
+        a.intern("c");
+        a.intern("a");
+        let vals: Vec<&str> = a.values().collect();
+        assert_eq!(vals, vec!["c", "a"]);
+    }
+}

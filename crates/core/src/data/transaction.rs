@@ -1,0 +1,206 @@
+//! Transactions: the point representation ROCK clusters.
+//!
+//! A [`Transaction`] is a *set* of items stored as a sorted, deduplicated
+//! `Vec<u32>`. Set intersections and unions — the primitives behind the
+//! Jaccard coefficient — are computed by linear merges over the sorted
+//! slices, which is the dominant operation of the `O(n²)` neighbor phase
+//! and therefore kept allocation-free.
+
+use crate::error::{Result, RockError};
+
+use super::item::ItemId;
+
+/// A set of items (sorted, deduplicated).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Transaction {
+    items: Vec<u32>,
+}
+
+impl Transaction {
+    /// Creates a transaction from arbitrary item ids; sorts and dedups.
+    pub fn new<I: IntoIterator<Item = u32>>(items: I) -> Self {
+        let mut items: Vec<u32> = items.into_iter().collect();
+        items.sort_unstable();
+        items.dedup();
+        Transaction { items }
+    }
+
+    /// Creates a transaction from a slice already sorted and deduplicated.
+    ///
+    /// In debug builds the precondition is checked; in release builds it is
+    /// trusted (generators use this to skip re-sorting).
+    pub fn from_sorted(items: Vec<u32>) -> Self {
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted requires strictly increasing items"
+        );
+        Transaction { items }
+    }
+
+    /// Creates an empty transaction.
+    pub fn empty() -> Self {
+        Transaction { items: Vec::new() }
+    }
+
+    /// Number of items in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the transaction holds no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The sorted item ids.
+    #[inline]
+    pub fn items(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// Iterates the items as [`ItemId`]s.
+    pub fn iter_ids(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.items.iter().copied().map(ItemId)
+    }
+
+    /// Membership test (binary search).
+    #[inline]
+    pub fn contains(&self, item: u32) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// Size of the intersection with `other` (linear merge).
+    pub fn intersection_len(&self, other: &Transaction) -> usize {
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        let (a, b) = (&self.items, &other.items);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Size of the union with `other` (via inclusion–exclusion).
+    #[inline]
+    pub fn union_len(&self, other: &Transaction) -> usize {
+        self.len() + other.len() - self.intersection_len(other)
+    }
+
+    /// Validates that every item id is `< universe`.
+    pub fn validate(&self, universe: usize) -> Result<()> {
+        match self.items.last() {
+            Some(&last) if (last as usize) >= universe => Err(RockError::ItemOutOfRange {
+                item: last,
+                universe,
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl FromIterator<u32> for Transaction {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Transaction::new(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Transaction {
+    type Item = u32;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, u32>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let t = Transaction::new([3, 1, 2, 3, 1]);
+        assert_eq!(t.items(), &[1, 2, 3]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn empty_transaction() {
+        let t = Transaction::empty();
+        assert!(t.is_empty());
+        assert_eq!(t.intersection_len(&Transaction::new([1, 2])), 0);
+        assert_eq!(t.union_len(&Transaction::new([1, 2])), 2);
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Transaction::new([1, 2, 3, 4]);
+        let b = Transaction::new([3, 4, 5]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(b.intersection_len(&a), 2);
+        assert_eq!(a.union_len(&b), 5);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        let a = Transaction::new([1, 2]);
+        let b = Transaction::new([3, 4]);
+        assert_eq!(a.intersection_len(&b), 0);
+        assert_eq!(a.union_len(&b), 4);
+    }
+
+    #[test]
+    fn identical_sets() {
+        let a = Transaction::new([5, 6, 7]);
+        assert_eq!(a.intersection_len(&a.clone()), 3);
+        assert_eq!(a.union_len(&a.clone()), 3);
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let t = Transaction::new([10, 20, 30]);
+        assert!(t.contains(20));
+        assert!(!t.contains(25));
+    }
+
+    #[test]
+    fn validate_bounds() {
+        let t = Transaction::new([0, 4]);
+        assert!(t.validate(5).is_ok());
+        assert_eq!(
+            t.validate(4),
+            Err(RockError::ItemOutOfRange { item: 4, universe: 4 })
+        );
+        assert!(Transaction::empty().validate(0).is_ok());
+    }
+
+    #[test]
+    fn from_sorted_trusts_input() {
+        let t = Transaction::from_sorted(vec![1, 5, 9]);
+        assert_eq!(t.items(), &[1, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn from_sorted_checks_in_debug() {
+        let _ = Transaction::from_sorted(vec![5, 1]);
+    }
+
+    #[test]
+    fn iterates_item_ids() {
+        let t = Transaction::new([2, 0]);
+        let ids: Vec<ItemId> = t.iter_ids().collect();
+        assert_eq!(ids, vec![ItemId(0), ItemId(2)]);
+        let raw: Vec<u32> = (&t).into_iter().collect();
+        assert_eq!(raw, vec![0, 2]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Interning of item names to dense [`ItemId`]s.
+//!
+//! A [`Vocabulary`] maps item *keys* — an `(attribute, value)` pair for
+//! tabular data, or a bare name for market-basket data — to dense item ids,
+//! and back. Dense ids let the hot paths (neighbor and link computation)
+//! work on sorted `u32` slices instead of strings.
+
+use std::collections::HashMap;
+
+use super::item::{AttrId, ItemId};
+
+/// A single interned item key: the attribute it belongs to and its textual
+/// value. Market-basket items use the reserved attribute [`Vocabulary::BASKET_ATTR`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ItemKey {
+    /// The attribute the value belongs to.
+    pub attr: AttrId,
+    /// The textual value.
+    pub value: String,
+}
+
+/// Bidirectional map between item keys and dense [`ItemId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    forward: HashMap<ItemKey, ItemId>,
+    reverse: Vec<ItemKey>,
+}
+
+impl Vocabulary {
+    /// Attribute id used for free-standing (market-basket) items.
+    pub const BASKET_ATTR: AttrId = AttrId(u16::MAX);
+
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct items interned so far.
+    pub fn len(&self) -> usize {
+        self.reverse.len()
+    }
+
+    /// Returns `true` if no item has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.reverse.is_empty()
+    }
+
+    /// Interns `(attr, value)` and returns its id, allocating a fresh id on
+    /// first sight.
+    pub fn intern(&mut self, attr: AttrId, value: &str) -> ItemId {
+        if let Some(&id) = self.forward.get(&ItemKey {
+            attr,
+            value: value.to_owned(),
+        }) {
+            return id;
+        }
+        let key = ItemKey {
+            attr,
+            value: value.to_owned(),
+        };
+        let id = ItemId(self.reverse.len() as u32);
+        self.reverse.push(key.clone());
+        self.forward.insert(key, id);
+        id
+    }
+
+    /// Interns a market-basket item by bare name.
+    pub fn intern_basket(&mut self, name: &str) -> ItemId {
+        self.intern(Self::BASKET_ATTR, name)
+    }
+
+    /// Looks up an already-interned `(attr, value)` pair.
+    pub fn get(&self, attr: AttrId, value: &str) -> Option<ItemId> {
+        // Avoid allocating for the common hit path by probing with a
+        // temporary key; HashMap requires an owned key type here, so we
+        // construct one — lookups are not on the clustering hot path.
+        self.forward
+            .get(&ItemKey {
+                attr,
+                value: value.to_owned(),
+            })
+            .copied()
+    }
+
+    /// Returns the key for an item id, if the id is in range.
+    pub fn key(&self, id: ItemId) -> Option<&ItemKey> {
+        self.reverse.get(id.index())
+    }
+
+    /// Renders an item id as `attr=value` (or just the value for basket
+    /// items). Unknown ids render as `?<id>`.
+    pub fn describe(&self, id: ItemId) -> String {
+        match self.key(id) {
+            Some(k) if k.attr == Self::BASKET_ATTR => k.value.clone(),
+            Some(k) => format!("a{}={}", k.attr.0, k.value),
+            None => format!("?{}", id.0),
+        }
+    }
+
+    /// Iterates over `(ItemId, &ItemKey)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, &ItemKey)> {
+        self.reverse
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (ItemId(i as u32), k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern(AttrId(0), "yes");
+        let b = v.intern(AttrId(0), "yes");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn same_value_different_attr_is_distinct() {
+        let mut v = Vocabulary::new();
+        let a = v.intern(AttrId(0), "yes");
+        let b = v.intern(AttrId(1), "yes");
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocabulary::new();
+        for i in 0..10u16 {
+            let id = v.intern(AttrId(i), "x");
+            assert_eq!(id.index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn reverse_lookup_matches() {
+        let mut v = Vocabulary::new();
+        let id = v.intern(AttrId(2), "cap-shape-bell");
+        let key = v.key(id).unwrap();
+        assert_eq!(key.attr, AttrId(2));
+        assert_eq!(key.value, "cap-shape-bell");
+        assert_eq!(v.get(AttrId(2), "cap-shape-bell"), Some(id));
+        assert_eq!(v.get(AttrId(3), "cap-shape-bell"), None);
+    }
+
+    #[test]
+    fn basket_items_describe_without_attr() {
+        let mut v = Vocabulary::new();
+        let bread = v.intern_basket("bread");
+        let milk = v.intern(AttrId(4), "milk");
+        assert_eq!(v.describe(bread), "bread");
+        assert_eq!(v.describe(milk), "a4=milk");
+        assert_eq!(v.describe(ItemId(99)), "?99");
+    }
+
+    #[test]
+    fn iter_visits_in_id_order() {
+        let mut v = Vocabulary::new();
+        v.intern_basket("a");
+        v.intern_basket("b");
+        let names: Vec<&str> = v.iter().map(|(_, k)| k.value.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn empty_vocabulary() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.key(ItemId(0)), None);
+    }
+}

@@ -1,0 +1,173 @@
+//! Error types for the `rock-core` crate.
+//!
+//! All fallible public entry points return [`Result`]. Errors are plain
+//! enums implementing [`std::error::Error`]; no external error-handling
+//! crates are used.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T, E = RockError> = std::result::Result<T, E>;
+
+/// Errors produced by configuration validation and clustering entry points.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RockError {
+    /// The dataset contained no points.
+    EmptyDataset,
+    /// The requested number of clusters is zero or exceeds the number of
+    /// (non-outlier) points.
+    InvalidK {
+        /// Requested number of clusters.
+        k: usize,
+        /// Number of points available for clustering.
+        n: usize,
+    },
+    /// The similarity threshold θ must lie in `(0, 1)`.
+    InvalidTheta(f64),
+    /// A fractional parameter (sampling fraction, labeling fraction,
+    /// checkpoint fraction, confidence δ, …) was outside its valid range.
+    InvalidFraction {
+        /// Human-readable name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Two collections that must be index-aligned had different lengths.
+    LengthMismatch {
+        /// Name of the first collection.
+        left_name: &'static str,
+        /// Length of the first collection.
+        left: usize,
+        /// Name of the second collection.
+        right_name: &'static str,
+        /// Length of the second collection.
+        right: usize,
+    },
+    /// A transaction referenced an item id outside the vocabulary/universe.
+    ItemOutOfRange {
+        /// The offending item id.
+        item: u32,
+        /// The number of items in the universe.
+        universe: usize,
+    },
+    /// The sample drawn for clustering was empty (e.g. every point was
+    /// filtered as an outlier).
+    EmptySample,
+    /// Clustering could not reach the requested number of clusters because
+    /// no cross-cluster links remain; carries the number of clusters left.
+    ///
+    /// This is surfaced as an error only when the caller demanded an exact
+    /// cluster count; the default pipeline treats it as normal termination.
+    NoLinksRemain {
+        /// Clusters remaining when the link supply was exhausted.
+        remaining: usize,
+        /// The requested number of clusters.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for RockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RockError::EmptyDataset => write!(f, "dataset contains no points"),
+            RockError::InvalidK { k, n } => {
+                write!(f, "invalid cluster count k={k} for {n} points")
+            }
+            RockError::InvalidTheta(t) => {
+                write!(f, "similarity threshold theta={t} must lie in (0, 1)")
+            }
+            RockError::InvalidFraction { name, value } => {
+                write!(f, "parameter `{name}`={value} outside its valid range")
+            }
+            RockError::LengthMismatch {
+                left_name,
+                left,
+                right_name,
+                right,
+            } => write!(
+                f,
+                "length mismatch: {left_name} has {left} entries but {right_name} has {right}"
+            ),
+            RockError::ItemOutOfRange { item, universe } => {
+                write!(f, "item id {item} out of range for universe of {universe} items")
+            }
+            RockError::EmptySample => {
+                write!(f, "sample for clustering is empty (all points filtered?)")
+            }
+            RockError::NoLinksRemain {
+                remaining,
+                requested,
+            } => write!(
+                f,
+                "no cross-cluster links remain with {remaining} clusters (requested {requested})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RockError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(RockError, &str)> = vec![
+            (RockError::EmptyDataset, "no points"),
+            (RockError::InvalidK { k: 5, n: 2 }, "k=5"),
+            (RockError::InvalidTheta(1.5), "theta=1.5"),
+            (
+                RockError::InvalidFraction {
+                    name: "delta",
+                    value: -0.2,
+                },
+                "delta",
+            ),
+            (
+                RockError::LengthMismatch {
+                    left_name: "labels",
+                    left: 3,
+                    right_name: "points",
+                    right: 4,
+                },
+                "labels",
+            ),
+            (
+                RockError::ItemOutOfRange {
+                    item: 9,
+                    universe: 4,
+                },
+                "item id 9",
+            ),
+            (RockError::EmptySample, "sample"),
+            (
+                RockError::NoLinksRemain {
+                    remaining: 7,
+                    requested: 2,
+                },
+                "7 clusters",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&RockError::EmptyDataset);
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(RockError::EmptyDataset, RockError::EmptyDataset);
+        assert_ne!(
+            RockError::InvalidTheta(0.0),
+            RockError::InvalidTheta(1.0)
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Plain-text export/import of clustering results.
+//!
+//! Clusterings routinely feed downstream tools (plotting, scoring,
+//! joins); this module writes and reads a minimal line-oriented format
+//! with no external dependencies:
+//!
+//! ```text
+//! rock-assignments v1
+//! n=6 k=2 outliers=1
+//! 0 0
+//! 1 0
+//! 2 1
+//! 3 1
+//! 4 1
+//! 5 -
+//! ```
+//!
+//! One `point cluster` pair per line, `-` marking outliers.
+
+use std::io::{BufRead, Write};
+
+use crate::data::ClusterId;
+use crate::error::{Result, RockError};
+
+/// Format header line.
+const HEADER: &str = "rock-assignments v1";
+
+/// Writes assignments (`None` = outlier) to `out`.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_assignments<W: Write>(
+    out: &mut W,
+    assignments: &[Option<ClusterId>],
+) -> std::io::Result<()> {
+    let k = assignments
+        .iter()
+        .flatten()
+        .map(|c| c.0 + 1)
+        .max()
+        .unwrap_or(0);
+    let outliers = assignments.iter().filter(|a| a.is_none()).count();
+    writeln!(out, "{HEADER}")?;
+    writeln!(out, "n={} k={} outliers={}", assignments.len(), k, outliers)?;
+    for (i, a) in assignments.iter().enumerate() {
+        match a {
+            Some(c) => writeln!(out, "{i} {}", c.0)?,
+            None => writeln!(out, "{i} -")?,
+        }
+    }
+    Ok(())
+}
+
+/// Errors from parsing the assignment format.
+#[derive(Debug)]
+pub enum ImportError {
+    /// Underlying reader failure.
+    Io(std::io::Error),
+    /// Header missing or wrong version.
+    BadHeader(String),
+    /// A malformed line, with its 1-based number.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// Fewer/more rows than the header declared, or ids out of order.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::Io(e) => write!(f, "io error: {e}"),
+            ImportError::BadHeader(h) => write!(f, "bad header: {h:?}"),
+            ImportError::BadLine { line, content } => {
+                write!(f, "malformed line {line}: {content:?}")
+            }
+            ImportError::Inconsistent(msg) => write!(f, "inconsistent file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImportError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImportError {
+    fn from(e: std::io::Error) -> Self {
+        ImportError::Io(e)
+    }
+}
+
+/// Reads assignments previously written by [`write_assignments`].
+pub fn read_assignments<R: BufRead>(input: R) -> std::result::Result<Vec<Option<ClusterId>>, ImportError> {
+    let mut lines = input.lines();
+    let header = lines.next().ok_or_else(|| ImportError::BadHeader(String::new()))??;
+    if header.trim() != HEADER {
+        return Err(ImportError::BadHeader(header));
+    }
+    let meta = lines
+        .next()
+        .ok_or_else(|| ImportError::Inconsistent("missing meta line".into()))??;
+    let n: usize = meta
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("n=").and_then(|v| v.parse().ok()))
+        .ok_or_else(|| ImportError::Inconsistent(format!("meta line lacks n=: {meta:?}")))?;
+    let mut out: Vec<Option<ClusterId>> = Vec::with_capacity(n);
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(idx), Some(cluster), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(ImportError::BadLine {
+                line: lineno + 3,
+                content: line,
+            });
+        };
+        let idx: usize = idx.parse().map_err(|_| ImportError::BadLine {
+            line: lineno + 3,
+            content: line.clone(),
+        })?;
+        if idx != out.len() {
+            return Err(ImportError::Inconsistent(format!(
+                "expected point {} on line {}, found {idx}",
+                out.len(),
+                lineno + 3
+            )));
+        }
+        let value = if cluster == "-" {
+            None
+        } else {
+            Some(ClusterId(cluster.parse().map_err(|_| ImportError::BadLine {
+                line: lineno + 3,
+                content: line.clone(),
+            })?))
+        };
+        out.push(value);
+    }
+    if out.len() != n {
+        return Err(ImportError::Inconsistent(format!(
+            "header declared n={n} but found {} rows",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Round-trips assignments through the text format (testing/diagnostics).
+pub fn roundtrip(assignments: &[Option<ClusterId>]) -> Result<Vec<Option<ClusterId>>> {
+    let mut buf = Vec::new();
+    write_assignments(&mut buf, assignments).map_err(|_| RockError::EmptyDataset)?;
+    read_assignments(std::io::Cursor::new(buf)).map_err(|_| RockError::EmptyDataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> Vec<Option<ClusterId>> {
+        vec![
+            Some(ClusterId(0)),
+            Some(ClusterId(0)),
+            Some(ClusterId(1)),
+            None,
+            Some(ClusterId(2)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_assignments() {
+        let a = sample();
+        let mut buf = Vec::new();
+        write_assignments(&mut buf, &a).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("rock-assignments v1\n"));
+        assert!(text.contains("n=5 k=3 outliers=1"));
+        assert!(text.contains("3 -"));
+        let back = read_assignments(Cursor::new(buf)).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn empty_assignments() {
+        let a: Vec<Option<ClusterId>> = vec![];
+        let mut buf = Vec::new();
+        write_assignments(&mut buf, &a).unwrap();
+        let back = read_assignments(Cursor::new(buf)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_assignments(Cursor::new(b"wrong v9\nn=0 k=0 outliers=0\n".to_vec()))
+            .unwrap_err();
+        assert!(matches!(err, ImportError::BadHeader(_)));
+        assert!(err.to_string().contains("bad header"));
+    }
+
+    #[test]
+    fn rejects_malformed_line() {
+        let text = "rock-assignments v1\nn=1 k=1 outliers=0\n0 zero\n";
+        let err = read_assignments(Cursor::new(text.as_bytes().to_vec())).unwrap_err();
+        assert!(matches!(err, ImportError::BadLine { line: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_order_points() {
+        let text = "rock-assignments v1\nn=2 k=1 outliers=0\n1 0\n0 0\n";
+        let err = read_assignments(Cursor::new(text.as_bytes().to_vec())).unwrap_err();
+        assert!(matches!(err, ImportError::Inconsistent(_)));
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let text = "rock-assignments v1\nn=3 k=1 outliers=0\n0 0\n";
+        let err = read_assignments(Cursor::new(text.as_bytes().to_vec())).unwrap_err();
+        assert!(matches!(err, ImportError::Inconsistent(_)));
+    }
+
+    #[test]
+    fn convenience_roundtrip() {
+        assert_eq!(roundtrip(&sample()).unwrap(), sample());
+    }
+}

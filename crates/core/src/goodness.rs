@@ -1,0 +1,250 @@
+//! The links-based criterion function and merge goodness measure.
+//!
+//! ROCK maximizes the criterion function (paper §3.3)
+//!
+//! ```text
+//! E_l = Σ_i  n_i · Σ_{p,q ∈ C_i} link(p,q) / n_i^(1 + 2 f(θ))
+//! ```
+//!
+//! where `n_i^(1+2f(θ))` estimates the number of links *expected* inside a
+//! cluster of `n_i` points, under the heuristic that each point of the
+//! cluster has about `n_i^{f(θ)}` neighbors within it. For market-basket
+//! data the paper proposes `f(θ) = (1−θ)/(1+θ)`.
+//!
+//! The pairwise merge *goodness measure* (paper §3.4) normalizes the
+//! cross-link count between two clusters by the expected cross-links:
+//!
+//! ```text
+//! g(Ci, Cj) = link[Ci, Cj] / ( (ni+nj)^(1+2f(θ)) − ni^(1+2f(θ)) − nj^(1+2f(θ)) )
+//! ```
+//!
+//! Merging the pair with maximal goodness greedily increases `E_l`.
+
+use crate::error::{Result, RockError};
+
+/// The cluster-size exponent function `f(θ)`.
+///
+/// The paper stresses that `f` is data-dependent: it must satisfy (1) pairs
+/// of points in the same cluster have more links than pairs in different
+/// clusters, and (2) points in a cluster of size `n` have roughly `n^{f(θ)}`
+/// neighbors inside it. Implementations return `f(θ)` for the θ in use.
+pub trait LinkExponent: Sync {
+    /// Value of `f(θ)`.
+    fn f(&self, theta: f64) -> f64;
+
+    /// Short name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's market-basket exponent `f(θ) = (1−θ)/(1+θ)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MarketBasket;
+
+impl LinkExponent for MarketBasket {
+    #[inline]
+    fn f(&self, theta: f64) -> f64 {
+        (1.0 - theta) / (1.0 + theta)
+    }
+
+    fn name(&self) -> &'static str {
+        "market-basket"
+    }
+}
+
+/// A constant exponent `f(θ) = c`, independent of θ. Useful for ablations
+/// (e.g. `c = 1` makes the expected-link estimate `n²`, i.e. every pair of
+/// cluster members is presumed linked).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantExponent(pub f64);
+
+impl LinkExponent for ConstantExponent {
+    #[inline]
+    fn f(&self, _theta: f64) -> f64 {
+        self.0
+    }
+
+    fn name(&self) -> &'static str {
+        "constant"
+    }
+}
+
+/// Precomputed goodness evaluator for a fixed `(θ, f)` pair.
+///
+/// Caches the exponent `1 + 2 f(θ)` and memoizes `n^(1+2f(θ))` for small
+/// `n`, since the merge loop evaluates the denominator for every candidate
+/// pair it touches.
+#[derive(Debug, Clone)]
+pub struct Goodness {
+    theta: f64,
+    exponent: f64,
+    /// `pow_cache[n] = n^exponent` for `n < pow_cache.len()`.
+    pow_cache: Vec<f64>,
+}
+
+/// Size beyond which `powf` is computed directly instead of cached.
+const POW_CACHE: usize = 4096;
+
+impl Goodness {
+    /// Creates an evaluator for threshold `theta` and exponent function `f`.
+    ///
+    /// # Errors
+    /// Returns [`RockError::InvalidTheta`] unless `0 < θ < 1`.
+    pub fn new<F: LinkExponent + ?Sized>(theta: f64, f: &F) -> Result<Self> {
+        if !(theta > 0.0 && theta < 1.0) {
+            return Err(RockError::InvalidTheta(theta));
+        }
+        let exponent = 1.0 + 2.0 * f.f(theta);
+        let pow_cache = (0..POW_CACHE)
+            .map(|n| (n as f64).powf(exponent))
+            .collect();
+        Ok(Goodness {
+            theta,
+            exponent,
+            pow_cache,
+        })
+    }
+
+    /// The similarity threshold θ.
+    #[inline]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The cached exponent `1 + 2 f(θ)`.
+    #[inline]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Expected number of links inside a cluster of `n` points:
+    /// `n^(1 + 2 f(θ))`.
+    #[inline]
+    pub fn expected_links(&self, n: usize) -> f64 {
+        if n < self.pow_cache.len() {
+            self.pow_cache[n]
+        } else {
+            (n as f64).powf(self.exponent)
+        }
+    }
+
+    /// Goodness of merging clusters of sizes `n_i` and `n_j` joined by
+    /// `links` cross-links.
+    ///
+    /// A non-positive denominator cannot occur for `n_i, n_j ≥ 1` because
+    /// `x ↦ x^e` is strictly superadditive for `e > 1` (`f(θ) > 0`); we
+    /// guard with a `debug_assert` and clamp for `f(θ) = 0` ablations.
+    #[inline]
+    pub fn merge_goodness(&self, links: u64, n_i: usize, n_j: usize) -> f64 {
+        let denom = self.expected_links(n_i + n_j)
+            - self.expected_links(n_i)
+            - self.expected_links(n_j);
+        debug_assert!(n_i > 0 && n_j > 0, "clusters must be non-empty");
+        if denom <= 0.0 {
+            // Degenerate exponent (f(θ) = 0 → e = 1). Fall back to raw
+            // cross-link count so the merge order is still well-defined.
+            return links as f64;
+        }
+        links as f64 / denom
+    }
+
+    /// Contribution of one cluster to the criterion `E_l`:
+    /// `n · internal_links / n^(1+2f(θ))`, where `internal_links` counts
+    /// ordered pairs `link(p,q)` with `p ≠ q` (i.e. twice the unordered sum).
+    #[inline]
+    pub fn criterion_term(&self, internal_links: u64, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        n as f64 * internal_links as f64 / self.expected_links(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn market_basket_exponent_values() {
+        let f = MarketBasket;
+        assert!((f.f(0.5) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((f.f(0.0) - 1.0).abs() < 1e-12);
+        assert!(f.f(1.0).abs() < 1e-12);
+        // Monotone decreasing in θ.
+        assert!(f.f(0.2) > f.f(0.8));
+    }
+
+    #[test]
+    fn goodness_rejects_bad_theta() {
+        assert!(Goodness::new(0.0, &MarketBasket).is_err());
+        assert!(Goodness::new(1.0, &MarketBasket).is_err());
+        assert!(Goodness::new(-0.5, &MarketBasket).is_err());
+        assert!(Goodness::new(f64::NAN, &MarketBasket).is_err());
+        assert!(Goodness::new(0.5, &MarketBasket).is_ok());
+    }
+
+    #[test]
+    fn expected_links_matches_powf() {
+        let g = Goodness::new(0.5, &MarketBasket).unwrap();
+        let e = 1.0 + 2.0 / 3.0;
+        for n in [0usize, 1, 2, 10, 100, 4095, 4096, 10_000] {
+            let want = (n as f64).powf(e);
+            let got = g.expected_links(n);
+            assert!(
+                (got - want).abs() <= 1e-9 * want.max(1.0),
+                "n={n}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_goodness_penalizes_large_clusters() {
+        let g = Goodness::new(0.5, &MarketBasket).unwrap();
+        // Same number of cross-links, larger clusters → lower goodness.
+        let small = g.merge_goodness(10, 5, 5);
+        let large = g.merge_goodness(10, 50, 50);
+        assert!(small > large);
+    }
+
+    #[test]
+    fn merge_goodness_scales_linearly_in_links() {
+        let g = Goodness::new(0.73, &MarketBasket).unwrap();
+        let one = g.merge_goodness(1, 4, 6);
+        let ten = g.merge_goodness(10, 4, 6);
+        assert!((ten - 10.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_exponent_zero_falls_back_to_links() {
+        // f = 0 → exponent 1 → denominator 0; goodness should degrade to
+        // the raw link count rather than dividing by zero.
+        let g = Goodness::new(0.5, &ConstantExponent(0.0)).unwrap();
+        assert_eq!(g.merge_goodness(7, 3, 4), 7.0);
+    }
+
+    #[test]
+    fn criterion_term_normalizes_by_expected_links() {
+        let g = Goodness::new(0.5, &MarketBasket).unwrap();
+        // A clique of n=4 where every pair has exactly 2 links: ordered
+        // internal link count = 4*3*2 = 24? (n(n-1) pairs × 2 links).
+        let term = g.criterion_term(24, 4);
+        assert!((term - 4.0 * 24.0 / 4f64.powf(1.0 + 2.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(g.criterion_term(0, 0), 0.0);
+    }
+
+    #[test]
+    fn theta_and_exponent_accessors() {
+        let g = Goodness::new(0.8, &MarketBasket).unwrap();
+        assert_eq!(g.theta(), 0.8);
+        let want = 1.0 + 2.0 * (0.2 / 1.8);
+        assert!((g.exponent() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_goodness_ordering() {
+        // From the paper's motivation: with θ = 0.5 and f(θ) = 1/3, merging
+        // two singleton clusters with 1 link should beat merging two size-2
+        // clusters with 1 link.
+        let g = Goodness::new(0.5, &MarketBasket).unwrap();
+        assert!(g.merge_goodness(1, 1, 1) > g.merge_goodness(1, 2, 2));
+    }
+}

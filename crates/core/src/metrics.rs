@@ -1,0 +1,541 @@
+//! External cluster-validity metrics.
+//!
+//! Every experiment in the evaluation scores a clustering against ground
+//! truth. This module provides the standard measures: the contingency
+//! (confusion) matrix, purity, accuracy under the optimal cluster↔class
+//! matching (Hungarian algorithm), the Adjusted Rand Index and Normalized
+//! Mutual Information. Outlier points (assignment `None`) count as their
+//! own throw-away cluster for purity/accuracy and are excluded from the
+//! pair-counting measures.
+
+use std::collections::HashMap;
+
+use crate::error::{Result, RockError};
+
+/// Contingency matrix between predicted clusters and true classes.
+#[derive(Debug, Clone)]
+pub struct ContingencyTable {
+    /// `counts[cluster][class]`.
+    counts: Vec<Vec<usize>>,
+    /// Points with `None` assignment per class.
+    unassigned: Vec<usize>,
+    n: usize,
+}
+
+impl ContingencyTable {
+    /// Builds the table from per-point predictions (`None` = outlier) and
+    /// true class labels.
+    ///
+    /// # Errors
+    /// * [`RockError::LengthMismatch`] if the slices differ in length.
+    /// * [`RockError::EmptyDataset`] if they are empty.
+    pub fn new(predicted: &[Option<u32>], truth: &[usize]) -> Result<Self> {
+        if predicted.len() != truth.len() {
+            return Err(RockError::LengthMismatch {
+                left_name: "predicted",
+                left: predicted.len(),
+                right_name: "truth",
+                right: truth.len(),
+            });
+        }
+        if predicted.is_empty() {
+            return Err(RockError::EmptyDataset);
+        }
+        let num_classes = truth.iter().copied().max().unwrap_or(0) + 1;
+        let num_clusters = predicted
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let mut counts = vec![vec![0usize; num_classes]; num_clusters];
+        let mut unassigned = vec![0usize; num_classes];
+        for (p, &t) in predicted.iter().zip(truth) {
+            match p {
+                Some(c) => counts[*c as usize][t] += 1,
+                None => unassigned[t] += 1,
+            }
+        }
+        Ok(ContingencyTable {
+            counts,
+            unassigned,
+            n: predicted.len(),
+        })
+    }
+
+    /// Number of points (including unassigned).
+    pub fn num_points(&self) -> usize {
+        self.n
+    }
+
+    /// Number of predicted clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of true classes.
+    pub fn num_classes(&self) -> usize {
+        self.unassigned.len()
+    }
+
+    /// Count of class `t` members in cluster `c`.
+    pub fn count(&self, c: usize, t: usize) -> usize {
+        self.counts[c][t]
+    }
+
+    /// Row of cluster `c` over classes.
+    pub fn row(&self, c: usize) -> &[usize] {
+        &self.counts[c]
+    }
+
+    /// Points assigned to cluster `c`.
+    pub fn cluster_size(&self, c: usize) -> usize {
+        self.counts[c].iter().sum()
+    }
+
+    /// Points left unassigned (outliers), total.
+    pub fn num_unassigned(&self) -> usize {
+        self.unassigned.iter().sum()
+    }
+
+    /// Purity: each cluster votes its majority class; unassigned points
+    /// count against (they match nothing).
+    pub fn purity(&self) -> f64 {
+        let hit: usize = self
+            .counts
+            .iter()
+            .map(|row| row.iter().copied().max().unwrap_or(0))
+            .sum();
+        hit as f64 / self.n as f64
+    }
+
+    /// Accuracy under the best one-to-one cluster↔class matching (solved
+    /// exactly with the Hungarian algorithm). Extra clusters or classes are
+    /// matched to zero-count dummies; unassigned points count against.
+    pub fn matched_accuracy(&self) -> f64 {
+        let k = self.num_clusters().max(self.num_classes());
+        if k == 0 {
+            return 0.0;
+        }
+        // Build a square profit matrix padded with zeros.
+        let mut profit = vec![vec![0i64; k]; k];
+        for (c, row) in self.counts.iter().enumerate() {
+            for (t, &v) in row.iter().enumerate() {
+                profit[c][t] = v as i64;
+            }
+        }
+        let assignment = hungarian_max(&profit);
+        let hit: i64 = assignment
+            .iter()
+            .enumerate()
+            .map(|(c, &t)| profit[c][t])
+            .sum();
+        hit as f64 / self.n as f64
+    }
+
+    /// Adjusted Rand Index over assigned points (unassigned excluded).
+    pub fn adjusted_rand_index(&self) -> f64 {
+        let n: usize = self.counts.iter().map(|r| r.iter().sum::<usize>()).sum();
+        if n < 2 {
+            return 0.0;
+        }
+        let choose2 = |x: usize| (x * x.saturating_sub(1) / 2) as f64;
+        let sum_ij: f64 = self
+            .counts
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|&v| choose2(v))
+            .sum();
+        let a: f64 = self
+            .counts
+            .iter()
+            .map(|r| choose2(r.iter().sum::<usize>()))
+            .sum();
+        let mut class_totals = vec![0usize; self.num_classes()];
+        for row in &self.counts {
+            for (t, &v) in row.iter().enumerate() {
+                class_totals[t] += v;
+            }
+        }
+        let b: f64 = class_totals.iter().map(|&v| choose2(v)).sum();
+        let total = choose2(n);
+        let expected = a * b / total;
+        let max_index = 0.5 * (a + b);
+        if (max_index - expected).abs() < f64::EPSILON {
+            return 0.0;
+        }
+        (sum_ij - expected) / (max_index - expected)
+    }
+
+    /// Normalized Mutual Information (arithmetic-mean normalization) over
+    /// assigned points.
+    pub fn nmi(&self) -> f64 {
+        let n: usize = self.counts.iter().map(|r| r.iter().sum::<usize>()).sum();
+        if n == 0 {
+            return 0.0;
+        }
+        let n_f = n as f64;
+        let cluster_totals: Vec<usize> =
+            self.counts.iter().map(|r| r.iter().sum()).collect();
+        let mut class_totals = vec![0usize; self.num_classes()];
+        for row in &self.counts {
+            for (t, &v) in row.iter().enumerate() {
+                class_totals[t] += v;
+            }
+        }
+        let mut mi = 0.0;
+        for (c, row) in self.counts.iter().enumerate() {
+            for (t, &v) in row.iter().enumerate() {
+                if v > 0 {
+                    let p = v as f64 / n_f;
+                    mi += p
+                        * (p / ((cluster_totals[c] as f64 / n_f)
+                            * (class_totals[t] as f64 / n_f)))
+                            .ln();
+                }
+            }
+        }
+        let h = |totals: &[usize]| -> f64 {
+            totals
+                .iter()
+                .filter(|&&v| v > 0)
+                .map(|&v| {
+                    let p = v as f64 / n_f;
+                    -p * p.ln()
+                })
+                .sum()
+        };
+        let denom = 0.5 * (h(&cluster_totals) + h(&class_totals));
+        if denom < f64::EPSILON {
+            // Both partitions are trivial (single cluster & single class):
+            // they agree perfectly.
+            return 1.0;
+        }
+        (mi / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Solves the maximum-profit square assignment problem; `profit` must be a
+/// square matrix. Returns `assign[row] = column`.
+///
+/// Implementation: Jonker-style O(k³) Hungarian algorithm on the cost
+/// matrix `max_profit − profit`, using the classic potentials formulation.
+pub fn hungarian_max(profit: &[Vec<i64>]) -> Vec<usize> {
+    let k = profit.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    debug_assert!(profit.iter().all(|r| r.len() == k), "matrix must be square");
+    let max = profit
+        .iter()
+        .flat_map(|r| r.iter())
+        .copied()
+        .max()
+        .unwrap_or(0);
+    // cost[i][j] = max − profit[i][j] ≥ 0.
+    let cost: Vec<Vec<i64>> = profit
+        .iter()
+        .map(|r| r.iter().map(|&p| max - p).collect())
+        .collect();
+
+    // Potentials-based Hungarian algorithm (1-indexed internally).
+    const INF: i64 = i64::MAX / 4;
+    let mut u = vec![0i64; k + 1];
+    let mut v = vec![0i64; k + 1];
+    let mut p = vec![0usize; k + 1]; // p[col] = row matched to col
+    let mut way = vec![0usize; k + 1];
+    for i in 1..=k {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; k + 1];
+        let mut used = vec![false; k + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=k {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=k {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assign = vec![0usize; k];
+    for j in 1..=k {
+        if p[j] > 0 {
+            assign[p[j] - 1] = j - 1;
+        }
+    }
+    assign
+}
+
+/// Convenience: accuracy of `predicted` against `truth` under optimal
+/// matching (see [`ContingencyTable::matched_accuracy`]).
+pub fn matched_accuracy(predicted: &[Option<u32>], truth: &[usize]) -> Result<f64> {
+    Ok(ContingencyTable::new(predicted, truth)?.matched_accuracy())
+}
+
+/// Convenience: purity of `predicted` against `truth`.
+pub fn purity(predicted: &[Option<u32>], truth: &[usize]) -> Result<f64> {
+    Ok(ContingencyTable::new(predicted, truth)?.purity())
+}
+
+/// Mean and (population) standard deviation of a sample of scores —
+/// experiment tables report `mean ± std` over epochs.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Per-cluster class breakdown, convenient for printing the paper's
+/// cluster-composition tables: returns `(cluster size, count per class)`
+/// sorted by decreasing size.
+pub fn cluster_breakdown(
+    predicted: &[Option<u32>],
+    truth: &[usize],
+) -> Result<Vec<(usize, Vec<usize>)>> {
+    let table = ContingencyTable::new(predicted, truth)?;
+    let mut rows: Vec<(usize, Vec<usize>)> = (0..table.num_clusters())
+        .map(|c| (table.cluster_size(c), table.row(c).to_vec()))
+        .collect();
+    rows.sort_by_key(|row| std::cmp::Reverse(row.0));
+    Ok(rows)
+}
+
+/// Maps arbitrary hashable labels to dense `0..k` class indices.
+pub fn densify_labels<T: std::hash::Hash + Eq + Clone>(labels: &[T]) -> Vec<usize> {
+    let mut map: HashMap<T, usize> = HashMap::new();
+    labels
+        .iter()
+        .map(|l| {
+            let next = map.len();
+            *map.entry(l.clone()).or_insert(next)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perfect() -> (Vec<Option<u32>>, Vec<usize>) {
+        (
+            vec![Some(0), Some(0), Some(1), Some(1)],
+            vec![0, 0, 1, 1],
+        )
+    }
+
+    #[test]
+    fn contingency_counts() {
+        let (p, t) = perfect();
+        let table = ContingencyTable::new(&p, &t).unwrap();
+        assert_eq!(table.num_points(), 4);
+        assert_eq!(table.num_clusters(), 2);
+        assert_eq!(table.num_classes(), 2);
+        assert_eq!(table.count(0, 0), 2);
+        assert_eq!(table.count(0, 1), 0);
+        assert_eq!(table.cluster_size(1), 2);
+    }
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let (p, t) = perfect();
+        let table = ContingencyTable::new(&p, &t).unwrap();
+        assert_eq!(table.purity(), 1.0);
+        assert_eq!(table.matched_accuracy(), 1.0);
+        assert!((table.adjusted_rand_index() - 1.0).abs() < 1e-12);
+        assert!((table.nmi() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_permutation_does_not_matter() {
+        // Swapped cluster ids: matched accuracy and ARI stay 1.
+        let p = vec![Some(1), Some(1), Some(0), Some(0)];
+        let t = vec![0, 0, 1, 1];
+        let table = ContingencyTable::new(&p, &t).unwrap();
+        assert_eq!(table.matched_accuracy(), 1.0);
+        assert!((table.adjusted_rand_index() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_scores() {
+        let p = vec![Some(0), Some(0), Some(0), Some(0)];
+        let t = vec![0, 0, 1, 1];
+        let table = ContingencyTable::new(&p, &t).unwrap();
+        assert_eq!(table.purity(), 0.5);
+        assert_eq!(table.matched_accuracy(), 0.5);
+        assert!(table.adjusted_rand_index().abs() < 1e-12);
+        assert!(table.nmi().abs() < 1e-12);
+    }
+
+    #[test]
+    fn unassigned_points_count_against() {
+        let p = vec![Some(0), Some(0), None, None];
+        let t = vec![0, 0, 1, 1];
+        let table = ContingencyTable::new(&p, &t).unwrap();
+        assert_eq!(table.num_unassigned(), 2);
+        assert_eq!(table.purity(), 0.5);
+        assert_eq!(table.matched_accuracy(), 0.5);
+    }
+
+    #[test]
+    fn more_clusters_than_classes() {
+        let p = vec![Some(0), Some(1), Some(2), Some(2)];
+        let t = vec![0, 0, 1, 1];
+        let table = ContingencyTable::new(&p, &t).unwrap();
+        // Best matching: cluster 2 → class 1 (2 pts), one of {0,1} → class 0.
+        assert_eq!(table.matched_accuracy(), 0.75);
+        assert_eq!(table.purity(), 1.0);
+    }
+
+    #[test]
+    fn more_classes_than_clusters() {
+        let p = vec![Some(0), Some(0), Some(0), Some(0)];
+        let t = vec![0, 1, 2, 3];
+        let table = ContingencyTable::new(&p, &t).unwrap();
+        assert_eq!(table.matched_accuracy(), 0.25);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(ContingencyTable::new(&[Some(0)], &[0, 1]).is_err());
+        assert!(ContingencyTable::new(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn hungarian_small_cases() {
+        // 2×2: diagonal is optimal.
+        let a = hungarian_max(&[vec![5, 1], vec![2, 4]]);
+        assert_eq!(a, vec![0, 1]);
+        // 2×2: anti-diagonal is optimal.
+        let a = hungarian_max(&[vec![1, 5], vec![4, 2]]);
+        assert_eq!(a, vec![1, 0]);
+        // Empty.
+        assert!(hungarian_max(&[]).is_empty());
+    }
+
+    #[test]
+    fn hungarian_3x3_known_answer() {
+        // Classic example: optimal = 5 + 6 + 4 = 15 via (0→1, 1→0, 2→2)?
+        let profit = vec![vec![3, 5, 1], vec![6, 2, 2], vec![1, 3, 4]];
+        let a = hungarian_max(&profit);
+        let total: i64 = a.iter().enumerate().map(|(i, &j)| profit[i][j]).sum();
+        assert_eq!(total, 15);
+        // Must be a permutation.
+        let mut seen = a.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn hungarian_matches_bruteforce_on_random_matrices() {
+        fn brute(profit: &[Vec<i64>]) -> i64 {
+            fn rec(profit: &[Vec<i64>], row: usize, used: &mut Vec<bool>) -> i64 {
+                if row == profit.len() {
+                    return 0;
+                }
+                let mut best = i64::MIN;
+                for j in 0..profit.len() {
+                    if !used[j] {
+                        used[j] = true;
+                        best = best.max(profit[row][j] + rec(profit, row + 1, used));
+                        used[j] = false;
+                    }
+                }
+                best
+            }
+            rec(profit, 0, &mut vec![false; profit.len()])
+        }
+        let mut state = 0xdeadbeefu64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 50) as i64
+        };
+        for _ in 0..20 {
+            let k = 5;
+            let profit: Vec<Vec<i64>> =
+                (0..k).map(|_| (0..k).map(|_| next()).collect()).collect();
+            let a = hungarian_max(&profit);
+            let total: i64 = a.iter().enumerate().map(|(i, &j)| profit[i][j]).sum();
+            assert_eq!(total, brute(&profit), "matrix {profit:?}");
+        }
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[3.0]), (3.0, 0.0));
+    }
+
+    #[test]
+    fn cluster_breakdown_sorted_by_size() {
+        let p = vec![Some(0), Some(1), Some(1), Some(1), None];
+        let t = vec![0, 0, 1, 1, 1];
+        let rows = cluster_breakdown(&p, &t).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 3);
+        assert_eq!(rows[0].1, vec![1, 2]);
+        assert_eq!(rows[1].0, 1);
+    }
+
+    #[test]
+    fn densify_labels_assigns_first_seen_order() {
+        let labels = vec!["rep", "dem", "rep", "ind"];
+        assert_eq!(densify_labels(&labels), vec![0, 1, 0, 2]);
+        let empty: Vec<&str> = vec![];
+        assert!(densify_labels(&empty).is_empty());
+    }
+
+    #[test]
+    fn nmi_partial_overlap_is_between_zero_and_one() {
+        let p = vec![Some(0), Some(0), Some(0), Some(1), Some(1), Some(1)];
+        let t = vec![0, 0, 1, 1, 1, 0];
+        let table = ContingencyTable::new(&p, &t).unwrap();
+        let nmi = table.nmi();
+        assert!(nmi > 0.0 && nmi < 1.0, "nmi = {nmi}");
+        // This particular 2-mismatch partition scores slightly *below*
+        // chance on ARI (exact value −1/9); it must stay within [−1, 1)
+        // and below the NMI.
+        let ari = table.adjusted_rand_index();
+        assert!((-1.0..1.0).contains(&ari), "ari = {ari}");
+        assert!((ari + 1.0 / 9.0).abs() < 1e-12, "ari = {ari}");
+    }
+}

@@ -1,0 +1,317 @@
+//! Neighbor graph computation (paper §3.1 / §4.1).
+//!
+//! Point `q` is a *neighbor* of `p` iff `sim(p, q) ≥ θ`. The neighbor lists
+//! are the input to link computation; their sizes (`m_a` average, `m_m`
+//! maximum) drive the complexity of the whole algorithm, so we also expose
+//! degree statistics.
+//!
+//! Computing the graph is the `O(n²)` hot spot of ROCK; rows are
+//! independent, so the work is chunked over a small scoped thread pool
+//! (`crossbeam::thread::scope`). Results are deterministic regardless of
+//! thread count: each row's list is built in index order.
+
+use crate::data::TransactionSet;
+use crate::error::{Result, RockError};
+use crate::similarity::Similarity;
+
+/// θ-threshold neighbor graph: for each point, the sorted list of its
+/// neighbors (excluding itself).
+#[derive(Debug, Clone)]
+pub struct NeighborGraph {
+    lists: Vec<Vec<u32>>,
+    theta: f64,
+}
+
+impl NeighborGraph {
+    /// Computes the neighbor graph of `data` under `sim` with threshold
+    /// `theta`, using `threads` worker threads (`0` = one per available
+    /// CPU, capped at 16).
+    ///
+    /// # Errors
+    /// * [`RockError::InvalidTheta`] unless `0 < θ < 1`.
+    /// * [`RockError::EmptyDataset`] for an empty input.
+    pub fn compute<S: Similarity>(
+        data: &TransactionSet,
+        sim: &S,
+        theta: f64,
+        threads: usize,
+    ) -> Result<Self> {
+        if !(theta > 0.0 && theta < 1.0) {
+            return Err(RockError::InvalidTheta(theta));
+        }
+        let n = data.len();
+        if n == 0 {
+            return Err(RockError::EmptyDataset);
+        }
+        let threads = effective_threads(threads, n);
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        if threads <= 1 {
+            for (i, out) in lists.iter_mut().enumerate() {
+                fill_row(data, sim, theta, i, out);
+            }
+        } else {
+            // Chunk rows contiguously; each worker writes its own disjoint
+            // slice of `lists`, so no synchronization is needed.
+            let chunk = n.div_ceil(threads);
+            crossbeam::thread::scope(|scope| {
+                for (c, slice) in lists.chunks_mut(chunk).enumerate() {
+                    let start = c * chunk;
+                    scope.spawn(move |_| {
+                        for (off, out) in slice.iter_mut().enumerate() {
+                            fill_row(data, sim, theta, start + off, out);
+                        }
+                    });
+                }
+            })
+            .expect("neighbor worker panicked");
+        }
+        Ok(NeighborGraph { lists, theta })
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Returns `true` if the graph has no points.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// The θ used to build the graph.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Sorted neighbor list of point `i` (self excluded).
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.lists[i]
+    }
+
+    /// Degree (neighbor count) of point `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.lists[i].len()
+    }
+
+    /// Iterates all neighbor lists in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        self.lists.iter().map(Vec::as_slice)
+    }
+
+    /// Total number of directed neighbor edges (`Σ degree`).
+    pub fn num_edges(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    /// Degree statistics `(average m_a, maximum m_m)`.
+    pub fn degree_stats(&self) -> (f64, usize) {
+        let max = self.lists.iter().map(Vec::len).max().unwrap_or(0);
+        let avg = if self.lists.is_empty() {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.lists.len() as f64
+        };
+        (avg, max)
+    }
+
+    /// Consumes the graph, returning the raw lists.
+    pub fn into_lists(self) -> Vec<Vec<u32>> {
+        self.lists
+    }
+
+    /// Restricts the graph to the points in `kept` (sorted, distinct
+    /// indices), re-indexing nodes to `0..kept.len()`. Edges to dropped
+    /// points disappear. Used by the outlier filter so the neighbor matrix
+    /// is not recomputed after discarding isolated points.
+    pub fn restricted(&self, kept: &[usize]) -> NeighborGraph {
+        debug_assert!(kept.windows(2).all(|w| w[0] < w[1]));
+        let mut remap: Vec<u32> = vec![u32::MAX; self.lists.len()];
+        for (new, &old) in kept.iter().enumerate() {
+            remap[old] = new as u32;
+        }
+        let lists = kept
+            .iter()
+            .map(|&old| {
+                self.lists[old]
+                    .iter()
+                    .filter_map(|&j| {
+                        let r = remap[j as usize];
+                        (r != u32::MAX).then_some(r)
+                    })
+                    .collect()
+            })
+            .collect();
+        NeighborGraph {
+            lists,
+            theta: self.theta,
+        }
+    }
+}
+
+fn fill_row<S: Similarity>(
+    data: &TransactionSet,
+    sim: &S,
+    theta: f64,
+    i: usize,
+    out: &mut Vec<u32>,
+) {
+    let ti = data.transaction(i).expect("row in range");
+    for (j, tj) in data.iter().enumerate() {
+        if j != i && sim.sim(ti, tj) >= theta {
+            out.push(j as u32);
+        }
+    }
+}
+
+/// Resolves a `threads` request: `0` means auto (one per CPU, capped), and
+/// tiny inputs stay single-threaded to avoid spawn overhead.
+fn effective_threads(requested: usize, n: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(16);
+    let t = if requested == 0 { hw } else { requested };
+    if n < 256 {
+        1
+    } else {
+        t.min(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Transaction;
+    use crate::similarity::Jaccard;
+
+    fn set(groups: &[&[&[u32]]]) -> TransactionSet {
+        let mut v = Vec::new();
+        for g in groups {
+            for t in *g {
+                v.push(Transaction::new(t.iter().copied()));
+            }
+        }
+        v.into_iter().collect()
+    }
+
+    #[test]
+    fn two_blocks_are_separated() {
+        // Block A shares items {0,1,2}; block B shares {10,11,12}.
+        let data = set(&[
+            &[&[0, 1, 2], &[0, 1, 2, 3], &[0, 1, 2, 4]],
+            &[&[10, 11, 12], &[10, 11, 12, 13]],
+        ]);
+        let g = NeighborGraph::compute(&data, &Jaccard, 0.5, 1).unwrap();
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[4]);
+        assert_eq!(g.neighbors(4), &[3]);
+    }
+
+    #[test]
+    fn graph_is_symmetric() {
+        let data = set(&[&[&[0, 1], &[1, 2], &[2, 3], &[0, 3], &[0, 1, 2, 3]]]);
+        let g = NeighborGraph::compute(&data, &Jaccard, 0.3, 1).unwrap();
+        for i in 0..g.len() {
+            for &j in g.neighbors(i) {
+                assert!(
+                    g.neighbors(j as usize).contains(&(i as u32)),
+                    "edge {i}->{j} not symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_loops_and_sorted_lists() {
+        let data = set(&[&[&[0, 1], &[0, 1], &[0, 1]]]);
+        let g = NeighborGraph::compute(&data, &Jaccard, 0.9, 1).unwrap();
+        for i in 0..g.len() {
+            let l = g.neighbors(i);
+            assert!(!l.contains(&(i as u32)));
+            assert!(l.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(l.len(), 2);
+        }
+    }
+
+    #[test]
+    fn identical_points_are_neighbors_at_any_theta() {
+        let data = set(&[&[&[5, 6], &[5, 6]]]);
+        let g = NeighborGraph::compute(&data, &Jaccard, 0.999, 1).unwrap();
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        // sim = 1/3 exactly.
+        let data = set(&[&[&[0, 1], &[1, 2]]]);
+        let g = NeighborGraph::compute(&data, &Jaccard, 1.0 / 3.0, 1).unwrap();
+        assert_eq!(g.degree(0), 1);
+        let g2 = NeighborGraph::compute(&data, &Jaccard, 1.0 / 3.0 + 1e-9, 1).unwrap();
+        assert_eq!(g2.degree(0), 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // 300 points in 3 blocks (n ≥ 256 so threading actually engages).
+        let mut v = Vec::new();
+        for b in 0..3u32 {
+            for i in 0..100u32 {
+                v.push(Transaction::new([b * 10, b * 10 + 1, b * 10 + 2, 100 + i]));
+            }
+        }
+        let data: TransactionSet = v.into_iter().collect();
+        let seq = NeighborGraph::compute(&data, &Jaccard, 0.4, 1).unwrap();
+        let par = NeighborGraph::compute(&data, &Jaccard, 0.4, 4).unwrap();
+        for i in 0..data.len() {
+            assert_eq!(seq.neighbors(i), par.neighbors(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn degree_stats() {
+        let data = set(&[&[&[0, 1], &[0, 1], &[0, 1], &[9]]]);
+        let g = NeighborGraph::compute(&data, &Jaccard, 0.9, 1).unwrap();
+        let (avg, max) = g.degree_stats();
+        assert_eq!(max, 2);
+        assert!((avg - 6.0 / 4.0).abs() < 1e-12);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let data = set(&[&[&[0]]]);
+        assert!(matches!(
+            NeighborGraph::compute(&data, &Jaccard, 0.0, 1),
+            Err(RockError::InvalidTheta(_))
+        ));
+        let empty: TransactionSet = Vec::new().into_iter().collect();
+        assert!(matches!(
+            NeighborGraph::compute(&empty, &Jaccard, 0.5, 1),
+            Err(RockError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn restricted_reindexes_and_drops_edges() {
+        let data = set(&[&[&[0, 1], &[0, 1], &[0, 1], &[9]]]);
+        let g = NeighborGraph::compute(&data, &Jaccard, 0.9, 1).unwrap();
+        // Keep points 0 and 2 (old indices): they were mutual neighbors.
+        let r = g.restricted(&[0, 2]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.neighbors(0), &[1]);
+        assert_eq!(r.neighbors(1), &[0]);
+        assert_eq!(r.theta(), 0.9);
+        // Keeping an isolated point yields empty lists.
+        let r = g.restricted(&[0, 3]);
+        assert_eq!(r.neighbors(0), &[] as &[u32]);
+        assert_eq!(r.neighbors(1), &[] as &[u32]);
+    }
+
+    #[test]
+    fn effective_threads_resolution() {
+        assert_eq!(super::effective_threads(4, 100), 1); // tiny input
+        assert_eq!(super::effective_threads(4, 1000), 4);
+        assert!(super::effective_threads(0, 1000) >= 1);
+    }
+}

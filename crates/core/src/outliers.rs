@@ -1,0 +1,128 @@
+//! Up-front outlier elimination (paper §4.3).
+//!
+//! "Since outliers are by definition points that are isolated, points with
+//! very few or no neighbors can be discarded immediately after the
+//! neighbor computation." This module implements that filter; the second
+//! mechanism the paper describes — pruning small clusters once merging has
+//! reduced the cluster count to a checkpoint — lives in
+//! [`crate::agglomerate::PruneConfig`].
+
+use crate::neighbors::NeighborGraph;
+
+/// Policy for the up-front neighbor-count filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeighborFilter {
+    /// Points with strictly fewer neighbors than this are flagged as
+    /// outliers. `0` disables the filter.
+    pub min_neighbors: usize,
+}
+
+impl NeighborFilter {
+    /// Creates a filter flagging points with fewer than `min_neighbors`
+    /// neighbors.
+    pub fn new(min_neighbors: usize) -> Self {
+        NeighborFilter { min_neighbors }
+    }
+
+    /// A disabled filter.
+    pub fn disabled() -> Self {
+        NeighborFilter { min_neighbors: 0 }
+    }
+
+    /// Returns `true` if the filter does nothing.
+    pub fn is_disabled(&self) -> bool {
+        self.min_neighbors == 0
+    }
+
+    /// Splits points into `(kept, outliers)` by degree in `graph`.
+    /// Both lists are sorted ascending.
+    pub fn split(&self, graph: &NeighborGraph) -> (Vec<usize>, Vec<usize>) {
+        let mut kept = Vec::with_capacity(graph.len());
+        let mut outliers = Vec::new();
+        for i in 0..graph.len() {
+            if graph.degree(i) < self.min_neighbors {
+                outliers.push(i);
+            } else {
+                kept.push(i);
+            }
+        }
+        (kept, outliers)
+    }
+}
+
+impl Default for NeighborFilter {
+    /// The default keeps points with at least one neighbor: fully isolated
+    /// points can never gain links and only slow the merge phase down.
+    fn default() -> Self {
+        NeighborFilter { min_neighbors: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Transaction, TransactionSet};
+    use crate::similarity::Jaccard;
+
+    fn graph(transactions: Vec<Transaction>, theta: f64) -> NeighborGraph {
+        let ts: TransactionSet = transactions.into_iter().collect();
+        NeighborGraph::compute(&ts, &Jaccard, theta, 1).unwrap()
+    }
+
+    #[test]
+    fn disabled_filter_keeps_everything() {
+        let g = graph(
+            vec![Transaction::new([0]), Transaction::new([99])],
+            0.5,
+        );
+        let f = NeighborFilter::disabled();
+        assert!(f.is_disabled());
+        let (kept, out) = f.split(&g);
+        assert_eq!(kept, vec![0, 1]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_filter_drops_isolated_points() {
+        let g = graph(
+            vec![
+                Transaction::new([0, 1]),
+                Transaction::new([0, 1]),
+                Transaction::new([50, 51]),
+            ],
+            0.9,
+        );
+        let (kept, out) = NeighborFilter::default().split(&g);
+        assert_eq!(kept, vec![0, 1]);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        // Points 0,1,2 identical (degree 2); point 3 pairs with 4 (degree 1).
+        let g = graph(
+            vec![
+                Transaction::new([0, 1]),
+                Transaction::new([0, 1]),
+                Transaction::new([0, 1]),
+                Transaction::new([7, 8]),
+                Transaction::new([7, 8]),
+            ],
+            0.9,
+        );
+        let (kept, out) = NeighborFilter::new(2).split(&g);
+        assert_eq!(kept, vec![0, 1, 2]);
+        assert_eq!(out, vec![3, 4]);
+    }
+
+    #[test]
+    fn all_points_can_be_outliers() {
+        let g = graph(
+            vec![Transaction::new([0]), Transaction::new([99])],
+            0.5,
+        );
+        let (kept, out) = NeighborFilter::new(1).split(&g);
+        assert!(kept.is_empty());
+        assert_eq!(out, vec![0, 1]);
+    }
+}

@@ -1,0 +1,744 @@
+//! The end-to-end ROCK pipeline (paper §2, figure "Overview of ROCK"):
+//! **draw random sample → cluster with links → label data on disk**, with
+//! outlier handling at both ends.
+//!
+//! [`RockBuilder`] is the main public entry point:
+//!
+//! ```
+//! use rock_core::prelude::*;
+//!
+//! // Two obvious groups of baskets.
+//! let data: TransactionSet = vec![
+//!     Transaction::new([0, 1, 2]),
+//!     Transaction::new([0, 1, 2, 3]),
+//!     Transaction::new([0, 1, 2, 4]),
+//!     Transaction::new([10, 11, 12]),
+//!     Transaction::new([10, 11, 12, 13]),
+//!     Transaction::new([10, 11, 12, 14]),
+//! ]
+//! .into_iter()
+//! .collect();
+//!
+//! let model = RockBuilder::new(2, 0.5).seed(7).build().fit(&data).unwrap();
+//! assert_eq!(model.num_clusters(), 2);
+//! assert_eq!(model.assignments()[0], model.assignments()[1]);
+//! assert_ne!(model.assignments()[0], model.assignments()[3]);
+//! ```
+
+use std::time::{Duration, Instant};
+
+use crate::agglomerate::{agglomerate, AgglomerateConfig, MergeStep, PruneConfig};
+use crate::data::{ClusterId, TransactionSet};
+use crate::error::{Result, RockError};
+use crate::goodness::{Goodness, LinkExponent, MarketBasket};
+use crate::labeling::{LabelingConfig, Representatives};
+use crate::links::LinkTable;
+use crate::neighbors::NeighborGraph;
+use crate::outliers::NeighborFilter;
+use crate::sampling::{chernoff_sample_size, sample_indices, seeded_rng};
+use crate::similarity::{Jaccard, Similarity};
+
+/// How the clustering sample is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleStrategy {
+    /// Cluster every point (no labeling phase).
+    All,
+    /// Cluster a uniform sample of exactly this many points, then label the
+    /// rest.
+    Fixed(usize),
+    /// Size the sample by the Chernoff bound (paper §4.2): capture at least
+    /// fraction `xi` of every cluster of at least `u_min` points with
+    /// per-cluster failure probability `delta`.
+    Chernoff {
+        /// Smallest cluster size that must be represented.
+        u_min: usize,
+        /// Fraction of each cluster the sample should capture.
+        xi: f64,
+        /// Per-cluster failure probability.
+        delta: f64,
+    },
+}
+
+/// Full pipeline configuration (see [`RockBuilder`] for construction).
+#[derive(Debug, Clone)]
+pub struct RockConfig {
+    /// Target number of clusters.
+    pub k: usize,
+    /// Similarity threshold θ ∈ (0, 1).
+    pub theta: f64,
+    /// Sampling strategy.
+    pub sample: SampleStrategy,
+    /// Up-front outlier filter on the sample's neighbor graph.
+    pub neighbor_filter: NeighborFilter,
+    /// Mid-merge small-cluster pruning.
+    pub prune: Option<PruneConfig>,
+    /// Labeling configuration (representatives per cluster).
+    pub labeling: LabelingConfig,
+    /// Worker threads for the neighbor phase (`0` = auto).
+    pub threads: usize,
+    /// RNG seed (sampling + representative selection).
+    pub seed: u64,
+    /// Record per-merge history in the model.
+    pub record_history: bool,
+    /// Stop merging once the best available goodness falls below this
+    /// value (`None` = merge down to `k` or link exhaustion).
+    pub min_goodness: Option<f64>,
+}
+
+/// Builder for a [`Rock`] clusterer.
+///
+/// Defaults: Jaccard similarity, the market-basket exponent
+/// `f(θ) = (1−θ)/(1+θ)`, cluster all points, drop isolated points, no
+/// mid-merge pruning, seed 0.
+#[derive(Debug, Clone)]
+pub struct RockBuilder<S: Similarity = Jaccard, F: LinkExponent = MarketBasket> {
+    config: RockConfig,
+    sim: S,
+    f: F,
+}
+
+impl RockBuilder {
+    /// Starts a builder for `k` clusters at threshold `theta` with the
+    /// paper's default similarity and exponent.
+    pub fn new(k: usize, theta: f64) -> Self {
+        RockBuilder {
+            config: RockConfig {
+                k,
+                theta,
+                sample: SampleStrategy::All,
+                neighbor_filter: NeighborFilter::default(),
+                prune: None,
+                labeling: LabelingConfig::default(),
+                threads: 0,
+                seed: 0,
+                record_history: false,
+                min_goodness: None,
+            },
+            sim: Jaccard,
+            f: MarketBasket,
+        }
+    }
+}
+
+impl<S: Similarity, F: LinkExponent> RockBuilder<S, F> {
+    /// Replaces the similarity measure.
+    pub fn similarity<S2: Similarity>(self, sim: S2) -> RockBuilder<S2, F> {
+        RockBuilder {
+            config: self.config,
+            sim,
+            f: self.f,
+        }
+    }
+
+    /// Replaces the link exponent function `f(θ)`.
+    pub fn link_exponent<F2: LinkExponent>(self, f: F2) -> RockBuilder<S, F2> {
+        RockBuilder {
+            config: self.config,
+            sim: self.sim,
+            f,
+        }
+    }
+
+    /// Sets the sampling strategy.
+    pub fn sample(mut self, sample: SampleStrategy) -> Self {
+        self.config.sample = sample;
+        self
+    }
+
+    /// Sets the up-front neighbor-count outlier filter.
+    pub fn neighbor_filter(mut self, filter: NeighborFilter) -> Self {
+        self.config.neighbor_filter = filter;
+        self
+    }
+
+    /// Enables mid-merge small-cluster pruning (paper §4.3).
+    pub fn prune(mut self, prune: PruneConfig) -> Self {
+        self.config.prune = Some(prune);
+        self
+    }
+
+    /// Sets the labeling configuration.
+    pub fn labeling(mut self, labeling: LabelingConfig) -> Self {
+        self.config.labeling = labeling;
+        self
+    }
+
+    /// Sets the neighbor-phase thread count (`0` = auto).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Record per-merge history in the model.
+    pub fn record_history(mut self, record: bool) -> Self {
+        self.config.record_history = record;
+        self
+    }
+
+    /// Stop merging early when the best available goodness drops below
+    /// `threshold` (the paper's alternative termination condition).
+    pub fn min_goodness(mut self, threshold: f64) -> Self {
+        self.config.min_goodness = Some(threshold);
+        self
+    }
+
+    /// Finalizes the builder.
+    pub fn build(self) -> Rock<S, F> {
+        Rock {
+            config: self.config,
+            sim: self.sim,
+            f: self.f,
+        }
+    }
+}
+
+/// A configured ROCK clusterer. Create with [`RockBuilder`].
+#[derive(Debug, Clone)]
+pub struct Rock<S: Similarity = Jaccard, F: LinkExponent = MarketBasket> {
+    config: RockConfig,
+    sim: S,
+    f: F,
+}
+
+/// Wall-clock timings of the pipeline phases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Neighbor-graph computation on the sample.
+    pub neighbors: Duration,
+    /// Link-table computation.
+    pub links: Duration,
+    /// Agglomerative merging.
+    pub merge: Duration,
+    /// Labeling of outside-sample points.
+    pub labeling: Duration,
+    /// End-to-end `fit` time.
+    pub total: Duration,
+}
+
+/// Run statistics reported alongside the clustering.
+#[derive(Debug, Clone, Default)]
+pub struct RockStats {
+    /// Points in the clustered sample (after outlier filtering).
+    pub sample_size: usize,
+    /// Average neighbor-list length `m_a` in the sample.
+    pub avg_degree: f64,
+    /// Maximum neighbor-list length `m_m` in the sample.
+    pub max_degree: usize,
+    /// Nonzero entries in the link table.
+    pub link_entries: usize,
+    /// Merges performed.
+    pub merges: usize,
+    /// Final criterion function value E_l on the sample.
+    pub criterion: f64,
+    /// Whether the merge phase reached exactly `k` clusters.
+    pub reached_k: bool,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+}
+
+/// Result of [`Rock::fit`].
+#[derive(Debug, Clone)]
+pub struct RockModel {
+    assignments: Vec<Option<ClusterId>>,
+    clusters: Vec<Vec<u32>>,
+    sample_indices: Vec<usize>,
+    outliers: Vec<u32>,
+    history: Vec<MergeStep>,
+    stats: RockStats,
+}
+
+impl RockModel {
+    /// Per-point cluster assignments (`None` = outlier), aligned with the
+    /// input data.
+    pub fn assignments(&self) -> &[Option<ClusterId>] {
+        &self.assignments
+    }
+
+    /// Member point indices per cluster, ordered by decreasing size.
+    pub fn clusters(&self) -> &[Vec<u32>] {
+        &self.clusters
+    }
+
+    /// Number of clusters found (may be more than `k` when link supply ran
+    /// out, or fewer after pruning).
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Indices of the points that formed the clustered sample.
+    pub fn sample_indices(&self) -> &[usize] {
+        &self.sample_indices
+    }
+
+    /// Points declared outliers (filtered, pruned, or unlabelable).
+    pub fn outliers(&self) -> &[u32] {
+        &self.outliers
+    }
+
+    /// Merge history (empty unless `record_history` was set).
+    pub fn history(&self) -> &[MergeStep] {
+        &self.history
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &RockStats {
+        &self.stats
+    }
+
+    /// Cluster sizes in decreasing order.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        self.clusters.iter().map(Vec::len).collect()
+    }
+
+    /// Builds a [`Dendrogram`](crate::dendrogram::Dendrogram) over the
+    /// clustered sample from the recorded merge history.
+    ///
+    /// Returns `None` unless history was recorded (`record_history(true)`)
+    /// — and note the replay is only meaningful when no mid-merge pruning
+    /// ran. The tree is over *sample-local* indices; map them through
+    /// [`sample_indices`](Self::sample_indices) to reach original points.
+    pub fn dendrogram(&self) -> Option<crate::dendrogram::Dendrogram> {
+        if self.history.is_empty() {
+            return None;
+        }
+        Some(crate::dendrogram::Dendrogram::new(
+            self.stats.sample_size,
+            self.history.clone(),
+        ))
+    }
+}
+
+impl<S: Similarity, F: LinkExponent> Rock<S, F> {
+    /// The configuration in use.
+    pub fn config(&self) -> &RockConfig {
+        &self.config
+    }
+
+    /// Clusters `data`.
+    ///
+    /// # Errors
+    /// Propagates configuration and data validation errors
+    /// ([`RockError::InvalidTheta`], [`RockError::InvalidK`],
+    /// [`RockError::EmptyDataset`], [`RockError::EmptySample`], …).
+    #[allow(clippy::needless_range_loop)] // assignments/outliers are index-aligned
+    pub fn fit(&self, data: &TransactionSet) -> Result<RockModel> {
+        let start = Instant::now();
+        let n = data.len();
+        if n == 0 {
+            return Err(RockError::EmptyDataset);
+        }
+        if self.config.k == 0 || self.config.k > n {
+            return Err(RockError::InvalidK { k: self.config.k, n });
+        }
+        self.config.labeling.validate()?;
+        let mut rng = seeded_rng(self.config.seed);
+
+        // ── Phase 1: sample ────────────────────────────────────────────
+        let sample_indices: Vec<usize> = match self.config.sample {
+            SampleStrategy::All => (0..n).collect(),
+            SampleStrategy::Fixed(s) => sample_indices(n, s.min(n).max(1), &mut rng)?,
+            SampleStrategy::Chernoff { u_min, xi, delta } => {
+                let s = chernoff_sample_size(n, u_min, xi, delta)?.max(self.config.k);
+                sample_indices(n, s.min(n), &mut rng)?
+            }
+        };
+        let sample = data.subset(&sample_indices);
+
+        // ── Phase 2: neighbors on the sample ──────────────────────────
+        let t = Instant::now();
+        let graph =
+            NeighborGraph::compute(&sample, &self.sim, self.config.theta, self.config.threads)?;
+        let neighbors_time = t.elapsed();
+
+        // Up-front outlier filter.
+        let (kept, filtered): (Vec<usize>, Vec<usize>) =
+            self.config.neighbor_filter.split(&graph);
+        if kept.is_empty() {
+            return Err(RockError::EmptySample);
+        }
+        if kept.len() < self.config.k {
+            return Err(RockError::InvalidK {
+                k: self.config.k,
+                n: kept.len(),
+            });
+        }
+        let graph = if filtered.is_empty() {
+            graph
+        } else {
+            graph.restricted(&kept)
+        };
+        let clustered = if filtered.is_empty() {
+            sample.clone()
+        } else {
+            sample.subset(&kept)
+        };
+        let (avg_degree, max_degree) = graph.degree_stats();
+
+        // ── Phase 3: links + merge ─────────────────────────────────────
+        let t = Instant::now();
+        let links = LinkTable::compute(&graph);
+        let links_time = t.elapsed();
+        let link_entries = links.num_entries();
+
+        let goodness = Goodness::new(self.config.theta, &self.f)?;
+        let t = Instant::now();
+        let agg = agglomerate(
+            clustered.len(),
+            &links,
+            &goodness,
+            &AgglomerateConfig {
+                k: self.config.k,
+                prune: self.config.prune,
+                record_history: self.config.record_history,
+                min_goodness: self.config.min_goodness,
+            },
+        )?;
+        let merge_time = t.elapsed();
+
+        // Map sample-local indices back to original dataset indices.
+        // kept[i] = index into `sample`; sample_indices[kept[i]] = original.
+        let to_original = |local: u32| -> u32 { sample_indices[kept[local as usize]] as u32 };
+
+        let mut assignments: Vec<Option<ClusterId>> = vec![None; n];
+        let mut clusters: Vec<Vec<u32>> = agg
+            .clusters
+            .iter()
+            .map(|members| {
+                let mut m: Vec<u32> = members.iter().map(|&p| to_original(p)).collect();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        for (c, members) in clusters.iter().enumerate() {
+            for &p in members {
+                assignments[p as usize] = Some(ClusterId(c as u32));
+            }
+        }
+        let mut outliers: Vec<u32> = filtered
+            .iter()
+            .map(|&i| sample_indices[i] as u32)
+            .chain(agg.outliers.iter().map(|&p| to_original(p)))
+            .collect();
+
+        // ── Phase 4: label points outside the clustered sample ────────
+        let t = Instant::now();
+        if clustered.len() < n {
+            let in_sample: std::collections::HashSet<usize> = kept
+                .iter()
+                .map(|&i| sample_indices[i])
+                .collect();
+            let reps = Representatives::draw(
+                &clustered,
+                &agg.clusters,
+                &self.config.labeling,
+                &mut rng,
+            )?;
+            // Filtered sample points stay outliers per the paper; only
+            // points never seen by the clustering phase get labeled.
+            let fixed_outliers: std::collections::HashSet<u32> =
+                outliers.iter().copied().collect();
+            let unlabeled: Vec<usize> = (0..n)
+                .filter(|&i| {
+                    !in_sample.contains(&i)
+                        && assignments[i].is_none()
+                        && !fixed_outliers.contains(&(i as u32))
+                })
+                .collect();
+            let points: Vec<&crate::data::Transaction> = unlabeled
+                .iter()
+                .map(|&i| data.transaction(i).expect("in range"))
+                .collect();
+            let labels = crate::labeling::label_many_parallel(
+                &points,
+                &reps,
+                &self.sim,
+                &self.f,
+                self.config.theta,
+                self.config.threads,
+            );
+            for (&i, label) in unlabeled.iter().zip(labels) {
+                match label {
+                    Some(c) => {
+                        assignments[i] = Some(ClusterId(c as u32));
+                        clusters[c].push(i as u32);
+                    }
+                    None => outliers.push(i as u32),
+                }
+            }
+            for members in &mut clusters {
+                members.sort_unstable();
+            }
+        }
+        let labeling_time = t.elapsed();
+
+        // Re-order clusters by decreasing final size and re-number.
+        let mut order: Vec<usize> = (0..clusters.len()).collect();
+        order.sort_by(|&a, &b| {
+            clusters[b]
+                .len()
+                .cmp(&clusters[a].len())
+                .then_with(|| clusters[a].first().cmp(&clusters[b].first()))
+        });
+        let clusters: Vec<Vec<u32>> = order.into_iter().map(|i| clusters[i].clone()).collect();
+        let mut assignments: Vec<Option<ClusterId>> = vec![None; n];
+        for (c, members) in clusters.iter().enumerate() {
+            for &p in members {
+                assignments[p as usize] = Some(ClusterId(c as u32));
+            }
+        }
+        outliers.sort_unstable();
+        outliers.dedup();
+
+        let stats = RockStats {
+            sample_size: clustered.len(),
+            avg_degree,
+            max_degree,
+            link_entries,
+            merges: agg.merges,
+            criterion: agg.criterion,
+            reached_k: agg.reached_k,
+            timings: PhaseTimings {
+                neighbors: neighbors_time,
+                links: links_time,
+                merge: merge_time,
+                labeling: labeling_time,
+                total: start.elapsed(),
+            },
+        };
+        Ok(RockModel {
+            assignments,
+            clusters,
+            sample_indices: kept.iter().map(|&i| sample_indices[i]).collect(),
+            outliers,
+            history: agg.history,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Transaction;
+
+    fn blocks(sizes: &[usize], shared: usize) -> (TransactionSet, Vec<usize>) {
+        let mut v = Vec::new();
+        let mut truth = Vec::new();
+        for (b, &size) in sizes.iter().enumerate() {
+            let base = (b as u32) * 1000;
+            for i in 0..size as u32 {
+                let mut items: Vec<u32> = (base..base + shared as u32).collect();
+                items.push(base + 500 + i);
+                v.push(Transaction::new(items));
+                truth.push(b);
+            }
+        }
+        (v.into_iter().collect(), truth)
+    }
+
+    #[test]
+    fn fit_recovers_two_blocks() {
+        let (data, truth) = blocks(&[10, 10], 5);
+        let model = RockBuilder::new(2, 0.5).build().fit(&data).unwrap();
+        assert_eq!(model.num_clusters(), 2);
+        assert_eq!(model.cluster_sizes(), vec![10, 10]);
+        let preds: Vec<Option<u32>> = model
+            .assignments()
+            .iter()
+            .map(|a| a.map(|c| c.0))
+            .collect();
+        let acc = crate::metrics::matched_accuracy(&preds, &truth).unwrap();
+        assert_eq!(acc, 1.0);
+        assert!(model.stats().reached_k);
+        assert!(model.stats().criterion > 0.0);
+    }
+
+    #[test]
+    fn fit_with_sampling_and_labeling() {
+        let (data, truth) = blocks(&[40, 40], 6);
+        let model = RockBuilder::new(2, 0.5)
+            .sample(SampleStrategy::Fixed(30))
+            .seed(3)
+            .build()
+            .fit(&data)
+            .unwrap();
+        assert_eq!(model.num_clusters(), 2);
+        assert_eq!(model.sample_indices().len(), 30);
+        // Every point gets labeled into its own block.
+        let preds: Vec<Option<u32>> = model
+            .assignments()
+            .iter()
+            .map(|a| a.map(|c| c.0))
+            .collect();
+        let acc = crate::metrics::matched_accuracy(&preds, &truth).unwrap();
+        assert_eq!(acc, 1.0, "labeling should be perfect on clean blocks");
+        assert!(model.outliers().is_empty());
+    }
+
+    #[test]
+    fn chernoff_strategy_runs() {
+        let (data, _) = blocks(&[50, 50], 6);
+        let model = RockBuilder::new(2, 0.5)
+            .sample(SampleStrategy::Chernoff {
+                u_min: 40,
+                xi: 0.2,
+                delta: 0.05,
+            })
+            .seed(11)
+            .build()
+            .fit(&data)
+            .unwrap();
+        assert_eq!(model.num_clusters(), 2);
+        assert!(model.stats().sample_size <= 100);
+        assert!(model.stats().sample_size >= 20);
+    }
+
+    #[test]
+    fn isolated_points_become_outliers() {
+        let (mut data, _) = blocks(&[8, 8], 5);
+        let mut v: Vec<Transaction> = data.iter().cloned().collect();
+        v.push(Transaction::new([90_000, 90_001]));
+        data = v.into_iter().collect();
+        let model = RockBuilder::new(2, 0.5).build().fit(&data).unwrap();
+        assert_eq!(model.outliers(), &[16]);
+        assert!(model.assignments()[16].is_none());
+        assert_eq!(model.num_clusters(), 2);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (data, _) = blocks(&[5, 5], 4);
+        assert!(RockBuilder::new(0, 0.5).build().fit(&data).is_err());
+        assert!(RockBuilder::new(99, 0.5).build().fit(&data).is_err());
+        assert!(RockBuilder::new(2, 1.5).build().fit(&data).is_err());
+        let empty: TransactionSet = Vec::new().into_iter().collect();
+        assert!(RockBuilder::new(1, 0.5).build().fit(&empty).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = blocks(&[20, 20], 5);
+        let run = |seed| {
+            RockBuilder::new(2, 0.5)
+                .sample(SampleStrategy::Fixed(24))
+                .seed(seed)
+                .build()
+                .fit(&data)
+                .unwrap()
+                .clusters()
+                .to_vec()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn history_recorded_on_request() {
+        let (data, _) = blocks(&[6, 6], 5);
+        let with = RockBuilder::new(2, 0.5)
+            .record_history(true)
+            .build()
+            .fit(&data)
+            .unwrap();
+        assert_eq!(with.history().len(), 10);
+        let without = RockBuilder::new(2, 0.5).build().fit(&data).unwrap();
+        assert!(without.history().is_empty());
+    }
+
+    #[test]
+    fn builder_accepts_custom_measure_and_exponent() {
+        use crate::goodness::ConstantExponent;
+        use crate::similarity::Dice;
+        let (data, _) = blocks(&[8, 8], 5);
+        let model = RockBuilder::new(2, 0.5)
+            .similarity(Dice)
+            .link_exponent(ConstantExponent(0.5))
+            .build()
+            .fit(&data)
+            .unwrap();
+        assert_eq!(model.num_clusters(), 2);
+    }
+
+    #[test]
+    fn multithreaded_fit_is_deterministic() {
+        let (data, _) = blocks(&[150, 150], 6);
+        let run = |threads| {
+            RockBuilder::new(2, 0.5)
+                .threads(threads)
+                .sample(SampleStrategy::Fixed(200))
+                .seed(4)
+                .build()
+                .fit(&data)
+                .unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.clusters(), b.clusters());
+        assert_eq!(a.assignments(), b.assignments());
+        assert_eq!(a.outliers(), b.outliers());
+    }
+
+    #[test]
+    fn all_options_compose() {
+        use crate::agglomerate::PruneConfig;
+        use crate::goodness::ConstantExponent;
+        use crate::labeling::LabelingConfig;
+        use crate::outliers::NeighborFilter;
+        use crate::similarity::Dice;
+        let (data, _) = blocks(&[40, 40, 40], 6);
+        let model = RockBuilder::new(3, 0.5)
+            .similarity(Dice)
+            .link_exponent(ConstantExponent(0.4))
+            .sample(SampleStrategy::Fixed(60))
+            .neighbor_filter(NeighborFilter::new(2))
+            .prune(PruneConfig {
+                checkpoint_fraction: 0.1,
+                max_prune_size: 1,
+            })
+            .labeling(LabelingConfig {
+                representative_fraction: 0.5,
+                max_representatives: 16,
+            })
+            .min_goodness(0.0)
+            .threads(2)
+            .seed(6)
+            .record_history(true)
+            .build()
+            .fit(&data)
+            .unwrap();
+        assert!(model.num_clusters() >= 3);
+        assert!(!model.history().is_empty());
+        assert_eq!(model.assignments().len(), 120);
+    }
+
+    #[test]
+    fn invalid_labeling_config_rejected_up_front() {
+        let (data, _) = blocks(&[5, 5], 4);
+        let err = RockBuilder::new(2, 0.5)
+            .labeling(crate::labeling::LabelingConfig {
+                representative_fraction: 2.0,
+                max_representatives: 0,
+            })
+            .build()
+            .fit(&data)
+            .unwrap_err();
+        assert!(matches!(err, RockError::InvalidFraction { .. }));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (data, _) = blocks(&[10, 10], 5);
+        let model = RockBuilder::new(2, 0.5).build().fit(&data).unwrap();
+        let s = model.stats();
+        assert_eq!(s.sample_size, 20);
+        assert!(s.avg_degree > 0.0);
+        assert!(s.max_degree >= 9);
+        assert!(s.link_entries > 0);
+        assert!(s.timings.total >= s.timings.neighbors);
+    }
+}

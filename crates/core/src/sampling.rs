@@ -1,0 +1,223 @@
+//! Random sampling for large datasets (paper §4.2).
+//!
+//! ROCK clusters a uniform random sample and then labels the rest of the
+//! data. The sample must be large enough that every cluster is represented;
+//! the paper inherits the Chernoff-bound analysis of CURE: to capture at
+//! least `ξ·|u|` points of every cluster `u` of size at least `u_min`, with
+//! probability `1 − δ` each, the sample size must satisfy
+//!
+//! ```text
+//! s ≥ ξ·n + (n / u_min)·log(1/δ)
+//!       + (n / u_min)·sqrt( log(1/δ)² + 2·ξ·u_min·log(1/δ) )
+//! ```
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{Result, RockError};
+
+/// Minimum sample size that captures at least a fraction `xi` of every
+/// cluster of at least `u_min` points, each with probability `1 − delta`
+/// (Chernoff bound; see module docs). The result is capped at `n`.
+///
+/// # Errors
+/// * [`RockError::InvalidFraction`] when `xi ∉ (0, 1]`, `delta ∉ (0, 1)`,
+///   or `u_min` is 0 or exceeds `n`.
+pub fn chernoff_sample_size(n: usize, u_min: usize, xi: f64, delta: f64) -> Result<usize> {
+    if !(xi > 0.0 && xi <= 1.0) {
+        return Err(RockError::InvalidFraction {
+            name: "xi",
+            value: xi,
+        });
+    }
+    if !(delta > 0.0 && delta < 1.0) {
+        return Err(RockError::InvalidFraction {
+            name: "delta",
+            value: delta,
+        });
+    }
+    if u_min == 0 || u_min > n {
+        return Err(RockError::InvalidFraction {
+            name: "u_min",
+            value: u_min as f64,
+        });
+    }
+    let n_f = n as f64;
+    let u = u_min as f64;
+    let l = (1.0 / delta).ln();
+    let s = xi * n_f + (n_f / u) * l + (n_f / u) * (l * l + 2.0 * xi * u * l).sqrt();
+    Ok((s.ceil() as usize).min(n))
+}
+
+/// Draws a uniform sample of `size` distinct indices from `0..n`, sorted
+/// ascending. Uses partial Fisher–Yates, `O(n)` time and space.
+///
+/// # Errors
+/// * [`RockError::EmptyDataset`] when `n == 0`.
+/// * [`RockError::InvalidK`] when `size` is 0 or exceeds `n`.
+pub fn sample_indices(n: usize, size: usize, rng: &mut StdRng) -> Result<Vec<usize>> {
+    if n == 0 {
+        return Err(RockError::EmptyDataset);
+    }
+    if size == 0 || size > n {
+        return Err(RockError::InvalidK { k: size, n });
+    }
+    let mut pool: Vec<usize> = (0..n).collect();
+    let (chosen, _) = pool.partial_shuffle(rng, size);
+    let mut out = chosen.to_vec();
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Reservoir sampling over an iterator of unknown length (used when the
+/// data is streamed from disk): returns `size` items chosen uniformly, or
+/// fewer if the stream is shorter.
+pub fn reservoir_sample<T, I: IntoIterator<Item = T>>(
+    iter: I,
+    size: usize,
+    rng: &mut StdRng,
+) -> Vec<T> {
+    if size == 0 {
+        return Vec::new();
+    }
+    let mut reservoir: Vec<T> = Vec::with_capacity(size);
+    for (i, item) in iter.into_iter().enumerate() {
+        if i < size {
+            reservoir.push(item);
+        } else {
+            let j = rng.gen_range(0..=i);
+            if j < size {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+/// Convenience constructor for the crate's seeded RNG.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chernoff_grows_with_confidence() {
+        let lo = chernoff_sample_size(10_000, 500, 0.5, 0.1).unwrap();
+        let hi = chernoff_sample_size(10_000, 500, 0.5, 0.001).unwrap();
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn chernoff_grows_for_smaller_clusters() {
+        let big = chernoff_sample_size(10_000, 2_000, 0.5, 0.01).unwrap();
+        let small = chernoff_sample_size(10_000, 200, 0.5, 0.01).unwrap();
+        assert!(small > big);
+    }
+
+    #[test]
+    fn chernoff_at_least_xi_n_and_capped_at_n() {
+        let s = chernoff_sample_size(1_000, 100, 0.25, 0.05).unwrap();
+        assert!(s >= 250);
+        assert!(s <= 1_000);
+        // Tiny clusters force the cap.
+        let s = chernoff_sample_size(1_000, 1, 0.5, 0.01).unwrap();
+        assert_eq!(s, 1_000);
+    }
+
+    #[test]
+    fn chernoff_validates_parameters() {
+        assert!(chernoff_sample_size(100, 10, 0.0, 0.1).is_err());
+        assert!(chernoff_sample_size(100, 10, 1.1, 0.1).is_err());
+        assert!(chernoff_sample_size(100, 10, 0.5, 0.0).is_err());
+        assert!(chernoff_sample_size(100, 10, 0.5, 1.0).is_err());
+        assert!(chernoff_sample_size(100, 0, 0.5, 0.1).is_err());
+        assert!(chernoff_sample_size(100, 101, 0.5, 0.1).is_err());
+    }
+
+    #[test]
+    fn sample_indices_distinct_sorted_in_range() {
+        let mut rng = seeded_rng(7);
+        let s = sample_indices(100, 30, &mut rng).unwrap();
+        assert_eq!(s.len(), 30);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_indices_full_population() {
+        let mut rng = seeded_rng(1);
+        let s = sample_indices(10, 10, &mut rng).unwrap();
+        assert_eq!(s, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_validates() {
+        let mut rng = seeded_rng(1);
+        assert!(sample_indices(0, 1, &mut rng).is_err());
+        assert!(sample_indices(10, 0, &mut rng).is_err());
+        assert!(sample_indices(10, 11, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sample_is_seed_deterministic() {
+        let a = sample_indices(1000, 50, &mut seeded_rng(42)).unwrap();
+        let b = sample_indices(1000, 50, &mut seeded_rng(42)).unwrap();
+        let c = sample_indices(1000, 50, &mut seeded_rng(43)).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Each of 10 strata should receive close to size/10 picks on average.
+        let mut counts = [0usize; 10];
+        for seed in 0..200 {
+            let s = sample_indices(1000, 100, &mut seeded_rng(seed)).unwrap();
+            for i in s {
+                counts[i / 100] += 1;
+            }
+        }
+        // 200 runs × 100 picks / 10 strata = 2000 expected per stratum.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (1800..=2200).contains(&c),
+                "stratum {i} count {c} far from 2000"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_handles_short_and_long_streams() {
+        let mut rng = seeded_rng(5);
+        let short = reservoir_sample(0..3, 10, &mut rng);
+        assert_eq!(short, vec![0, 1, 2]);
+        let exact = reservoir_sample(0..10, 10, &mut rng);
+        assert_eq!(exact.len(), 10);
+        let long = reservoir_sample(0..1000, 10, &mut rng);
+        assert_eq!(long.len(), 10);
+        let set: std::collections::HashSet<i32> = long.iter().copied().collect();
+        assert_eq!(set.len(), 10, "reservoir items must be distinct");
+        assert_eq!(reservoir_sample(0..10, 0, &mut rng), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        let mut hits = [0usize; 10];
+        for seed in 0..400 {
+            let mut rng = seeded_rng(seed);
+            for x in reservoir_sample(0..100, 10, &mut rng) {
+                hits[(x / 10) as usize] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(
+                (300..=500).contains(&h),
+                "decile {i} hit count {h} far from 400"
+            );
+        }
+    }
+}

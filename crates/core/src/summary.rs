@@ -1,0 +1,178 @@
+//! Human-readable cluster summaries.
+//!
+//! The ROCK paper presents its clusters by their *characteristic items* —
+//! the attribute values (or basket items) shared by most members (e.g.
+//! "cluster of funds that went Up on the same days", "republicans voting
+//! n on education spending"). [`ClusterSummary`] computes exactly that:
+//! per-cluster item supports, rendered through the dataset's
+//! [`Vocabulary`](crate::data::Vocabulary) when available.
+
+use std::collections::HashMap;
+
+use crate::data::TransactionSet;
+
+/// One item with the fraction of cluster members containing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemSupport {
+    /// The item id.
+    pub item: u32,
+    /// Members containing the item.
+    pub count: usize,
+    /// `count / cluster size`.
+    pub support: f64,
+}
+
+/// Characteristic-item summary of one cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSummary {
+    /// Cluster size.
+    pub size: usize,
+    /// Items sorted by decreasing support (ties by item id).
+    pub items: Vec<ItemSupport>,
+}
+
+impl ClusterSummary {
+    /// Computes the summary of the cluster given by `members` (indices
+    /// into `data`), keeping items with support at least `min_support`.
+    pub fn compute(data: &TransactionSet, members: &[u32], min_support: f64) -> Self {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for &p in members {
+            if let Some(t) = data.transaction(p as usize) {
+                for &item in t.items() {
+                    *counts.entry(item).or_insert(0) += 1;
+                }
+            }
+        }
+        let size = members.len();
+        let mut items: Vec<ItemSupport> = counts
+            .into_iter()
+            .map(|(item, count)| ItemSupport {
+                item,
+                count,
+                support: if size == 0 {
+                    0.0
+                } else {
+                    count as f64 / size as f64
+                },
+            })
+            .filter(|s| s.support >= min_support)
+            .collect();
+        items.sort_by(|a, b| {
+            b.support
+                .total_cmp(&a.support)
+                .then_with(|| a.item.cmp(&b.item))
+        });
+        ClusterSummary { size, items }
+    }
+
+    /// Computes summaries for every cluster of a clustering.
+    pub fn compute_all(
+        data: &TransactionSet,
+        clusters: &[Vec<u32>],
+        min_support: f64,
+    ) -> Vec<ClusterSummary> {
+        clusters
+            .iter()
+            .map(|members| ClusterSummary::compute(data, members, min_support))
+            .collect()
+    }
+
+    /// The `top` most characteristic items.
+    pub fn top(&self, top: usize) -> &[ItemSupport] {
+        &self.items[..top.min(self.items.len())]
+    }
+
+    /// Renders the top items as `name(support)` strings, using the
+    /// dataset's vocabulary when present.
+    pub fn describe(&self, data: &TransactionSet, top: usize) -> String {
+        self.top(top)
+            .iter()
+            .map(|s| {
+                let name = match data.vocabulary() {
+                    Some(v) => v.describe(crate::data::ItemId(s.item)),
+                    None => format!("#{}", s.item),
+                };
+                format!("{name}({:.2})", s.support)
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{CategoricalTable, Schema, Transaction};
+
+    fn data() -> TransactionSet {
+        vec![
+            Transaction::new([0, 1, 2]),
+            Transaction::new([0, 1, 3]),
+            Transaction::new([0, 1]),
+            Transaction::new([9]),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn supports_are_fractions_of_cluster() {
+        let d = data();
+        let s = ClusterSummary::compute(&d, &[0, 1, 2], 0.0);
+        assert_eq!(s.size, 3);
+        let top = s.top(2);
+        assert_eq!(top[0].item, 0);
+        assert_eq!(top[0].count, 3);
+        assert!((top[0].support - 1.0).abs() < 1e-12);
+        assert_eq!(top[1].item, 1);
+        // Items 2 and 3 each have support 1/3.
+        assert_eq!(s.items.len(), 4);
+    }
+
+    #[test]
+    fn min_support_filters() {
+        let d = data();
+        let s = ClusterSummary::compute(&d, &[0, 1, 2], 0.5);
+        let items: Vec<u32> = s.items.iter().map(|i| i.item).collect();
+        assert_eq!(items, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_cluster() {
+        let d = data();
+        let s = ClusterSummary::compute(&d, &[], 0.0);
+        assert_eq!(s.size, 0);
+        assert!(s.items.is_empty());
+        assert_eq!(s.describe(&d, 3), "");
+    }
+
+    #[test]
+    fn compute_all_matches_per_cluster() {
+        let d = data();
+        let all = ClusterSummary::compute_all(&d, &[vec![0, 1, 2], vec![3]], 0.0);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1].size, 1);
+        assert_eq!(all[1].items[0].item, 9);
+    }
+
+    #[test]
+    fn describe_uses_vocabulary() {
+        let mut t = CategoricalTable::new(Schema::with_names(["vote"]));
+        t.push_textual(&["y"], "?").unwrap();
+        t.push_textual(&["y"], "?").unwrap();
+        let ts = t.to_transactions();
+        let s = ClusterSummary::compute(&ts, &[0, 1], 0.0);
+        assert_eq!(s.describe(&ts, 1), "a0=y(1.00)");
+        // Without vocabulary: raw ids.
+        let raw = data();
+        let s = ClusterSummary::compute(&raw, &[3], 0.0);
+        assert_eq!(s.describe(&raw, 1), "#9(1.00)");
+    }
+
+    #[test]
+    fn top_is_clamped() {
+        let d = data();
+        let s = ClusterSummary::compute(&d, &[3], 0.0);
+        assert_eq!(s.top(10).len(), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! A minimal CSV reader sufficient for UCI `.data` files.
+//!
+//! UCI categorical datasets (votes, mushroom, zoo, tic-tac-toe, …) are
+//! plain comma-separated text without quoting or embedded separators, one
+//! record per line, with `?` marking missing values. This parser handles
+//! exactly that format — plus optional quoting with `"` since a few
+//! mirrors quote string fields — with no external dependency.
+
+use std::fmt;
+
+/// Errors from CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A row had a different number of fields than the first row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found on this row.
+        found: usize,
+        /// Fields expected (from the first row).
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quote on line {line}")
+            }
+            CsvError::RaggedRow {
+                line,
+                found,
+                expected,
+            } => write!(
+                f,
+                "line {line} has {found} fields, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses one line into fields. `delimiter` is usually `,`.
+pub fn parse_line(line: &str, delimiter: char, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        match chars.peek().copied() {
+            Some('"') if field.is_empty() => {
+                chars.next();
+                let mut closed = false;
+                while let Some(c) = chars.next() {
+                    if c == '"' {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            field.push('"');
+                        } else {
+                            closed = true;
+                            break;
+                        }
+                    } else {
+                        field.push(c);
+                    }
+                }
+                if !closed {
+                    return Err(CsvError::UnterminatedQuote { line: line_no });
+                }
+            }
+            Some(c) if c == delimiter => {
+                chars.next();
+                fields.push(std::mem::take(&mut field).trim().to_owned());
+            }
+            Some(c) => {
+                chars.next();
+                field.push(c);
+            }
+            None => {
+                fields.push(std::mem::take(&mut field).trim().to_owned());
+                break;
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses full CSV text into rows of fields. Blank lines are skipped; all
+/// rows must have the same arity as the first.
+pub fn parse(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut rows = Vec::new();
+    let mut expected: Option<usize> = None;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_line(line, delimiter, i + 1)?;
+        if let Some(e) = expected {
+            if fields.len() != e {
+                return Err(CsvError::RaggedRow {
+                    line: i + 1,
+                    found: fields.len(),
+                    expected: e,
+                });
+            }
+        } else {
+            expected = Some(fields.len());
+        }
+        rows.push(fields);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_rows() {
+        let rows = parse("a,b,c\nx,y,z\n", ',').unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec!["a", "b", "c"]);
+        assert_eq!(rows[1], vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn skips_blank_lines_and_trims() {
+        let rows = parse("a , b\n\n  \nc,d\n", ',').unwrap();
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn handles_missing_markers_verbatim() {
+        let rows = parse("y,?,n\n", ',').unwrap();
+        assert_eq!(rows[0], vec!["y", "?", "n"]);
+    }
+
+    #[test]
+    fn handles_quoted_fields() {
+        let rows = parse("\"a,b\",c\n", ',').unwrap();
+        assert_eq!(rows[0], vec!["a,b", "c"]);
+        let rows = parse("\"say \"\"hi\"\"\",x\n", ',').unwrap();
+        assert_eq!(rows[0], vec!["say \"hi\"", "x"]);
+    }
+
+    #[test]
+    fn rejects_unterminated_quote() {
+        assert_eq!(
+            parse("\"abc\n", ','),
+            Err(CsvError::UnterminatedQuote { line: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        assert_eq!(
+            parse("a,b\nc\n", ','),
+            Err(CsvError::RaggedRow {
+                line: 2,
+                found: 1,
+                expected: 2
+            })
+        );
+    }
+
+    #[test]
+    fn supports_alternative_delimiters() {
+        let rows = parse("a;b\nc;d\n", ';').unwrap();
+        assert_eq!(rows[1], vec!["c", "d"]);
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        let rows = parse("a,,c\n", ',').unwrap();
+        assert_eq!(rows[0], vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn single_column() {
+        let rows = parse("a\nb\n", ',').unwrap();
+        assert_eq!(rows, vec![vec!["a"], vec!["b"]]);
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = CsvError::RaggedRow {
+            line: 3,
+            found: 2,
+            expected: 5,
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(CsvError::UnterminatedQuote { line: 1 }
+            .to_string()
+            .contains("unterminated"));
+    }
+}

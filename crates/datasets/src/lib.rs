@@ -1,0 +1,30 @@
+//! # rock-datasets
+//!
+//! Dataset support for the ROCK reproduction:
+//!
+//! * [`csv`] / [`loader`] — a dependency-free reader for UCI-style
+//!   categorical CSV files (missing values, label column anywhere);
+//! * [`baskets`] — market-basket (one transaction per line) files;
+//! * [`uci`] — descriptors for the datasets the paper evaluates on
+//!   (Congressional Votes, Mushroom, …), loading the real files when they
+//!   are present on disk;
+//! * [`synthetic`] — deterministic generators calibrated to those
+//!   datasets' statistical structure, used offline (votes-like,
+//!   mushroom-like, market baskets, planted boolean blocks, mutual-fund
+//!   sector series);
+//! * [`timeseries`] — the paper's numeric-series → Up/Down categorical
+//!   conversion.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baskets;
+pub mod csv;
+pub mod loader;
+pub mod synthetic;
+pub mod timeseries;
+pub mod uci;
+
+pub use baskets::{load_baskets, parse_baskets};
+pub use loader::{LabelPosition, LabeledTable, LoadConfig, LoadError};
+pub use uci::UciDataset;

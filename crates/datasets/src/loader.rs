@@ -1,0 +1,313 @@
+//! Loading labeled categorical tables from UCI-style CSV files.
+
+use std::fmt;
+use std::path::Path;
+
+use rock_core::data::{CategoricalTable, Schema};
+
+use crate::csv::{self, CsvError};
+
+/// Where the class label lives in each record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelPosition {
+    /// First column (e.g. mushroom, votes).
+    First,
+    /// Last column (e.g. nursery, tic-tac-toe).
+    Last,
+    /// Column by 0-based index.
+    Column(usize),
+    /// No label column.
+    None,
+}
+
+/// Parsing configuration for a labeled categorical CSV file.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Token marking a missing value (default `?`).
+    pub missing: String,
+    /// Label column position (default [`LabelPosition::Last`]).
+    pub label: LabelPosition,
+    /// Skip this many leading lines (headers). Default 0 — UCI `.data`
+    /// files have no header.
+    pub skip_lines: usize,
+    /// 0-based column indices to drop entirely (e.g. record identifiers
+    /// like the Zoo dataset's animal-name column, which would otherwise
+    /// make every record trivially unique).
+    pub ignore_columns: Vec<usize>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            delimiter: ',',
+            missing: "?".to_owned(),
+            label: LabelPosition::Last,
+            skip_lines: 0,
+            ignore_columns: Vec::new(),
+        }
+    }
+}
+
+/// A loaded dataset: the categorical feature table plus string labels
+/// (empty when [`LabelPosition::None`]).
+#[derive(Debug, Clone)]
+pub struct LabeledTable {
+    /// Feature table (label column removed).
+    pub table: CategoricalTable,
+    /// Per-row class label.
+    pub labels: Vec<String>,
+}
+
+/// Errors from dataset loading.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Malformed CSV.
+    Csv(CsvError),
+    /// The file had no data rows.
+    Empty,
+    /// The label column index is out of range.
+    BadLabelColumn {
+        /// Requested index.
+        index: usize,
+        /// Number of columns.
+        columns: usize,
+    },
+    /// Core-layer validation error.
+    Core(rock_core::RockError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Csv(e) => write!(f, "csv error: {e}"),
+            LoadError::Empty => write!(f, "file contains no data rows"),
+            LoadError::BadLabelColumn { index, columns } => {
+                write!(f, "label column {index} out of range for {columns} columns")
+            }
+            LoadError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Csv(e) => Some(e),
+            LoadError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+impl From<CsvError> for LoadError {
+    fn from(e: CsvError) -> Self {
+        LoadError::Csv(e)
+    }
+}
+
+impl From<rock_core::RockError> for LoadError {
+    fn from(e: rock_core::RockError) -> Self {
+        LoadError::Core(e)
+    }
+}
+
+/// Parses CSV text into a labeled categorical table.
+pub fn parse_labeled(text: &str, config: &LoadConfig) -> Result<LabeledTable, LoadError> {
+    let all_rows = csv::parse(text, config.delimiter)?;
+    let rows: Vec<&Vec<String>> = all_rows.iter().skip(config.skip_lines).collect();
+    if rows.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    let width = rows[0].len();
+    let label_idx = match config.label {
+        LabelPosition::First => Some(0),
+        LabelPosition::Last => Some(width - 1),
+        LabelPosition::Column(i) => {
+            if i >= width {
+                return Err(LoadError::BadLabelColumn {
+                    index: i,
+                    columns: width,
+                });
+            }
+            Some(i)
+        }
+        LabelPosition::None => None,
+    };
+    let dropped = |i: usize| config.ignore_columns.contains(&i);
+    let num_features = width
+        - usize::from(label_idx.is_some())
+        - (0..width)
+            .filter(|&i| dropped(i) && Some(i) != label_idx)
+            .count();
+    let mut table = CategoricalTable::new(Schema::with_unnamed(num_features));
+    let mut labels = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut features: Vec<&str> = Vec::with_capacity(num_features);
+        for (i, cell) in row.iter().enumerate() {
+            if Some(i) == label_idx {
+                labels.push(cell.clone());
+            } else if !dropped(i) {
+                features.push(cell);
+            }
+        }
+        table.push_textual(&features, &config.missing)?;
+    }
+    Ok(LabeledTable { table, labels })
+}
+
+/// Loads a labeled categorical table from a file.
+pub fn load_labeled(path: &Path, config: &LoadConfig) -> Result<LabeledTable, LoadError> {
+    let text = std::fs::read_to_string(path)?;
+    parse_labeled(&text, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VOTES_SAMPLE: &str = "\
+republican,n,y,n,y
+democrat,?,y,y,n
+democrat,y,y,y,n
+";
+
+    #[test]
+    fn parses_label_first() {
+        let cfg = LoadConfig {
+            label: LabelPosition::First,
+            ..LoadConfig::default()
+        };
+        let out = parse_labeled(VOTES_SAMPLE, &cfg).unwrap();
+        assert_eq!(out.labels, vec!["republican", "democrat", "democrat"]);
+        assert_eq!(out.table.len(), 3);
+        assert_eq!(out.table.num_attributes(), 4);
+        // Missing value became None.
+        assert_eq!(out.table.row(1).unwrap()[0], None);
+    }
+
+    #[test]
+    fn parses_label_last() {
+        let text = "x,o,win\no,x,lose\n";
+        let out = parse_labeled(text, &LoadConfig::default()).unwrap();
+        assert_eq!(out.labels, vec!["win", "lose"]);
+        assert_eq!(out.table.num_attributes(), 2);
+    }
+
+    #[test]
+    fn parses_label_by_column() {
+        let text = "a,L1,b\nc,L2,d\n";
+        let cfg = LoadConfig {
+            label: LabelPosition::Column(1),
+            ..LoadConfig::default()
+        };
+        let out = parse_labeled(text, &cfg).unwrap();
+        assert_eq!(out.labels, vec!["L1", "L2"]);
+        assert_eq!(out.table.num_attributes(), 2);
+    }
+
+    #[test]
+    fn unlabeled_mode() {
+        let text = "a,b\nc,d\n";
+        let cfg = LoadConfig {
+            label: LabelPosition::None,
+            ..LoadConfig::default()
+        };
+        let out = parse_labeled(text, &cfg).unwrap();
+        assert!(out.labels.is_empty());
+        assert_eq!(out.table.num_attributes(), 2);
+    }
+
+    #[test]
+    fn bad_label_column_rejected() {
+        let cfg = LoadConfig {
+            label: LabelPosition::Column(9),
+            ..LoadConfig::default()
+        };
+        assert!(matches!(
+            parse_labeled("a,b\n", &cfg),
+            Err(LoadError::BadLabelColumn { index: 9, columns: 2 })
+        ));
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        assert!(matches!(
+            parse_labeled("\n\n", &LoadConfig::default()),
+            Err(LoadError::Empty)
+        ));
+    }
+
+    #[test]
+    fn skip_lines_drops_header() {
+        let text = "col1,col2,class\na,b,pos\n";
+        let cfg = LoadConfig {
+            skip_lines: 1,
+            ..LoadConfig::default()
+        };
+        let out = parse_labeled(text, &cfg).unwrap();
+        assert_eq!(out.labels, vec!["pos"]);
+        assert_eq!(out.table.len(), 1);
+    }
+
+    #[test]
+    fn ignore_columns_drops_identifiers() {
+        let text = "aardvark,1,0,mammal\nbass,0,1,fish\n";
+        let cfg = LoadConfig {
+            label: LabelPosition::Last,
+            ignore_columns: vec![0],
+            ..LoadConfig::default()
+        };
+        let out = parse_labeled(text, &cfg).unwrap();
+        assert_eq!(out.table.num_attributes(), 2);
+        assert_eq!(out.labels, vec!["mammal", "fish"]);
+        assert_eq!(out.table.row(0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn ignoring_the_label_column_is_harmless() {
+        // The label wins over ignore: it is still extracted, not dropped.
+        let text = "a,b,L\n";
+        let cfg = LoadConfig {
+            label: LabelPosition::Column(2),
+            ignore_columns: vec![2],
+            ..LoadConfig::default()
+        };
+        let out = parse_labeled(text, &cfg).unwrap();
+        assert_eq!(out.labels, vec!["L"]);
+        assert_eq!(out.table.num_attributes(), 2);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_labeled(Path::new("/nonexistent/file.data"), &LoadConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+        assert!(err.to_string().contains("io error"));
+    }
+
+    #[test]
+    fn table_converts_to_transactions() {
+        let cfg = LoadConfig {
+            label: LabelPosition::First,
+            ..LoadConfig::default()
+        };
+        let out = parse_labeled(VOTES_SAMPLE, &cfg).unwrap();
+        let ts = out.table.to_transactions();
+        assert_eq!(ts.len(), 3);
+        // Row 1 has one missing value → 3 items; others have 4.
+        assert_eq!(ts.transaction(1).unwrap().len(), 3);
+        assert_eq!(ts.transaction(0).unwrap().len(), 4);
+    }
+}

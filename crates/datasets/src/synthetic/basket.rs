@@ -1,0 +1,217 @@
+//! Market-basket data generators, including the ROCK paper's motivating
+//! example.
+//!
+//! The paper's introduction motivates links with a market-basket database
+//! containing two natural transaction clusters whose item universes
+//! overlap slightly; similarity-only (Jaccard) hierarchical merging is
+//! fooled by "bridge" baskets straddling both universes, while the link
+//! count of a bridge pair stays low because bridges have few *common*
+//! neighbors. [`BasketModel`] plants that structure generically;
+//! [`intro_example`] builds a small deterministic instance.
+
+use rand::Rng;
+
+use rock_core::data::{Transaction, TransactionSet};
+use rock_core::sampling::seeded_rng;
+
+/// One planted basket cluster.
+#[derive(Debug, Clone)]
+pub struct BasketCluster {
+    /// Items this cluster draws from (inclusive range into the universe).
+    pub items: std::ops::Range<u32>,
+    /// Number of baskets.
+    pub baskets: usize,
+    /// Basket size range `(min, max)` inclusive.
+    pub basket_size: (usize, usize),
+}
+
+/// Configuration of the market-basket generator.
+#[derive(Debug, Clone)]
+pub struct BasketModel {
+    /// The planted clusters.
+    pub clusters: Vec<BasketCluster>,
+    /// Number of "bridge" baskets mixing items from two adjacent clusters.
+    pub bridges: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BasketModel {
+    /// `k` disjoint clusters of `baskets` baskets each, over `items_each`
+    /// items, basket size in `size`.
+    pub fn disjoint(k: usize, baskets: usize, items_each: u32, size: (usize, usize)) -> Self {
+        BasketModel {
+            clusters: (0..k as u32)
+                .map(|c| BasketCluster {
+                    items: c * items_each..(c + 1) * items_each,
+                    baskets,
+                    basket_size: size,
+                })
+                .collect(),
+            bridges: 0,
+            seed: 0,
+        }
+    }
+
+    /// Adds bridge baskets (mixing two adjacent clusters' items).
+    pub fn bridges(mut self, bridges: usize) -> Self {
+        self.bridges = bridges;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates `(transactions, labels)`. Bridge baskets get the label of
+    /// the lower-numbered cluster they straddle.
+    pub fn generate(&self) -> (TransactionSet, Vec<usize>) {
+        let mut rng = seeded_rng(self.seed);
+        let universe = self
+            .clusters
+            .iter()
+            .map(|c| c.items.end)
+            .max()
+            .unwrap_or(0) as usize;
+        let mut out = Vec::new();
+        let mut labels = Vec::new();
+        for (ci, c) in self.clusters.iter().enumerate() {
+            let pool: Vec<u32> = c.items.clone().collect();
+            for _ in 0..c.baskets {
+                let size = rng.gen_range(c.basket_size.0..=c.basket_size.1).min(pool.len());
+                out.push(sample_subset(&pool, size, &mut rng));
+                labels.push(ci);
+            }
+        }
+        // Bridges: half items from cluster i, half from cluster i+1.
+        for b in 0..self.bridges {
+            let ci = b % self.clusters.len().saturating_sub(1).max(1);
+            let a = &self.clusters[ci];
+            let z = &self.clusters[(ci + 1) % self.clusters.len()];
+            let pool_a: Vec<u32> = a.items.clone().collect();
+            let pool_z: Vec<u32> = z.items.clone().collect();
+            let size = a.basket_size.0.max(2);
+            let mut v: Vec<u32> = sample_subset(&pool_a, size / 2 + size % 2, &mut rng)
+                .items()
+                .to_vec();
+            v.extend(sample_subset(&pool_z, size / 2, &mut rng).items());
+            out.push(Transaction::new(v));
+            labels.push(ci);
+        }
+        (TransactionSet::new(out, universe), labels)
+    }
+}
+
+fn sample_subset(pool: &[u32], size: usize, rng: &mut rand::rngs::StdRng) -> Transaction {
+    debug_assert!(size <= pool.len());
+    // Floyd's algorithm for a uniform size-`size` subset.
+    let n = pool.len();
+    let mut chosen = std::collections::BTreeSet::new();
+    for j in (n - size)..n {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(pool[t]) {
+            chosen.insert(pool[j]);
+        }
+    }
+    Transaction::new(chosen)
+}
+
+/// The deterministic two-cluster demonstration used by example code and
+/// the E0 experiment: every 3-subset of `{0..5}` (10 baskets, cluster 0)
+/// and every 3-subset of `{5..10}` (10 baskets, cluster 1), plus
+/// `bridges` baskets containing items from both universes.
+pub fn intro_example(bridges: usize) -> (TransactionSet, Vec<usize>) {
+    let mut out = Vec::new();
+    let mut labels = Vec::new();
+    for (cluster, base) in [(0usize, 0u32), (1, 5)] {
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                for c in (b + 1)..5 {
+                    out.push(Transaction::new([base + a, base + b, base + c]));
+                    labels.push(cluster);
+                }
+            }
+        }
+    }
+    for i in 0..bridges {
+        // Bridges take two items from cluster 0's universe and two from
+        // cluster 1's, sliding so bridges differ from each other.
+        let s = (i as u32) % 4;
+        out.push(Transaction::new([s, s + 1, 5 + s, 6 + s]));
+        labels.push(0);
+    }
+    (TransactionSet::new(out, 10), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_clusters_shape() {
+        let (ts, labels) = BasketModel::disjoint(3, 20, 15, (3, 6)).seed(1).generate();
+        assert_eq!(ts.len(), 60);
+        assert_eq!(ts.universe(), 45);
+        for (t, &l) in ts.iter().zip(&labels) {
+            assert!(t.len() >= 3 && t.len() <= 6);
+            for &item in t.items() {
+                assert_eq!((item / 15) as usize, l);
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_baskets_straddle() {
+        let (ts, labels) = BasketModel::disjoint(2, 5, 10, (4, 4))
+            .bridges(3)
+            .seed(2)
+            .generate();
+        assert_eq!(ts.len(), 13);
+        assert_eq!(labels.len(), 13);
+        for t in ts.iter().skip(10) {
+            let lo = t.items().iter().filter(|&&i| i < 10).count();
+            let hi = t.items().iter().filter(|&&i| i >= 10).count();
+            assert!(lo > 0 && hi > 0, "bridge must straddle: {:?}", t.items());
+        }
+    }
+
+    #[test]
+    fn subset_sampling_is_uniform_size_and_distinct() {
+        let pool: Vec<u32> = (0..30).collect();
+        let mut rng = seeded_rng(3);
+        for _ in 0..50 {
+            let t = sample_subset(&pool, 7, &mut rng);
+            assert_eq!(t.len(), 7);
+        }
+    }
+
+    #[test]
+    fn intro_example_structure() {
+        let (ts, labels) = intro_example(0);
+        assert_eq!(ts.len(), 20);
+        assert_eq!(labels.iter().filter(|&&l| l == 0).count(), 10);
+        // All cluster-0 baskets draw from items 0..5.
+        for (t, &l) in ts.iter().zip(&labels) {
+            if l == 0 {
+                assert!(t.items().iter().all(|&i| i < 5));
+            } else {
+                assert!(t.items().iter().all(|&i| (5..10).contains(&i)));
+            }
+        }
+        let (ts, labels) = intro_example(4);
+        assert_eq!(ts.len(), 24);
+        assert_eq!(labels.len(), 24);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let m = BasketModel::disjoint(2, 10, 10, (3, 5)).bridges(2).seed(5);
+        let (a, _) = m.generate();
+        let (b, _) = m.generate();
+        for i in 0..a.len() {
+            assert_eq!(a.transaction(i).unwrap(), b.transaction(i).unwrap());
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Synthetic stand-in for the US mutual-fund NAV time series the ROCK
+//! paper clusters (daily closing prices, Jan 1993 – Mar 1995).
+//!
+//! The property ROCK exploits is that funds in the same sector (bond,
+//! growth, international, precious metals, …) *co-move*: their daily
+//! Up/Down patterns agree far more often than across sectors. The
+//! generator plants one latent random-walk factor per sector; a fund's
+//! daily return is its sector factor plus idiosyncratic noise, so
+//! same-sector funds mostly move together. See `DESIGN.md`
+//! *Substitutions*.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use rock_core::data::TransactionSet;
+use rock_core::sampling::seeded_rng;
+
+use crate::timeseries::{encode_returns, UpDownConfig};
+
+/// One fund sector.
+#[derive(Debug, Clone)]
+pub struct Sector {
+    /// Sector name (e.g. "bond").
+    pub name: String,
+    /// Number of funds.
+    pub funds: usize,
+}
+
+/// Configuration of the synthetic mutual-fund generator.
+#[derive(Debug, Clone)]
+pub struct FundsModel {
+    /// Sectors with fund counts.
+    pub sectors: Vec<Sector>,
+    /// Number of trading days.
+    pub days: usize,
+    /// Daily volatility of the shared sector factor.
+    pub sector_vol: f64,
+    /// Daily idiosyncratic volatility per fund (smaller ⇒ tighter
+    /// co-movement).
+    pub idio_vol: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FundsModel {
+    /// Paper-like: bond, growth, international, precious-metals and
+    /// balanced sectors, ~550 trading days (Jan'93–Mar'95).
+    fn default() -> Self {
+        FundsModel {
+            sectors: vec![
+                Sector { name: "bond".into(), funds: 120 },
+                Sector { name: "growth".into(), funds: 180 },
+                Sector { name: "international".into(), funds: 80 },
+                Sector { name: "precious-metals".into(), funds: 30 },
+                Sector { name: "balanced".into(), funds: 90 },
+            ],
+            days: 550,
+            sector_vol: 1.0,
+            idio_vol: 0.45,
+            seed: 0,
+        }
+    }
+}
+
+/// A standard normal sample via Box–Muller (rand's distributions live in
+/// the separate `rand_distr` crate, which we avoid per the dependency
+/// policy).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl FundsModel {
+    /// A small model for tests: `sectors` sectors of `funds` funds over
+    /// `days` days.
+    pub fn scaled(sectors: usize, funds: usize, days: usize) -> Self {
+        FundsModel {
+            sectors: (0..sectors)
+                .map(|s| Sector {
+                    name: format!("sector{s}"),
+                    funds,
+                })
+                .collect(),
+            days,
+            ..FundsModel::default()
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total funds.
+    pub fn num_funds(&self) -> usize {
+        self.sectors.iter().map(|s| s.funds).sum()
+    }
+
+    /// Generates raw daily *returns* per fund, plus sector labels.
+    pub fn generate_returns(&self) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = seeded_rng(self.seed);
+        // Sector factor daily increments.
+        let factors: Vec<Vec<f64>> = self
+            .sectors
+            .iter()
+            .map(|_| (0..self.days).map(|_| self.sector_vol * normal(&mut rng)).collect())
+            .collect();
+        let mut series = Vec::with_capacity(self.num_funds());
+        let mut labels = Vec::with_capacity(self.num_funds());
+        for (s, sector) in self.sectors.iter().enumerate() {
+            for _ in 0..sector.funds {
+                let fund: Vec<f64> = factors[s]
+                    .iter()
+                    .map(|&f| f + self.idio_vol * normal(&mut rng))
+                    .collect();
+                series.push(fund);
+                labels.push(s);
+            }
+        }
+        (series, labels)
+    }
+
+    /// Generates the Up/Down transaction encoding plus sector labels.
+    pub fn generate(&self, config: &UpDownConfig) -> (TransactionSet, Vec<usize>) {
+        let (returns, labels) = self.generate_returns();
+        (encode_returns(&returns, config), labels)
+    }
+
+    /// Sector name for a label.
+    pub fn sector_name(&self, label: usize) -> &str {
+        &self.sectors[label].name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_core::similarity::{Jaccard, Similarity};
+
+    #[test]
+    fn shape_and_labels() {
+        let m = FundsModel::scaled(3, 10, 50).seed(1);
+        let (series, labels) = m.generate_returns();
+        assert_eq!(series.len(), 30);
+        assert_eq!(labels.len(), 30);
+        assert!(series.iter().all(|s| s.len() == 50));
+        assert_eq!(m.sector_name(2), "sector2");
+    }
+
+    #[test]
+    fn same_sector_funds_co_move() {
+        let m = FundsModel::scaled(2, 20, 200).seed(2);
+        let (ts, labels) = m.generate(&UpDownConfig::default());
+        // Average Jaccard within sector must clearly exceed across.
+        let mut within = Vec::new();
+        let mut across = Vec::new();
+        for i in 0..ts.len() {
+            for j in (i + 1)..ts.len() {
+                let s = Jaccard.sim(ts.transaction(i).unwrap(), ts.transaction(j).unwrap());
+                if labels[i] == labels[j] {
+                    within.push(s);
+                } else {
+                    across.push(s);
+                }
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&within) > avg(&across) + 0.15,
+            "within {} vs across {}",
+            avg(&within),
+            avg(&across)
+        );
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded_rng(3);
+        let samples: Vec<f64> = (0..20_000).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn default_model_is_paper_scale() {
+        let m = FundsModel::default();
+        assert_eq!(m.num_funds(), 500);
+        assert_eq!(m.days, 550);
+        assert_eq!(m.sectors.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let m = FundsModel::scaled(2, 5, 30).seed(7);
+        let (a, _) = m.generate_returns();
+        let (b, _) = m.generate_returns();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,245 @@
+//! Latent-class model: the classical generative model for categorical
+//! clustering benchmarks.
+//!
+//! Each latent class has an independent categorical distribution per
+//! attribute; a record samples its class, then each attribute from that
+//! class's distribution. The votes-like and mushroom-like generators are
+//! special cases; this model exposes the machinery directly so
+//! experiments can dial class separation (the *concentration* of each
+//! class's per-attribute distribution) continuously.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use rock_core::data::{CategoricalTable, Schema};
+use rock_core::sampling::seeded_rng;
+
+/// Configuration of the latent-class generator.
+#[derive(Debug, Clone)]
+pub struct LatentClassModel {
+    /// Points per class.
+    pub class_sizes: Vec<usize>,
+    /// Alphabet size per attribute (all classes share the alphabets).
+    pub cardinalities: Vec<usize>,
+    /// Concentration of each class's per-attribute distribution in
+    /// `[0, 1]`: probability mass placed on the class's preferred value;
+    /// the rest is spread uniformly over the other values. `1.0` makes
+    /// classes deterministic templates; `1/cardinality` makes attributes
+    /// pure noise.
+    pub concentration: f64,
+    /// Fraction of attributes that are *uninformative* (uniform for every
+    /// class) — mimicking irrelevant survey questions.
+    pub noise_attributes: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LatentClassModel {
+    /// `k` classes of `per_class` points over `d` attributes with the
+    /// given alphabet size.
+    pub fn uniform(k: usize, per_class: usize, d: usize, alphabet: usize) -> Self {
+        LatentClassModel {
+            class_sizes: vec![per_class; k],
+            cardinalities: vec![alphabet; d],
+            concentration: 0.8,
+            noise_attributes: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the concentration.
+    pub fn concentration(mut self, c: f64) -> Self {
+        self.concentration = c;
+        self
+    }
+
+    /// Sets the uninformative-attribute fraction.
+    pub fn noise_attributes(mut self, f: f64) -> Self {
+        self.noise_attributes = f;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total records.
+    pub fn num_records(&self) -> usize {
+        self.class_sizes.iter().sum()
+    }
+
+    /// Generates `(table, class labels)`; rows are shuffled.
+    ///
+    /// # Panics
+    /// Panics if `concentration ∉ [0, 1]` or `noise_attributes ∉ [0, 1]`.
+    pub fn generate(&self) -> (CategoricalTable, Vec<usize>) {
+        assert!((0.0..=1.0).contains(&self.concentration));
+        assert!((0.0..=1.0).contains(&self.noise_attributes));
+        let mut rng = seeded_rng(self.seed);
+        let d = self.cardinalities.len();
+        let k = self.class_sizes.len();
+
+        // Preferred value per (class, attribute); noise attributes get
+        // sentinel u16::MAX meaning "uniform for everyone".
+        let noisy_count = (self.noise_attributes * d as f64).round() as usize;
+        let noisy: Vec<bool> = (0..d).map(|a| a < noisy_count).collect();
+        let preferred: Vec<Vec<u16>> = (0..k)
+            .map(|_| {
+                self.cardinalities
+                    .iter()
+                    .map(|&c| rng.gen_range(0..c.max(1)) as u16)
+                    .collect()
+            })
+            .collect();
+
+        let mut rows: Vec<(usize, Vec<Option<u16>>)> = Vec::with_capacity(self.num_records());
+        for (class, &size) in self.class_sizes.iter().enumerate() {
+            for _ in 0..size {
+                let cells = (0..d)
+                    .map(|a| Some(self.sample_cell(class, a, &preferred, &noisy, &mut rng)))
+                    .collect();
+                rows.push((class, cells));
+            }
+        }
+        for i in (1..rows.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            rows.swap(i, j);
+        }
+
+        let mut table = CategoricalTable::new(Schema::with_unnamed(d));
+        let mut labels = Vec::with_capacity(rows.len());
+        for (class, cells) in rows {
+            let textual: Vec<String> = cells
+                .iter()
+                .map(|c| format!("v{}", c.expect("always present")))
+                .collect();
+            let refs: Vec<&str> = textual.iter().map(String::as_str).collect();
+            table.push_textual(&refs, "?").expect("width matches");
+            labels.push(class);
+        }
+        (table, labels)
+    }
+
+    fn sample_cell(
+        &self,
+        class: usize,
+        attr: usize,
+        preferred: &[Vec<u16>],
+        noisy: &[bool],
+        rng: &mut StdRng,
+    ) -> u16 {
+        let card = self.cardinalities[attr].max(1);
+        if noisy[attr] || card == 1 {
+            return rng.gen_range(0..card) as u16;
+        }
+        let fav = preferred[class][attr];
+        if rng.gen::<f64>() < self.concentration {
+            fav
+        } else {
+            // Uniform over the other values.
+            let alt = rng.gen_range(0..card - 1) as u16;
+            if alt >= fav {
+                alt + 1
+            } else {
+                alt
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_labels() {
+        let m = LatentClassModel::uniform(3, 50, 10, 4).seed(1);
+        let (table, labels) = m.generate();
+        assert_eq!(table.len(), 150);
+        assert_eq!(table.num_attributes(), 10);
+        for c in 0..3 {
+            assert_eq!(labels.iter().filter(|&&l| l == c).count(), 50);
+        }
+    }
+
+    #[test]
+    fn high_concentration_gives_tight_classes() {
+        let m = LatentClassModel::uniform(2, 40, 12, 5)
+            .concentration(0.95)
+            .seed(2);
+        let (table, labels) = m.generate();
+        // Two same-class rows should agree on most attributes.
+        let same: Vec<usize> = (1..80).filter(|&i| labels[i] == labels[0]).collect();
+        let agree = |a: usize, b: usize| {
+            table
+                .row(a)
+                .unwrap()
+                .iter()
+                .zip(table.row(b).unwrap())
+                .filter(|(x, y)| x == y)
+                .count()
+        };
+        let avg: f64 = same.iter().map(|&i| agree(0, i) as f64).sum::<f64>() / same.len() as f64;
+        assert!(avg > 9.0, "same-class agreement {avg}");
+    }
+
+    #[test]
+    fn zero_concentration_is_noise() {
+        // concentration 0 = never the preferred value; classes still far
+        // from separable since everything avoids one value uniformly. Use
+        // 1/alphabet as the true "noise" level instead.
+        let m = LatentClassModel::uniform(2, 30, 8, 4)
+            .concentration(0.25)
+            .seed(3);
+        let (table, _) = m.generate();
+        assert_eq!(table.len(), 60);
+    }
+
+    #[test]
+    fn noise_attributes_are_uninformative() {
+        let m = LatentClassModel::uniform(2, 200, 10, 2)
+            .concentration(1.0)
+            .noise_attributes(0.5)
+            .seed(4);
+        let (table, labels) = m.generate();
+        // First 5 attributes are noise: within-class agreement ~0.5; last
+        // 5 are deterministic: agreement 1.0.
+        let class0: Vec<usize> = (0..400).filter(|&i| labels[i] == 0).collect();
+        let mut noise_agree = 0usize;
+        let mut signal_agree = 0usize;
+        let mut pairs = 0usize;
+        for w in class0.windows(2) {
+            let (a, b) = (table.row(w[0]).unwrap(), table.row(w[1]).unwrap());
+            for attr in 0..5 {
+                noise_agree += usize::from(a[attr] == b[attr]);
+            }
+            for attr in 5..10 {
+                signal_agree += usize::from(a[attr] == b[attr]);
+            }
+            pairs += 1;
+        }
+        let noise_rate = noise_agree as f64 / (pairs * 5) as f64;
+        let signal_rate = signal_agree as f64 / (pairs * 5) as f64;
+        assert!((noise_rate - 0.5).abs() < 0.1, "noise agree {noise_rate}");
+        assert_eq!(signal_rate, 1.0);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let m = LatentClassModel::uniform(2, 20, 6, 3).seed(9);
+        let (a, la) = m.generate();
+        let (b, lb) = m.generate();
+        assert_eq!(la, lb);
+        assert_eq!(a.row(5), b.row(5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_concentration() {
+        LatentClassModel::uniform(2, 5, 4, 3)
+            .concentration(1.5)
+            .generate();
+    }
+}

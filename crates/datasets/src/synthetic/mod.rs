@@ -1,0 +1,17 @@
+//! Synthetic dataset generators calibrated to the ROCK evaluation's data
+//! (see `DESIGN.md`, *Substitutions*, for the paper-resource ↔ generator
+//! mapping).
+
+pub mod basket;
+pub mod blocks;
+pub mod funds;
+pub mod latent;
+pub mod mushroom;
+pub mod votes;
+
+pub use basket::{intro_example, BasketCluster, BasketModel};
+pub use blocks::BlockModel;
+pub use funds::{FundsModel, Sector};
+pub use latent::LatentClassModel;
+pub use mushroom::{MushroomModel, MUSHROOM_CARDINALITIES, PAPER_GROUP_SIZES};
+pub use votes::{Party, VotesModel};

@@ -1,0 +1,248 @@
+//! Synthetic stand-in for the UCI Mushroom dataset (8124 × 22 categorical
+//! attributes, 4208 edible / 3916 poisonous).
+//!
+//! What makes mushroom interesting for ROCK is its *fine* structure: the
+//! two coarse classes decompose into ~21 tight species-like groups of very
+//! different sizes (the paper's ROCK run at θ = 0.8, k = 21 recovers them
+//! almost perfectly, sizes spanning 8 … 1728). The generator plants
+//! exactly that: each group has a template value per attribute; records
+//! mutate each attribute away from the template with a small probability.
+//! Groups map to edible/poisonous such that class totals approximate the
+//! real 4208/3916 split. See `DESIGN.md` *Substitutions*.
+
+use rand::Rng;
+
+use rock_core::data::{CategoricalTable, Schema};
+use rock_core::sampling::seeded_rng;
+
+/// Alphabet size per attribute in the real mushroom data (22 attributes;
+/// e.g. cap-shape has 6 values, odor 9, gill-color 12, veil-type 1).
+pub const MUSHROOM_CARDINALITIES: [usize; 22] = [
+    6, 4, 10, 2, 9, 2, 2, 2, 12, 2, 5, 4, 4, 9, 9, 1, 4, 3, 5, 9, 6, 7,
+];
+
+/// Group sizes used by the default paper-like configuration (21 groups,
+/// summing to 8124, spanning 8 … 1828 like the cluster sizes the paper
+/// reports).
+pub const PAPER_GROUP_SIZES: [usize; 21] = [
+    1828, 1024, 896, 768, 640, 512, 448, 384, 320, 256, 224, 192, 160, 128, 96, 80, 64, 48, 32,
+    16, 8,
+];
+
+/// Configuration of the synthetic mushroom generator.
+#[derive(Debug, Clone)]
+pub struct MushroomModel {
+    /// Points per latent group.
+    pub group_sizes: Vec<usize>,
+    /// Alphabet size per attribute.
+    pub cardinalities: Vec<usize>,
+    /// Probability each attribute of a record mutates away from its
+    /// group's template value.
+    pub mutation: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MushroomModel {
+    fn default() -> Self {
+        MushroomModel {
+            group_sizes: PAPER_GROUP_SIZES.to_vec(),
+            cardinalities: MUSHROOM_CARDINALITIES.to_vec(),
+            mutation: 0.04,
+            seed: 0,
+        }
+    }
+}
+
+impl MushroomModel {
+    /// A scaled-down model with `groups` groups of roughly `n / groups`
+    /// points — handy for tests and quick experiments.
+    pub fn scaled(n: usize, groups: usize) -> Self {
+        assert!(groups > 0 && n >= groups);
+        let base = n / groups;
+        let mut sizes = vec![base; groups];
+        for s in sizes.iter_mut().take(n % groups) {
+            *s += 1;
+        }
+        MushroomModel {
+            group_sizes: sizes,
+            ..MushroomModel::default()
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total records.
+    pub fn num_records(&self) -> usize {
+        self.group_sizes.iter().sum()
+    }
+
+    /// Generates `(table, class labels, group labels)` where class is
+    /// `"e"`/`"p"` and group is the latent species index. Rows are
+    /// shuffled.
+    pub fn generate(&self) -> (CategoricalTable, Vec<&'static str>, Vec<usize>) {
+        let mut rng = seeded_rng(self.seed);
+        let d = self.cardinalities.len();
+
+        // Template per group: a uniformly random value for each attribute.
+        let templates: Vec<Vec<u16>> = (0..self.group_sizes.len())
+            .map(|_| {
+                self.cardinalities
+                    .iter()
+                    .map(|&c| rng.gen_range(0..c) as u16)
+                    .collect()
+            })
+            .collect();
+
+        // Map groups to classes so totals approximate 4208/4000-ish split:
+        // greedily assign each group (largest first) to the lighter class.
+        let mut order: Vec<usize> = (0..self.group_sizes.len()).collect();
+        order.sort_by(|&a, &b| self.group_sizes[b].cmp(&self.group_sizes[a]));
+        let mut class_of = vec![""; self.group_sizes.len()];
+        let (mut e_total, mut p_total) = (0usize, 0usize);
+        for g in order {
+            if e_total <= p_total {
+                class_of[g] = "e";
+                e_total += self.group_sizes[g];
+            } else {
+                class_of[g] = "p";
+                p_total += self.group_sizes[g];
+            }
+        }
+
+        // Emit rows (group, coded cells), then shuffle.
+        let mut rows: Vec<(usize, Vec<Option<u16>>)> = Vec::with_capacity(self.num_records());
+        for (g, &size) in self.group_sizes.iter().enumerate() {
+            for _ in 0..size {
+                let cells: Vec<Option<u16>> = (0..d)
+                    .map(|a| {
+                        let card = self.cardinalities[a];
+                        let v = if card > 1 && rng.gen::<f64>() < self.mutation {
+                            // Mutate to a different value uniformly.
+                            let alt = rng.gen_range(0..card - 1) as u16;
+                            if alt >= templates[g][a] {
+                                alt + 1
+                            } else {
+                                alt
+                            }
+                        } else {
+                            templates[g][a]
+                        };
+                        Some(v)
+                    })
+                    .collect();
+                rows.push((g, cells));
+            }
+        }
+        for i in (1..rows.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            rows.swap(i, j);
+        }
+
+        // Build the table: intern every code as a textual value `v<code>`
+        // so the schema carries the full alphabet.
+        let names: Vec<String> = (0..d).map(|a| format!("attr{a}")).collect();
+        let mut table = CategoricalTable::new(Schema::with_names(names));
+        let mut classes = Vec::with_capacity(rows.len());
+        let mut groups = Vec::with_capacity(rows.len());
+        for (g, cells) in rows {
+            let textual: Vec<String> = cells
+                .iter()
+                .map(|c| format!("v{}", c.expect("no missing values in mushroom")))
+                .collect();
+            let refs: Vec<&str> = textual.iter().map(String::as_str).collect();
+            table.push_textual(&refs, "?").expect("row width matches");
+            classes.push(class_of[g]);
+            groups.push(g);
+        }
+        (table, classes, groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_sum_to_8124() {
+        assert_eq!(PAPER_GROUP_SIZES.iter().sum::<usize>(), 8124);
+        assert_eq!(PAPER_GROUP_SIZES.len(), 21);
+        assert_eq!(MUSHROOM_CARDINALITIES.len(), 22);
+    }
+
+    #[test]
+    fn scaled_model_shape() {
+        let m = MushroomModel::scaled(1000, 7);
+        assert_eq!(m.num_records(), 1000);
+        assert_eq!(m.group_sizes.len(), 7);
+        let (table, classes, groups) = m.seed(1).generate();
+        assert_eq!(table.len(), 1000);
+        assert_eq!(table.num_attributes(), 22);
+        assert_eq!(classes.len(), 1000);
+        assert_eq!(groups.len(), 1000);
+    }
+
+    #[test]
+    fn classes_are_roughly_balanced() {
+        let (_, classes, _) = MushroomModel::scaled(2000, 10).seed(2).generate();
+        let e = classes.iter().filter(|c| **c == "e").count();
+        let frac = e as f64 / 2000.0;
+        assert!((0.35..=0.65).contains(&frac), "edible fraction {frac}");
+    }
+
+    #[test]
+    fn groups_are_tight_under_mutation() {
+        let m = MushroomModel::scaled(300, 3).seed(3);
+        let (table, _, groups) = m.generate();
+        // Two records of the same group should agree on most attributes;
+        // records of different groups should agree on few.
+        let same: Vec<usize> = (0..300)
+            .filter(|&i| groups[i] == groups[0] && i != 0)
+            .take(5)
+            .collect();
+        let diff: Vec<usize> = (0..300).filter(|&i| groups[i] != groups[0]).take(5).collect();
+        let agree = |a: usize, b: usize| -> usize {
+            table
+                .row(a)
+                .unwrap()
+                .iter()
+                .zip(table.row(b).unwrap())
+                .filter(|(x, y)| x == y)
+                .count()
+        };
+        for &i in &same {
+            assert!(agree(0, i) >= 17, "same-group agreement too low");
+        }
+        for &i in &diff {
+            assert!(agree(0, i) <= 14, "cross-group agreement too high");
+        }
+    }
+
+    #[test]
+    fn veil_type_is_constant() {
+        // Attribute 15 has cardinality 1 (like the real veil-type): it can
+        // never mutate and all records share it.
+        let (table, _, _) = MushroomModel::scaled(100, 4).seed(4).generate();
+        let first = table.row(0).unwrap()[15];
+        assert!(table.rows().all(|r| r[15] == first));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let (a, ca, ga) = MushroomModel::scaled(200, 5).seed(9).generate();
+        let (b, cb, gb) = MushroomModel::scaled(200, 5).seed(9).generate();
+        assert_eq!(ca, cb);
+        assert_eq!(ga, gb);
+        assert_eq!(a.row(7), b.row(7));
+    }
+
+    #[test]
+    fn default_is_full_size() {
+        let m = MushroomModel::default();
+        assert_eq!(m.num_records(), 8124);
+    }
+}

@@ -1,0 +1,155 @@
+//! Converting numeric time series to categorical transactions.
+//!
+//! The ROCK paper clusters US mutual funds by converting each fund's daily
+//! NAV series into a categorical record of daily movements: for every
+//! trading day the fund goes *Up*, *Down*, or (below a threshold) *Flat*.
+//! Encoded as transactions, two funds share an item exactly when they move
+//! the same way on the same day, so co-moving funds have high Jaccard
+//! similarity.
+
+use rock_core::data::{Transaction, TransactionSet};
+
+/// Daily movement category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Movement {
+    /// Return above `+threshold`.
+    Up,
+    /// Return below `−threshold`.
+    Down,
+    /// Return within `±threshold`.
+    Flat,
+}
+
+/// Encoding configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct UpDownConfig {
+    /// Absolute return below which a day counts as Flat.
+    pub flat_threshold: f64,
+    /// Whether Flat days contribute an item (the paper effectively uses
+    /// Up/Down only; including Flat makes quiet funds look similar).
+    pub include_flat: bool,
+}
+
+impl Default for UpDownConfig {
+    fn default() -> Self {
+        UpDownConfig {
+            flat_threshold: 0.0,
+            include_flat: false,
+        }
+    }
+}
+
+/// Classifies one return.
+pub fn classify(ret: f64, config: &UpDownConfig) -> Movement {
+    if ret > config.flat_threshold {
+        Movement::Up
+    } else if ret < -config.flat_threshold {
+        Movement::Down
+    } else {
+        Movement::Flat
+    }
+}
+
+/// Items per day in the encoding (Up, Down, Flat).
+const ITEMS_PER_DAY: u32 = 3;
+
+/// Encodes a series of day-over-day *returns* as a transaction: day `d`
+/// moving Up yields item `3d`, Down `3d+1`, Flat `3d+2` (if included).
+pub fn returns_to_transaction(returns: &[f64], config: &UpDownConfig) -> Transaction {
+    let items = returns
+        .iter()
+        .enumerate()
+        .filter_map(|(d, &r)| match classify(r, config) {
+            Movement::Up => Some(ITEMS_PER_DAY * d as u32),
+            Movement::Down => Some(ITEMS_PER_DAY * d as u32 + 1),
+            Movement::Flat => config.include_flat.then_some(ITEMS_PER_DAY * d as u32 + 2),
+        })
+        .collect::<Vec<u32>>();
+    Transaction::from_sorted(items)
+}
+
+/// Converts a *level* (NAV) series to returns, then encodes.
+pub fn levels_to_transaction(levels: &[f64], config: &UpDownConfig) -> Transaction {
+    let returns: Vec<f64> = levels.windows(2).map(|w| w[1] - w[0]).collect();
+    returns_to_transaction(&returns, config)
+}
+
+/// Encodes many return series over the same days into a [`TransactionSet`].
+pub fn encode_returns(series: &[Vec<f64>], config: &UpDownConfig) -> TransactionSet {
+    let days = series.iter().map(Vec::len).max().unwrap_or(0);
+    let transactions = series
+        .iter()
+        .map(|s| returns_to_transaction(s, config))
+        .collect();
+    TransactionSet::new(transactions, (days as u32 * ITEMS_PER_DAY) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_with_threshold() {
+        let cfg = UpDownConfig {
+            flat_threshold: 0.5,
+            include_flat: true,
+        };
+        assert_eq!(classify(0.7, &cfg), Movement::Up);
+        assert_eq!(classify(-0.7, &cfg), Movement::Down);
+        assert_eq!(classify(0.3, &cfg), Movement::Flat);
+        assert_eq!(classify(-0.5, &cfg), Movement::Flat);
+    }
+
+    #[test]
+    fn encode_returns_updown_only() {
+        let t = returns_to_transaction(&[1.0, -1.0, 0.0], &UpDownConfig::default());
+        // Day 0 up → 0; day 1 down → 4; day 2 flat (ret 0.0) skipped.
+        assert_eq!(t.items(), &[0, 4]);
+    }
+
+    #[test]
+    fn encode_with_flat_items() {
+        let cfg = UpDownConfig {
+            flat_threshold: 0.1,
+            include_flat: true,
+        };
+        let t = returns_to_transaction(&[1.0, 0.05, -1.0], &cfg);
+        assert_eq!(t.items(), &[0, 5, 7]);
+    }
+
+    #[test]
+    fn levels_become_returns() {
+        let t = levels_to_transaction(&[10.0, 11.0, 10.5, 10.5], &UpDownConfig::default());
+        // Returns: +1 (up, item 0), −0.5 (down, item 4), 0 (flat, skipped).
+        assert_eq!(t.items(), &[0, 4]);
+    }
+
+    #[test]
+    fn co_moving_series_share_items() {
+        let cfg = UpDownConfig::default();
+        let a = returns_to_transaction(&[1.0, 1.0, -1.0, 1.0], &cfg);
+        let b = returns_to_transaction(&[0.5, 2.0, -0.1, 0.2], &cfg);
+        let c = returns_to_transaction(&[-1.0, -1.0, 1.0, -1.0], &cfg);
+        assert_eq!(a.intersection_len(&b), 4);
+        assert_eq!(a.intersection_len(&c), 0);
+    }
+
+    #[test]
+    fn encode_set_universe() {
+        let set = encode_returns(
+            &[vec![1.0, -1.0], vec![-1.0, 1.0]],
+            &UpDownConfig::default(),
+        );
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.universe(), 6);
+        set.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_series() {
+        let t = returns_to_transaction(&[], &UpDownConfig::default());
+        assert!(t.is_empty());
+        let set = encode_returns(&[], &UpDownConfig::default());
+        assert!(set.is_empty());
+    }
+}

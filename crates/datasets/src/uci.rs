@@ -1,0 +1,155 @@
+//! Descriptors for the UCI datasets used by the ROCK evaluation.
+//!
+//! The paper evaluates on the UCI Congressional Votes and Mushroom
+//! datasets. The files are not redistributed here; if you download them
+//! (e.g. `house-votes-84.data`, `agaricus-lepiota.data`) into a directory,
+//! [`UciDataset::load`] parses them with the correct label position and
+//! missing-value token. Offline, the calibrated synthetic generators in
+//! [`crate::synthetic`] reproduce their statistical structure (see
+//! `DESIGN.md`, *Substitutions*).
+
+use std::path::{Path, PathBuf};
+
+use crate::loader::{load_labeled, LabelPosition, LabeledTable, LoadConfig, LoadError};
+
+/// A known UCI categorical dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UciDataset {
+    /// 1984 US Congressional Voting Records: 435 × 16 boolean (y/n) with
+    /// missing values; classes {democrat, republican} (267/168).
+    CongressionalVotes,
+    /// Mushroom (Agaricus-Lepiota): 8124 × 22; classes {edible, poisonous}
+    /// (4208/3916).
+    Mushroom,
+    /// Zoo: 101 × 16 mostly-boolean; 7 classes.
+    Zoo,
+    /// Tic-Tac-Toe endgames: 958 × 9; 2 classes.
+    TicTacToe,
+    /// Soybean (small): 47 × 35; 4 classes.
+    SoybeanSmall,
+}
+
+impl UciDataset {
+    /// Canonical UCI file name.
+    pub fn file_name(&self) -> &'static str {
+        match self {
+            UciDataset::CongressionalVotes => "house-votes-84.data",
+            UciDataset::Mushroom => "agaricus-lepiota.data",
+            UciDataset::Zoo => "zoo.data",
+            UciDataset::TicTacToe => "tic-tac-toe.data",
+            UciDataset::SoybeanSmall => "soybean-small.data",
+        }
+    }
+
+    /// Expected `(rows, feature columns, classes)` — used to sanity-check a
+    /// downloaded file.
+    pub fn expected_shape(&self) -> (usize, usize, usize) {
+        match self {
+            UciDataset::CongressionalVotes => (435, 16, 2),
+            UciDataset::Mushroom => (8124, 22, 2),
+            UciDataset::Zoo => (101, 16, 7),
+            UciDataset::TicTacToe => (958, 9, 2),
+            UciDataset::SoybeanSmall => (47, 35, 4),
+        }
+    }
+
+    /// Parse configuration for the canonical file layout.
+    pub fn load_config(&self) -> LoadConfig {
+        let label = match self {
+            // Votes and mushroom carry the class in column 0.
+            UciDataset::CongressionalVotes | UciDataset::Mushroom => LabelPosition::First,
+            UciDataset::Zoo => LabelPosition::Last,
+            UciDataset::TicTacToe => LabelPosition::Last,
+            UciDataset::SoybeanSmall => LabelPosition::Last,
+        };
+        // Zoo's first column is the animal *name* — an identifier, not a
+        // feature.
+        let ignore_columns = match self {
+            UciDataset::Zoo => vec![0],
+            _ => Vec::new(),
+        };
+        LoadConfig {
+            label,
+            ignore_columns,
+            ..LoadConfig::default()
+        }
+    }
+
+    /// Path of the dataset file under `dir`.
+    pub fn path_in(&self, dir: &Path) -> PathBuf {
+        dir.join(self.file_name())
+    }
+
+    /// Returns `true` if the dataset file exists under `dir`.
+    pub fn available_in(&self, dir: &Path) -> bool {
+        self.path_in(dir).is_file()
+    }
+
+    /// Loads the dataset from `dir`.
+    pub fn load(&self, dir: &Path) -> Result<LabeledTable, LoadError> {
+        load_labeled(&self.path_in(dir), &self.load_config())
+    }
+
+    /// All known datasets.
+    pub fn all() -> [UciDataset; 5] {
+        [
+            UciDataset::CongressionalVotes,
+            UciDataset::Mushroom,
+            UciDataset::Zoo,
+            UciDataset::TicTacToe,
+            UciDataset::SoybeanSmall,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_names_are_distinct() {
+        let names: std::collections::HashSet<&str> =
+            UciDataset::all().iter().map(|d| d.file_name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn expected_shapes_match_uci_catalog() {
+        assert_eq!(
+            UciDataset::CongressionalVotes.expected_shape(),
+            (435, 16, 2)
+        );
+        assert_eq!(UciDataset::Mushroom.expected_shape(), (8124, 22, 2));
+    }
+
+    #[test]
+    fn availability_check_on_missing_dir() {
+        let dir = Path::new("/definitely/not/here");
+        assert!(!UciDataset::Mushroom.available_in(dir));
+        assert!(UciDataset::Mushroom.load(dir).is_err());
+    }
+
+    #[test]
+    fn load_roundtrip_from_temp_file() {
+        let dir = std::env::temp_dir().join("rock-uci-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = UciDataset::CongressionalVotes.path_in(&dir);
+        std::fs::write(
+            &path,
+            "republican,n,y,n,y,y,y,n,n,n,y,?,y,y,y,n,y\n\
+             democrat,?,y,y,?,y,y,n,n,n,n,y,n,y,y,n,n\n",
+        )
+        .unwrap();
+        let out = UciDataset::CongressionalVotes.load(&dir).unwrap();
+        assert_eq!(out.table.len(), 2);
+        assert_eq!(out.table.num_attributes(), 16);
+        assert_eq!(out.labels[0], "republican");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn path_composition() {
+        let p = UciDataset::Zoo.path_in(Path::new("/data"));
+        assert_eq!(p, PathBuf::from("/data/zoo.data"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Choosing k with the dendrogram: run ROCK once, inspect the goodness
+//! profile, cut at the suggested cluster count, and describe each cluster
+//! by its characteristic items.
+//!
+//! ```text
+//! cargo run --release --example explore_k
+//! ```
+
+use rock::core::summary::ClusterSummary;
+use rock::datasets::synthetic::{BasketModel, intro_example};
+use rock::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Four basket clusters of different sizes plus a couple of bridges.
+    let (data, _) = BasketModel::disjoint(4, 30, 12, (4, 7))
+        .bridges(3)
+        .seed(11)
+        .generate();
+
+    // Merge all the way down to 1 cluster, recording the history.
+    let model = RockBuilder::new(1, 0.3)
+        .record_history(true)
+        .neighbor_filter(NeighborFilter::disabled())
+        .seed(11)
+        .build()
+        .fit(&data)?;
+
+    let dendro = model.dendrogram().expect("history was recorded");
+    println!(
+        "{} points, {} merges, min reachable clusters = {}",
+        dendro.num_points(),
+        dendro.num_merges(),
+        dendro.min_clusters()
+    );
+
+    // The goodness profile: within-cluster merges score high, the final
+    // cross-cluster merges collapse.
+    let profile = dendro.goodness_profile();
+    let tail: Vec<String> = profile
+        .iter()
+        .rev()
+        .take(6)
+        .map(|g| format!("{g:.3}"))
+        .collect();
+    println!("last merges' goodness (worst first): {}", tail.join(", "));
+
+    let k = dendro.suggest_k(8).expect("profile long enough");
+    println!("suggested k from the goodness cliff: {k}");
+
+    let clusters = dendro.cut(k).expect("valid cut");
+    let summaries = ClusterSummary::compute_all(&data, &clusters, 0.5);
+    for (i, s) in summaries.iter().enumerate() {
+        println!(
+            "cluster {i}: {} baskets, characteristic items: {}",
+            s.size,
+            s.describe(&data, 5)
+        );
+    }
+
+    // Bonus: on cleanly separated data the QROCK-style shortcut agrees.
+    let (clean, _) = intro_example(0);
+    let graph = NeighborGraph::compute(&clean, &Jaccard, 0.5, 1)?;
+    let comps = connected_components(&graph);
+    println!(
+        "\nconnected-components shortcut on the clean intro example: {} clusters of sizes {:?}",
+        comps.len(),
+        comps.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+    Ok(())
+}

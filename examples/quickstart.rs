@@ -1,0 +1,42 @@
+//! Quickstart: cluster a handful of market baskets with ROCK.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rock::prelude::*;
+
+fn main() -> Result<(), RockError> {
+    // Two kinds of shoppers: breakfast (items 0–4) and barbecue (10–14).
+    let data: TransactionSet = vec![
+        Transaction::new([0, 1, 2]),       // milk, cereal, bananas
+        Transaction::new([0, 1, 3]),       // milk, cereal, yogurt
+        Transaction::new([0, 2, 3, 4]),    // milk, bananas, yogurt, oats
+        Transaction::new([1, 2, 4]),       // cereal, bananas, oats
+        Transaction::new([10, 11, 12]),    // charcoal, burgers, buns
+        Transaction::new([10, 11, 13]),    // charcoal, burgers, sauce
+        Transaction::new([10, 12, 13, 14]),// charcoal, buns, sauce, corn
+        Transaction::new([11, 12, 14]),    // burgers, buns, corn
+    ]
+    .into_iter()
+    .collect();
+
+    // k = 2 clusters; points are neighbors at Jaccard similarity >= 0.4.
+    let model = RockBuilder::new(2, 0.4).seed(7).build().fit(&data)?;
+
+    println!("found {} clusters", model.num_clusters());
+    for (i, members) in model.clusters().iter().enumerate() {
+        println!("  cluster {i}: baskets {members:?}");
+    }
+    println!(
+        "stats: {} link entries, criterion E_l = {:.3}, total time {:?}",
+        model.stats().link_entries,
+        model.stats().criterion,
+        model.stats().timings.total
+    );
+
+    assert_eq!(model.num_clusters(), 2);
+    assert_eq!(model.clusters()[0], vec![0, 1, 2, 3]);
+    assert_eq!(model.clusters()[1], vec![4, 5, 6, 7]);
+    Ok(())
+}

@@ -1,0 +1,405 @@
+//! `rock-cluster` — cluster a categorical CSV file from the command line.
+//!
+//! ```text
+//! rock-cluster --input data.csv --k 2 --theta 0.5 \
+//!     [--label first|last|none|COLUMN] [--ignore 0,3] [--missing '?'] \
+//!     [--sample N | --chernoff UMIN,XI,DELTA] [--min-goodness G] \
+//!     [--seed N] [--threads N] [--summary TOP] [--output assignments.txt]
+//! ```
+//!
+//! Reads a UCI-style categorical CSV, runs the full ROCK pipeline, prints
+//! a cluster report (scored against the label column when present), and
+//! optionally writes per-point assignments in the plain-text format of
+//! `rock_core::export`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rock::core::export::write_assignments;
+use rock::core::metrics::{cluster_breakdown, densify_labels, matched_accuracy, purity};
+use rock::core::summary::ClusterSummary;
+use rock::datasets::baskets::load_baskets;
+use rock::datasets::loader::{load_labeled, LabelPosition, LoadConfig};
+use rock::prelude::*;
+
+/// Input file format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// Categorical CSV with optional label column.
+    Table,
+    /// Market baskets: one whitespace/comma-separated transaction per line.
+    Basket,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+struct Options {
+    input: PathBuf,
+    format: Format,
+    k: usize,
+    theta: f64,
+    label: LabelPosition,
+    ignore: Vec<usize>,
+    missing: String,
+    sample: SampleStrategy,
+    min_goodness: Option<f64>,
+    seed: u64,
+    threads: usize,
+    summary_top: usize,
+    output: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: rock-cluster --input FILE --k K --theta T \
+[--format table|basket] [--label first|last|none|IDX] [--ignore i,j,...] \
+[--missing TOKEN] [--sample N | --chernoff UMIN,XI,DELTA] \
+[--min-goodness G] [--seed N] [--threads N] [--summary TOP] [--output FILE]";
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+    let mut input: Option<PathBuf> = None;
+    let mut format = Format::Table;
+    let mut k: Option<usize> = None;
+    let mut theta: Option<f64> = None;
+    let mut label = LabelPosition::Last;
+    let mut ignore = Vec::new();
+    let mut missing = "?".to_owned();
+    let mut sample = SampleStrategy::All;
+    let mut min_goodness = None;
+    let mut seed = 42u64;
+    let mut threads = 0usize;
+    let mut summary_top = 0usize;
+    let mut output = None;
+
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--input" => input = Some(PathBuf::from(value("--input")?)),
+            "--format" => {
+                format = match value("--format")?.as_str() {
+                    "table" => Format::Table,
+                    "basket" => Format::Basket,
+                    other => return Err(format!("--format: expected table|basket, got {other:?}")),
+                }
+            }
+            "--k" => k = Some(value("--k")?.parse().map_err(|e| format!("--k: {e}"))?),
+            "--theta" => {
+                theta = Some(value("--theta")?.parse().map_err(|e| format!("--theta: {e}"))?)
+            }
+            "--label" => {
+                label = match value("--label")?.as_str() {
+                    "first" => LabelPosition::First,
+                    "last" => LabelPosition::Last,
+                    "none" => LabelPosition::None,
+                    idx => LabelPosition::Column(
+                        idx.parse().map_err(|_| format!("--label: bad value {idx:?}"))?,
+                    ),
+                }
+            }
+            "--ignore" => {
+                for part in value("--ignore")?.split(',') {
+                    ignore.push(part.trim().parse().map_err(|e| format!("--ignore: {e}"))?);
+                }
+            }
+            "--missing" => missing = value("--missing")?,
+            "--sample" => {
+                sample = SampleStrategy::Fixed(
+                    value("--sample")?.parse().map_err(|e| format!("--sample: {e}"))?,
+                )
+            }
+            "--chernoff" => {
+                let raw = value("--chernoff")?;
+                let parts: Vec<&str> = raw.split(',').collect();
+                let [u_min, xi, delta] = parts.as_slice() else {
+                    return Err(format!("--chernoff expects UMIN,XI,DELTA, got {raw:?}"));
+                };
+                sample = SampleStrategy::Chernoff {
+                    u_min: u_min.trim().parse().map_err(|e| format!("--chernoff u_min: {e}"))?,
+                    xi: xi.trim().parse().map_err(|e| format!("--chernoff xi: {e}"))?,
+                    delta: delta.trim().parse().map_err(|e| format!("--chernoff delta: {e}"))?,
+                };
+            }
+            "--min-goodness" => {
+                min_goodness = Some(
+                    value("--min-goodness")?
+                        .parse()
+                        .map_err(|e| format!("--min-goodness: {e}"))?,
+                )
+            }
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--threads" => {
+                threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--summary" => {
+                summary_top = value("--summary")?.parse().map_err(|e| format!("--summary: {e}"))?
+            }
+            "--output" => output = Some(PathBuf::from(value("--output")?)),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(Options {
+        input: input.ok_or_else(|| format!("--input is required\n{USAGE}"))?,
+        format,
+        k: k.ok_or_else(|| format!("--k is required\n{USAGE}"))?,
+        theta: theta.ok_or_else(|| format!("--theta is required\n{USAGE}"))?,
+        label,
+        ignore,
+        missing,
+        sample,
+        min_goodness,
+        seed,
+        threads,
+        summary_top,
+        output,
+    })
+}
+
+fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let (data, labels) = match opts.format {
+        Format::Table => {
+            let load = LoadConfig {
+                label: opts.label,
+                ignore_columns: opts.ignore.clone(),
+                missing: opts.missing.clone(),
+                ..LoadConfig::default()
+            };
+            let loaded = load_labeled(&opts.input, &load)?;
+            eprintln!(
+                "loaded {} records x {} attributes ({:.1}% missing) from {}",
+                loaded.table.len(),
+                loaded.table.num_attributes(),
+                100.0 * loaded.table.missing_fraction(),
+                opts.input.display()
+            );
+            (loaded.table.to_transactions(), loaded.labels)
+        }
+        Format::Basket => {
+            let data = load_baskets(&opts.input, None)?;
+            eprintln!(
+                "loaded {} baskets over {} distinct items from {}",
+                data.len(),
+                data.universe(),
+                opts.input.display()
+            );
+            (data, Vec::new())
+        }
+    };
+
+    let mut builder = RockBuilder::new(opts.k, opts.theta)
+        .sample(opts.sample)
+        .seed(opts.seed)
+        .threads(opts.threads);
+    if let Some(g) = opts.min_goodness {
+        builder = builder.min_goodness(g);
+    }
+    let model = builder.build().fit(&data)?;
+    let stats = model.stats();
+    eprintln!(
+        "clustered sample of {} (avg degree {:.1}) into {} clusters, {} outliers, in {:?}",
+        stats.sample_size,
+        stats.avg_degree,
+        model.num_clusters(),
+        model.outliers().len(),
+        stats.timings.total
+    );
+
+    // Report.
+    if labels.is_empty() {
+        println!("cluster sizes: {:?}", model.cluster_sizes());
+    } else {
+        let truth = densify_labels(&labels);
+        let pred: Vec<Option<u32>> = model
+            .assignments()
+            .iter()
+            .map(|a| a.map(|c| c.0))
+            .collect();
+        println!("cluster  size  class-breakdown");
+        for (i, (size, classes)) in cluster_breakdown(&pred, &truth)?.iter().enumerate() {
+            println!("C{i:<6}  {size:<4}  {classes:?}");
+        }
+        println!(
+            "accuracy (optimal matching) = {:.4}, purity = {:.4}",
+            matched_accuracy(&pred, &truth)?,
+            purity(&pred, &truth)?
+        );
+    }
+    if opts.summary_top > 0 {
+        for (i, s) in ClusterSummary::compute_all(&data, model.clusters(), 0.5)
+            .iter()
+            .enumerate()
+        {
+            println!("C{i} characteristic items: {}", s.describe(&data, opts.summary_top));
+        }
+    }
+
+    if let Some(path) = &opts.output {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        write_assignments(&mut file, model.assignments())?;
+        eprintln!("assignments written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn requires_mandatory_flags() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--input", "x.csv"]).is_err());
+        assert!(parse(&["--input", "x.csv", "--k", "2"]).is_err());
+        assert!(parse(&["--input", "x.csv", "--k", "2", "--theta", "0.5"]).is_ok());
+    }
+
+    #[test]
+    fn parses_basket_format() {
+        let o = parse(&[
+            "--input", "b.txt", "--k", "2", "--theta", "0.4", "--format", "basket",
+        ])
+        .unwrap();
+        assert_eq!(o.format, Format::Basket);
+        assert!(parse(&[
+            "--input", "b.txt", "--k", "2", "--theta", "0.4", "--format", "json",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn end_to_end_on_basket_file() {
+        let dir = std::env::temp_dir().join("rock-cli-basket-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("baskets.txt");
+        let mut text = String::new();
+        for i in 0..6 {
+            text.push_str(&format!("bread milk butter jam{i}\n"));
+        }
+        for i in 0..6 {
+            text.push_str(&format!("charcoal burgers buns sauce{i}\n"));
+        }
+        std::fs::write(&input, text).unwrap();
+        let opts = Options {
+            input: input.clone(),
+            format: Format::Basket,
+            k: 2,
+            theta: 0.4,
+            label: LabelPosition::None,
+            ignore: vec![],
+            missing: "?".into(),
+            sample: SampleStrategy::All,
+            min_goodness: None,
+            seed: 1,
+            threads: 1,
+            summary_top: 2,
+            output: None,
+        };
+        run(&opts).unwrap();
+        std::fs::remove_file(input).ok();
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let o = parse(&[
+            "--input", "d.csv", "--k", "3", "--theta", "0.7", "--label", "first", "--ignore",
+            "0,2", "--missing", "NA", "--sample", "500", "--min-goodness", "0.1", "--seed",
+            "9", "--threads", "4", "--summary", "5", "--output", "out.txt",
+        ])
+        .unwrap();
+        assert_eq!(o.k, 3);
+        assert_eq!(o.theta, 0.7);
+        assert_eq!(o.label, LabelPosition::First);
+        assert_eq!(o.ignore, vec![0, 2]);
+        assert_eq!(o.missing, "NA");
+        assert_eq!(o.sample, SampleStrategy::Fixed(500));
+        assert_eq!(o.min_goodness, Some(0.1));
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.summary_top, 5);
+        assert_eq!(o.output, Some(PathBuf::from("out.txt")));
+    }
+
+    #[test]
+    fn parses_chernoff_and_label_index() {
+        let o = parse(&[
+            "--input", "d.csv", "--k", "2", "--theta", "0.5", "--chernoff", "100,0.25,0.05",
+            "--label", "3",
+        ])
+        .unwrap();
+        assert_eq!(
+            o.sample,
+            SampleStrategy::Chernoff {
+                u_min: 100,
+                xi: 0.25,
+                delta: 0.05
+            }
+        );
+        assert_eq!(o.label, LabelPosition::Column(3));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse(&["--input", "x", "--k", "two", "--theta", "0.5"]).is_err());
+        assert!(parse(&["--input", "x", "--k", "2", "--theta", "0.5", "--chernoff", "1,2"])
+            .is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_on_temp_csv() {
+        let dir = std::env::temp_dir().join("rock-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("toy.csv");
+        let mut csv = String::new();
+        for _ in 0..10 {
+            csv.push_str("a,b,c,left\n");
+            csv.push_str("x,y,z,right\n");
+        }
+        std::fs::write(&input, csv).unwrap();
+        let output = dir.join("assignments.txt");
+        let opts = Options {
+            input: input.clone(),
+            format: Format::Table,
+            k: 2,
+            theta: 0.5,
+            label: LabelPosition::Last,
+            ignore: vec![],
+            missing: "?".into(),
+            sample: SampleStrategy::All,
+            min_goodness: None,
+            seed: 1,
+            threads: 1,
+            summary_top: 3,
+            output: Some(output.clone()),
+        };
+        run(&opts).unwrap();
+        let written = std::fs::read_to_string(&output).unwrap();
+        assert!(written.starts_with("rock-assignments v1"));
+        assert!(written.contains("n=20 k=2"));
+        std::fs::remove_file(input).ok();
+        std::fs::remove_file(output).ok();
+    }
+}

@@ -1,0 +1,33 @@
+//! # rock
+//!
+//! Facade crate re-exporting the full ROCK workspace: the core link-based
+//! clustering algorithm ([`rock_core`]), dataset loaders and synthetic
+//! generators ([`rock_datasets`]), and the baseline algorithms used in the
+//! paper's evaluation ([`rock_baselines`]).
+//!
+//! ```
+//! use rock::prelude::*;
+//!
+//! let data: TransactionSet = vec![
+//!     Transaction::new([0, 1, 2]),
+//!     Transaction::new([0, 1, 3]),
+//!     Transaction::new([0, 2, 3]),
+//!     Transaction::new([10, 11, 12]),
+//!     Transaction::new([10, 11, 13]),
+//!     Transaction::new([10, 12, 13]),
+//! ]
+//! .into_iter()
+//! .collect();
+//! let model = RockBuilder::new(2, 0.4).build().fit(&data).unwrap();
+//! assert_eq!(model.num_clusters(), 2);
+//! ```
+
+pub use rock_baselines as baselines;
+pub use rock_core as core;
+pub use rock_datasets as datasets;
+
+/// Re-export of [`rock_core::prelude`] plus the dataset and baseline
+/// surfaces most examples need.
+pub mod prelude {
+    pub use rock_core::prelude::*;
+}

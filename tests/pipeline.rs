@@ -1,0 +1,198 @@
+//! Cross-crate integration tests: generators → ROCK pipeline → metrics,
+//! plus loader → pipeline round trips.
+
+use rock::baselines::{similarity_only, traditional, KModes, Linkage};
+use rock::core::metrics::{densify_labels, matched_accuracy, purity};
+use rock::datasets::loader::{parse_labeled, LabelPosition, LoadConfig};
+use rock::datasets::synthetic::{
+    intro_example, BlockModel, FundsModel, MushroomModel, Party, VotesModel,
+};
+use rock::datasets::timeseries::UpDownConfig;
+use rock::prelude::*;
+
+fn predictions(model: &RockModel) -> Vec<Option<u32>> {
+    model.assignments().iter().map(|a| a.map(|c| c.0)).collect()
+}
+
+#[test]
+fn votes_like_end_to_end() {
+    let (table, parties) = VotesModel::default().seed(11).generate();
+    let truth: Vec<usize> = parties
+        .iter()
+        .map(|p| usize::from(*p == Party::Republican))
+        .collect();
+    let data = table.to_transactions();
+    let model = RockBuilder::new(2, 0.45).seed(11).build().fit(&data).unwrap();
+    let acc = matched_accuracy(&predictions(&model), &truth).unwrap();
+    assert!(acc > 0.9, "votes accuracy {acc}");
+    assert_eq!(model.num_clusters(), 2);
+}
+
+#[test]
+fn mushroom_like_sample_and_label_end_to_end() {
+    let (table, classes, groups) = MushroomModel::scaled(1200, 6).seed(7).generate();
+    let data = table.to_transactions();
+    let class_truth = densify_labels(&classes);
+    let model = RockBuilder::new(6, 0.8)
+        .sample(SampleStrategy::Fixed(400))
+        .seed(7)
+        .build()
+        .fit(&data)
+        .unwrap();
+    let pred = predictions(&model);
+    let acc = matched_accuracy(&pred, &groups).unwrap();
+    assert!(acc > 0.9, "group accuracy {acc}");
+    assert!(purity(&pred, &class_truth).unwrap() > 0.9);
+    // Every sample index must be assigned or an outlier, and assignments
+    // must cover the whole dataset.
+    assert_eq!(model.assignments().len(), 1200);
+}
+
+#[test]
+fn funds_end_to_end() {
+    let model = FundsModel::scaled(3, 25, 250).seed(5);
+    let (data, sectors) = model.generate(&UpDownConfig::default());
+    let rock = RockBuilder::new(3, 0.55).seed(5).build().fit(&data).unwrap();
+    let acc = matched_accuracy(&predictions(&rock), &sectors).unwrap();
+    assert!(acc > 0.95, "funds accuracy {acc}");
+}
+
+#[test]
+fn rock_beats_single_link_on_bridged_baskets() {
+    let (data, truth) = intro_example(4);
+    let rock = RockBuilder::new(2, 0.5)
+        .neighbor_filter(NeighborFilter::disabled())
+        .build()
+        .fit(&data)
+        .unwrap();
+    let rock_acc = matched_accuracy(&predictions(&rock), &truth).unwrap();
+    let single = similarity_only(&data, 2, &Jaccard, Linkage::Single).unwrap();
+    let single_acc = matched_accuracy(&single.as_predictions(), &truth).unwrap();
+    assert!(
+        rock_acc > single_acc + 0.2,
+        "rock {rock_acc} vs single-link {single_acc}"
+    );
+}
+
+#[test]
+fn all_algorithms_agree_on_clean_blocks() {
+    // p_in = 0.7 keeps per-block modes crisp (at 0.5 each block's mode is
+    // a coin flip and k-modes legitimately struggles).
+    let (data, truth) = BlockModel::symmetric(3, 40, 30, 0.7, 0.0)
+        .seed(3)
+        .generate();
+    let rock = RockBuilder::new(3, 0.3).seed(3).build().fit(&data).unwrap();
+    assert_eq!(matched_accuracy(&predictions(&rock), &truth).unwrap(), 1.0);
+
+    let trad = traditional(&data, 3, Linkage::Centroid).unwrap();
+    assert_eq!(matched_accuracy(&trad.as_predictions(), &truth).unwrap(), 1.0);
+
+    // k-modes needs the tabular form; build one column per feature.
+    let mut table = CategoricalTable::new(Schema::with_unnamed(90));
+    for t in data.iter() {
+        let row: Vec<Option<u16>> = (0..90u32)
+            .map(|f| Some(u16::from(t.contains(f))))
+            .collect();
+        table.push_coded(row).unwrap();
+    }
+    let km = KModes::new(3).n_init(8).seed(3).fit(&table).unwrap();
+    let acc = matched_accuracy(&km.as_predictions(), &truth).unwrap();
+    assert!(acc > 0.95, "kmodes accuracy {acc}");
+}
+
+#[test]
+fn loader_to_pipeline_roundtrip() {
+    // Two obvious classes in CSV form with a missing value.
+    let mut csv = String::new();
+    for i in 0..20 {
+        let noise = if i % 2 == 0 { "u" } else { "v" };
+        csv.push_str(&format!("a,b,c,{noise},left\n"));
+    }
+    for i in 0..20 {
+        let noise = if i % 3 == 0 { "u" } else { "?" };
+        csv.push_str(&format!("x,y,z,{noise},right\n"));
+    }
+    let loaded = parse_labeled(
+        &csv,
+        &LoadConfig {
+            label: LabelPosition::Last,
+            ..LoadConfig::default()
+        },
+    )
+    .unwrap();
+    let truth = densify_labels(&loaded.labels);
+    let data = loaded.table.to_transactions();
+    let model = RockBuilder::new(2, 0.5).build().fit(&data).unwrap();
+    assert_eq!(
+        matched_accuracy(&predictions(&model), &truth).unwrap(),
+        1.0
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_across_runs() {
+    let (table, _, _) = MushroomModel::scaled(600, 5).seed(2).generate();
+    let data = table.to_transactions();
+    let fit = || {
+        RockBuilder::new(5, 0.8)
+            .sample(SampleStrategy::Fixed(300))
+            .seed(9)
+            .build()
+            .fit(&data)
+            .unwrap()
+    };
+    let (a, b) = (fit(), fit());
+    assert_eq!(a.clusters(), b.clusters());
+    assert_eq!(a.outliers(), b.outliers());
+    assert_eq!(a.assignments(), b.assignments());
+}
+
+#[test]
+fn model_invariants_hold() {
+    let (table, _, _) = MushroomModel::scaled(500, 4).seed(6).generate();
+    let data = table.to_transactions();
+    let model = RockBuilder::new(4, 0.8)
+        .sample(SampleStrategy::Fixed(200))
+        .seed(1)
+        .build()
+        .fit(&data)
+        .unwrap();
+    // Clusters partition the assigned points.
+    let mut seen = vec![false; data.len()];
+    for (c, members) in model.clusters().iter().enumerate() {
+        for &p in members {
+            assert!(!seen[p as usize], "point {p} in two clusters");
+            seen[p as usize] = true;
+            assert_eq!(model.assignments()[p as usize], Some(ClusterId(c as u32)));
+        }
+    }
+    for &o in model.outliers() {
+        assert!(!seen[o as usize], "outlier {o} also in a cluster");
+        assert_eq!(model.assignments()[o as usize], None);
+        seen[o as usize] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "every point accounted for");
+    // Clusters are size-sorted.
+    let sizes = model.cluster_sizes();
+    assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+}
+
+#[test]
+fn chernoff_sampling_strategy_end_to_end() {
+    let (data, truth) = BlockModel::symmetric(4, 150, 25, 0.4, 0.01)
+        .seed(8)
+        .generate();
+    let model = RockBuilder::new(4, 0.25)
+        .sample(SampleStrategy::Chernoff {
+            u_min: 100,
+            xi: 0.25,
+            delta: 0.05,
+        })
+        .seed(8)
+        .build()
+        .fit(&data)
+        .unwrap();
+    let acc = matched_accuracy(&predictions(&model), &truth).unwrap();
+    assert!(acc > 0.95, "chernoff pipeline accuracy {acc}");
+    assert!(model.stats().sample_size < 600);
+}
