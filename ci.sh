@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Local CI gate — everything runs offline (the workspace has no external
+# dependencies by design; see DESIGN.md §Dependencies).
+#
+#   ./ci.sh            # format check, clippy, build, tests
+#
+# The same steps run in .github/workflows/ci.yml.
+set -eu
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (all targets, warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --offline --release --workspace
+cargo test --offline --workspace -q
+
+echo "== ci.sh: all green"

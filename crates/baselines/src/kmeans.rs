@@ -6,10 +6,8 @@
 //! the follow-on literature uses k-means on one-hot categorical data
 //! routinely.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use rock_core::error::{Result, RockError};
+use rock_core::rng::Rng;
 use rock_core::sampling::seeded_rng;
 
 use crate::common::FlatClustering;
@@ -75,7 +73,7 @@ impl KMeans {
     }
 
     #[allow(clippy::needless_range_loop)] // dist/assignments are row-index aligned
-    fn run_once(&self, m: &DenseMatrix, rng: &mut StdRng) -> FlatClustering {
+    fn run_once(&self, m: &DenseMatrix, rng: &mut Rng) -> FlatClustering {
         let (n, d) = (m.rows(), m.cols());
         // k-means++ seeding.
         let mut centers: Vec<Vec<f64>> = Vec::with_capacity(self.k);
@@ -199,8 +197,7 @@ mod tests {
         let (m, labels) = onehot_blocks();
         let c = KMeans::new(2).seed(1).fit(&m).unwrap();
         c.validate().unwrap();
-        let acc =
-            rock_core::metrics::matched_accuracy(&c.as_predictions(), &labels).unwrap();
+        let acc = rock_core::metrics::matched_accuracy(&c.as_predictions(), &labels).unwrap();
         assert_eq!(acc, 1.0);
     }
 

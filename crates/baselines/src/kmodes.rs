@@ -5,11 +5,9 @@
 //! dissimilarity. Included as a popular categorical baseline; ROCK's
 //! follow-on literature routinely compares against it.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use rock_core::data::CategoricalTable;
 use rock_core::error::{Result, RockError};
+use rock_core::rng::Rng;
 use rock_core::sampling::seeded_rng;
 
 use crate::common::FlatClustering;
@@ -115,7 +113,7 @@ impl KModes {
         rows: &[&[Option<u16>]],
         d: usize,
         cards: &[usize],
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> FlatClustering {
         let n = rows.len();
         // ── Seed modes ────────────────────────────────────────────────
@@ -140,10 +138,8 @@ impl KModes {
             KModesInit::PlusPlus => {
                 let mut modes: Vec<Vec<Option<u16>>> = Vec::with_capacity(self.k);
                 modes.push(rows[rng.gen_range(0..n)].to_vec());
-                let mut dist: Vec<f64> = rows
-                    .iter()
-                    .map(|r| mismatch(r, &modes[0]) as f64)
-                    .collect();
+                let mut dist: Vec<f64> =
+                    rows.iter().map(|r| mismatch(r, &modes[0]) as f64).collect();
                 while modes.len() < self.k {
                     let total: f64 = dist.iter().sum();
                     let pick = if total <= 0.0 {
@@ -200,9 +196,7 @@ impl KModes {
             // Update modes: per attribute, the most frequent non-missing
             // value; empty clusters are re-seeded from a random record.
             for (c, mode) in modes.iter_mut().enumerate() {
-                let members: Vec<usize> = (0..n)
-                    .filter(|&i| assignments[i] == c as u32)
-                    .collect();
+                let members: Vec<usize> = (0..n).filter(|&i| assignments[i] == c as u32).collect();
                 if members.is_empty() {
                     *mode = rows[rng.gen_range(0..n)].to_vec();
                     continue;
@@ -280,8 +274,7 @@ mod tests {
         let (t, labels) = table_two_groups(10);
         let c = KModes::new(2).seed(1).fit(&t).unwrap();
         c.validate().unwrap();
-        let acc =
-            rock_core::metrics::matched_accuracy(&c.as_predictions(), &labels).unwrap();
+        let acc = rock_core::metrics::matched_accuracy(&c.as_predictions(), &labels).unwrap();
         assert_eq!(acc, 1.0);
         assert!(c.cost <= 10.0, "cost {}", c.cost);
     }
@@ -303,8 +296,7 @@ mod tests {
             .seed(3)
             .fit(&t)
             .unwrap();
-        let acc =
-            rock_core::metrics::matched_accuracy(&c.as_predictions(), &labels).unwrap();
+        let acc = rock_core::metrics::matched_accuracy(&c.as_predictions(), &labels).unwrap();
         assert!(acc >= 0.9, "accuracy {acc}");
     }
 

@@ -45,15 +45,7 @@ impl Linkage {
     /// Lance–Williams update: distance from cluster `k` to the merge of
     /// `i` and `j`, given sizes and the three pairwise distances.
     #[inline]
-    pub fn update(
-        &self,
-        d_ki: f64,
-        d_kj: f64,
-        d_ij: f64,
-        n_i: f64,
-        n_j: f64,
-        n_k: f64,
-    ) -> f64 {
+    pub fn update(&self, d_ki: f64, d_kj: f64, d_ij: f64, n_i: f64, n_j: f64, n_k: f64) -> f64 {
         match self {
             Linkage::Single => d_ki.min(d_kj),
             Linkage::Complete => d_ki.max(d_kj),
@@ -102,12 +94,7 @@ impl Ord for OrdF64 {
 /// * [`RockError::InvalidK`] for `k` of 0 or `> n`.
 /// * [`RockError::LengthMismatch`] if `dist` is not `n × n`.
 #[allow(clippy::needless_range_loop)] // d/size/active are index-aligned
-pub fn agglomerative(
-    dist: &[f64],
-    n: usize,
-    k: usize,
-    linkage: Linkage,
-) -> Result<FlatClustering> {
+pub fn agglomerative(dist: &[f64], n: usize, k: usize, linkage: Linkage) -> Result<FlatClustering> {
     if n == 0 {
         return Err(RockError::EmptyDataset);
     }

@@ -1,8 +1,11 @@
-//! Criterion micro-benchmarks for ROCK's phase kernels: similarity,
-//! neighbor graph, link table, indexed heap and goodness evaluation.
+//! Micro-benchmarks for ROCK's phase kernels: similarity, neighbor
+//! graph, link table, indexed heap and goodness evaluation. Plain
+//! `std::time` timing via [`rock_bench::harness`] — run with
+//! `cargo bench --bench microbench`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
+use rock_bench::harness::{bench, group};
 use rock_core::agglomerate::GoodnessKey;
 use rock_core::goodness::{Goodness, MarketBasket};
 use rock_core::heap::IndexedHeap;
@@ -18,98 +21,83 @@ fn dataset(n_per_block: usize) -> TransactionSet {
         .0
 }
 
-fn bench_similarity(c: &mut Criterion) {
+fn bench_similarity() {
+    group("similarity");
     let data = dataset(50);
     let a = data.transaction(0).unwrap();
     let b = data.transaction(1).unwrap();
     let far = data.transaction(150).unwrap();
-    let mut g = c.benchmark_group("similarity");
-    g.bench_function("jaccard/same-block", |bench| {
-        bench.iter(|| black_box(Jaccard.sim(black_box(a), black_box(b))))
+    bench("jaccard/same-block", 50, 10_000, || {
+        black_box(Jaccard.sim(black_box(a), black_box(b)))
     });
-    g.bench_function("jaccard/cross-block", |bench| {
-        bench.iter(|| black_box(Jaccard.sim(black_box(a), black_box(far))))
+    bench("jaccard/cross-block", 50, 10_000, || {
+        black_box(Jaccard.sim(black_box(a), black_box(far)))
     });
-    g.finish();
 }
 
-fn bench_neighbors(c: &mut Criterion) {
-    let mut g = c.benchmark_group("neighbors");
-    g.sample_size(10);
+fn bench_neighbors() {
+    group("neighbors");
     for &n in &[100usize, 200] {
         let data = dataset(n);
-        g.bench_with_input(BenchmarkId::new("compute", data.len()), &data, |b, d| {
-            b.iter(|| NeighborGraph::compute(d, &Jaccard, 0.25, 1).unwrap())
+        bench(&format!("compute/{}", data.len()), 10, 1, || {
+            NeighborGraph::compute(&data, &Jaccard, 0.25, 1).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_links(c: &mut Criterion) {
-    let mut g = c.benchmark_group("links");
-    g.sample_size(10);
+fn bench_links() {
+    group("links");
     for &n in &[100usize, 200] {
         let data = dataset(n);
         let graph = NeighborGraph::compute(&data, &Jaccard, 0.25, 1).unwrap();
-        g.bench_with_input(BenchmarkId::new("compute", data.len()), &graph, |b, gr| {
-            b.iter(|| LinkTable::compute(gr))
+        bench(&format!("compute/{}", data.len()), 10, 1, || {
+            LinkTable::compute(&graph)
         });
     }
-    g.finish();
 }
 
-fn bench_heap(c: &mut Criterion) {
-    let mut g = c.benchmark_group("heap");
-    g.bench_function("insert-update-remove/1000", |bench| {
-        bench.iter(|| {
-            let mut h: IndexedHeap<GoodnessKey> = IndexedHeap::with_capacity(1000);
-            for i in 0..1000u32 {
-                h.insert_or_update(i, GoodnessKey::new((i % 97) as f64, i));
-            }
-            for i in (0..1000u32).step_by(3) {
-                h.insert_or_update(i, GoodnessKey::new((i % 31) as f64, i));
-            }
-            for i in (0..1000u32).step_by(2) {
-                black_box(h.remove(i));
-            }
-            while let Some(e) = h.pop() {
-                black_box(e);
-            }
-        })
+fn bench_heap() {
+    group("heap");
+    bench("insert-update-remove/1000", 20, 1, || {
+        let mut h: IndexedHeap<GoodnessKey> = IndexedHeap::with_capacity(1000);
+        for i in 0..1000u32 {
+            h.insert_or_update(i, GoodnessKey::new((i % 97) as f64, i));
+        }
+        for i in (0..1000u32).step_by(3) {
+            h.insert_or_update(i, GoodnessKey::new((i % 31) as f64, i));
+        }
+        for i in (0..1000u32).step_by(2) {
+            black_box(h.remove(i));
+        }
+        while let Some(e) = h.pop() {
+            black_box(e);
+        }
     });
-    g.finish();
 }
 
-fn bench_goodness(c: &mut Criterion) {
+fn bench_goodness() {
     let good = Goodness::new(0.5, &MarketBasket).unwrap();
-    let mut g = c.benchmark_group("goodness");
-    g.bench_function("merge_goodness/cached-pow", |bench| {
-        bench.iter(|| {
-            let mut acc = 0.0f64;
-            for n in 1..512usize {
-                acc += good.merge_goodness(black_box(7), n, 512 - n);
-            }
-            black_box(acc)
-        })
+    group("goodness");
+    bench("merge_goodness/cached-pow", 50, 10, || {
+        let mut acc = 0.0f64;
+        for n in 1..512usize {
+            acc += good.merge_goodness(black_box(7), n, 512 - n);
+        }
+        black_box(acc)
     });
-    g.bench_function("merge_goodness/large-pow", |bench| {
-        bench.iter(|| {
-            let mut acc = 0.0f64;
-            for n in 1..64usize {
-                acc += good.merge_goodness(black_box(7), n * 100, 6400 - n * 100 + 1);
-            }
-            black_box(acc)
-        })
+    bench("merge_goodness/large-pow", 50, 10, || {
+        let mut acc = 0.0f64;
+        for n in 1..64usize {
+            acc += good.merge_goodness(black_box(7), n * 100, 6400 - n * 100 + 1);
+        }
+        black_box(acc)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_similarity,
-    bench_neighbors,
-    bench_links,
-    bench_heap,
-    bench_goodness
-);
-criterion_main!(benches);
+fn main() {
+    bench_similarity();
+    bench_neighbors();
+    bench_links();
+    bench_heap();
+    bench_goodness();
+}

@@ -1,121 +1,103 @@
-//! End-to-end Criterion benchmarks: the full ROCK pipeline against the
-//! baseline algorithms on the same planted-block workload, plus the θ
-//! dependence of the full pipeline (the micro-scale companion to the E4
-//! scalability experiment).
+//! End-to-end benchmarks: the full ROCK pipeline against the baseline
+//! algorithms on the same planted-block workload, plus the θ dependence
+//! of the full pipeline (the micro-scale companion to the E4 scalability
+//! experiment). Plain `std::time` timing via [`rock_bench::harness`] —
+//! run with `cargo bench --bench pipeline`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
 use rock_baselines::{similarity_only, traditional, KModes, Linkage};
+use rock_bench::harness::{bench, group};
 use rock_core::prelude::*;
 use rock_datasets::synthetic::{BlockModel, MushroomModel};
 
-fn bench_algorithms(c: &mut Criterion) {
+fn bench_algorithms() {
     let (data, _) = BlockModel::symmetric(4, 100, 30, 0.4, 0.02)
         .seed(1)
         .generate();
     let (table, _, _) = MushroomModel::scaled(400, 4).seed(1).generate();
 
-    let mut g = c.benchmark_group("end-to-end-400pts");
-    g.sample_size(10);
-    g.bench_function("rock", |b| {
-        b.iter(|| {
+    group("end-to-end-400pts");
+    bench("rock", 10, 1, || {
+        black_box(
+            RockBuilder::new(4, 0.25)
+                .seed(1)
+                .build()
+                .fit(black_box(&data))
+                .unwrap(),
+        )
+    });
+    bench("traditional-centroid", 10, 1, || {
+        black_box(traditional(black_box(&data), 4, Linkage::Centroid).unwrap())
+    });
+    bench("similarity-only-average", 10, 1, || {
+        black_box(similarity_only(black_box(&data), 4, &Jaccard, Linkage::Average).unwrap())
+    });
+    bench("kmodes", 10, 1, || {
+        black_box(KModes::new(4).seed(1).fit(black_box(&table)).unwrap())
+    });
+}
+
+fn bench_theta() {
+    let (table, _, _) = MushroomModel::scaled(600, 6).seed(2).generate();
+    let data = table.to_transactions();
+    group("rock-theta");
+    for &theta in &[0.5f64, 0.73, 0.8] {
+        bench(&format!("theta/{theta}"), 10, 1, || {
             black_box(
-                RockBuilder::new(4, 0.25)
-                    .seed(1)
+                RockBuilder::new(6, theta)
+                    .seed(2)
                     .build()
                     .fit(black_box(&data))
                     .unwrap(),
             )
-        })
-    });
-    g.bench_function("traditional-centroid", |b| {
-        b.iter(|| black_box(traditional(black_box(&data), 4, Linkage::Centroid).unwrap()))
-    });
-    g.bench_function("similarity-only-average", |b| {
-        b.iter(|| black_box(similarity_only(black_box(&data), 4, &Jaccard, Linkage::Average).unwrap()))
-    });
-    g.bench_function("kmodes", |b| {
-        b.iter(|| black_box(KModes::new(4).seed(1).fit(black_box(&table)).unwrap()))
-    });
-    g.finish();
-}
-
-fn bench_theta(c: &mut Criterion) {
-    let (table, _, _) = MushroomModel::scaled(600, 6).seed(2).generate();
-    let data = table.to_transactions();
-    let mut g = c.benchmark_group("rock-theta");
-    g.sample_size(10);
-    for &theta in &[0.5f64, 0.73, 0.8] {
-        g.bench_with_input(BenchmarkId::from_parameter(theta), &theta, |b, &t| {
-            b.iter(|| {
-                black_box(
-                    RockBuilder::new(6, t)
-                        .seed(2)
-                        .build()
-                        .fit(black_box(&data))
-                        .unwrap(),
-                )
-            })
         });
     }
-    g.finish();
 }
 
-fn bench_sampling_pipeline(c: &mut Criterion) {
+fn bench_sampling_pipeline() {
     let (table, _, _) = MushroomModel::scaled(2000, 8).seed(3).generate();
     let data = table.to_transactions();
-    let mut g = c.benchmark_group("rock-sample-label");
-    g.sample_size(10);
+    group("rock-sample-label");
     for &s in &[250usize, 500, 1000] {
-        g.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
-            b.iter(|| {
-                black_box(
-                    RockBuilder::new(8, 0.8)
-                        .sample(SampleStrategy::Fixed(s))
-                        .seed(3)
-                        .build()
-                        .fit(black_box(&data))
-                        .unwrap(),
-                )
-            })
+        bench(&format!("sample/{s}"), 10, 1, || {
+            black_box(
+                RockBuilder::new(8, 0.8)
+                    .sample(SampleStrategy::Fixed(s))
+                    .seed(3)
+                    .build()
+                    .fit(black_box(&data))
+                    .unwrap(),
+            )
         });
     }
-    g.finish();
 }
 
-fn bench_components_shortcut(c: &mut Criterion) {
+fn bench_components_shortcut() {
     // E8's timing claim: on separated data the connected-components
     // shortcut skips the link + merge phases entirely.
     let (data, _) = BlockModel::symmetric(4, 100, 30, 0.4, 0.0)
         .seed(4)
         .generate();
-    let mut g = c.benchmark_group("separated-400pts");
-    g.sample_size(10);
-    g.bench_function("rock-full", |b| {
-        b.iter(|| {
-            black_box(
-                RockBuilder::new(4, 0.25)
-                    .seed(4)
-                    .build()
-                    .fit(black_box(&data))
-                    .unwrap(),
-            )
-        })
+    group("separated-400pts");
+    bench("rock-full", 10, 1, || {
+        black_box(
+            RockBuilder::new(4, 0.25)
+                .seed(4)
+                .build()
+                .fit(black_box(&data))
+                .unwrap(),
+        )
     });
-    g.bench_function("components-shortcut", |b| {
-        b.iter(|| {
-            let graph = NeighborGraph::compute(black_box(&data), &Jaccard, 0.25, 1).unwrap();
-            black_box(connected_components(&graph))
-        })
+    bench("components-shortcut", 10, 1, || {
+        let graph = NeighborGraph::compute(black_box(&data), &Jaccard, 0.25, 1).unwrap();
+        black_box(connected_components(&graph))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_algorithms,
-    bench_theta,
-    bench_sampling_pipeline,
-    bench_components_shortcut
-);
-criterion_main!(benches);
+fn main() {
+    bench_algorithms();
+    bench_theta();
+    bench_sampling_pipeline();
+    bench_components_shortcut();
+}

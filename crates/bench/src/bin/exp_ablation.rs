@@ -106,9 +106,7 @@ fn main() {
     let mut all: Vec<Transaction> = clean.iter().cloned().collect();
     let mut rng = seeded_rng(opts.seed ^ 0xdeb);
     for _ in 0..30 {
-        let items: Vec<u32> = (0..120u32)
-            .filter(|_| rand::Rng::gen::<f64>(&mut rng) < 0.12)
-            .collect();
+        let items: Vec<u32> = (0..120u32).filter(|_| rng.gen::<f64>() < 0.12).collect();
         all.push(Transaction::new(items));
         truth.push(3);
     }
@@ -122,21 +120,22 @@ fn main() {
         (
             "filter + prune (paper)",
             NeighborFilter::new(3),
-            Some(PruneConfig { checkpoint_fraction: 0.05, max_prune_size: 2 }),
+            Some(PruneConfig {
+                checkpoint_fraction: 0.05,
+                max_prune_size: 2,
+            }),
         ),
         ("filter only", NeighborFilter::new(3), None),
         ("no outlier handling", NeighborFilter::disabled(), None),
     ] {
-        let mut b = RockBuilder::new(3, 0.2).neighbor_filter(filter).seed(opts.seed);
+        let mut b = RockBuilder::new(3, 0.2)
+            .neighbor_filter(filter)
+            .seed(opts.seed);
         if let Some(p) = prune {
             b = b.prune(p);
         }
         let model = b.build().fit(&data).expect("fit");
-        let pred: Vec<Option<u32>> = model
-            .assignments()
-            .iter()
-            .map(|a| a.map(|c| c.0))
-            .collect();
+        let pred: Vec<Option<u32>> = model.assignments().iter().map(|a| a.map(|c| c.0)).collect();
         t.row([
             name.to_string(),
             f4(matched_accuracy(&pred, &truth).unwrap()),
@@ -158,11 +157,7 @@ fn rock_acc(data: &TransactionSet, truth: &[usize], k: usize, theta: f64, seed: 
         .build()
         .fit(data)
         .expect("fit");
-    let pred: Vec<Option<u32>> = model
-        .assignments()
-        .iter()
-        .map(|a| a.map(|c| c.0))
-        .collect();
+    let pred: Vec<Option<u32>> = model.assignments().iter().map(|a| a.map(|c| c.0)).collect();
     matched_accuracy(&pred, truth).unwrap()
 }
 
@@ -184,11 +179,7 @@ fn fit_exponent<F: LinkExponent>(
         .build()
         .fit(data)
         .expect("fit");
-    let pred: Vec<Option<u32>> = model
-        .assignments()
-        .iter()
-        .map(|a| a.map(|c| c.0))
-        .collect();
+    let pred: Vec<Option<u32>> = model.assignments().iter().map(|a| a.map(|c| c.0)).collect();
     (
         matched_accuracy(&pred, truth).unwrap(),
         model.num_clusters(),

@@ -10,9 +10,9 @@
 
 use rock_bench::cli::ExpOptions;
 use rock_bench::table::{banner, f4, TextTable};
-use rock_bench::timing::{secs, time_it};
 use rock_core::metrics::matched_accuracy;
 use rock_core::prelude::*;
+use rock_core::telemetry::{format_secs as secs, time_it};
 use rock_datasets::synthetic::{intro_example, LatentClassModel};
 
 fn main() {
@@ -42,11 +42,8 @@ fn main() {
                 .fit(&data)
                 .expect("fit")
         });
-        let rock_pred: Vec<Option<u32>> = rock
-            .assignments()
-            .iter()
-            .map(|a| a.map(|c| c.0))
-            .collect();
+        let rock_pred: Vec<Option<u32>> =
+            rock.assignments().iter().map(|a| a.map(|c| c.0)).collect();
 
         let (comps, comp_time) = time_it(|| {
             let g = NeighborGraph::compute(&data, &Jaccard, theta, 0).expect("graph");
@@ -83,11 +80,8 @@ fn main() {
             .build()
             .fit(&data)
             .expect("fit");
-        let rock_pred: Vec<Option<u32>> = rock
-            .assignments()
-            .iter()
-            .map(|a| a.map(|c| c.0))
-            .collect();
+        let rock_pred: Vec<Option<u32>> =
+            rock.assignments().iter().map(|a| a.map(|c| c.0)).collect();
         let g = NeighborGraph::compute(&data, &Jaccard, 0.4, 1).expect("graph");
         let comps = connected_components(&g);
         let mut comp_pred: Vec<Option<u32>> = vec![None; data.len()];

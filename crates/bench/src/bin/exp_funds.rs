@@ -54,11 +54,7 @@ fn main() {
         .build()
         .fit(&data)
         .expect("rock fit");
-    let rock_pred: Vec<Option<u32>> = rock
-        .assignments()
-        .iter()
-        .map(|a| a.map(|c| c.0))
-        .collect();
+    let rock_pred: Vec<Option<u32>> = rock.assignments().iter().map(|a| a.map(|c| c.0)).collect();
 
     banner("ROCK cluster x sector composition");
     let table = ContingencyTable::new(&rock_pred, &labels).expect("contingency");

@@ -33,11 +33,8 @@ fn main() {
             .build()
             .fit(&data)
             .expect("rock fit");
-        let rock_pred: Vec<Option<u32>> = rock
-            .assignments()
-            .iter()
-            .map(|a| a.map(|c| c.0))
-            .collect();
+        let rock_pred: Vec<Option<u32>> =
+            rock.assignments().iter().map(|a| a.map(|c| c.0)).collect();
         let single = similarity_only(&data, 2, &Jaccard, Linkage::Single).expect("single");
         let average = similarity_only(&data, 2, &Jaccard, Linkage::Average).expect("average");
         t.row([

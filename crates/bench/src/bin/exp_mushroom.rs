@@ -19,6 +19,7 @@ use rock_bench::cli::ExpOptions;
 use rock_bench::table::{banner, f4, TextTable};
 use rock_core::metrics::{cluster_breakdown, densify_labels, matched_accuracy, purity};
 use rock_core::prelude::*;
+use rock_core::telemetry::time_it;
 use rock_datasets::synthetic::MushroomModel;
 
 const THETA: f64 = 0.8;
@@ -57,7 +58,7 @@ fn main() {
         for _ in 0..noise {
             let row: Vec<Option<u16>> = cards
                 .iter()
-                .map(|&c| Some(rand::Rng::gen_range(&mut rng, 0..c.max(1)) as u16))
+                .map(|&c| Some(rng.gen_range(0..c.max(1)) as u16))
                 .collect();
             table.push_coded(row).expect("noise row");
             class_truth.push(2); // its own throw-away class
@@ -69,17 +70,30 @@ fn main() {
     let data = table.to_transactions();
 
     // ── ROCK: sample, cluster, label ───────────────────────────────────
-    let rock = RockBuilder::new(K, THETA)
-        .sample(SampleStrategy::Fixed(sample))
-        .seed(opts.seed)
-        .build()
-        .fit(&data)
-        .expect("rock fit");
-    let rock_pred: Vec<Option<u32>> = rock
-        .assignments()
-        .iter()
-        .map(|a| a.map(|c| c.0))
-        .collect();
+    let observer = Observer::new();
+    let (rock, rock_wall) = time_it(|| {
+        RockBuilder::new(K, THETA)
+            .sample(SampleStrategy::Fixed(sample))
+            .seed(opts.seed)
+            .build()
+            .fit_observed(&data, &observer)
+    });
+    let rock = rock.expect("rock fit");
+    opts.emit_metrics(&Metrics::collect(
+        &observer,
+        RunInfo {
+            experiment: "exp_mushroom".into(),
+            n,
+            k: K,
+            theta: THETA,
+            seed: opts.seed,
+            sample_size: rock.stats().sample_size,
+            clusters: rock.num_clusters(),
+            outliers: rock.outliers().len(),
+        },
+        rock_wall,
+    ));
+    let rock_pred: Vec<Option<u32>> = rock.assignments().iter().map(|a| a.map(|c| c.0)).collect();
 
     banner("ROCK cluster table (full dataset after labeling)");
     print_mushroom_table(&rock_pred, &class_truth);
@@ -111,12 +125,21 @@ fn main() {
     );
 
     banner("Summary");
-    let mut t = TextTable::new(["algorithm", "class purity", "group accuracy", "pure clusters"]);
+    let mut t = TextTable::new([
+        "algorithm",
+        "class purity",
+        "group accuracy",
+        "pure clusters",
+    ]);
     t.row([
         "ROCK".to_string(),
         f4(rock_purity),
         f4(rock_group_acc),
-        format!("{}/{}", count_pure(&rock_pred, &class_truth), rock.num_clusters()),
+        format!(
+            "{}/{}",
+            count_pure(&rock_pred, &class_truth),
+            rock.num_clusters()
+        ),
     ]);
     t.row([
         "traditional (centroid)".to_string(),

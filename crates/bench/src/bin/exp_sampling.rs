@@ -9,9 +9,9 @@
 
 use rock_bench::cli::ExpOptions;
 use rock_bench::table::{banner, f4, TextTable};
-use rock_bench::timing::secs;
 use rock_core::metrics::{densify_labels, matched_accuracy, purity};
 use rock_core::prelude::*;
+use rock_core::telemetry::format_secs as secs;
 use rock_datasets::synthetic::MushroomModel;
 
 const THETA: f64 = 0.8;
@@ -53,7 +53,12 @@ fn main() {
     let data = table.to_transactions();
 
     let mut t = TextTable::new([
-        "sample", "group accuracy", "class purity", "clusters", "outliers", "fit_time",
+        "sample",
+        "group accuracy",
+        "class purity",
+        "clusters",
+        "outliers",
+        "fit_time",
     ]);
     for &s in &[250usize, 500, 1000, 2000, 4000] {
         let s = s.min(n);
@@ -63,11 +68,7 @@ fn main() {
             .build()
             .fit(&data)
             .expect("fit");
-        let pred: Vec<Option<u32>> = rock
-            .assignments()
-            .iter()
-            .map(|a| a.map(|c| c.0))
-            .collect();
+        let pred: Vec<Option<u32>> = rock.assignments().iter().map(|a| a.map(|c| c.0)).collect();
         t.row([
             s.to_string(),
             f4(matched_accuracy(&pred, &groups).unwrap()),

@@ -9,8 +9,8 @@
 
 use rock_bench::cli::ExpOptions;
 use rock_bench::table::{banner, TextTable};
-use rock_bench::timing::secs;
 use rock_core::prelude::*;
+use rock_core::telemetry::{format_secs as secs, time_it};
 use rock_datasets::synthetic::MushroomModel;
 
 fn main() {
@@ -28,22 +28,46 @@ fn main() {
     let data = table.to_transactions();
 
     let mut t = TextTable::new([
-        "n", "theta", "neighbors", "links", "merge", "total", "avg_degree", "clusters",
+        "n",
+        "theta",
+        "neighbors",
+        "links",
+        "merge",
+        "total",
+        "avg_degree",
+        "clusters",
     ]);
     for &n in &sizes {
         let n = n.min(data.len());
         for &theta in &thetas {
-            let model = RockBuilder::new(21.min(n), theta)
-                .sample(SampleStrategy::Fixed(n))
-                .labeling(LabelingConfig {
-                    representative_fraction: 0.0001, // timing the clustering, not labeling
-                    max_representatives: 1,
-                })
-                .seed(opts.seed)
-                .build()
-                .fit(&data)
-                .expect("fit");
+            let observer = Observer::new();
+            let (model, wall) = time_it(|| {
+                RockBuilder::new(21.min(n), theta)
+                    .sample(SampleStrategy::Fixed(n))
+                    .labeling(LabelingConfig {
+                        representative_fraction: 0.0001, // timing the clustering, not labeling
+                        max_representatives: 1,
+                    })
+                    .seed(opts.seed)
+                    .build()
+                    .fit_observed(&data, &observer)
+            });
+            let model = model.expect("fit");
             let s = model.stats();
+            opts.emit_metrics(&Metrics::collect(
+                &observer,
+                RunInfo {
+                    experiment: "exp_scalability".into(),
+                    n: data.len(),
+                    k: 21.min(n),
+                    theta,
+                    seed: opts.seed,
+                    sample_size: s.sample_size,
+                    clusters: model.num_clusters(),
+                    outliers: model.outliers().len(),
+                },
+                wall,
+            ));
             t.row([
                 n.to_string(),
                 format!("{theta:.2}"),

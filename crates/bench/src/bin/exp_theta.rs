@@ -65,11 +65,8 @@ fn sweep(data: &TransactionSet, truth: &[usize], k: usize, thetas: &[f64], seed:
     for &theta in thetas {
         match RockBuilder::new(k, theta).seed(seed).build().fit(data) {
             Ok(model) => {
-                let pred: Vec<Option<u32>> = model
-                    .assignments()
-                    .iter()
-                    .map(|a| a.map(|c| c.0))
-                    .collect();
+                let pred: Vec<Option<u32>> =
+                    model.assignments().iter().map(|a| a.map(|c| c.0)).collect();
                 let acc = matched_accuracy(&pred, truth).expect("metrics");
                 t.row([
                     format!("{theta:.2}"),

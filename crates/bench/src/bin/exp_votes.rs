@@ -17,6 +17,7 @@ use rock_bench::cli::ExpOptions;
 use rock_bench::table::{banner, f4, pm, TextTable};
 use rock_core::metrics::{cluster_breakdown, matched_accuracy, mean_std, purity};
 use rock_core::prelude::*;
+use rock_core::telemetry::time_it;
 use rock_datasets::synthetic::{Party, VotesModel};
 
 const THETA: f64 = 0.35;
@@ -58,16 +59,30 @@ fn main() {
         let data = table.to_transactions();
 
         // ROCK: θ-neighbors on Jaccard over (attr, value) items, k = 2.
-        let rock = RockBuilder::new(2, THETA)
-            .seed(opts.seed + e as u64)
-            .build()
-            .fit(&data)
-            .expect("rock fit");
-        let rock_pred: Vec<Option<u32>> = rock
-            .assignments()
-            .iter()
-            .map(|a| a.map(|c| c.0))
-            .collect();
+        let observer = Observer::new();
+        let (rock, rock_wall) = time_it(|| {
+            RockBuilder::new(2, THETA)
+                .seed(opts.seed + e as u64)
+                .build()
+                .fit_observed(&data, &observer)
+        });
+        let rock = rock.expect("rock fit");
+        opts.emit_metrics(&Metrics::collect(
+            &observer,
+            RunInfo {
+                experiment: "exp_votes".into(),
+                n: data.len(),
+                k: 2,
+                theta: THETA,
+                seed: opts.seed + e as u64,
+                sample_size: rock.stats().sample_size,
+                clusters: rock.num_clusters(),
+                outliers: rock.outliers().len(),
+            },
+            rock_wall,
+        ));
+        let rock_pred: Vec<Option<u32>> =
+            rock.assignments().iter().map(|a| a.map(|c| c.0)).collect();
         rock_acc.push(matched_accuracy(&rock_pred, &truth).expect("metrics"));
 
         // Traditional: centroid-based hierarchical on one-hot Euclidean.

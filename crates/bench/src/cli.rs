@@ -1,9 +1,15 @@
 //! Minimal command-line parsing shared by the experiment binaries.
 //!
 //! Every `exp_*` binary accepts `--seed <u64>`, `--scale <f64>` (shrinks
-//! dataset sizes for quick runs) and `--epochs <usize>`; unknown flags
-//! abort with a usage message. No external CLI crate is needed for three
-//! flags.
+//! dataset sizes for quick runs), `--epochs <usize>` and
+//! `--metrics <FILE>` (append one NDJSON telemetry line per observed
+//! run); unknown flags abort with a usage message. No external CLI crate
+//! is needed for four flags.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use rock_core::telemetry::Metrics;
 
 /// Parsed common experiment options.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,6 +20,8 @@ pub struct ExpOptions {
     pub scale: f64,
     /// Number of repeated runs for mean ± std reporting (default 3).
     pub epochs: usize,
+    /// Append telemetry NDJSON lines to this file (default: no metrics).
+    pub metrics: Option<PathBuf>,
 }
 
 impl Default for ExpOptions {
@@ -22,6 +30,7 @@ impl Default for ExpOptions {
             seed: 42,
             scale: 1.0,
             epochs: 3,
+            metrics: None,
         }
     }
 }
@@ -57,9 +66,14 @@ impl ExpOptions {
                         return Err("--epochs must be positive".to_owned());
                     }
                 }
+                "--metrics" => {
+                    opts.metrics = Some(PathBuf::from(take("--metrics")?));
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: exp_* [--seed <u64>] [--scale <0..1>] [--epochs <n>]".to_owned()
+                        "usage: exp_* [--seed <u64>] [--scale <0..1>] [--epochs <n>] \
+                         [--metrics <FILE>]"
+                            .to_owned(),
                     );
                 }
                 other => return Err(format!("unknown flag: {other}")),
@@ -83,6 +97,24 @@ impl ExpOptions {
     pub fn scaled(&self, size: usize, min: usize) -> usize {
         ((size as f64 * self.scale).round() as usize).max(min)
     }
+
+    /// Appends `metrics` as one NDJSON line to the `--metrics` file, if
+    /// one was given. Aborts the experiment on I/O errors: a silently
+    /// dropped baseline is worse than a failed run.
+    pub fn emit_metrics(&self, metrics: &Metrics) {
+        let Some(path) = &self.metrics else {
+            return;
+        };
+        let result = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| writeln!(f, "{}", metrics.to_ndjson_line()));
+        if let Err(e) = result {
+            eprintln!("cannot write metrics to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -101,10 +133,53 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let o = parse(&["--seed", "7", "--scale", "0.5", "--epochs", "10"]).unwrap();
+        let o = parse(&[
+            "--seed",
+            "7",
+            "--scale",
+            "0.5",
+            "--epochs",
+            "10",
+            "--metrics",
+            "bench.json",
+        ])
+        .unwrap();
         assert_eq!(o.seed, 7);
         assert_eq!(o.scale, 0.5);
         assert_eq!(o.epochs, 10);
+        assert_eq!(o.metrics, Some(PathBuf::from("bench.json")));
+    }
+
+    #[test]
+    fn emit_metrics_appends_ndjson_lines() {
+        use rock_core::telemetry::{Observer, RunInfo};
+        let dir = std::env::temp_dir().join("rock-bench-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.ndjson");
+        std::fs::remove_file(&path).ok();
+        let opts = ExpOptions {
+            metrics: Some(path.clone()),
+            ..ExpOptions::default()
+        };
+        let run = RunInfo {
+            experiment: "test".into(),
+            n: 10,
+            k: 2,
+            theta: 0.5,
+            seed: 1,
+            sample_size: 10,
+            clusters: 2,
+            outliers: 0,
+        };
+        let m = Metrics::collect(&Observer::new(), run, std::time::Duration::from_millis(5));
+        opts.emit_metrics(&m);
+        opts.emit_metrics(&m);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.contains("rock-metrics/v1")));
+        std::fs::remove_file(&path).ok();
+        // Without --metrics, emitting is a no-op.
+        ExpOptions::default().emit_metrics(&m);
     }
 
     #[test]

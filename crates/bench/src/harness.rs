@@ -1,0 +1,80 @@
+//! Minimal micro-benchmark harness on plain `std::time`.
+//!
+//! The workspace builds offline with zero external dependencies, so the
+//! `benches/` targets (`harness = false`) time themselves with this
+//! module instead of criterion: one warm-up call, then `samples` timed
+//! samples of `inner` calls each, reporting the minimum, median and mean
+//! per-call time. The minimum is the headline number — it is the least
+//! noisy estimator on a busy machine.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Formats a per-call duration with an appropriate unit.
+pub fn per_call(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Times `f` and prints one result line.
+///
+/// Runs one untimed warm-up call, then `samples` timed samples, each
+/// averaging over `inner` calls (use `inner > 1` for sub-microsecond
+/// functions so a sample spans enough clock ticks to be meaningful).
+pub fn bench<T>(name: &str, samples: usize, inner: usize, mut f: impl FnMut() -> T) {
+    assert!(samples > 0 && inner > 0, "bench needs at least one call");
+    black_box(f());
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..inner {
+                black_box(f());
+            }
+            start.elapsed() / inner as u32
+        })
+        .collect();
+    times.sort();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    println!(
+        "{name:<44} min {:>10}   median {:>10}   mean {:>10}   ({samples} x {inner})",
+        per_call(min),
+        per_call(median),
+        per_call(mean)
+    );
+}
+
+/// Prints a group header, mirroring criterion's benchmark groups.
+pub fn group(name: &str) {
+    println!("\n── {name} ──");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_call_picks_sensible_units() {
+        assert_eq!(per_call(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(per_call(Duration::from_micros(50)), "50.00 µs");
+        assert_eq!(per_call(Duration::from_millis(50)), "50.00 ms");
+        assert_eq!(per_call(Duration::from_secs(50)), "50.00 s");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0u32;
+        bench("test", 2, 3, || calls += 1);
+        // 1 warm-up + 2 samples x 3 inner calls.
+        assert_eq!(calls, 7);
+    }
+}

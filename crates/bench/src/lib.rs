@@ -1,13 +1,16 @@
 //! # rock-bench
 //!
 //! Experiment harness regenerating every table and figure of the ROCK
-//! evaluation (see `DESIGN.md` §4 for the experiment index) plus Criterion
-//! micro-benchmarks. Each `exp_*` binary prints the paper-style table for
-//! one experiment; `EXPERIMENTS.md` records paper-vs-measured results.
+//! evaluation (see `DESIGN.md` §4 for the experiment index) plus plain
+//! `std::time` micro-benchmarks. Each `exp_*` binary prints the
+//! paper-style table for one experiment; `EXPERIMENTS.md` records
+//! paper-vs-measured results. Binaries accept `--metrics FILE` to append
+//! one NDJSON [`rock_core::telemetry::Metrics`] line per observed run
+//! (the committed `results/BENCH_*.json` baselines).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cli;
+pub mod harness;
 pub mod table;
-pub mod timing;

@@ -23,6 +23,7 @@ use crate::error::{Result, RockError};
 use crate::goodness::Goodness;
 use crate::heap::IndexedHeap;
 use crate::links::LinkTable;
+use crate::telemetry::{MemoryGauges, Observer, PipelineCounters};
 
 /// Totally ordered heap key: goodness value with a deterministic id
 /// tie-break (smaller id wins ties, so runs are reproducible).
@@ -160,6 +161,23 @@ pub fn agglomerate(
     goodness: &Goodness,
     config: &AgglomerateConfig,
 ) -> Result<Agglomeration> {
+    agglomerate_observed(n, links, goodness, config, &Observer::new())
+}
+
+/// [`agglomerate`] with telemetry: merges, heap push/pop totals (summed
+/// over the global and every local heap) and pruned outliers flow into
+/// `observer`'s counters, and the combined heap footprint into its memory
+/// gauge.
+///
+/// # Errors
+/// Same as [`agglomerate`].
+pub fn agglomerate_observed(
+    n: usize,
+    links: &LinkTable,
+    goodness: &Goodness,
+    config: &AgglomerateConfig,
+    observer: &Observer,
+) -> Result<Agglomeration> {
     if n == 0 {
         return Err(RockError::EmptyDataset);
     }
@@ -169,6 +187,8 @@ pub fn agglomerate(
     debug_assert_eq!(links.len(), n, "link table size mismatch");
 
     let mut engine = Engine::new(n, links, goodness, config.record_history);
+    // Heaps are at their fullest right after construction.
+    MemoryGauges::observe(&observer.memory().heaps, engine.heap_bytes() as u64);
     let checkpoint = config.prune.map(|p| {
         let c = (p.checkpoint_fraction * n as f64).ceil() as usize;
         (c.clamp(config.k, n), p.max_prune_size)
@@ -198,6 +218,7 @@ pub fn agglomerate(
         active -= 1;
     }
 
+    engine.flush_telemetry(observer);
     Ok(engine.finish(active == config.k))
 }
 
@@ -394,6 +415,32 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Combined estimated bytes of the global heap and every local heap.
+    fn heap_bytes(&self) -> usize {
+        self.global.estimated_bytes()
+            + self
+                .local
+                .iter()
+                .map(IndexedHeap::estimated_bytes)
+                .sum::<usize>()
+    }
+
+    /// Flushes the run's tallies into `observer`: merges, pruned points,
+    /// and push/pop totals summed over all heaps.
+    fn flush_telemetry(&self, observer: &Observer) {
+        let counters = observer.counters();
+        let (mut pushes, mut pops) = self.global.telemetry_counts();
+        for h in &self.local {
+            let (pu, po) = h.telemetry_counts();
+            pushes += pu;
+            pops += po;
+        }
+        PipelineCounters::add(&counters.heap_pushes, pushes);
+        PipelineCounters::add(&counters.heap_pops, pops);
+        PipelineCounters::add(&counters.merges, self.merges as u64);
+        PipelineCounters::add(&counters.outliers_pruned, self.outliers.len() as u64);
+    }
+
     /// Current value of the criterion function E_l.
     fn criterion(&self) -> f64 {
         self.members
@@ -499,10 +546,7 @@ mod tests {
                 assert_eq!(out.assignment[p as usize], Some(c as u32));
             }
         }
-        assert_eq!(
-            out.assignment.iter().filter(|a| a.is_some()).count(),
-            12
-        );
+        assert_eq!(out.assignment.iter().filter(|a| a.is_some()).count(), 12);
     }
 
     #[test]

@@ -127,7 +127,9 @@ mod tests {
     #[test]
     fn every_point_in_exactly_one_component() {
         let g = graph(
-            (0..20u32).map(|i| Transaction::new([i / 4, 100 + i])).collect(),
+            (0..20u32)
+                .map(|i| Transaction::new([i / 4, 100 + i]))
+                .collect(),
             0.3,
         );
         let c = connected_components(&g);

@@ -226,17 +226,23 @@ mod tests {
         let ts = t.to_transactions();
         // Rows 0 and 1 agree on vote1=y.
         assert_eq!(
-            ts.transaction(0).unwrap().intersection_len(ts.transaction(1).unwrap()),
+            ts.transaction(0)
+                .unwrap()
+                .intersection_len(ts.transaction(1).unwrap()),
             1
         );
         // Rows 0 and 2 agree only on vote2=n.
         assert_eq!(
-            ts.transaction(0).unwrap().intersection_len(ts.transaction(2).unwrap()),
+            ts.transaction(0)
+                .unwrap()
+                .intersection_len(ts.transaction(2).unwrap()),
             1
         );
         // Rows 1 and 2 agree on nothing.
         assert_eq!(
-            ts.transaction(1).unwrap().intersection_len(ts.transaction(2).unwrap()),
+            ts.transaction(1)
+                .unwrap()
+                .intersection_len(ts.transaction(2).unwrap()),
             0
         );
     }

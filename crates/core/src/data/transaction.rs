@@ -177,7 +177,10 @@ mod tests {
         assert!(t.validate(5).is_ok());
         assert_eq!(
             t.validate(4),
-            Err(RockError::ItemOutOfRange { item: 4, universe: 4 })
+            Err(RockError::ItemOutOfRange {
+                item: 4,
+                universe: 4
+            })
         );
         assert!(Transaction::empty().validate(0).is_ok());
     }

@@ -11,6 +11,7 @@
 //! records history for exactly this use.
 
 use crate::agglomerate::MergeStep;
+use crate::telemetry::MemoryEstimate;
 
 /// A merge tree over `n` points, built from an agglomeration history.
 #[derive(Debug, Clone)]
@@ -142,6 +143,12 @@ impl Dendrogram {
     }
 }
 
+impl MemoryEstimate for Dendrogram {
+    fn estimated_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.steps.capacity() * std::mem::size_of::<MergeStep>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,7 +259,10 @@ mod tests {
         let assign = d.cut_assignments(k).unwrap();
         for b in 0..3usize {
             let first = assign[b * 4];
-            assert!((1..4).all(|o| assign[b * 4 + o] == first), "block {b} split");
+            assert!(
+                (1..4).all(|o| assign[b * 4 + o] == first),
+                "block {b} split"
+            );
         }
     }
 

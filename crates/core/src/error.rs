@@ -90,7 +90,10 @@ impl fmt::Display for RockError {
                 "length mismatch: {left_name} has {left} entries but {right_name} has {right}"
             ),
             RockError::ItemOutOfRange { item, universe } => {
-                write!(f, "item id {item} out of range for universe of {universe} items")
+                write!(
+                    f,
+                    "item id {item} out of range for universe of {universe} items"
+                )
             }
             RockError::EmptySample => {
                 write!(f, "sample for clustering is empty (all points filtered?)")
@@ -165,9 +168,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(RockError::EmptyDataset, RockError::EmptyDataset);
-        assert_ne!(
-            RockError::InvalidTheta(0.0),
-            RockError::InvalidTheta(1.0)
-        );
+        assert_ne!(RockError::InvalidTheta(0.0), RockError::InvalidTheta(1.0));
     }
 }

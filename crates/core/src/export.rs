@@ -98,9 +98,13 @@ impl From<std::io::Error> for ImportError {
 }
 
 /// Reads assignments previously written by [`write_assignments`].
-pub fn read_assignments<R: BufRead>(input: R) -> std::result::Result<Vec<Option<ClusterId>>, ImportError> {
+pub fn read_assignments<R: BufRead>(
+    input: R,
+) -> std::result::Result<Vec<Option<ClusterId>>, ImportError> {
     let mut lines = input.lines();
-    let header = lines.next().ok_or_else(|| ImportError::BadHeader(String::new()))??;
+    let header = lines
+        .next()
+        .ok_or_else(|| ImportError::BadHeader(String::new()))??;
     if header.trim() != HEADER {
         return Err(ImportError::BadHeader(header));
     }
@@ -138,9 +142,11 @@ pub fn read_assignments<R: BufRead>(input: R) -> std::result::Result<Vec<Option<
         let value = if cluster == "-" {
             None
         } else {
-            Some(ClusterId(cluster.parse().map_err(|_| ImportError::BadLine {
-                line: lineno + 3,
-                content: line.clone(),
+            Some(ClusterId(cluster.parse().map_err(|_| {
+                ImportError::BadLine {
+                    line: lineno + 3,
+                    content: line.clone(),
+                }
             })?))
         };
         out.push(value);
@@ -200,8 +206,8 @@ mod tests {
 
     #[test]
     fn rejects_bad_header() {
-        let err = read_assignments(Cursor::new(b"wrong v9\nn=0 k=0 outliers=0\n".to_vec()))
-            .unwrap_err();
+        let err =
+            read_assignments(Cursor::new(b"wrong v9\nn=0 k=0 outliers=0\n".to_vec())).unwrap_err();
         assert!(matches!(err, ImportError::BadHeader(_)));
         assert!(err.to_string().contains("bad header"));
     }

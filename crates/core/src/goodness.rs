@@ -94,9 +94,7 @@ impl Goodness {
             return Err(RockError::InvalidTheta(theta));
         }
         let exponent = 1.0 + 2.0 * f.f(theta);
-        let pow_cache = (0..POW_CACHE)
-            .map(|n| (n as f64).powf(exponent))
-            .collect();
+        let pow_cache = (0..POW_CACHE).map(|n| (n as f64).powf(exponent)).collect();
         Ok(Goodness {
             theta,
             exponent,
@@ -135,9 +133,8 @@ impl Goodness {
     /// guard with a `debug_assert` and clamp for `f(θ) = 0` ablations.
     #[inline]
     pub fn merge_goodness(&self, links: u64, n_i: usize, n_j: usize) -> f64 {
-        let denom = self.expected_links(n_i + n_j)
-            - self.expected_links(n_i)
-            - self.expected_links(n_j);
+        let denom =
+            self.expected_links(n_i + n_j) - self.expected_links(n_i) - self.expected_links(n_j);
         debug_assert!(n_i > 0 && n_j > 0, "clusters must be non-empty");
         if denom <= 0.0 {
             // Degenerate exponent (f(θ) = 0 → e = 1). Fall back to raw

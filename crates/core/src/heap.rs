@@ -14,17 +14,27 @@
 
 use std::collections::HashMap;
 
+use crate::telemetry::MemoryEstimate;
+
 /// Array-backed binary **max**-heap keyed by `u32` ids.
 ///
 /// Priorities need a total order (`Ord`); for floating-point goodness
 /// values wrap them in a totally ordered key (see
 /// `agglomerate::GoodnessKey`).
+///
+/// Every heap keeps lifetime telemetry tallies of its push and pop
+/// operations (see [`telemetry_counts`](Self::telemetry_counts)); the
+/// merge engine sums them into the pipeline counters.
 #[derive(Debug, Clone, Default)]
 pub struct IndexedHeap<P: Ord> {
     /// Heap array of `(priority, id)`.
     entries: Vec<(P, u32)>,
     /// `pos[id]` = index in `entries`; absent ids have no entry.
     pos: HashMap<u32, usize>,
+    /// Lifetime count of insert/update operations.
+    pushes: u64,
+    /// Lifetime count of removals (including entries dropped by `clear`).
+    pops: u64,
 }
 
 impl<P: Ord> IndexedHeap<P> {
@@ -34,6 +44,8 @@ impl<P: Ord> IndexedHeap<P> {
         IndexedHeap {
             entries: Vec::with_capacity(capacity.min(1024)),
             pos: HashMap::with_capacity(capacity.min(1024)),
+            pushes: 0,
+            pops: 0,
         }
     }
 
@@ -42,6 +54,8 @@ impl<P: Ord> IndexedHeap<P> {
         IndexedHeap {
             entries: Vec::new(),
             pos: HashMap::new(),
+            pushes: 0,
+            pops: 0,
         }
     }
 
@@ -71,6 +85,7 @@ impl<P: Ord> IndexedHeap<P> {
 
     /// Inserts `id` with `priority`, or updates its priority if present.
     pub fn insert_or_update(&mut self, id: u32, priority: P) {
+        self.pushes += 1;
         if let Some(&slot) = self.pos.get(&id) {
             let old_was_less = self.entries[slot].0 < priority;
             self.entries[slot].0 = priority;
@@ -90,6 +105,7 @@ impl<P: Ord> IndexedHeap<P> {
     /// Removes `id`, returning its priority if it was present.
     pub fn remove(&mut self, id: u32) -> Option<P> {
         let slot = self.pos.remove(&id)?;
+        self.pops += 1;
         let last = self.entries.len() - 1;
         self.entries.swap(slot, last);
         if slot != last {
@@ -117,10 +133,17 @@ impl<P: Ord> IndexedHeap<P> {
         Some((p, id))
     }
 
-    /// Removes every entry (keeps capacity).
+    /// Removes every entry (keeps capacity). Each dropped entry counts as
+    /// one pop in the telemetry tallies.
     pub fn clear(&mut self) {
+        self.pops += self.entries.len() as u64;
         self.entries.clear();
         self.pos.clear();
+    }
+
+    /// Lifetime `(pushes, pops)` operation tallies of this heap.
+    pub fn telemetry_counts(&self) -> (u64, u64) {
+        (self.pushes, self.pops)
     }
 
     /// Iterates `(priority, id)` in arbitrary (heap) order.
@@ -162,6 +185,15 @@ impl<P: Ord> IndexedHeap<P> {
         }
     }
 
+    /// Estimated heap bytes: the entry array at capacity plus the
+    /// position map (bucket overhead approximated at 1/8 load slack).
+    pub fn estimated_bytes(&self) -> usize {
+        let map_entry = std::mem::size_of::<(u32, usize)>() + std::mem::size_of::<u64>() / 8;
+        std::mem::size_of::<Self>()
+            + self.entries.capacity() * std::mem::size_of::<(P, u32)>()
+            + self.pos.capacity() * map_entry
+    }
+
     /// Checks the heap invariant and position map; test/debug helper.
     #[cfg(any(test, debug_assertions))]
     pub fn assert_invariants(&self) {
@@ -176,13 +208,38 @@ impl<P: Ord> IndexedHeap<P> {
                 assert!(p <= parent, "heap order violated at index {i}");
             }
         }
-        assert_eq!(self.pos.len(), self.entries.len(), "pos map counts mismatch");
+        assert_eq!(
+            self.pos.len(),
+            self.entries.len(),
+            "pos map counts mismatch"
+        );
+    }
+}
+
+impl<P: Ord> MemoryEstimate for IndexedHeap<P> {
+    fn estimated_bytes(&self) -> usize {
+        IndexedHeap::estimated_bytes(self)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn telemetry_counts_track_operations() {
+        let mut h = IndexedHeap::with_capacity(8);
+        for id in 0..5u32 {
+            h.insert_or_update(id, id as i64); // 5 pushes
+        }
+        h.insert_or_update(0, 99); // update still counts as a push
+        h.remove(1); // 1 pop
+        h.remove(1); // absent: no pop
+        h.pop(); // remove() inside: 1 pop
+        h.clear(); // 3 remaining entries → 3 pops
+        assert_eq!(h.telemetry_counts(), (6, 5));
+        assert!(h.estimated_bytes() >= std::mem::size_of::<IndexedHeap<i64>>());
+    }
 
     #[test]
     fn push_pop_orders_descending() {

@@ -14,13 +14,12 @@
 //! automatically attract every point. Points with no neighbors in any
 //! `L_i` are labeled outliers.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-
 use crate::data::{Transaction, TransactionSet};
 use crate::error::{Result, RockError};
 use crate::goodness::LinkExponent;
+use crate::rng::{Rng, SliceRandom};
 use crate::similarity::Similarity;
+use crate::telemetry::{Observer, Phase, PipelineCounters};
 
 /// Configuration for the labeling pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,7 +72,7 @@ impl Representatives {
         sample: &TransactionSet,
         clusters: &[Vec<u32>],
         config: &LabelingConfig,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Result<Self> {
         config.validate()?;
         if clusters.is_empty() {
@@ -94,7 +93,12 @@ impl Representatives {
                 ids.shuffle(rng);
                 ids.truncate(want);
                 ids.iter()
-                    .map(|&i| sample.transaction(i as usize).expect("member in range").clone())
+                    .map(|&i| {
+                        sample
+                            .transaction(i as usize)
+                            .expect("member in range")
+                            .clone()
+                    })
                     .collect()
             })
             .collect();
@@ -180,16 +184,41 @@ pub fn label_many_parallel<S: Similarity, F: LinkExponent>(
     }
     let mut out: Vec<Option<usize>> = vec![None; n];
     let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slice_in, slice_out) in points.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (p, o) in slice_in.iter().zip(slice_out.iter_mut()) {
                     *o = label_point(p, reps, sim, f, theta);
                 }
             });
         }
-    })
-    .expect("labeling worker panicked");
+    });
+    out
+}
+
+/// [`label_many_parallel`] with telemetry: labeling similarity
+/// evaluations (`points × total representatives` — [`label_point`] scores
+/// every point against every representative) and the labeled/outlier
+/// split flow into `observer`'s counters.
+#[allow(clippy::too_many_arguments)] // mirrors label_many_parallel + observer
+pub fn label_many_observed<S: Similarity, F: LinkExponent>(
+    points: &[&Transaction],
+    reps: &Representatives,
+    sim: &S,
+    f: &F,
+    theta: f64,
+    threads: usize,
+    observer: &Observer,
+) -> Vec<Option<usize>> {
+    let out = label_many_parallel(points, reps, sim, f, theta, threads);
+    let counters = observer.counters();
+    PipelineCounters::add(
+        &counters.labeling_evaluations,
+        points.len() as u64 * reps.total() as u64,
+    );
+    let labeled = out.iter().filter(|l| l.is_some()).count() as u64;
+    PipelineCounters::add(&counters.points_labeled, labeled);
+    observer.progress(Phase::Labeling, points.len() as u64, points.len() as u64);
     out
 }
 
@@ -266,8 +295,7 @@ mod tests {
             representative_fraction: 0.01,
             max_representatives: 8,
         };
-        let reps =
-            Representatives::draw(&sample, &clusters, &cfg, &mut seeded_rng(3)).unwrap();
+        let reps = Representatives::draw(&sample, &clusters, &cfg, &mut seeded_rng(3)).unwrap();
         assert_eq!(reps.set(0).len(), 1);
         assert_eq!(reps.set(1).len(), 1);
     }
@@ -296,8 +324,7 @@ mod tests {
             representative_fraction: 1.0,
             max_representatives: 0,
         };
-        let reps =
-            Representatives::draw(&sample, &clusters, &cfg, &mut seeded_rng(0)).unwrap();
+        let reps = Representatives::draw(&sample, &clusters, &cfg, &mut seeded_rng(0)).unwrap();
         let data = ts(vec![
             Transaction::new([0, 1, 2, 4]),
             Transaction::new([10, 11, 12, 14]),
@@ -324,8 +351,7 @@ mod tests {
             representative_fraction: 1.0,
             max_representatives: 0,
         };
-        let reps =
-            Representatives::draw(&sample, &clusters, &cfg, &mut seeded_rng(0)).unwrap();
+        let reps = Representatives::draw(&sample, &clusters, &cfg, &mut seeded_rng(0)).unwrap();
         // This point neighbors exactly one rep of cluster 0 (none — it
         // neighbors all 4 identical reps) — craft instead a point whose
         // similarity passes only for one rep in each set is impossible with
@@ -335,7 +361,10 @@ mod tests {
         let score0 = 4.0 / 5f64.powf(exponent);
         let score1 = 0.0; // sim([0,1], [0..6]) = 2/6 < 0.5
         assert!(score0 > score1);
-        assert_eq!(label_point(&p, &reps, &Jaccard, &MarketBasket, 0.5), Some(0));
+        assert_eq!(
+            label_point(&p, &reps, &Jaccard, &MarketBasket, 0.5),
+            Some(0)
+        );
     }
 
     #[test]
@@ -352,8 +381,7 @@ mod tests {
             representative_fraction: 1.0,
             max_representatives: 0,
         };
-        let reps =
-            Representatives::draw(&sample, &clusters, &cfg, &mut seeded_rng(0)).unwrap();
+        let reps = Representatives::draw(&sample, &clusters, &cfg, &mut seeded_rng(0)).unwrap();
         let points: Vec<Transaction> = (0..300u32)
             .map(|i| {
                 if i % 3 == 0 {
@@ -381,8 +409,7 @@ mod tests {
             representative_fraction: 1.0,
             max_representatives: 0,
         };
-        let reps =
-            Representatives::draw(&sample, &clusters, &cfg, &mut seeded_rng(0)).unwrap();
+        let reps = Representatives::draw(&sample, &clusters, &cfg, &mut seeded_rng(0)).unwrap();
         let points = vec![
             Transaction::new([0, 1, 2, 4]),
             Transaction::new([10, 11, 12, 14]),
@@ -405,9 +432,11 @@ mod tests {
             representative_fraction: 1.0,
             max_representatives: 0,
         };
-        let reps =
-            Representatives::draw(&sample, &clusters, &cfg, &mut seeded_rng(0)).unwrap();
+        let reps = Representatives::draw(&sample, &clusters, &cfg, &mut seeded_rng(0)).unwrap();
         let p = Transaction::new([0, 1]);
-        assert_eq!(label_point(&p, &reps, &Jaccard, &MarketBasket, 0.5), Some(0));
+        assert_eq!(
+            label_point(&p, &reps, &Jaccard, &MarketBasket, 0.5),
+            Some(0)
+        );
     }
 }

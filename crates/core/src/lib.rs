@@ -64,10 +64,12 @@ pub mod links;
 pub mod metrics;
 pub mod neighbors;
 pub mod outliers;
+pub mod rng;
 pub mod rock;
 pub mod sampling;
 pub mod similarity;
 pub mod summary;
+pub mod telemetry;
 
 pub use error::{Result, RockError};
 
@@ -75,12 +77,11 @@ pub use error::{Result, RockError};
 pub mod prelude {
     pub use crate::agglomerate::{AgglomerateConfig, Agglomeration, MergeStep, PruneConfig};
     pub use crate::components::connected_components;
-    pub use crate::dendrogram::Dendrogram;
-    pub use crate::summary::{ClusterSummary, ItemSupport};
     pub use crate::data::{
         AttrId, CategoricalTable, ClusterId, ItemId, Schema, Transaction, TransactionSet,
         Vocabulary,
     };
+    pub use crate::dendrogram::Dendrogram;
     pub use crate::error::{Result, RockError};
     pub use crate::export::{read_assignments, write_assignments};
     pub use crate::goodness::{ConstantExponent, Goodness, LinkExponent, MarketBasket};
@@ -91,9 +92,12 @@ pub mod prelude {
     };
     pub use crate::neighbors::NeighborGraph;
     pub use crate::outliers::NeighborFilter;
+    pub use crate::rng::{Rng, SliceRandom};
     pub use crate::rock::{
         PhaseTimings, Rock, RockBuilder, RockConfig, RockModel, RockStats, SampleStrategy,
     };
     pub use crate::sampling::{chernoff_sample_size, sample_indices, seeded_rng};
     pub use crate::similarity::{Cosine, Dice, HammingRecord, Jaccard, Overlap, Similarity};
+    pub use crate::summary::{ClusterSummary, ItemSupport};
+    pub use crate::telemetry::{Level, MemoryEstimate, Metrics, Observer, Phase, RunInfo};
 }

@@ -13,6 +13,7 @@
 //! matrix-square-row kernel and keeps the inner loop to an indexed add.
 
 use crate::neighbors::NeighborGraph;
+use crate::telemetry::{MemoryEstimate, MemoryGauges, Observer, PipelineCounters};
 
 /// Sparse symmetric matrix of link counts, stored as upper-triangle rows:
 /// `rows[i]` holds `(j, link(i, j))` for `j > i`, sorted by `j`.
@@ -23,16 +24,26 @@ pub struct LinkTable {
 
 impl LinkTable {
     /// Computes all pairwise link counts from a neighbor graph.
-    #[allow(clippy::needless_range_loop)] // scratch/touched/rows are parallel arrays
     pub fn compute(graph: &NeighborGraph) -> Self {
+        Self::compute_observed(graph, &Observer::new())
+    }
+
+    /// [`compute`](Self::compute) with telemetry: inner-kernel visits
+    /// (the paper's `Σ deg²` cost measure) and stored entries flow into
+    /// `observer`'s counters, and the finished table's size into its
+    /// memory gauge.
+    #[allow(clippy::needless_range_loop)] // scratch/touched/rows are parallel arrays
+    pub fn compute_observed(graph: &NeighborGraph, observer: &Observer) -> Self {
         let n = graph.len();
         let mut rows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
         // Dense scratch: counts for the current source row; `touched`
         // records which entries must be reset (rows are usually sparse).
         let mut scratch: Vec<u32> = vec![0; n];
         let mut touched: Vec<u32> = Vec::new();
+        let mut kernel_steps = 0u64;
         for i in 0..n {
             for &l in graph.neighbors(i) {
+                kernel_steps += graph.degree(l as usize) as u64;
                 for &j in graph.neighbors(l as usize) {
                     // Only accumulate the upper triangle (j > i); the pair
                     // (i, j) with j < i was produced when j was the source.
@@ -58,7 +69,15 @@ impl LinkTable {
                 touched.clear();
             }
         }
-        LinkTable { rows }
+        let table = LinkTable { rows };
+        let counters = observer.counters();
+        PipelineCounters::add(&counters.link_kernel_steps, kernel_steps);
+        PipelineCounters::add(&counters.link_entries, table.num_entries() as u64);
+        MemoryGauges::observe(
+            &observer.memory().link_table,
+            table.estimated_bytes() as u64,
+        );
+        table
     }
 
     /// Number of points.
@@ -108,6 +127,18 @@ impl LinkTable {
             .flat_map(|r| r.iter())
             .map(|&(_, c)| c as u64)
             .sum()
+    }
+}
+
+impl MemoryEstimate for LinkTable {
+    fn estimated_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.rows.capacity() * std::mem::size_of::<Vec<(u32, u32)>>()
+            + self
+                .rows
+                .iter()
+                .map(|r| r.capacity() * std::mem::size_of::<(u32, u32)>())
+                .sum::<usize>()
     }
 }
 
@@ -173,9 +204,9 @@ mod tests {
         // Points: a-b-c chain (a~b, b~c, a!~c): link(a,c) = 1 (via b),
         // link(a,b) = 0, link(b,c) = 0.
         let data = vec![
-            Transaction::new([0, 1, 2, 3]),    // a
-            Transaction::new([2, 3, 4, 5]),    // b: sim(a,b)=2/6=1/3
-            Transaction::new([4, 5, 6, 7]),    // c: sim(b,c)=1/3, sim(a,c)=0
+            Transaction::new([0, 1, 2, 3]), // a
+            Transaction::new([2, 3, 4, 5]), // b: sim(a,b)=2/6=1/3
+            Transaction::new([4, 5, 6, 7]), // c: sim(b,c)=1/3, sim(a,c)=0
         ];
         let g = graph_of(data, 1.0 / 3.0);
         assert_eq!(g.neighbors(1), &[0, 2]);
@@ -226,11 +257,7 @@ mod tests {
         let t = LinkTable::compute(&g);
         for i in 0..g.len() {
             for j in (i + 1)..g.len() {
-                assert_eq!(
-                    t.link(i, j),
-                    reference_link(&g, i, j),
-                    "pair ({i},{j})"
-                );
+                assert_eq!(t.link(i, j), reference_link(&g, i, j), "pair ({i},{j})");
             }
         }
     }

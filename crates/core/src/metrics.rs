@@ -175,8 +175,7 @@ impl ContingencyTable {
             return 0.0;
         }
         let n_f = n as f64;
-        let cluster_totals: Vec<usize> =
-            self.counts.iter().map(|r| r.iter().sum()).collect();
+        let cluster_totals: Vec<usize> = self.counts.iter().map(|r| r.iter().sum()).collect();
         let mut class_totals = vec![0usize; self.num_classes()];
         for row in &self.counts {
             for (t, &v) in row.iter().enumerate() {
@@ -189,8 +188,7 @@ impl ContingencyTable {
                 if v > 0 {
                     let p = v as f64 / n_f;
                     mi += p
-                        * (p / ((cluster_totals[c] as f64 / n_f)
-                            * (class_totals[t] as f64 / n_f)))
+                        * (p / ((cluster_totals[c] as f64 / n_f) * (class_totals[t] as f64 / n_f)))
                             .ln();
                 }
             }
@@ -352,10 +350,7 @@ mod tests {
     use super::*;
 
     fn perfect() -> (Vec<Option<u32>>, Vec<usize>) {
-        (
-            vec![Some(0), Some(0), Some(1), Some(1)],
-            vec![0, 0, 1, 1],
-        )
+        (vec![Some(0), Some(0), Some(1), Some(1)], vec![0, 0, 1, 1])
     }
 
     #[test]
@@ -488,8 +483,7 @@ mod tests {
         };
         for _ in 0..20 {
             let k = 5;
-            let profit: Vec<Vec<i64>> =
-                (0..k).map(|_| (0..k).map(|_| next()).collect()).collect();
+            let profit: Vec<Vec<i64>> = (0..k).map(|_| (0..k).map(|_| next()).collect()).collect();
             let a = hungarian_max(&profit);
             let total: i64 = a.iter().enumerate().map(|(i, &j)| profit[i][j]).sum();
             assert_eq!(total, brute(&profit), "matrix {profit:?}");

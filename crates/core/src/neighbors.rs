@@ -7,12 +7,15 @@
 //!
 //! Computing the graph is the `O(n²)` hot spot of ROCK; rows are
 //! independent, so the work is chunked over a small scoped thread pool
-//! (`crossbeam::thread::scope`). Results are deterministic regardless of
+//! (`std::thread::scope`). Results are deterministic regardless of
 //! thread count: each row's list is built in index order.
+
+use std::sync::atomic::AtomicU64;
 
 use crate::data::TransactionSet;
 use crate::error::{Result, RockError};
 use crate::similarity::Similarity;
+use crate::telemetry::{MemoryEstimate, MemoryGauges, Observer, Phase, PipelineCounters};
 
 /// θ-threshold neighbor graph: for each point, the sorted list of its
 /// neighbors (excluding itself).
@@ -36,6 +39,20 @@ impl NeighborGraph {
         theta: f64,
         threads: usize,
     ) -> Result<Self> {
+        Self::compute_observed(data, sim, theta, threads, &Observer::new())
+    }
+
+    /// [`compute`](Self::compute) with telemetry: similarity comparisons
+    /// and stored edges flow into `observer`'s counters (flushed once per
+    /// row chunk), the finished graph's size into its memory gauge, and
+    /// per-chunk [`Phase::Neighbors`] progress events to its sink.
+    pub fn compute_observed<S: Similarity>(
+        data: &TransactionSet,
+        sim: &S,
+        theta: f64,
+        threads: usize,
+        observer: &Observer,
+    ) -> Result<Self> {
         if !(theta > 0.0 && theta < 1.0) {
             return Err(RockError::InvalidTheta(theta));
         }
@@ -45,27 +62,54 @@ impl NeighborGraph {
         }
         let threads = effective_threads(threads, n);
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let counters = observer.counters();
         if threads <= 1 {
+            let mut edges = 0u64;
             for (i, out) in lists.iter_mut().enumerate() {
                 fill_row(data, sim, theta, i, out);
+                edges += out.len() as u64;
             }
+            // Every row evaluates sim() against all n−1 other points.
+            PipelineCounters::add(
+                &counters.similarity_comparisons,
+                (n as u64) * (n as u64 - 1),
+            );
+            PipelineCounters::add(&counters.neighbor_edges, edges);
         } else {
             // Chunk rows contiguously; each worker writes its own disjoint
-            // slice of `lists`, so no synchronization is needed.
+            // slice of `lists`, so no synchronization is needed. Counters
+            // are flushed once per chunk, not per row.
             let chunk = n.div_ceil(threads);
-            crossbeam::thread::scope(|scope| {
+            let done_rows = AtomicU64::new(0);
+            std::thread::scope(|scope| {
                 for (c, slice) in lists.chunks_mut(chunk).enumerate() {
                     let start = c * chunk;
-                    scope.spawn(move |_| {
+                    let done_rows = &done_rows;
+                    scope.spawn(move || {
+                        let mut edges = 0u64;
                         for (off, out) in slice.iter_mut().enumerate() {
                             fill_row(data, sim, theta, start + off, out);
+                            edges += out.len() as u64;
                         }
+                        let rows = slice.len() as u64;
+                        PipelineCounters::add(
+                            &counters.similarity_comparisons,
+                            rows * (n as u64 - 1),
+                        );
+                        PipelineCounters::add(&counters.neighbor_edges, edges);
+                        let done =
+                            rows + done_rows.fetch_add(rows, std::sync::atomic::Ordering::Relaxed);
+                        observer.progress(Phase::Neighbors, done, n as u64);
                     });
                 }
-            })
-            .expect("neighbor worker panicked");
+            });
         }
-        Ok(NeighborGraph { lists, theta })
+        let graph = NeighborGraph { lists, theta };
+        MemoryGauges::observe(
+            &observer.memory().neighbor_graph,
+            graph.estimated_bytes() as u64,
+        );
+        Ok(graph)
     }
 
     /// Number of points.
@@ -145,6 +189,18 @@ impl NeighborGraph {
             lists,
             theta: self.theta,
         }
+    }
+}
+
+impl MemoryEstimate for NeighborGraph {
+    fn estimated_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.lists.capacity() * std::mem::size_of::<Vec<u32>>()
+            + self
+                .lists
+                .iter()
+                .map(|l| l.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
     }
 }
 

@@ -8,6 +8,7 @@
 //! [`crate::agglomerate::PruneConfig`].
 
 use crate::neighbors::NeighborGraph;
+use crate::telemetry::{Observer, PipelineCounters};
 
 /// Policy for the up-front neighbor-count filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +49,21 @@ impl NeighborFilter {
         }
         (kept, outliers)
     }
+
+    /// [`split`](Self::split) with telemetry: the number of dropped
+    /// points flows into `observer`'s `outliers_filtered` counter.
+    pub fn split_observed(
+        &self,
+        graph: &NeighborGraph,
+        observer: &Observer,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let (kept, outliers) = self.split(graph);
+        PipelineCounters::add(
+            &observer.counters().outliers_filtered,
+            outliers.len() as u64,
+        );
+        (kept, outliers)
+    }
 }
 
 impl Default for NeighborFilter {
@@ -71,10 +87,7 @@ mod tests {
 
     #[test]
     fn disabled_filter_keeps_everything() {
-        let g = graph(
-            vec![Transaction::new([0]), Transaction::new([99])],
-            0.5,
-        );
+        let g = graph(vec![Transaction::new([0]), Transaction::new([99])], 0.5);
         let f = NeighborFilter::disabled();
         assert!(f.is_disabled());
         let (kept, out) = f.split(&g);
@@ -117,10 +130,7 @@ mod tests {
 
     #[test]
     fn all_points_can_be_outliers() {
-        let g = graph(
-            vec![Transaction::new([0]), Transaction::new([99])],
-            0.5,
-        );
+        let g = graph(vec![Transaction::new([0]), Transaction::new([99])], 0.5);
         let (kept, out) = NeighborFilter::new(1).split(&g);
         assert!(kept.is_empty());
         assert_eq!(out, vec![0, 1]);

@@ -1,0 +1,354 @@
+//! Vendored deterministic pseudo-random number generation.
+//!
+//! The workspace must build with **no network access**, so instead of the
+//! `rand` crate this module hand-rolls the two small, well-studied
+//! generators the pipeline needs:
+//!
+//! * [`SplitMix64`] — Steele, Lea & Flood's 64-bit mixer. Statistically
+//!   solid for its size and stateless-friendly; used here to expand a user
+//!   seed into the larger xoshiro state (its intended role).
+//! * [`Rng`] — Blackman & Vigna's **xoshiro256++**, the general-purpose
+//!   stream generator behind sampling, representative selection, the
+//!   synthetic dataset generators and the baseline initializers.
+//!
+//! Everything is deterministic given the seed, which the reproduction
+//! relies on: every experiment takes `--seed` and must replay exactly.
+//!
+//! The API mirrors the subset of `rand` the repo used (`gen`, `gen_range`,
+//! [`SliceRandom::shuffle`] / [`SliceRandom::partial_shuffle`]) so call
+//! sites read the same as before the vendoring.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: a tiny splittable generator used for state expansion.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ pseudo-random generator, seeded via [`SplitMix64`].
+///
+/// Not cryptographically secure — it drives sampling and synthetic data,
+/// nothing adversarial.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = mix.next_u64();
+        }
+        // All-zero state would be a fixed point; SplitMix64 cannot emit
+        // four zeros in a row, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        Rng { s }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Next 32-bit output (upper half of the 64-bit stream).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Generates a value of a primitive type with its natural uniform
+    /// distribution (`f64` in `[0, 1)`, integers over their full range,
+    /// `bool` fair). Mirrors `rand::Rng::gen`.
+    #[inline]
+    pub fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Uniform draw from a range; supports `Range<usize>`,
+    /// `RangeInclusive<usize>`, `Range<u64>` and `Range<f64>`.
+    ///
+    /// # Panics
+    /// Panics on an empty range, matching `rand`'s behavior.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Unbiased uniform integer in `[0, bound)` via Lemire's
+    /// multiply-shift with rejection.
+    #[inline]
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // 128-bit multiply-high; reject the biased low zone.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Types producible directly from the generator (see [`Rng::gen`]).
+pub trait FromRng {
+    /// Draws one value from `rng`.
+    fn from_rng(rng: &mut Rng) -> Self;
+}
+
+impl FromRng for u64 {
+    #[inline]
+    fn from_rng(rng: &mut Rng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    #[inline]
+    fn from_rng(rng: &mut Rng) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl FromRng for bool {
+    #[inline]
+    fn from_rng(rng: &mut Rng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRng for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    #[inline]
+    fn from_rng(rng: &mut Rng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws uniformly from the range.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> usize {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + rng.bounded_u64((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        let span = (hi - lo) as u64;
+        if span == u64::MAX {
+            return rng.next_u64() as usize;
+        }
+        lo + rng.bounded_u64(span + 1) as usize
+    }
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> u64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + rng.bounded_u64(self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + rng.gen::<f64>() * (self.end - self.start)
+    }
+}
+
+/// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle of the whole slice.
+    fn shuffle(&mut self, rng: &mut Rng);
+
+    /// Partial Fisher–Yates: places `amount` uniformly chosen elements at
+    /// the front and returns `(chosen, rest)`.
+    fn partial_shuffle(
+        &mut self,
+        rng: &mut Rng,
+        amount: usize,
+    ) -> (&mut [Self::Item], &mut [Self::Item]);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle(&mut self, rng: &mut Rng) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+
+    fn partial_shuffle(&mut self, rng: &mut Rng, amount: usize) -> (&mut [T], &mut [T]) {
+        let amount = amount.min(self.len());
+        for i in 0..amount {
+            let j = rng.gen_range(i..self.len());
+            self.swap(i, j);
+        }
+        self.split_at_mut(amount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // First output for seed 0 per the public-domain splitmix64.c
+        // reference implementation.
+        let mut sm = SplitMix64::new(0);
+        let first = sm.next_u64();
+        assert_eq!(first, 0xe220_a839_7b1d_cdaf);
+    }
+
+    #[test]
+    fn streams_are_seed_deterministic() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        let mut c = Rng::seed_from_u64(43);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5..=5usize);
+            assert_eq!(y, 5);
+            let z = rng.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&z));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::seed_from_u64(0).gen_range(5..5usize);
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((9_000..=11_000).contains(&c), "bucket {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn partial_shuffle_front_is_uniform_subset() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        let (chosen, rest) = v.partial_shuffle(&mut rng, 10);
+        assert_eq!(chosen.len(), 10);
+        assert_eq!(rest.len(), 40);
+        let mut all: Vec<usize> = chosen.iter().chain(rest.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+        // Oversized request clamps.
+        let (chosen, rest) = v.partial_shuffle(&mut rng, 500);
+        assert_eq!(chosen.len(), 50);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(13);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..=32_000).contains(&hits), "hits {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -27,7 +27,7 @@
 
 use std::time::{Duration, Instant};
 
-use crate::agglomerate::{agglomerate, AgglomerateConfig, MergeStep, PruneConfig};
+use crate::agglomerate::{agglomerate_observed, AgglomerateConfig, MergeStep, PruneConfig};
 use crate::data::{ClusterId, TransactionSet};
 use crate::error::{Result, RockError};
 use crate::goodness::{Goodness, LinkExponent, MarketBasket};
@@ -37,6 +37,7 @@ use crate::neighbors::NeighborGraph;
 use crate::outliers::NeighborFilter;
 use crate::sampling::{chernoff_sample_size, sample_indices, seeded_rng};
 use crate::similarity::{Jaccard, Similarity};
+use crate::telemetry::{Level, MemoryGauges, Observer, Phase, PipelineCounters};
 
 /// How the clustering sample is chosen.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -326,20 +327,36 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
     /// Propagates configuration and data validation errors
     /// ([`RockError::InvalidTheta`], [`RockError::InvalidK`],
     /// [`RockError::EmptyDataset`], [`RockError::EmptySample`], …).
-    #[allow(clippy::needless_range_loop)] // assignments/outliers are index-aligned
     pub fn fit(&self, data: &TransactionSet) -> Result<RockModel> {
+        self.fit_observed(data, &Observer::new())
+    }
+
+    /// [`fit`](Self::fit) with telemetry: every pipeline phase runs under
+    /// an [`Observer`] span, hot-path counters and memory gauges fill in,
+    /// and phase/progress events stream to the observer's sink. Collect a
+    /// [`Metrics`](crate::telemetry::Metrics) document from the observer
+    /// afterwards for machine-readable export.
+    ///
+    /// # Errors
+    /// Same as [`fit`](Self::fit).
+    #[allow(clippy::needless_range_loop)] // assignments/outliers are index-aligned
+    pub fn fit_observed(&self, data: &TransactionSet, observer: &Observer) -> Result<RockModel> {
         let start = Instant::now();
         let n = data.len();
         if n == 0 {
             return Err(RockError::EmptyDataset);
         }
         if self.config.k == 0 || self.config.k > n {
-            return Err(RockError::InvalidK { k: self.config.k, n });
+            return Err(RockError::InvalidK {
+                k: self.config.k,
+                n,
+            });
         }
         self.config.labeling.validate()?;
         let mut rng = seeded_rng(self.config.seed);
 
         // ── Phase 1: sample ────────────────────────────────────────────
+        let span = observer.phase(Phase::Sample);
         let sample_indices: Vec<usize> = match self.config.sample {
             SampleStrategy::All => (0..n).collect(),
             SampleStrategy::Fixed(s) => sample_indices(n, s.min(n).max(1), &mut rng)?,
@@ -349,16 +366,30 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
             }
         };
         let sample = data.subset(&sample_indices);
+        PipelineCounters::add(
+            &observer.counters().points_sampled,
+            sample_indices.len() as u64,
+        );
+        observer.log(Level::Info, || {
+            format!("sampled {} of {n} points", sample_indices.len())
+        });
+        span.finish();
 
         // ── Phase 2: neighbors on the sample ──────────────────────────
-        let t = Instant::now();
-        let graph =
-            NeighborGraph::compute(&sample, &self.sim, self.config.theta, self.config.threads)?;
-        let neighbors_time = t.elapsed();
+        let span = observer.phase(Phase::Neighbors);
+        let graph = NeighborGraph::compute_observed(
+            &sample,
+            &self.sim,
+            self.config.theta,
+            self.config.threads,
+            observer,
+        )?;
+        span.finish();
 
         // Up-front outlier filter.
+        let span = observer.phase(Phase::Outliers);
         let (kept, filtered): (Vec<usize>, Vec<usize>) =
-            self.config.neighbor_filter.split(&graph);
+            self.config.neighbor_filter.split_observed(&graph, observer);
         if kept.is_empty() {
             return Err(RockError::EmptySample);
         }
@@ -379,16 +410,23 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
             sample.subset(&kept)
         };
         let (avg_degree, max_degree) = graph.degree_stats();
+        observer.log(Level::Info, || {
+            format!(
+                "filtered {} isolated points; m_a = {avg_degree:.2}, m_m = {max_degree}",
+                filtered.len()
+            )
+        });
+        span.finish();
 
         // ── Phase 3: links + merge ─────────────────────────────────────
-        let t = Instant::now();
-        let links = LinkTable::compute(&graph);
-        let links_time = t.elapsed();
+        let span = observer.phase(Phase::Links);
+        let links = LinkTable::compute_observed(&graph, observer);
+        span.finish();
         let link_entries = links.num_entries();
 
         let goodness = Goodness::new(self.config.theta, &self.f)?;
-        let t = Instant::now();
-        let agg = agglomerate(
+        let span = observer.phase(Phase::Agglomerate);
+        let agg = agglomerate_observed(
             clustered.len(),
             &links,
             &goodness,
@@ -398,8 +436,22 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
                 record_history: self.config.record_history,
                 min_goodness: self.config.min_goodness,
             },
+            observer,
         )?;
-        let merge_time = t.elapsed();
+        MemoryGauges::observe(
+            &observer.memory().dendrogram,
+            (std::mem::size_of::<crate::dendrogram::Dendrogram>()
+                + agg.history.capacity() * std::mem::size_of::<MergeStep>()) as u64,
+        );
+        observer.log(Level::Info, || {
+            format!(
+                "merged to {} clusters in {} steps (reached_k = {})",
+                agg.clusters.len(),
+                agg.merges,
+                agg.reached_k
+            )
+        });
+        span.finish();
 
         // Map sample-local indices back to original dataset indices.
         // kept[i] = index into `sample`; sample_indices[kept[i]] = original.
@@ -427,22 +479,15 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
             .collect();
 
         // ── Phase 4: label points outside the clustered sample ────────
-        let t = Instant::now();
+        let span = observer.phase(Phase::Labeling);
         if clustered.len() < n {
-            let in_sample: std::collections::HashSet<usize> = kept
-                .iter()
-                .map(|&i| sample_indices[i])
-                .collect();
-            let reps = Representatives::draw(
-                &clustered,
-                &agg.clusters,
-                &self.config.labeling,
-                &mut rng,
-            )?;
+            let in_sample: std::collections::HashSet<usize> =
+                kept.iter().map(|&i| sample_indices[i]).collect();
+            let reps =
+                Representatives::draw(&clustered, &agg.clusters, &self.config.labeling, &mut rng)?;
             // Filtered sample points stay outliers per the paper; only
             // points never seen by the clustering phase get labeled.
-            let fixed_outliers: std::collections::HashSet<u32> =
-                outliers.iter().copied().collect();
+            let fixed_outliers: std::collections::HashSet<u32> = outliers.iter().copied().collect();
             let unlabeled: Vec<usize> = (0..n)
                 .filter(|&i| {
                     !in_sample.contains(&i)
@@ -454,13 +499,14 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
                 .iter()
                 .map(|&i| data.transaction(i).expect("in range"))
                 .collect();
-            let labels = crate::labeling::label_many_parallel(
+            let labels = crate::labeling::label_many_observed(
                 &points,
                 &reps,
                 &self.sim,
                 &self.f,
                 self.config.theta,
                 self.config.threads,
+                observer,
             );
             for (&i, label) in unlabeled.iter().zip(labels) {
                 match label {
@@ -475,7 +521,7 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
                 members.sort_unstable();
             }
         }
-        let labeling_time = t.elapsed();
+        span.finish();
 
         // Re-order clusters by decreasing final size and re-number.
         let mut order: Vec<usize> = (0..clusters.len()).collect();
@@ -504,10 +550,10 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
             criterion: agg.criterion,
             reached_k: agg.reached_k,
             timings: PhaseTimings {
-                neighbors: neighbors_time,
-                links: links_time,
-                merge: merge_time,
-                labeling: labeling_time,
+                neighbors: observer.phase_wall(Phase::Neighbors),
+                links: observer.phase_wall(Phase::Links),
+                merge: observer.phase_wall(Phase::Agglomerate),
+                labeling: observer.phase_wall(Phase::Labeling),
                 total: start.elapsed(),
             },
         };
@@ -548,11 +594,7 @@ mod tests {
         let model = RockBuilder::new(2, 0.5).build().fit(&data).unwrap();
         assert_eq!(model.num_clusters(), 2);
         assert_eq!(model.cluster_sizes(), vec![10, 10]);
-        let preds: Vec<Option<u32>> = model
-            .assignments()
-            .iter()
-            .map(|a| a.map(|c| c.0))
-            .collect();
+        let preds: Vec<Option<u32>> = model.assignments().iter().map(|a| a.map(|c| c.0)).collect();
         let acc = crate::metrics::matched_accuracy(&preds, &truth).unwrap();
         assert_eq!(acc, 1.0);
         assert!(model.stats().reached_k);
@@ -571,11 +613,7 @@ mod tests {
         assert_eq!(model.num_clusters(), 2);
         assert_eq!(model.sample_indices().len(), 30);
         // Every point gets labeled into its own block.
-        let preds: Vec<Option<u32>> = model
-            .assignments()
-            .iter()
-            .map(|a| a.map(|c| c.0))
-            .collect();
+        let preds: Vec<Option<u32>> = model.assignments().iter().map(|a| a.map(|c| c.0)).collect();
         let acc = crate::metrics::matched_accuracy(&preds, &truth).unwrap();
         assert_eq!(acc, 1.0, "labeling should be perfect on clean blocks");
         assert!(model.outliers().is_empty());

@@ -11,11 +11,8 @@
 //!       + (n / u_min)·sqrt( log(1/δ)² + 2·ξ·u_min·log(1/δ) )
 //! ```
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use crate::error::{Result, RockError};
+use crate::rng::{Rng, SliceRandom};
 
 /// Minimum sample size that captures at least a fraction `xi` of every
 /// cluster of at least `u_min` points, each with probability `1 − delta`
@@ -56,7 +53,7 @@ pub fn chernoff_sample_size(n: usize, u_min: usize, xi: f64, delta: f64) -> Resu
 /// # Errors
 /// * [`RockError::EmptyDataset`] when `n == 0`.
 /// * [`RockError::InvalidK`] when `size` is 0 or exceeds `n`.
-pub fn sample_indices(n: usize, size: usize, rng: &mut StdRng) -> Result<Vec<usize>> {
+pub fn sample_indices(n: usize, size: usize, rng: &mut Rng) -> Result<Vec<usize>> {
     if n == 0 {
         return Err(RockError::EmptyDataset);
     }
@@ -76,7 +73,7 @@ pub fn sample_indices(n: usize, size: usize, rng: &mut StdRng) -> Result<Vec<usi
 pub fn reservoir_sample<T, I: IntoIterator<Item = T>>(
     iter: I,
     size: usize,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Vec<T> {
     if size == 0 {
         return Vec::new();
@@ -96,8 +93,8 @@ pub fn reservoir_sample<T, I: IntoIterator<Item = T>>(
 }
 
 /// Convenience constructor for the crate's seeded RNG.
-pub fn seeded_rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn seeded_rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }
 
 #[cfg(test)]

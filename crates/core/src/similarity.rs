@@ -182,7 +182,10 @@ mod tests {
         let a = t(&[1, 2, 3, 4]);
         let b = t(&[1]);
         assert!((Cosine.sim(&a, &b) - 0.5).abs() < 1e-12);
-        assert_eq!(Cosine.sim(&Transaction::empty(), &Transaction::empty()), 1.0);
+        assert_eq!(
+            Cosine.sim(&Transaction::empty(), &Transaction::empty()),
+            1.0
+        );
         assert_eq!(Cosine.sim(&Transaction::empty(), &a), 0.0);
     }
 

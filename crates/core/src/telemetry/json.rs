@@ -1,0 +1,452 @@
+//! A minimal JSON writer and parser, hand-rolled because the workspace
+//! builds with no external dependencies.
+//!
+//! The writer ([`JsonObj`]) covers exactly what the telemetry layer needs:
+//! flat or nested objects of strings and numbers, with optional
+//! pretty-printing. The parser ([`Json::parse`]) is a small
+//! recursive-descent implementation used by tests (schema round-trips) and
+//! by tooling that compares `BENCH_*.json` baselines; it accepts any
+//! RFC 8259 document, storing every number as `f64`.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON document (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number token (`null` for non-finite values,
+/// which JSON cannot represent).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // `Display` omits the fractional part for integral floats; keep a
+        // stable numeric form either way (both are valid JSON).
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Incremental JSON object writer.
+///
+/// ```
+/// use rock_core::telemetry::json::JsonObj;
+/// let mut o = JsonObj::new(false, 0);
+/// o.num_u64("n", 3);
+/// o.str("name", "demo");
+/// assert_eq!(o.end(), r#"{"n":3,"name":"demo"}"#);
+/// ```
+#[derive(Debug)]
+pub struct JsonObj {
+    buf: String,
+    first: bool,
+    pretty: bool,
+    indent: usize,
+}
+
+impl JsonObj {
+    /// Starts an object. `indent` is the nesting depth used when `pretty`.
+    pub fn new(pretty: bool, indent: usize) -> Self {
+        JsonObj {
+            buf: String::from("{"),
+            first: true,
+            pretty,
+            indent,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        if self.pretty {
+            self.buf.push('\n');
+            for _ in 0..=self.indent {
+                self.buf.push_str("  ");
+            }
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+        if self.pretty {
+            self.buf.push(' ');
+        }
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn num_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a floating-point field (`null` when non-finite).
+    pub fn num_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&number(v));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is an already-serialized JSON fragment
+    /// (typically a nested [`JsonObj::end`] result).
+    pub fn raw(&mut self, k: &str, json: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the document.
+    pub fn end(mut self) -> String {
+        if self.pretty && !self.first {
+            self.buf.push('\n');
+            for _ in 0..self.indent {
+                self.buf.push_str("  ");
+            }
+        }
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A parsed JSON value. Numbers are stored as `f64` (exact for the
+/// integer counters the telemetry schema emits, up to 2^53).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document.
+    ///
+    /// # Errors
+    /// Returns a human-readable message (with byte offset) on malformed
+    /// input or trailing garbage.
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if it is an object.
+    pub fn fields(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => Err(format!("unexpected input at byte {}", *pos)),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        // Surrogate pairs are not needed by our schema;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn writer_builds_nested_objects() {
+        let mut inner = JsonObj::new(false, 1);
+        inner.num_u64("x", 1).num_f64("y", 0.5);
+        let mut outer = JsonObj::new(false, 0);
+        outer
+            .str("name", "t")
+            .raw("inner", &inner.end())
+            .bool("ok", true);
+        assert_eq!(
+            outer.end(),
+            r#"{"name":"t","inner":{"x":1,"y":0.5},"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn pretty_output_is_parseable_and_indented() {
+        let mut inner = JsonObj::new(true, 1);
+        inner.num_u64("x", 1);
+        let mut outer = JsonObj::new(true, 0);
+        outer.raw("inner", &inner.end());
+        let s = outer.end();
+        assert!(s.contains("\n  \"inner\""));
+        assert!(Json::parse(&s).is_ok());
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(2.0), "2.0");
+    }
+
+    #[test]
+    fn parser_round_trips_values() {
+        let doc = r#"{"a": 1, "b": [1.5, "x", null, true], "c": {"d": -2e3}, "e": "q\"\n"}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            v.get("c").unwrap().get("d").unwrap().as_f64(),
+            Some(-2000.0)
+        );
+        assert_eq!(v.get("e").unwrap().as_str(), Some("q\"\n"));
+        match v.get("b").unwrap() {
+            Json::Arr(items) => {
+                assert_eq!(items.len(), 4);
+                assert_eq!(items[0], Json::Num(1.5));
+                assert_eq!(items[2], Json::Null);
+                assert_eq!(items[3], Json::Bool(true));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse(r#"{"a":}"#).is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn writer_output_always_parses() {
+        let mut o = JsonObj::new(false, 0);
+        o.str("weird", "a\"b\\c\nd\t\u{1}");
+        let s = o.end();
+        let v = Json::parse(&s).unwrap();
+        assert_eq!(v.get("weird").unwrap().as_str(), Some("a\"b\\c\nd\t\u{1}"));
+    }
+}

@@ -37,10 +37,7 @@ impl fmt::Display for CsvError {
                 line,
                 found,
                 expected,
-            } => write!(
-                f,
-                "line {line} has {found} fields, expected {expected}"
-            ),
+            } => write!(f, "line {line} has {found} fields, expected {expected}"),
         }
     }
 }

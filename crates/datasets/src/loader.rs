@@ -237,7 +237,10 @@ democrat,y,y,y,n
         };
         assert!(matches!(
             parse_labeled("a,b\n", &cfg),
-            Err(LoadError::BadLabelColumn { index: 9, columns: 2 })
+            Err(LoadError::BadLabelColumn {
+                index: 9,
+                columns: 2
+            })
         ));
     }
 
@@ -291,8 +294,8 @@ democrat,y,y,y,n
 
     #[test]
     fn missing_file_is_io_error() {
-        let err = load_labeled(Path::new("/nonexistent/file.data"), &LoadConfig::default())
-            .unwrap_err();
+        let err =
+            load_labeled(Path::new("/nonexistent/file.data"), &LoadConfig::default()).unwrap_err();
         assert!(matches!(err, LoadError::Io(_)));
         assert!(err.to_string().contains("io error"));
     }

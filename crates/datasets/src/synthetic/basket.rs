@@ -9,9 +9,8 @@
 //! neighbors. [`BasketModel`] plants that structure generically;
 //! [`intro_example`] builds a small deterministic instance.
 
-use rand::Rng;
-
 use rock_core::data::{Transaction, TransactionSet};
+use rock_core::rng::Rng;
 use rock_core::sampling::seeded_rng;
 
 /// One planted basket cluster.
@@ -69,18 +68,15 @@ impl BasketModel {
     /// the lower-numbered cluster they straddle.
     pub fn generate(&self) -> (TransactionSet, Vec<usize>) {
         let mut rng = seeded_rng(self.seed);
-        let universe = self
-            .clusters
-            .iter()
-            .map(|c| c.items.end)
-            .max()
-            .unwrap_or(0) as usize;
+        let universe = self.clusters.iter().map(|c| c.items.end).max().unwrap_or(0) as usize;
         let mut out = Vec::new();
         let mut labels = Vec::new();
         for (ci, c) in self.clusters.iter().enumerate() {
             let pool: Vec<u32> = c.items.clone().collect();
             for _ in 0..c.baskets {
-                let size = rng.gen_range(c.basket_size.0..=c.basket_size.1).min(pool.len());
+                let size = rng
+                    .gen_range(c.basket_size.0..=c.basket_size.1)
+                    .min(pool.len());
                 out.push(sample_subset(&pool, size, &mut rng));
                 labels.push(ci);
             }
@@ -104,7 +100,7 @@ impl BasketModel {
     }
 }
 
-fn sample_subset(pool: &[u32], size: usize, rng: &mut rand::rngs::StdRng) -> Transaction {
+fn sample_subset(pool: &[u32], size: usize, rng: &mut Rng) -> Transaction {
     debug_assert!(size <= pool.len());
     // Floyd's algorithm for a uniform size-`size` subset.
     let n = pool.len();

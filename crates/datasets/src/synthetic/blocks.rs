@@ -8,8 +8,6 @@
 //! exactly the structure ROCK's link argument relies on: dense common
 //! neighborhoods within a block, sparse across.
 
-use rand::Rng;
-
 use rock_core::data::{Transaction, TransactionSet};
 use rock_core::sampling::seeded_rng;
 
@@ -78,10 +76,7 @@ impl BlockModel {
                 labels.push(b);
             }
         }
-        (
-            TransactionSet::new(transactions, universe),
-            labels,
-        )
+        (TransactionSet::new(transactions, universe), labels)
     }
 }
 

@@ -9,10 +9,8 @@
 //! same-sector funds mostly move together. See `DESIGN.md`
 //! *Substitutions*.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use rock_core::data::TransactionSet;
+use rock_core::rng::Rng;
 use rock_core::sampling::seeded_rng;
 
 use crate::timeseries::{encode_returns, UpDownConfig};
@@ -48,11 +46,26 @@ impl Default for FundsModel {
     fn default() -> Self {
         FundsModel {
             sectors: vec![
-                Sector { name: "bond".into(), funds: 120 },
-                Sector { name: "growth".into(), funds: 180 },
-                Sector { name: "international".into(), funds: 80 },
-                Sector { name: "precious-metals".into(), funds: 30 },
-                Sector { name: "balanced".into(), funds: 90 },
+                Sector {
+                    name: "bond".into(),
+                    funds: 120,
+                },
+                Sector {
+                    name: "growth".into(),
+                    funds: 180,
+                },
+                Sector {
+                    name: "international".into(),
+                    funds: 80,
+                },
+                Sector {
+                    name: "precious-metals".into(),
+                    funds: 30,
+                },
+                Sector {
+                    name: "balanced".into(),
+                    funds: 90,
+                },
             ],
             days: 550,
             sector_vol: 1.0,
@@ -65,7 +78,7 @@ impl Default for FundsModel {
 /// A standard normal sample via Box–Muller (rand's distributions live in
 /// the separate `rand_distr` crate, which we avoid per the dependency
 /// policy).
-fn normal(rng: &mut StdRng) -> f64 {
+fn normal(rng: &mut Rng) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen::<f64>();
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
@@ -105,7 +118,11 @@ impl FundsModel {
         let factors: Vec<Vec<f64>> = self
             .sectors
             .iter()
-            .map(|_| (0..self.days).map(|_| self.sector_vol * normal(&mut rng)).collect())
+            .map(|_| {
+                (0..self.days)
+                    .map(|_| self.sector_vol * normal(&mut rng))
+                    .collect()
+            })
             .collect();
         let mut series = Vec::with_capacity(self.num_funds());
         let mut labels = Vec::with_capacity(self.num_funds());
@@ -180,8 +197,8 @@ mod tests {
         let mut rng = seeded_rng(3);
         let samples: Vec<f64> = (0..20_000).map(|_| normal(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

@@ -8,10 +8,8 @@
 //! experiments can dial class separation (the *concentration* of each
 //! class's per-attribute distribution) continuously.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use rock_core::data::{CategoricalTable, Schema};
+use rock_core::rng::Rng;
 use rock_core::sampling::seeded_rng;
 
 /// Configuration of the latent-class generator.
@@ -128,7 +126,7 @@ impl LatentClassModel {
         attr: usize,
         preferred: &[Vec<u16>],
         noisy: &[bool],
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> u16 {
         let card = self.cardinalities[attr].max(1);
         if noisy[attr] || card == 1 {

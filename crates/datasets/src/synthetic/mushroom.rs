@@ -10,8 +10,6 @@
 //! Groups map to edible/poisonous such that class totals approximate the
 //! real 4208/3916 split. See `DESIGN.md` *Substitutions*.
 
-use rand::Rng;
-
 use rock_core::data::{CategoricalTable, Schema};
 use rock_core::sampling::seeded_rng;
 
@@ -25,8 +23,8 @@ pub const MUSHROOM_CARDINALITIES: [usize; 22] = [
 /// summing to 8124, spanning 8 … 1828 like the cluster sizes the paper
 /// reports).
 pub const PAPER_GROUP_SIZES: [usize; 21] = [
-    1828, 1024, 896, 768, 640, 512, 448, 384, 320, 256, 224, 192, 160, 128, 96, 80, 64, 48, 32,
-    16, 8,
+    1828, 1024, 896, 768, 640, 512, 448, 384, 320, 256, 224, 192, 160, 128, 96, 80, 64, 48, 32, 16,
+    8,
 ];
 
 /// Configuration of the synthetic mushroom generator.
@@ -204,7 +202,10 @@ mod tests {
             .filter(|&i| groups[i] == groups[0] && i != 0)
             .take(5)
             .collect();
-        let diff: Vec<usize> = (0..300).filter(|&i| groups[i] != groups[0]).take(5).collect();
+        let diff: Vec<usize> = (0..300)
+            .filter(|&i| groups[i] != groups[0])
+            .take(5)
+            .collect();
         let agree = |a: usize, b: usize| -> usize {
             table
                 .row(a)

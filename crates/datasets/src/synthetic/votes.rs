@@ -9,8 +9,6 @@
 //! (alternating direction) plus bipartisan coin-flip issues, with missing
 //! values sprinkled uniformly. See `DESIGN.md` *Substitutions*.
 
-use rand::Rng;
-
 use rock_core::data::{CategoricalTable, Schema};
 use rock_core::sampling::seeded_rng;
 
@@ -114,10 +112,19 @@ impl VotesModel {
                 } else {
                     0.5
                 };
-                cells.push(if rng.gen::<f64>() < yes_prob { "y" } else { "n" }.to_owned());
+                cells.push(
+                    if rng.gen::<f64>() < yes_prob {
+                        "y"
+                    } else {
+                        "n"
+                    }
+                    .to_owned(),
+                );
             }
             let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
-            table.push_textual(&refs, "?").expect("row width matches schema");
+            table
+                .push_textual(&refs, "?")
+                .expect("row width matches schema");
         }
         (table, members)
     }
@@ -146,7 +153,10 @@ mod tests {
         let (table, parties) = VotesModel::default().seed(2).generate();
         // On issue 0 (dem-favored), democrats should vote yes far more
         // often than republicans.
-        let yes_code = table.schema().attribute(rock_core::data::AttrId(0)).unwrap();
+        let yes_code = table
+            .schema()
+            .attribute(rock_core::data::AttrId(0))
+            .unwrap();
         let y = yes_code.code("y").unwrap();
         let mut dem_yes = 0f64;
         let mut dem_tot = 0f64;
@@ -183,7 +193,10 @@ mod tests {
         .seed(3);
         let (table, _) = model.generate();
         // Issue 15 is bipartisan: overall yes rate near 0.5.
-        let attr = table.schema().attribute(rock_core::data::AttrId(15)).unwrap();
+        let attr = table
+            .schema()
+            .attribute(rock_core::data::AttrId(15))
+            .unwrap();
         let y = attr.code("y").unwrap();
         let mut yes = 0f64;
         let mut tot = 0f64;

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data_dir = Path::new("data");
     let (table, labels, theta) = if UciDataset::CongressionalVotes.available_in(data_dir) {
         let loaded = UciDataset::CongressionalVotes.load(data_dir)?;
-        println!("using the real UCI dataset ({} records)", loaded.table.len());
+        println!(
+            "using the real UCI dataset ({} records)",
+            loaded.table.len()
+        );
         (loaded.table, loaded.labels, 0.73)
     } else {
         println!("UCI file not found in ./data — using the synthetic votes generator");

@@ -7,7 +7,7 @@
 //! ```
 
 use rock::core::summary::ClusterSummary;
-use rock::datasets::synthetic::{BasketModel, intro_example};
+use rock::datasets::synthetic::{intro_example, BasketModel};
 use rock::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         links.total_links()
     );
     // A within-cluster pair has many common neighbors; a bridge pair few.
-    println!("link(basket0, basket1) = {} (same cluster)", links.link(0, 1));
+    println!(
+        "link(basket0, basket1) = {} (same cluster)",
+        links.link(0, 1)
+    );
     println!("link(basket0, basket20) = {} (bridge)", links.link(0, 20));
 
     let goodness = Goodness::new(theta, &MarketBasket)?;

@@ -9,14 +9,14 @@ use rock::prelude::*;
 fn main() -> Result<(), RockError> {
     // Two kinds of shoppers: breakfast (items 0–4) and barbecue (10–14).
     let data: TransactionSet = vec![
-        Transaction::new([0, 1, 2]),       // milk, cereal, bananas
-        Transaction::new([0, 1, 3]),       // milk, cereal, yogurt
-        Transaction::new([0, 2, 3, 4]),    // milk, bananas, yogurt, oats
-        Transaction::new([1, 2, 4]),       // cereal, bananas, oats
-        Transaction::new([10, 11, 12]),    // charcoal, burgers, buns
-        Transaction::new([10, 11, 13]),    // charcoal, burgers, sauce
-        Transaction::new([10, 12, 13, 14]),// charcoal, buns, sauce, corn
-        Transaction::new([11, 12, 14]),    // burgers, buns, corn
+        Transaction::new([0, 1, 2]),        // milk, cereal, bananas
+        Transaction::new([0, 1, 3]),        // milk, cereal, yogurt
+        Transaction::new([0, 2, 3, 4]),     // milk, bananas, yogurt, oats
+        Transaction::new([1, 2, 4]),        // cereal, bananas, oats
+        Transaction::new([10, 11, 12]),     // charcoal, burgers, buns
+        Transaction::new([10, 11, 13]),     // charcoal, burgers, sauce
+        Transaction::new([10, 12, 13, 14]), // charcoal, buns, sauce, corn
+        Transaction::new([11, 12, 14]),     // burgers, buns, corn
     ]
     .into_iter()
     .collect();

@@ -4,20 +4,26 @@
 //! rock-cluster --input data.csv --k 2 --theta 0.5 \
 //!     [--label first|last|none|COLUMN] [--ignore 0,3] [--missing '?'] \
 //!     [--sample N | --chernoff UMIN,XI,DELTA] [--min-goodness G] \
-//!     [--seed N] [--threads N] [--summary TOP] [--output assignments.txt]
+//!     [--seed N] [--threads N] [--summary TOP] [--output assignments.txt] \
+//!     [--metrics metrics.json] [--progress] [--log-level info]
 //! ```
 //!
 //! Reads a UCI-style categorical CSV, runs the full ROCK pipeline, prints
 //! a cluster report (scored against the label column when present), and
 //! optionally writes per-point assignments in the plain-text format of
-//! `rock_core::export`.
+//! `rock_core::export`. With `--metrics FILE` the run's telemetry (phase
+//! wall times, pipeline counters, memory estimates) is written to `FILE`
+//! as pretty-printed JSON in the `rock-metrics/v1` schema; `--progress`
+//! and `--log-level` stream phase events to stderr while it runs.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use rock::core::export::write_assignments;
 use rock::core::metrics::{cluster_breakdown, densify_labels, matched_accuracy, purity};
 use rock::core::summary::ClusterSummary;
+use rock::core::telemetry::StderrSink;
 use rock::datasets::baskets::load_baskets;
 use rock::datasets::loader::{load_labeled, LabelPosition, LoadConfig};
 use rock::prelude::*;
@@ -47,12 +53,16 @@ struct Options {
     threads: usize,
     summary_top: usize,
     output: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    progress: bool,
+    log_level: Level,
 }
 
 const USAGE: &str = "usage: rock-cluster --input FILE --k K --theta T \
 [--format table|basket] [--label first|last|none|IDX] [--ignore i,j,...] \
 [--missing TOKEN] [--sample N | --chernoff UMIN,XI,DELTA] \
-[--min-goodness G] [--seed N] [--threads N] [--summary TOP] [--output FILE]";
+[--min-goodness G] [--seed N] [--threads N] [--summary TOP] [--output FILE] \
+[--metrics FILE] [--progress] [--log-level off|error|info|debug]";
 
 fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
     let mut input: Option<PathBuf> = None;
@@ -68,6 +78,9 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
     let mut threads = 0usize;
     let mut summary_top = 0usize;
     let mut output = None;
+    let mut metrics = None;
+    let mut progress = false;
+    let mut log_level = Level::Off;
 
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -85,7 +98,11 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
             }
             "--k" => k = Some(value("--k")?.parse().map_err(|e| format!("--k: {e}"))?),
             "--theta" => {
-                theta = Some(value("--theta")?.parse().map_err(|e| format!("--theta: {e}"))?)
+                theta = Some(
+                    value("--theta")?
+                        .parse()
+                        .map_err(|e| format!("--theta: {e}"))?,
+                )
             }
             "--label" => {
                 label = match value("--label")?.as_str() {
@@ -93,7 +110,8 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
                     "last" => LabelPosition::Last,
                     "none" => LabelPosition::None,
                     idx => LabelPosition::Column(
-                        idx.parse().map_err(|_| format!("--label: bad value {idx:?}"))?,
+                        idx.parse()
+                            .map_err(|_| format!("--label: bad value {idx:?}"))?,
                     ),
                 }
             }
@@ -105,7 +123,9 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
             "--missing" => missing = value("--missing")?,
             "--sample" => {
                 sample = SampleStrategy::Fixed(
-                    value("--sample")?.parse().map_err(|e| format!("--sample: {e}"))?,
+                    value("--sample")?
+                        .parse()
+                        .map_err(|e| format!("--sample: {e}"))?,
                 )
             }
             "--chernoff" => {
@@ -115,9 +135,18 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
                     return Err(format!("--chernoff expects UMIN,XI,DELTA, got {raw:?}"));
                 };
                 sample = SampleStrategy::Chernoff {
-                    u_min: u_min.trim().parse().map_err(|e| format!("--chernoff u_min: {e}"))?,
-                    xi: xi.trim().parse().map_err(|e| format!("--chernoff xi: {e}"))?,
-                    delta: delta.trim().parse().map_err(|e| format!("--chernoff delta: {e}"))?,
+                    u_min: u_min
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("--chernoff u_min: {e}"))?,
+                    xi: xi
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("--chernoff xi: {e}"))?,
+                    delta: delta
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("--chernoff delta: {e}"))?,
                 };
             }
             "--min-goodness" => {
@@ -127,14 +156,29 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
                         .map_err(|e| format!("--min-goodness: {e}"))?,
                 )
             }
-            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--threads" => {
-                threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
             }
             "--summary" => {
-                summary_top = value("--summary")?.parse().map_err(|e| format!("--summary: {e}"))?
+                summary_top = value("--summary")?
+                    .parse()
+                    .map_err(|e| format!("--summary: {e}"))?
             }
             "--output" => output = Some(PathBuf::from(value("--output")?)),
+            "--metrics" => metrics = Some(PathBuf::from(value("--metrics")?)),
+            "--progress" => progress = true,
+            "--log-level" => {
+                log_level = value("--log-level")?
+                    .parse()
+                    .map_err(|e| format!("--log-level: {e}"))?
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -153,6 +197,9 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
         threads,
         summary_top,
         output,
+        metrics,
+        progress,
+        log_level,
     })
 }
 
@@ -194,7 +241,15 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(g) = opts.min_goodness {
         builder = builder.min_goodness(g);
     }
-    let model = builder.build().fit(&data)?;
+    let observer = if opts.progress || opts.log_level > Level::Off {
+        Observer::with_sink(
+            Arc::new(StderrSink::new(opts.progress)),
+            opts.log_level.max(Level::Error),
+        )
+    } else {
+        Observer::new()
+    };
+    let model = builder.build().fit_observed(&data, &observer)?;
     let stats = model.stats();
     eprintln!(
         "clustered sample of {} (avg degree {:.1}) into {} clusters, {} outliers, in {:?}",
@@ -210,11 +265,7 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         println!("cluster sizes: {:?}", model.cluster_sizes());
     } else {
         let truth = densify_labels(&labels);
-        let pred: Vec<Option<u32>> = model
-            .assignments()
-            .iter()
-            .map(|a| a.map(|c| c.0))
-            .collect();
+        let pred: Vec<Option<u32>> = model.assignments().iter().map(|a| a.map(|c| c.0)).collect();
         println!("cluster  size  class-breakdown");
         for (i, (size, classes)) in cluster_breakdown(&pred, &truth)?.iter().enumerate() {
             println!("C{i:<6}  {size:<4}  {classes:?}");
@@ -230,7 +281,10 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .enumerate()
         {
-            println!("C{i} characteristic items: {}", s.describe(&data, opts.summary_top));
+            println!(
+                "C{i} characteristic items: {}",
+                s.describe(&data, opts.summary_top)
+            );
         }
     }
 
@@ -238,6 +292,22 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
         write_assignments(&mut file, model.assignments())?;
         eprintln!("assignments written to {}", path.display());
+    }
+
+    if let Some(path) = &opts.metrics {
+        let run = RunInfo {
+            experiment: "cli".to_owned(),
+            n: data.len(),
+            k: opts.k,
+            theta: opts.theta,
+            seed: opts.seed,
+            sample_size: stats.sample_size,
+            clusters: model.num_clusters(),
+            outliers: model.outliers().len(),
+        };
+        let metrics = Metrics::collect(&observer, run, stats.timings.total);
+        std::fs::write(path, metrics.to_json() + "\n")?;
+        eprintln!("metrics written to {}", path.display());
     }
     Ok(())
 }
@@ -282,10 +352,10 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(o.format, Format::Basket);
-        assert!(parse(&[
-            "--input", "b.txt", "--k", "2", "--theta", "0.4", "--format", "json",
-        ])
-        .is_err());
+        assert!(
+            parse(&["--input", "b.txt", "--k", "2", "--theta", "0.4", "--format", "json",])
+                .is_err()
+        );
     }
 
     #[test]
@@ -315,6 +385,9 @@ mod tests {
             threads: 1,
             summary_top: 2,
             output: None,
+            metrics: None,
+            progress: false,
+            log_level: Level::Off,
         };
         run(&opts).unwrap();
         std::fs::remove_file(input).ok();
@@ -323,9 +396,35 @@ mod tests {
     #[test]
     fn parses_full_flag_set() {
         let o = parse(&[
-            "--input", "d.csv", "--k", "3", "--theta", "0.7", "--label", "first", "--ignore",
-            "0,2", "--missing", "NA", "--sample", "500", "--min-goodness", "0.1", "--seed",
-            "9", "--threads", "4", "--summary", "5", "--output", "out.txt",
+            "--input",
+            "d.csv",
+            "--k",
+            "3",
+            "--theta",
+            "0.7",
+            "--label",
+            "first",
+            "--ignore",
+            "0,2",
+            "--missing",
+            "NA",
+            "--sample",
+            "500",
+            "--min-goodness",
+            "0.1",
+            "--seed",
+            "9",
+            "--threads",
+            "4",
+            "--summary",
+            "5",
+            "--output",
+            "out.txt",
+            "--metrics",
+            "m.json",
+            "--progress",
+            "--log-level",
+            "debug",
         ])
         .unwrap();
         assert_eq!(o.k, 3);
@@ -339,13 +438,24 @@ mod tests {
         assert_eq!(o.threads, 4);
         assert_eq!(o.summary_top, 5);
         assert_eq!(o.output, Some(PathBuf::from("out.txt")));
+        assert_eq!(o.metrics, Some(PathBuf::from("m.json")));
+        assert!(o.progress);
+        assert_eq!(o.log_level, Level::Debug);
     }
 
     #[test]
     fn parses_chernoff_and_label_index() {
         let o = parse(&[
-            "--input", "d.csv", "--k", "2", "--theta", "0.5", "--chernoff", "100,0.25,0.05",
-            "--label", "3",
+            "--input",
+            "d.csv",
+            "--k",
+            "2",
+            "--theta",
+            "0.5",
+            "--chernoff",
+            "100,0.25,0.05",
+            "--label",
+            "3",
         ])
         .unwrap();
         assert_eq!(
@@ -362,10 +472,30 @@ mod tests {
     #[test]
     fn rejects_bad_values() {
         assert!(parse(&["--input", "x", "--k", "two", "--theta", "0.5"]).is_err());
-        assert!(parse(&["--input", "x", "--k", "2", "--theta", "0.5", "--chernoff", "1,2"])
-            .is_err());
+        assert!(parse(&[
+            "--input",
+            "x",
+            "--k",
+            "2",
+            "--theta",
+            "0.5",
+            "--chernoff",
+            "1,2"
+        ])
+        .is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
+        assert!(parse(&[
+            "--input",
+            "x",
+            "--k",
+            "2",
+            "--theta",
+            "0.5",
+            "--log-level",
+            "verbose",
+        ])
+        .is_err());
     }
 
     #[test]
@@ -380,6 +510,7 @@ mod tests {
         }
         std::fs::write(&input, csv).unwrap();
         let output = dir.join("assignments.txt");
+        let metrics = dir.join("metrics.json");
         let opts = Options {
             input: input.clone(),
             format: Format::Table,
@@ -394,12 +525,19 @@ mod tests {
             threads: 1,
             summary_top: 3,
             output: Some(output.clone()),
+            metrics: Some(metrics.clone()),
+            progress: false,
+            log_level: Level::Off,
         };
         run(&opts).unwrap();
         let written = std::fs::read_to_string(&output).unwrap();
         assert!(written.starts_with("rock-assignments v1"));
         assert!(written.contains("n=20 k=2"));
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("\"schema\": \"rock-metrics/v1\""));
+        assert!(json.contains("\"similarity_comparisons\""));
         std::fs::remove_file(input).ok();
         std::fs::remove_file(output).ok();
+        std::fs::remove_file(metrics).ok();
     }
 }

@@ -128,7 +128,11 @@ fn streaming_labeling_matches_batch_pipeline() {
     let mut rng = seeded_rng(8);
     let idx = sample_indices(data.len(), 200, &mut rng).unwrap();
     let sample = data.subset(&idx);
-    let model = RockBuilder::new(5, 0.8).seed(8).build().fit(&sample).unwrap();
+    let model = RockBuilder::new(5, 0.8)
+        .seed(8)
+        .build()
+        .fit(&sample)
+        .unwrap();
     let sample_clusters: Vec<Vec<u32>> = model.clusters().to_vec();
     let reps = Representatives::draw(
         &sample,
@@ -137,15 +141,10 @@ fn streaming_labeling_matches_batch_pipeline() {
         &mut rng,
     )
     .unwrap();
-    let streamed: Vec<Option<usize>> = label_stream(
-        data.iter().cloned(),
-        &reps,
-        &Jaccard,
-        &MarketBasket,
-        0.8,
-    )
-    .map(|(_, l)| l)
-    .collect();
+    let streamed: Vec<Option<usize>> =
+        label_stream(data.iter().cloned(), &reps, &Jaccard, &MarketBasket, 0.8)
+            .map(|(_, l)| l)
+            .collect();
     // Streamed labels should agree with the latent groups almost always.
     let pred: Vec<Option<u32>> = streamed.iter().map(|l| l.map(|c| c as u32)).collect();
     let acc = matched_accuracy(&pred, &groups).unwrap();

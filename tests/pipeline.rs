@@ -22,7 +22,11 @@ fn votes_like_end_to_end() {
         .map(|p| usize::from(*p == Party::Republican))
         .collect();
     let data = table.to_transactions();
-    let model = RockBuilder::new(2, 0.45).seed(11).build().fit(&data).unwrap();
+    let model = RockBuilder::new(2, 0.45)
+        .seed(11)
+        .build()
+        .fit(&data)
+        .unwrap();
     let acc = matched_accuracy(&predictions(&model), &truth).unwrap();
     assert!(acc > 0.9, "votes accuracy {acc}");
     assert_eq!(model.num_clusters(), 2);
@@ -52,7 +56,11 @@ fn mushroom_like_sample_and_label_end_to_end() {
 fn funds_end_to_end() {
     let model = FundsModel::scaled(3, 25, 250).seed(5);
     let (data, sectors) = model.generate(&UpDownConfig::default());
-    let rock = RockBuilder::new(3, 0.55).seed(5).build().fit(&data).unwrap();
+    let rock = RockBuilder::new(3, 0.55)
+        .seed(5)
+        .build()
+        .fit(&data)
+        .unwrap();
     let acc = matched_accuracy(&predictions(&rock), &sectors).unwrap();
     assert!(acc > 0.95, "funds accuracy {acc}");
 }
@@ -85,14 +93,15 @@ fn all_algorithms_agree_on_clean_blocks() {
     assert_eq!(matched_accuracy(&predictions(&rock), &truth).unwrap(), 1.0);
 
     let trad = traditional(&data, 3, Linkage::Centroid).unwrap();
-    assert_eq!(matched_accuracy(&trad.as_predictions(), &truth).unwrap(), 1.0);
+    assert_eq!(
+        matched_accuracy(&trad.as_predictions(), &truth).unwrap(),
+        1.0
+    );
 
     // k-modes needs the tabular form; build one column per feature.
     let mut table = CategoricalTable::new(Schema::with_unnamed(90));
     for t in data.iter() {
-        let row: Vec<Option<u16>> = (0..90u32)
-            .map(|f| Some(u16::from(t.contains(f))))
-            .collect();
+        let row: Vec<Option<u16>> = (0..90u32).map(|f| Some(u16::from(t.contains(f)))).collect();
         table.push_coded(row).unwrap();
     }
     let km = KModes::new(3).n_init(8).seed(3).fit(&table).unwrap();
@@ -123,10 +132,7 @@ fn loader_to_pipeline_roundtrip() {
     let truth = densify_labels(&loaded.labels);
     let data = loaded.table.to_transactions();
     let model = RockBuilder::new(2, 0.5).build().fit(&data).unwrap();
-    assert_eq!(
-        matched_accuracy(&predictions(&model), &truth).unwrap(),
-        1.0
-    );
+    assert_eq!(matched_accuracy(&predictions(&model), &truth).unwrap(), 1.0);
 }
 
 #[test]

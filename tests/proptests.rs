@@ -1,87 +1,112 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants of the clustering pipeline.
-
-use proptest::prelude::*;
+//! Randomized invariant tests on the core data structures of the
+//! clustering pipeline. Each test sweeps a fixed set of seeds through the
+//! vendored [`rock::core::rng::Rng`], generating arbitrary inputs and
+//! checking properties that must hold for *every* input — the offline,
+//! dependency-free replacement for the original proptest suite. Failures
+//! print the seed so a case can be replayed by hand.
 
 use rock::core::agglomerate::{agglomerate, AgglomerateConfig};
+use rock::core::components::connected_components;
+use rock::core::export::{read_assignments, write_assignments};
 use rock::core::heap::IndexedHeap;
 use rock::core::metrics::{hungarian_max, ContingencyTable};
+use rock::core::rng::Rng;
+use rock::core::summary::ClusterSummary;
 use rock::prelude::*;
 
-fn arb_transaction(universe: u32, max_len: usize) -> impl Strategy<Value = Transaction> {
-    proptest::collection::vec(0..universe, 0..=max_len).prop_map(Transaction::new)
+/// Seeds swept by every test; each seed is one independent random case.
+const CASES: u64 = 64;
+
+fn arb_transaction(rng: &mut Rng, universe: u32, max_len: usize) -> Transaction {
+    let len = rng.gen_range(0..=max_len);
+    let items: Vec<u32> = (0..len)
+        .map(|_| rng.gen_range(0..universe as u64) as u32)
+        .collect();
+    Transaction::new(items)
 }
 
-fn arb_dataset(n: usize, universe: u32, max_len: usize) -> impl Strategy<Value = TransactionSet> {
-    proptest::collection::vec(arb_transaction(universe, max_len), 1..=n)
-        .prop_map(move |v| TransactionSet::new(v, universe as usize))
+fn arb_dataset(rng: &mut Rng, max_n: usize, universe: u32, max_len: usize) -> TransactionSet {
+    let n = rng.gen_range(1..=max_n);
+    let rows: Vec<Transaction> = (0..n)
+        .map(|_| arb_transaction(rng, universe, max_len))
+        .collect();
+    TransactionSet::new(rows, universe as usize)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+// ── Transactions & similarity ──────────────────────────────────────────
 
-    // ── Transactions & similarity ──────────────────────────────────────
-
-    #[test]
-    fn intersection_is_bounded_and_symmetric(
-        a in arb_transaction(40, 15),
-        b in arb_transaction(40, 15),
-    ) {
+#[test]
+fn intersection_is_bounded_and_symmetric() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = arb_transaction(&mut rng, 40, 15);
+        let b = arb_transaction(&mut rng, 40, 15);
         let ab = a.intersection_len(&b);
-        prop_assert_eq!(ab, b.intersection_len(&a));
-        prop_assert!(ab <= a.len().min(b.len()));
-        prop_assert_eq!(a.union_len(&b) + ab, a.len() + b.len());
+        assert_eq!(ab, b.intersection_len(&a), "seed {seed}");
+        assert!(ab <= a.len().min(b.len()), "seed {seed}");
+        assert_eq!(a.union_len(&b) + ab, a.len() + b.len(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn jaccard_properties(
-        a in arb_transaction(30, 12),
-        b in arb_transaction(30, 12),
-    ) {
+#[test]
+fn jaccard_properties() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = arb_transaction(&mut rng, 30, 12);
+        let b = arb_transaction(&mut rng, 30, 12);
         let s = Jaccard.sim(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&s));
-        prop_assert_eq!(s, Jaccard.sim(&b, &a));
-        prop_assert_eq!(Jaccard.sim(&a, &a), 1.0);
-        // Jaccard dominates Dice ordering: both rank pairs identically.
+        assert!((0.0..=1.0).contains(&s), "seed {seed}");
+        assert_eq!(s, Jaccard.sim(&b, &a), "seed {seed}");
+        assert_eq!(Jaccard.sim(&a, &a), 1.0, "seed {seed}");
+        // Dice dominates Jaccard: both rank pairs identically.
         let d = Dice.sim(&a, &b);
-        prop_assert!(d >= s || (d - s).abs() < 1e-12);
+        assert!(d >= s || (d - s).abs() < 1e-12, "seed {seed}");
     }
+}
 
-    // ── Neighbor graph ─────────────────────────────────────────────────
+// ── Neighbor graph ─────────────────────────────────────────────────────
 
-    #[test]
-    fn neighbor_graph_is_symmetric_and_loopless(
-        data in arb_dataset(30, 25, 8),
-        theta in 0.05f64..0.95,
-    ) {
+#[test]
+fn neighbor_graph_is_symmetric_and_loopless() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let data = arb_dataset(&mut rng, 30, 25, 8);
+        let theta = rng.gen_range(0.05..0.95);
         let g = NeighborGraph::compute(&data, &Jaccard, theta, 1).unwrap();
         for i in 0..g.len() {
-            prop_assert!(!g.neighbors(i).contains(&(i as u32)));
+            assert!(!g.neighbors(i).contains(&(i as u32)), "seed {seed}");
             for &j in g.neighbors(i) {
-                prop_assert!(g.neighbors(j as usize).contains(&(i as u32)));
+                assert!(
+                    g.neighbors(j as usize).contains(&(i as u32)),
+                    "seed {seed}: edge {i}-{j} not symmetric"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn higher_theta_never_adds_neighbors(
-        data in arb_dataset(25, 20, 8),
-        theta in 0.1f64..0.8,
-    ) {
+#[test]
+fn higher_theta_never_adds_neighbors() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let data = arb_dataset(&mut rng, 25, 20, 8);
+        let theta = rng.gen_range(0.1..0.8);
         let lo = NeighborGraph::compute(&data, &Jaccard, theta, 1).unwrap();
         let hi = NeighborGraph::compute(&data, &Jaccard, theta + 0.1, 1).unwrap();
         for i in 0..lo.len() {
-            prop_assert!(hi.degree(i) <= lo.degree(i));
+            assert!(hi.degree(i) <= lo.degree(i), "seed {seed}");
         }
     }
+}
 
-    // ── Links ──────────────────────────────────────────────────────────
+// ── Links ──────────────────────────────────────────────────────────────
 
-    #[test]
-    fn links_match_bruteforce(
-        data in arb_dataset(25, 20, 8),
-        theta in 0.1f64..0.9,
-    ) {
+#[test]
+fn links_match_bruteforce() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let data = arb_dataset(&mut rng, 25, 20, 8);
+        let theta = rng.gen_range(0.1..0.9);
         let g = NeighborGraph::compute(&data, &Jaccard, theta, 1).unwrap();
         let links = LinkTable::compute(&g);
         for i in 0..g.len() {
@@ -91,46 +116,56 @@ proptest! {
                     .iter()
                     .filter(|x| g.neighbors(j).contains(x))
                     .count() as u32;
-                prop_assert_eq!(links.link(i, j), expected);
+                assert_eq!(links.link(i, j), expected, "seed {seed}: pair {i},{j}");
             }
         }
     }
+}
 
-    // ── Heap vs reference model ────────────────────────────────────────
+// ── Heap vs reference model ────────────────────────────────────────────
 
-    #[test]
-    fn heap_matches_btreemap_model(ops in proptest::collection::vec((0u32..32, 0u64..100, 0u8..3), 1..300)) {
+#[test]
+fn heap_matches_btreemap_model() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
         let mut heap: IndexedHeap<u64> = IndexedHeap::new();
         let mut model = std::collections::BTreeMap::new();
-        for (id, p, op) in ops {
-            match op {
+        let ops = rng.gen_range(1..=300usize);
+        for _ in 0..ops {
+            let id = rng.gen_range(0..32u64) as u32;
+            let p = rng.gen_range(0..100u64);
+            match rng.gen_range(0..3u64) {
                 0 => {
                     heap.insert_or_update(id, p);
                     model.insert(id, p);
                 }
                 1 => {
-                    prop_assert_eq!(heap.remove(id), model.remove(&id));
+                    assert_eq!(heap.remove(id), model.remove(&id), "seed {seed}");
                 }
                 _ => {
                     let got = heap.peek().map(|(p, _)| *p);
                     let expect = model.values().max().copied();
-                    prop_assert_eq!(got, expect);
+                    assert_eq!(got, expect, "seed {seed}");
                 }
             }
-            prop_assert_eq!(heap.len(), model.len());
+            assert_eq!(heap.len(), model.len(), "seed {seed}");
         }
     }
+}
 
-    // ── Agglomeration invariants ───────────────────────────────────────
+// ── Agglomeration invariants ───────────────────────────────────────────
 
-    #[test]
-    fn agglomeration_partitions_points(
-        data in arb_dataset(30, 15, 6),
-        theta in 0.2f64..0.8,
-        k in 1usize..5,
-    ) {
+#[test]
+fn agglomeration_partitions_points() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let data = arb_dataset(&mut rng, 30, 15, 6);
+        let theta = rng.gen_range(0.2..0.8);
         let n = data.len();
-        prop_assume!(k <= n);
+        let k = rng.gen_range(1..5usize);
+        if k > n {
+            continue;
+        }
         let g = NeighborGraph::compute(&data, &Jaccard, theta, 1).unwrap();
         let links = LinkTable::compute(&g);
         let good = Goodness::new(theta, &MarketBasket).unwrap();
@@ -139,63 +174,78 @@ proptest! {
         let mut seen = vec![false; n];
         for members in &out.clusters {
             for &p in members {
-                prop_assert!(!seen[p as usize]);
+                assert!(!seen[p as usize], "seed {seed}: point {p} twice");
                 seen[p as usize] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s), "seed {seed}");
         // At least k clusters (early stop allowed), never fewer.
-        prop_assert!(out.clusters.len() >= k);
+        assert!(out.clusters.len() >= k, "seed {seed}");
         if out.reached_k {
-            prop_assert_eq!(out.clusters.len(), k);
+            assert_eq!(out.clusters.len(), k, "seed {seed}");
         }
         // Merge history consistent with cluster count.
-        prop_assert_eq!(out.merges, n - out.clusters.len());
+        assert_eq!(out.merges, n - out.clusters.len(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn merge_goodness_is_positive_and_monotone_in_links(
-        links in 1u64..1000,
-        ni in 1usize..100,
-        nj in 1usize..100,
-        theta in 0.1f64..0.9,
-    ) {
+#[test]
+fn merge_goodness_is_positive_and_monotone_in_links() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let links = rng.gen_range(1..1000u64);
+        let ni = rng.gen_range(1..100usize);
+        let nj = rng.gen_range(1..100usize);
+        let theta = rng.gen_range(0.1..0.9);
         let g = Goodness::new(theta, &MarketBasket).unwrap();
         let a = g.merge_goodness(links, ni, nj);
         let b = g.merge_goodness(links + 1, ni, nj);
-        prop_assert!(a > 0.0);
-        prop_assert!(b > a);
+        assert!(a > 0.0, "seed {seed}");
+        assert!(b > a, "seed {seed}");
         // Symmetric in the cluster sizes (up to fp rounding: the
         // denominator subtracts E(ni) and E(nj) in swapped order).
         let swapped = g.merge_goodness(links, nj, ni);
-        prop_assert!((a - swapped).abs() <= 1e-9 * a.abs().max(1.0));
+        assert!(
+            (a - swapped).abs() <= 1e-9 * a.abs().max(1.0),
+            "seed {seed}"
+        );
     }
+}
 
-    // ── Metrics ────────────────────────────────────────────────────────
+// ── Metrics ────────────────────────────────────────────────────────────
 
-    #[test]
-    fn accuracy_invariant_to_cluster_relabeling(
-        labels in proptest::collection::vec(0usize..3, 4..40),
-        preds in proptest::collection::vec(0u32..3, 4..40),
-    ) {
-        let n = labels.len().min(preds.len());
-        let labels = &labels[..n];
-        let preds: Vec<Option<u32>> = preds[..n].iter().map(|&p| Some(p)).collect();
+#[test]
+fn accuracy_invariant_to_cluster_relabeling() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n = rng.gen_range(4..40usize);
+        let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..3u64) as usize).collect();
+        let preds: Vec<Option<u32>> = (0..n)
+            .map(|_| Some(rng.gen_range(0..3u64) as u32))
+            .collect();
         // Permute cluster ids 0→2, 1→0, 2→1.
-        let permuted: Vec<Option<u32>> =
-            preds.iter().map(|p| p.map(|c| (c + 2) % 3)).collect();
-        let a = ContingencyTable::new(&preds, labels).unwrap();
-        let b = ContingencyTable::new(&permuted, labels).unwrap();
-        prop_assert!((a.matched_accuracy() - b.matched_accuracy()).abs() < 1e-12);
-        prop_assert!((a.adjusted_rand_index() - b.adjusted_rand_index()).abs() < 1e-9);
-        prop_assert!((a.nmi() - b.nmi()).abs() < 1e-9);
+        let permuted: Vec<Option<u32>> = preds.iter().map(|p| p.map(|c| (c + 2) % 3)).collect();
+        let a = ContingencyTable::new(&preds, &labels).unwrap();
+        let b = ContingencyTable::new(&permuted, &labels).unwrap();
+        assert!(
+            (a.matched_accuracy() - b.matched_accuracy()).abs() < 1e-12,
+            "seed {seed}"
+        );
+        assert!(
+            (a.adjusted_rand_index() - b.adjusted_rand_index()).abs() < 1e-9,
+            "seed {seed}"
+        );
+        assert!((a.nmi() - b.nmi()).abs() < 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn hungarian_beats_greedy(
-        flat in proptest::collection::vec(0i64..50, 16..=16),
-    ) {
-        let profit: Vec<Vec<i64>> = flat.chunks(4).map(|c| c.to_vec()).collect();
+#[test]
+fn hungarian_beats_greedy() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let profit: Vec<Vec<i64>> = (0..4)
+            .map(|_| (0..4).map(|_| rng.gen_range(0..50u64) as i64).collect())
+            .collect();
         let assign = hungarian_max(&profit);
         let total: i64 = assign.iter().enumerate().map(|(i, &j)| profit[i][j]).sum();
         // Greedy row-by-row baseline.
@@ -211,93 +261,105 @@ proptest! {
             used[j] = true;
             greedy += v;
         }
-        prop_assert!(total >= greedy);
+        assert!(total >= greedy, "seed {seed}");
         // Assignment is a permutation.
         let mut sorted = assign.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, vec![0, 1, 2, 3]);
-    }
-
-    #[test]
-    fn purity_bounds(
-        labels in proptest::collection::vec(0usize..4, 2..30),
-    ) {
-        let preds: Vec<Option<u32>> = labels.iter().map(|&l| Some(l as u32)).collect();
-        let t = ContingencyTable::new(&preds, &labels).unwrap();
-        // Predicting the truth exactly is perfect under every measure.
-        prop_assert_eq!(t.purity(), 1.0);
-        prop_assert_eq!(t.matched_accuracy(), 1.0);
-        prop_assert!(t.nmi() > 0.999);
-    }
-
-    // ── Sampling ───────────────────────────────────────────────────────
-
-    #[test]
-    fn sample_indices_are_valid(
-        n in 1usize..500,
-        frac in 0.01f64..1.0,
-        seed in 0u64..1000,
-    ) {
-        let size = ((n as f64 * frac).ceil() as usize).clamp(1, n);
-        let mut rng = seeded_rng(seed);
-        let s = sample_indices(n, size, &mut rng).unwrap();
-        prop_assert_eq!(s.len(), size);
-        prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
-        prop_assert!(s.iter().all(|&i| i < n));
-    }
-
-    #[test]
-    fn chernoff_bound_monotonicity(
-        n in 100usize..10_000,
-        u_frac in 0.05f64..0.5,
-    ) {
-        let u = ((n as f64 * u_frac) as usize).max(1);
-        let loose = chernoff_sample_size(n, u, 0.25, 0.1).unwrap();
-        let tight = chernoff_sample_size(n, u, 0.25, 0.01).unwrap();
-        prop_assert!(tight >= loose);
-        prop_assert!(loose <= n);
+        assert_eq!(sorted, vec![0, 1, 2, 3], "seed {seed}");
     }
 }
 
-// ── Extension modules ────────────────────────────────────────────────
+#[test]
+fn purity_bounds() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n = rng.gen_range(2..30usize);
+        let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..4u64) as usize).collect();
+        let preds: Vec<Option<u32>> = labels.iter().map(|&l| Some(l as u32)).collect();
+        let t = ContingencyTable::new(&preds, &labels).unwrap();
+        // Predicting the truth exactly is perfect under every measure.
+        assert_eq!(t.purity(), 1.0, "seed {seed}");
+        assert_eq!(t.matched_accuracy(), 1.0, "seed {seed}");
+        assert!(t.nmi() > 0.999, "seed {seed}");
+    }
+}
 
-use rock::core::components::connected_components;
-use rock::core::export::{read_assignments, write_assignments};
-use rock::core::summary::ClusterSummary;
+// ── Sampling ───────────────────────────────────────────────────────────
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn sample_indices_are_valid() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n = rng.gen_range(1..500usize);
+        let frac = rng.gen_range(0.01..1.0);
+        let size = ((n as f64 * frac).ceil() as usize).clamp(1, n);
+        let mut sample_rng = seeded_rng(seed);
+        let s = sample_indices(n, size, &mut sample_rng).unwrap();
+        assert_eq!(s.len(), size, "seed {seed}");
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "seed {seed}");
+        assert!(s.iter().all(|&i| i < n), "seed {seed}");
+    }
+}
 
-    #[test]
-    fn export_roundtrips_arbitrary_assignments(
-        raw in proptest::collection::vec(proptest::option::of(0u32..50), 0..200),
-    ) {
-        let assignments: Vec<Option<ClusterId>> =
-            raw.iter().map(|o| o.map(ClusterId)).collect();
+#[test]
+fn chernoff_bound_monotonicity() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n = rng.gen_range(100..10_000usize);
+        let u_frac = rng.gen_range(0.05..0.5);
+        let u = ((n as f64 * u_frac) as usize).max(1);
+        let loose = chernoff_sample_size(n, u, 0.25, 0.1).unwrap();
+        let tight = chernoff_sample_size(n, u, 0.25, 0.01).unwrap();
+        assert!(tight >= loose, "seed {seed}");
+        assert!(loose <= n, "seed {seed}");
+    }
+}
+
+// ── Extension modules ──────────────────────────────────────────────────
+
+#[test]
+fn export_roundtrips_arbitrary_assignments() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n = rng.gen_range(0..200usize);
+        let assignments: Vec<Option<ClusterId>> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    Some(ClusterId(rng.gen_range(0..50u64) as u32))
+                } else {
+                    None
+                }
+            })
+            .collect();
         let mut buf = Vec::new();
         write_assignments(&mut buf, &assignments).unwrap();
         let back = read_assignments(std::io::Cursor::new(buf)).unwrap();
-        prop_assert_eq!(back, assignments);
+        assert_eq!(back, assignments, "seed {seed}");
     }
+}
 
-    #[test]
-    fn components_partition_all_points(
-        data in arb_dataset(40, 20, 8),
-        theta in 0.1f64..0.9,
-    ) {
+#[test]
+fn components_partition_all_points() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let data = arb_dataset(&mut rng, 40, 20, 8);
+        let theta = rng.gen_range(0.1..0.9);
         let g = NeighborGraph::compute(&data, &Jaccard, theta, 1).unwrap();
         let comps = connected_components(&g);
         let total: usize = comps.iter().map(Vec::len).sum();
-        prop_assert_eq!(total, data.len());
+        assert_eq!(total, data.len(), "seed {seed}");
         let mut seen = vec![false; data.len()];
         for c in &comps {
             for &p in c {
-                prop_assert!(!seen[p as usize]);
+                assert!(!seen[p as usize], "seed {seed}");
                 seen[p as usize] = true;
             }
         }
         // Size-sorted.
-        prop_assert!(comps.windows(2).all(|w| w[0].len() >= w[1].len()));
+        assert!(
+            comps.windows(2).all(|w| w[0].len() >= w[1].len()),
+            "seed {seed}"
+        );
         // No edge may cross components.
         let mut comp_of = vec![0usize; data.len()];
         for (ci, c) in comps.iter().enumerate() {
@@ -307,41 +369,38 @@ proptest! {
         }
         for i in 0..data.len() {
             for &j in g.neighbors(i) {
-                prop_assert_eq!(comp_of[i], comp_of[j as usize]);
+                assert_eq!(comp_of[i], comp_of[j as usize], "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn dendrogram_cuts_are_nested_partitions(
-        data in arb_dataset(25, 15, 6),
-        theta in 0.2f64..0.7,
-    ) {
+#[test]
+fn dendrogram_cuts_are_nested_partitions() {
+    // Fewer cases: the nested-partition check is O(n²) per cut level.
+    for seed in 0..CASES / 2 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let data = arb_dataset(&mut rng, 25, 15, 6);
+        let theta = rng.gen_range(0.2..0.7);
         let n = data.len();
         let g = NeighborGraph::compute(&data, &Jaccard, theta, 1).unwrap();
         let links = LinkTable::compute(&g);
         let good = Goodness::new(theta, &MarketBasket).unwrap();
-        let out = rock::core::agglomerate::agglomerate(
-            n,
-            &links,
-            &good,
-            &rock::core::agglomerate::AgglomerateConfig::new(1),
-        )
-        .unwrap();
+        let out = agglomerate(n, &links, &good, &AgglomerateConfig::new(1)).unwrap();
         let d = Dendrogram::new(n, out.history);
         let floor = d.min_clusters();
         // Every cut is a partition, and coarser cuts refine into finer ones.
         let mut prev: Option<Vec<u32>> = None;
         for k in floor..=n {
             let assign = d.cut_assignments(k).unwrap();
-            prop_assert_eq!(assign.len(), n);
+            assert_eq!(assign.len(), n, "seed {seed}");
             if let Some(coarser) = &prev {
                 // k-1 (previous iteration, coarser) must be a merge of k's
                 // clusters: same coarse cluster whenever same fine cluster.
                 for a in 0..n {
                     for b in (a + 1)..n {
                         if assign[a] == assign[b] {
-                            prop_assert_eq!(coarser[a], coarser[b]);
+                            assert_eq!(coarser[a], coarser[b], "seed {seed}");
                         }
                     }
                 }
@@ -349,25 +408,32 @@ proptest! {
             prev = Some(assign);
         }
     }
+}
 
-    #[test]
-    fn summaries_supports_are_consistent(
-        data in arb_dataset(30, 12, 6),
-        split in 1usize..29,
-    ) {
+#[test]
+fn summaries_supports_are_consistent() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let data = arb_dataset(&mut rng, 30, 12, 6);
         let n = data.len();
-        prop_assume!(split < n);
+        if n < 2 {
+            continue;
+        }
+        let split = rng.gen_range(1..n);
         let members: Vec<u32> = (0..split as u32).collect();
         let s = ClusterSummary::compute(&data, &members, 0.0);
-        prop_assert_eq!(s.size, split);
+        assert_eq!(s.size, split, "seed {seed}");
         for item in &s.items {
-            prop_assert!(item.count >= 1 && item.count <= split);
-            prop_assert!((item.support - item.count as f64 / split as f64).abs() < 1e-12);
+            assert!(item.count >= 1 && item.count <= split, "seed {seed}");
+            assert!(
+                (item.support - item.count as f64 / split as f64).abs() < 1e-12,
+                "seed {seed}"
+            );
         }
         // Sorted by decreasing support.
-        prop_assert!(s
-            .items
-            .windows(2)
-            .all(|w| w[0].support >= w[1].support));
+        assert!(
+            s.items.windows(2).all(|w| w[0].support >= w[1].support),
+            "seed {seed}"
+        );
     }
 }
