@@ -2,10 +2,20 @@
 # Local CI gate — everything runs offline (the workspace has no external
 # dependencies by design; see DESIGN.md §Dependencies).
 #
-#   ./ci.sh            # format check, clippy, build, tests
+#   ./ci.sh            # format check, clippy, rock-analyze, build, tests
+#   ./ci.sh --quick    # same gates, but skip the release build (debug
+#                      # tests only) — the fast pre-push loop
 #
 # The same steps run in .github/workflows/ci.yml.
 set -eu
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick=1 ;;
+        *) echo "ci.sh: unknown argument '$arg' (supported: --quick)" >&2; exit 2 ;;
+    esac
+done
 
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
@@ -13,8 +23,16 @@ cargo fmt --all -- --check
 echo "== cargo clippy (all targets, warnings are errors)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== tier-1: cargo build --release && cargo test -q"
-cargo build --offline --release --workspace
-cargo test --offline --workspace -q
+echo "== rock-analyze --deny (workspace lint pass)"
+cargo run --offline -q -p rock-analyze -- --deny
+
+if [ "$quick" -eq 1 ]; then
+    echo "== tier-1 (quick): cargo test -q (debug, no release build)"
+    cargo test --offline --workspace -q
+else
+    echo "== tier-1: cargo build --release && cargo test -q"
+    cargo build --offline --release --workspace
+    cargo test --offline --workspace -q
+fi
 
 echo "== ci.sh: all green"

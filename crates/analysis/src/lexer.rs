@@ -1,0 +1,594 @@
+//! A hand-rolled, dependency-free Rust lexer.
+//!
+//! The lints in this crate need just enough lexical structure to avoid
+//! false positives: they must never fire on text inside string literals,
+//! comments, or char literals, and they need accurate line numbers for
+//! `file:line` reports. A full parse (via `syn` or rustc internals) would
+//! drag in external dependencies, which the workspace forbids — so this
+//! module tokenizes the handful of shapes that matter:
+//!
+//! * line and (nested) block comments — skipped, except that line comments
+//!   are scanned for `rock-analyze: allow(...)` suppression directives;
+//! * string literals in all flavors (`"…"`, `b"…"`, `r"…"`, `r#"…"#`,
+//!   `br#"…"#`), char and byte-char literals, raw identifiers (`r#fn`);
+//! * lifetimes vs. char literals (`'a` vs `'a'`);
+//! * identifiers, numbers, and single-character punctuation.
+//!
+//! The output is a flat token stream with line numbers plus the list of
+//! suppression directives found in comments.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (text is stored on the token).
+    Ident,
+    /// A single punctuation character.
+    Punct(char),
+    /// Any string literal (regular, raw, byte, raw byte).
+    Str,
+    /// A char or byte-char literal.
+    Char,
+    /// A numeric literal (integer or float, any base, with suffixes).
+    Num,
+    /// A lifetime such as `'a` (including `'static` and `'_`).
+    Lifetime,
+}
+
+/// One lexed token: its kind, the line it starts on (1-based), and — for
+/// identifiers only — its text.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Identifier text (empty for non-identifier tokens).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Returns `true` if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Returns `true` if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A `// rock-analyze: allow(lint-a, lint-b) — reason` suppression
+/// directive found in a line comment.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 1-based line the directive comment appears on.
+    pub line: u32,
+    /// Lint names listed inside `allow(...)`.
+    pub lints: Vec<String>,
+    /// `true` when non-empty justification text follows the `allow(...)`.
+    pub has_reason: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub tokens: Vec<Tok>,
+    /// Suppression directives found in comments, in source order.
+    pub directives: Vec<Directive>,
+}
+
+/// Lexes `source` into tokens and suppression directives.
+///
+/// The lexer is infallible: malformed input (an unterminated string, say)
+/// simply ends the current token at end-of-file. Lints are best-effort by
+/// design; the compiler is the arbiter of what parses.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    self.string(false);
+                    self.push(TokKind::Str, String::new(), line);
+                }
+                '\'' => self.lifetime_or_char(),
+                _ if c.is_ascii_digit() => self.number(),
+                'r' | 'b' if self.string_prefix() => {}
+                _ if is_ident_start(c) => self.ident(),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct(c), String::new(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        if let Some(directive) = parse_directive(&text, line) {
+            self.out.directives.push(directive);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes a `"`-delimited string. When `raw` is true, backslash is
+    /// not an escape character.
+    fn string(&mut self, raw: bool) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' if !raw => {
+                    self.bump(); // the escaped character
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string body after its opening `"`, terminated by a
+    /// `"` followed by `hashes` `#` characters.
+    fn raw_string(&mut self, hashes: usize) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '"' && (0..hashes).all(|i| self.peek(i) == Some('#')) {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    /// Handles tokens starting with `r` or `b`: raw strings, byte strings,
+    /// byte chars, and raw identifiers. Returns `true` if it consumed a
+    /// literal (the caller's `ident` path is skipped); plain identifiers
+    /// that merely start with these letters return `false` untouched.
+    fn string_prefix(&mut self) -> bool {
+        let line = self.line;
+        let c0 = self.peek(0);
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        match (c0, c1) {
+            // b'x' — byte char literal.
+            (Some('b'), Some('\'')) => {
+                self.bump();
+                self.char_literal();
+                true
+            }
+            // b"…" — byte string with escapes.
+            (Some('b'), Some('"')) => {
+                self.bump();
+                self.string(false);
+                self.push(TokKind::Str, String::new(), line);
+                true
+            }
+            // br"…" / br#"…"# — raw byte string.
+            (Some('b'), Some('r')) if matches!(c2, Some('"') | Some('#')) => {
+                self.bump();
+                self.bump();
+                self.raw_prefix_body(line)
+            }
+            // r"…" / r#"…"# — raw string; r#ident — raw identifier.
+            (Some('r'), Some('"') | Some('#')) => {
+                self.bump();
+                self.raw_prefix_body(line)
+            }
+            _ => false,
+        }
+    }
+
+    /// After the `r` of a raw-string or raw-identifier prefix: counts `#`s
+    /// and dispatches. Returns `true` if a literal was consumed.
+    fn raw_prefix_body(&mut self, line: u32) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) == Some('"') {
+            for _ in 0..hashes {
+                self.bump();
+            }
+            self.raw_string(hashes);
+            self.push(TokKind::Str, String::new(), line);
+            true
+        } else if hashes == 1 && self.peek(1).is_some_and(is_ident_start) {
+            // r#ident — raw identifier: emit the identifier itself.
+            self.bump(); // '#'
+            self.ident();
+            true
+        } else {
+            // Lone `r`/`b` identifier followed by unrelated punctuation; the
+            // caller already consumed nothing, so lex it as an identifier.
+            self.ident();
+            true
+        }
+    }
+
+    fn lifetime_or_char(&mut self) {
+        let line = self.line;
+        // `'` + ident-start + … + `'` is a char literal like 'a'; without
+        // the closing quote it is a lifetime like 'a or 'static.
+        if self.peek(1).is_some_and(is_ident_start) {
+            let mut end = 2;
+            while self.peek(end).is_some_and(is_ident_continue) {
+                end += 1;
+            }
+            if self.peek(end) != Some('\'') {
+                self.bump(); // '
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                self.push(TokKind::Lifetime, String::new(), line);
+                return;
+            }
+        }
+        self.char_literal();
+    }
+
+    fn char_literal(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\'' => break,
+                '\\' => {
+                    self.bump();
+                }
+                _ => {}
+            }
+        }
+        self.push(TokKind::Char, String::new(), line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        self.bump();
+        loop {
+            match self.peek(0) {
+                Some(c) if is_ident_continue(c) => {
+                    self.bump();
+                }
+                // A float's decimal point — but not the `..` of a range.
+                Some('.') if self.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        self.push(TokKind::Num, String::new(), line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+/// Parses a `rock-analyze: allow(a, b) — reason` directive out of a line
+/// comment's text, if present.
+fn parse_directive(comment: &str, line: u32) -> Option<Directive> {
+    let after = comment.split("rock-analyze:").nth(1)?;
+    let open = after.find("allow(")?;
+    let rest = &after[open + "allow(".len()..];
+    let close = rest.find(')')?;
+    let lints: Vec<String> = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if lints.is_empty() {
+        return None;
+    }
+    let reason = rest[close + 1..]
+        .trim_start_matches(|c: char| c.is_whitespace() || c == '—' || c == '-' || c == ':')
+        .trim();
+    Some(Directive {
+        line,
+        lints,
+        has_reason: !reason.is_empty(),
+    })
+}
+
+/// Computes, for each token, whether it lies inside test-only code: an
+/// item annotated `#[test]` or `#[cfg(test)]` (the annotated item runs to
+/// the matching close brace of its body, or to the terminating `;` for
+/// bodyless items). Attributes like `#[cfg(any(test, …))]` are *not*
+/// treated as test-only — such code is compiled into debug builds.
+pub fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let close = matching_bracket(tokens, i + 1);
+            if is_test_attr(&tokens[i + 2..close]) {
+                let end = item_end(tokens, close + 1);
+                for m in mask.iter_mut().take(end + 1).skip(i) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Returns `true` for the attribute bodies `test` and `cfg(test)`.
+fn is_test_attr(body: &[Tok]) -> bool {
+    match body {
+        [t] => t.is_ident("test"),
+        [cfg, open, test, close] => {
+            cfg.is_ident("cfg")
+                && open.is_punct('(')
+                && test.is_ident("test")
+                && close.is_punct(')')
+        }
+        _ => false,
+    }
+}
+
+/// Index of the `]` matching the `[` at `open` (or the last token).
+fn matching_bracket(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Index of the last token of the item starting at `start`: skips any
+/// further attributes, then scans to the first `;` (bodyless item) or the
+/// `}` matching the first `{` (item with a body).
+fn item_end(tokens: &[Tok], start: usize) -> usize {
+    let mut i = start;
+    // Skip stacked attributes.
+    while i < tokens.len()
+        && tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        i = matching_bracket(tokens, i + 1) + 1;
+    }
+    while i < tokens.len() {
+        if tokens[i].is_punct(';') {
+            return i;
+        }
+        if tokens[i].is_punct('{') {
+            let mut depth = 0usize;
+            for (j, t) in tokens.iter().enumerate().skip(i) {
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+            }
+            return tokens.len().saturating_sub(1);
+        }
+        i += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // calls unwrap() here, in a comment
+            /* and unwrap() in /* a nested */ block */
+            let s = "unwrap() in a string";
+            let r = r#"unwrap() in a raw "quoted" string"#;
+            let b = b"unwrap() bytes";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "unwrap"));
+        assert!(ids.iter().any(|t| t == "real_ident"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let src = "line_one();\n\nline_three();\n";
+        let toks = lex(src).tokens;
+        assert_eq!(toks[0].line, 1);
+        let three = toks.iter().find(|t| t.is_ident("line_three")).unwrap();
+        assert_eq!(three.line, 3);
+    }
+
+    #[test]
+    fn multiline_strings_advance_lines() {
+        let src = "let s = \"first\nsecond\";\nafter();";
+        let toks = lex(src).tokens;
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn directives_are_parsed() {
+        let src = "// rock-analyze: allow(core-unwrap, float-ord) — audited\nx();\n// rock-analyze: allow(wall-clock)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.directives.len(), 2);
+        assert_eq!(lexed.directives[0].line, 1);
+        assert_eq!(lexed.directives[0].lints, vec!["core-unwrap", "float-ord"]);
+        assert!(lexed.directives[0].has_reason);
+        assert!(!lexed.directives[1].has_reason);
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let src = "fn shipped() {}\n#[cfg(test)]\nmod tests {\n    fn inner() {}\n}\nfn also_shipped() {}";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        for (tok, masked) in lexed.tokens.iter().zip(&mask) {
+            match tok.text.as_str() {
+                "shipped" | "also_shipped" => assert!(!masked, "{} wrongly masked", tok.text),
+                "inner" => assert!(*masked, "test fn not masked"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn test_mask_covers_test_functions_with_stacked_attrs() {
+        let src = "#[test]\n#[ignore]\nfn check() { body(); }\nfn shipped() {}";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        for (tok, masked) in lexed.tokens.iter().zip(&mask) {
+            match tok.text.as_str() {
+                "body" => assert!(*masked),
+                "shipped" => assert!(!masked),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn cfg_any_test_is_not_masked() {
+        let src = "#[cfg(any(test, debug_assertions))]\nfn debug_helper() { kept(); }";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let kept = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("kept"))
+            .unwrap();
+        assert!(!mask[kept]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let ids = idents("let r#fn = 1; let r = 2;");
+        assert!(ids.iter().any(|t| t == "fn"));
+        assert!(ids.iter().any(|t| t == "r"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = lex("for i in 0..10 { let x = 1.5; }").tokens;
+        let nums = toks.iter().filter(|t| t.kind == TokKind::Num).count();
+        assert_eq!(nums, 3); // 0, 10, 1.5
+        assert!(toks.iter().any(|t| t.is_punct('.')));
+    }
+}

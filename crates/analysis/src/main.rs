@@ -1,0 +1,74 @@
+//! Command-line entry point for the `rock-analyze` workspace lint pass.
+//!
+//! See the crate docs ([`rock_analyze`]) for the lint table. This binary
+//! is wired into `ci.sh` and the GitHub Actions workflow as a gate:
+//! `rock-analyze --deny` exits nonzero when any finding survives.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rock_analyze::{analyze_tree, LINTS};
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("rock-analyze: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list" => {
+                for lint in LINTS {
+                    println!("{:<16} {}", lint.name, lint.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "rock-analyze: ROCK workspace lint pass\n\n\
+                     USAGE: rock-analyze [--root <dir>] [--deny] [--list]\n\n\
+                     --root <dir>  tree to analyze (default: current directory)\n\
+                     --deny        exit 1 when any finding is reported (CI gate)\n\
+                     --list        print the lint table and exit\n\n\
+                     Suppress a finding with a justified directive on the same or\n\
+                     previous line:\n  // rock-analyze: allow(<lint>) — <reason>"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("rock-analyze: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let findings = match analyze_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("rock-analyze: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &findings {
+        println!("{finding}");
+    }
+    let n = findings.len();
+    eprintln!(
+        "rock-analyze: {n} finding{} ",
+        if n == 1 { "" } else { "s" }
+    );
+    if deny && n > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,111 @@
+//! Fixture-driven integration tests for `rock-analyze`.
+//!
+//! Each fixture under `tests/fixtures/` is a small Rust source exercising
+//! one lint (or the directive machinery). Fixtures are *data*, not code:
+//! they are read with `include_str!` and analyzed under a virtual
+//! `crates/core/src/` path, because the real `fixtures/` directory is
+//! deliberately exempt from linting (and from the tree walk) so the CI
+//! gate never trips over its own test corpus.
+
+use rock_analyze::{analyze_source, applicable_lints, collect_rust_files, Finding};
+
+/// Analyzes `source` as if it lived at `crates/core/src/<name>` — the
+/// strictest lint scope — and returns `(line, lint)` pairs in report order.
+fn run_core(name: &str, source: &str) -> Vec<(u32, &'static str)> {
+    analyze_source(&format!("crates/core/src/{name}"), source)
+        .into_iter()
+        .map(|f| (f.line, f.lint))
+        .collect()
+}
+
+#[test]
+fn l1_unwrap_fixture_exact_lines() {
+    let src = include_str!("fixtures/l1_unwrap.rs");
+    let findings = analyze_source("crates/core/src/l1_unwrap.rs", src);
+    let lines: Vec<(u32, &str)> = findings.iter().map(|f| (f.line, f.lint)).collect();
+    // `.unwrap()` at line 4, `.expect()` at line 8; the `.unwrap()` inside
+    // the `#[cfg(test)]` module (line 19) is exempt.
+    assert_eq!(lines, vec![(4, "core-unwrap"), (8, "core-unwrap")]);
+    // Reports are machine-readable `path:line: lint: message`.
+    assert!(findings[0]
+        .to_string()
+        .starts_with("crates/core/src/l1_unwrap.rs:4: core-unwrap:"));
+    assert!(findings[1]
+        .to_string()
+        .starts_with("crates/core/src/l1_unwrap.rs:8: core-unwrap:"));
+}
+
+#[test]
+fn l2_cast_fixture_exact_lines() {
+    let src = include_str!("fixtures/l2_cast.rs");
+    // Bare numeric casts at lines 4 and 12; `u64::from` (line 8) and the
+    // non-numeric `as Branded` (line 16) are out of scope.
+    assert_eq!(
+        run_core("l2_cast.rs", src),
+        vec![(4, "core-bare-cast"), (12, "core-bare-cast")]
+    );
+}
+
+#[test]
+fn l3_float_ord_fixture_exact_lines() {
+    let src = include_str!("fixtures/l3_float_ord.rs");
+    assert_eq!(run_core("l3_float_ord.rs", src), vec![(7, "float-ord")]);
+}
+
+#[test]
+fn l4_counter_fixture_exact_lines() {
+    let src = include_str!("fixtures/l4_counter.rs");
+    // `pushes` (line 4) never reaches a flush; `pops` is flushed through
+    // `.add(..)` and `total` is not a telemetry counter name.
+    assert_eq!(run_core("l4_counter.rs", src), vec![(4, "counter-flush")]);
+}
+
+#[test]
+fn l5_wall_clock_fixture_exact_lines() {
+    let src = include_str!("fixtures/l5_wall_clock.rs");
+    // `Instant::now()` at line 6, `SystemTime::now()` at line 10; the
+    // import (line 3) and the pass-through annotation (line 13) are fine.
+    assert_eq!(
+        run_core("l5_wall_clock.rs", src),
+        vec![(6, "wall-clock"), (10, "wall-clock")]
+    );
+}
+
+#[test]
+fn allowlist_fixture_directive_semantics() {
+    let src = include_str!("fixtures/allowlist.rs");
+    // Justified allows suppress their own and the next line (lines 5 and
+    // 10 stay silent). A directive for the *wrong* lint suppresses nothing
+    // (cast at line 15 fires), and a justification-free directive is
+    // itself reported (line 19) while still suppressing its target.
+    assert_eq!(
+        run_core("allowlist.rs", src),
+        vec![(15, "core-bare-cast"), (19, "bare-allow")]
+    );
+}
+
+#[test]
+fn false_positive_fixture_is_silent() {
+    let src = include_str!("fixtures/false_positives.rs");
+    let findings: Vec<Finding> = analyze_source("crates/core/src/false_positives.rs", src);
+    assert!(
+        findings.is_empty(),
+        "strings/comments fired lints: {findings:?}"
+    );
+}
+
+#[test]
+fn fixtures_are_exempt_by_location() {
+    // By path: nothing applies to the fixture corpus itself.
+    assert!(applicable_lints("crates/analysis/tests/fixtures/l1_unwrap.rs").is_empty());
+    // By walk: the tree collector never descends into `fixtures/`.
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = collect_rust_files(manifest).expect("walk analysis crate");
+    assert!(files.iter().any(|p| p.ends_with("src/lints.rs")));
+    assert!(
+        !files
+            .iter()
+            .any(|p| p.components().any(|c| c.as_os_str() == "fixtures")),
+        "fixture corpus leaked into the tree walk"
+    );
+}

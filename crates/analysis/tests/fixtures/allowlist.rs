@@ -1,0 +1,21 @@
+//! Fixture: `rock-analyze: allow(...)` directive semantics.
+
+fn audited(n: usize) -> u32 {
+    // rock-analyze: allow(core-bare-cast) — audited: bounded by the caller.
+    n as u32
+}
+
+fn next_line_covered(xs: &[u32]) -> u32 {
+    // rock-analyze: allow(core-unwrap) — infallible: caller checks is_empty.
+    *xs.first().unwrap()
+}
+
+fn wrong_lint(n: usize) -> u32 {
+    // rock-analyze: allow(core-unwrap) — mismatched directive for the cast below.
+    n as u32
+}
+
+fn unjustified(xs: &[u32]) -> u32 {
+    // rock-analyze: allow(core-unwrap)
+    *xs.first().unwrap()
+}

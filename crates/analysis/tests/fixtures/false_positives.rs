@@ -1,0 +1,11 @@
+//! Fixture: trigger tokens inside strings and comments must not fire.
+//! Mentions of x.unwrap(), n as u32, partial_cmp, and Instant::now() in
+//! doc comments are inert.
+
+fn render() -> String {
+    // Inline comment: y.expect("msg"), SystemTime::now(), 3 as f64.
+    let plain = "calls .unwrap() and Instant::now() and 1 as u64";
+    let raw = r#"partial_cmp and SystemTime::now() and n as usize"#;
+    /* block comment: let mut merges = 0; never flushed */
+    format!("{plain}{raw}")
+}

@@ -1,0 +1,21 @@
+//! Fixture: L1 `core-unwrap` — panicking extractors in library code.
+
+fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+fn last(xs: &[u32]) -> u32 {
+    *xs.last().expect("nonempty")
+}
+
+fn checked(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_unwrap_is_fine() {
+        assert_eq!(super::checked(&[1]).unwrap(), 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: L2 `core-bare-cast` — unaudited numeric `as` casts.
+
+fn shrink(n: usize) -> u32 {
+    n as u32
+}
+
+fn widen(n: u32) -> u64 {
+    u64::from(n)
+}
+
+fn to_float(n: usize) -> f64 {
+    n as f64
+}
+
+fn rebrand(x: Raw) -> Branded {
+    x as Branded
+}

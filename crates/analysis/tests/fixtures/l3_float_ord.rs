@@ -1,0 +1,9 @@
+//! Fixture: L3 `float-ord` — raw float orderings outside `GoodnessOrd`.
+
+struct Shim(f64);
+
+impl Shim {
+    fn le(&self, other: &Self) -> bool {
+        self.0.partial_cmp(&other.0).is_some()
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: L4 `counter-flush` — telemetry tallies dropped on the floor.
+
+fn dropped() -> u64 {
+    let mut pushes = 0u64;
+    pushes += 1;
+    pushes
+}
+
+fn flushed(sink: &Sink) {
+    let mut pops = 0u64;
+    pops += 1;
+    sink.add(pops);
+}
+
+fn benign() -> u64 {
+    let mut total = 0u64;
+    total += 1;
+    total
+}

@@ -1,0 +1,15 @@
+//! Fixture: L5 `wall-clock` — nondeterministic clocks outside telemetry.
+
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> Instant {
+    Instant::now()
+}
+
+fn epoch() -> SystemTime {
+    SystemTime::now()
+}
+
+fn carry(t: Instant) -> Instant {
+    t
+}

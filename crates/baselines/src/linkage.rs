@@ -17,6 +17,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use rock_core::agglomerate::GoodnessOrd;
 use rock_core::error::{Result, RockError};
 
 use crate::common::FlatClustering;
@@ -63,25 +64,9 @@ impl Linkage {
 }
 
 /// Lazy-heap entry: `(distance, i, j, generation_i, generation_j)`.
-type PairEntry = Reverse<(OrdF64, usize, usize, u32, u32)>;
-
-/// A totally ordered f64 wrapper for the heap.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdF64(f64);
-
-impl Eq for OrdF64 {}
-
-impl PartialOrd for OrdF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
+/// Distances ride in rock-core's [`GoodnessOrd`] — the workspace's one
+/// audited total order over `f64`.
+type PairEntry = Reverse<(GoodnessOrd, usize, usize, u32, u32)>;
 
 /// Agglomerates `n` points down to `k` clusters.
 ///
@@ -119,7 +104,7 @@ pub fn agglomerative(dist: &[f64], n: usize, k: usize, linkage: Linkage) -> Resu
     let mut heap: BinaryHeap<PairEntry> = BinaryHeap::with_capacity(n * n / 2);
     for i in 0..n {
         for j in (i + 1)..n {
-            heap.push(Reverse((OrdF64(d[i * n + j]), i, j, 0, 0)));
+            heap.push(Reverse((GoodnessOrd::new(d[i * n + j]), i, j, 0, 0)));
         }
     }
 
@@ -127,7 +112,7 @@ pub fn agglomerative(dist: &[f64], n: usize, k: usize, linkage: Linkage) -> Resu
     let mut merges = 0usize;
     let mut last_dist = 0.0f64;
     while remaining > k {
-        let Some(Reverse((OrdF64(dd), i, j, gi, gj))) = heap.pop() else {
+        let Some(Reverse((dd, i, j, gi, gj))) = heap.pop() else {
             break; // cannot happen for a complete matrix, defensive
         };
         if !active[i] || !active[j] || generation[i] != gi || generation[j] != gj {
@@ -150,12 +135,12 @@ pub fn agglomerative(dist: &[f64], n: usize, k: usize, linkage: Linkage) -> Resu
         generation[i] += 1;
         remaining -= 1;
         merges += 1;
-        last_dist = dd;
+        last_dist = dd.get();
         for x in 0..n {
             if x != i && active[x] {
                 let (a, b) = if x < i { (x, i) } else { (i, x) };
                 heap.push(Reverse((
-                    OrdF64(d[a * n + b]),
+                    GoodnessOrd::new(d[a * n + b]),
                     a,
                     b,
                     generation[a],

@@ -19,43 +19,94 @@
 
 use std::collections::HashMap;
 
+use crate::cast;
+use crate::contracts;
 use crate::error::{Result, RockError};
 use crate::goodness::Goodness;
 use crate::heap::IndexedHeap;
 use crate::links::LinkTable;
 use crate::telemetry::{MemoryGauges, Observer, PipelineCounters};
 
-/// Totally ordered heap key: goodness value with a deterministic id
-/// tie-break (smaller id wins ties, so runs are reproducible).
+/// The workspace's **single audited total order over floating-point
+/// goodness values**.
+///
+/// Floats are only partially ordered (`NaN` compares to nothing), and a
+/// `partial_cmp(..).unwrap()` on a NaN goodness would panic mid-merge —
+/// or worse, a silent `unwrap_or` tie-break would scramble the merge
+/// order nondeterministically. `GoodnessOrd` closes that hole once, for
+/// everyone: construction debug-asserts the value is not NaN (goodness
+/// denominators are proven positive in [`Goodness`]), and ordering is
+/// IEEE 754 `total_cmp`, which is total even if a NaN slips through a
+/// release build.
+///
+/// The `float-ord` lint (`crates/analysis`) bans `partial_cmp` and raw
+/// float `Ord` shims everywhere else in the workspace; float orderings
+/// must route through this type.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct GoodnessKey {
-    /// The goodness value.
-    pub goodness: f64,
-    /// Tie-breaking id (compared in reverse: smaller id = higher priority).
-    pub tie: u32,
-}
+pub struct GoodnessOrd(f64);
 
-impl GoodnessKey {
-    /// Creates a key; `goodness` must not be NaN.
-    pub fn new(goodness: f64, tie: u32) -> Self {
-        debug_assert!(!goodness.is_nan(), "goodness must not be NaN");
-        GoodnessKey { goodness, tie }
+impl GoodnessOrd {
+    /// Wraps a goodness/score value, debug-asserting it is not NaN.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        debug_assert!(!value.is_nan(), "ordered float value must not be NaN");
+        GoodnessOrd(value)
+    }
+
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
     }
 }
 
-impl Eq for GoodnessKey {}
+impl Eq for GoodnessOrd {}
 
-impl PartialOrd for GoodnessKey {
+impl Ord for GoodnessOrd {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for GoodnessOrd {
+    #[inline]
+    // rock-analyze: allow(float-ord) — the audited site: delegates to total_cmp, non-NaN is debug-asserted at construction.
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for GoodnessKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.goodness
-            .total_cmp(&other.goodness)
-            .then_with(|| other.tie.cmp(&self.tie))
+/// Totally ordered heap key: goodness value with a deterministic id
+/// tie-break (smaller id wins ties, so runs are reproducible). Ordering
+/// is derived lexicographically over ([`GoodnessOrd`], reversed id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GoodnessKey {
+    goodness: GoodnessOrd,
+    tie: std::cmp::Reverse<u32>,
+}
+
+impl GoodnessKey {
+    /// Creates a key; `goodness` must not be NaN (debug-asserted by
+    /// [`GoodnessOrd::new`]).
+    #[inline]
+    pub fn new(goodness: f64, tie: u32) -> Self {
+        GoodnessKey {
+            goodness: GoodnessOrd::new(goodness),
+            tie: std::cmp::Reverse(tie),
+        }
+    }
+
+    /// The goodness value.
+    #[inline]
+    pub fn goodness(self) -> f64 {
+        self.goodness.get()
+    }
+
+    /// The tie-breaking id.
+    #[inline]
+    pub fn tie(self) -> u32 {
+        self.tie.0
     }
 }
 
@@ -187,10 +238,15 @@ pub fn agglomerate_observed(
     debug_assert_eq!(links.len(), n, "link table size mismatch");
 
     let mut engine = Engine::new(n, links, goodness, config.record_history);
+    // Contract: the freshly built heaps are structurally sound.
+    contracts::check_heap(&engine.global);
     // Heaps are at their fullest right after construction.
-    MemoryGauges::observe(&observer.memory().heaps, engine.heap_bytes() as u64);
+    MemoryGauges::observe(
+        &observer.memory().heaps,
+        cast::usize_to_u64(engine.heap_bytes()),
+    );
     let checkpoint = config.prune.map(|p| {
-        let c = (p.checkpoint_fraction * n as f64).ceil() as usize;
+        let c = cast::f64_to_usize((p.checkpoint_fraction * cast::usize_to_f64(n)).ceil());
         (c.clamp(config.k, n), p.max_prune_size)
     });
     let mut pruned_at_checkpoint = checkpoint.is_none();
@@ -200,6 +256,7 @@ pub fn agglomerate_observed(
         if let Some((at, max_size)) = checkpoint {
             if !pruned_at_checkpoint && active <= at {
                 engine.prune_small(max_size);
+                contracts::check_heap(&engine.global);
                 pruned_at_checkpoint = true;
                 active = engine.active_count();
                 if active <= config.k {
@@ -219,7 +276,10 @@ pub fn agglomerate_observed(
     }
 
     engine.flush_telemetry(observer);
-    Ok(engine.finish(active == config.k))
+    let agg = engine.finish(active == config.k);
+    // Contract: clusters, assignment, outliers and criterion agree.
+    contracts::check_agglomeration(&agg);
+    Ok(agg)
 }
 
 /// Internal merge-engine state.
@@ -245,22 +305,23 @@ struct Engine<'a> {
 impl<'a> Engine<'a> {
     #[allow(clippy::needless_range_loop)] // local heaps & rows are parallel arrays
     fn new(n: usize, links: &LinkTable, goodness: &'a Goodness, record_history: bool) -> Self {
-        let members: Vec<Vec<u32>> = (0..n as u32).map(|i| vec![i]).collect();
+        let members: Vec<Vec<u32>> = (0..cast::usize_to_u32(n)).map(|i| vec![i]).collect();
         // Build symmetric rows from the upper-triangle link table.
         let mut rows: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n];
         for (i, j, c) in links.iter() {
-            rows[i as usize].insert(j, c as u64);
-            rows[j as usize].insert(i, c as u64);
+            rows[cast::u32_to_usize(i)].insert(j, u64::from(c));
+            rows[cast::u32_to_usize(j)].insert(i, u64::from(c));
         }
         let mut local: Vec<IndexedHeap<GoodnessKey>> = Vec::with_capacity(n);
         let mut global = IndexedHeap::with_capacity(n);
         for i in 0..n {
+            let iu = cast::usize_to_u32(i);
             let mut h = IndexedHeap::with_capacity(rows[i].len());
             for (&j, &c) in &rows[i] {
                 h.insert_or_update(j, GoodnessKey::new(goodness.merge_goodness(c, 1, 1), j));
             }
             if let Some((best, _)) = h.peek() {
-                global.insert_or_update(i as u32, GoodnessKey::new(best.goodness, i as u32));
+                global.insert_or_update(iu, GoodnessKey::new(best.goodness(), iu));
             }
             local.push(h);
         }
@@ -285,20 +346,20 @@ impl<'a> Engine<'a> {
 
     #[inline]
     fn size(&self, slot: u32) -> usize {
-        self.members[slot as usize].len()
+        self.members[cast::u32_to_usize(slot)].len()
     }
 
     /// Goodness of the best available merge, if any.
     fn best_goodness(&self) -> Option<f64> {
-        self.global.peek().map(|(k, _)| k.goodness)
+        self.global.peek().map(|(k, _)| k.goodness())
     }
 
     /// Recomputes slot `i`'s entry in the global heap from its local heap.
     fn refresh_global(&mut self, i: u32) {
-        match self.local[i as usize].peek() {
+        match self.local[cast::u32_to_usize(i)].peek() {
             Some((best, _)) => self
                 .global
-                .insert_or_update(i, GoodnessKey::new(best.goodness, i)),
+                .insert_or_update(i, GoodnessKey::new(best.goodness(), i)),
             None => {
                 self.global.remove(i);
             }
@@ -310,12 +371,15 @@ impl<'a> Engine<'a> {
         let Some((_, u)) = self.global.peek() else {
             return false;
         };
-        let Some((key, v)) = self.local[u as usize].peek().map(|(k, v)| (*k, v)) else {
+        let Some((key, v)) = self.local[cast::u32_to_usize(u)]
+            .peek()
+            .map(|(k, v)| (*k, v))
+        else {
             // Defensive: a slot in the global heap always has a local best.
             self.global.remove(u);
             return !self.global.is_empty() && self.merge_best();
         };
-        self.merge(u, v, key.goodness);
+        self.merge(u, v, key.goodness());
         true
     }
 
@@ -323,38 +387,41 @@ impl<'a> Engine<'a> {
     fn merge(&mut self, u: u32, v: u32, goodness_value: f64) {
         debug_assert_ne!(u, v);
         let (nu, nv) = (self.size(u), self.size(v));
-        let cross = self.rows[u as usize].get(&v).copied().unwrap_or(0);
+        let cross = self.rows[cast::u32_to_usize(u)]
+            .get(&v)
+            .copied()
+            .unwrap_or(0);
 
         // Fold members and internal links.
-        let v_members = std::mem::take(&mut self.members[v as usize]);
-        self.members[u as usize].extend(v_members);
-        self.internal[u as usize] += self.internal[v as usize] + 2 * cross;
-        self.internal[v as usize] = 0;
+        let v_members = std::mem::take(&mut self.members[cast::u32_to_usize(v)]);
+        self.members[cast::u32_to_usize(u)].extend(v_members);
+        self.internal[cast::u32_to_usize(u)] += self.internal[cast::u32_to_usize(v)] + 2 * cross;
+        self.internal[cast::u32_to_usize(v)] = 0;
 
         // Fold v's row into u's; drop the u↔v entry.
-        let v_row = std::mem::take(&mut self.rows[v as usize]);
-        self.rows[u as usize].remove(&v);
+        let v_row = std::mem::take(&mut self.rows[cast::u32_to_usize(v)]);
+        self.rows[cast::u32_to_usize(u)].remove(&v);
         for (x, c) in v_row {
             if x == u {
                 continue;
             }
-            *self.rows[u as usize].entry(x).or_insert(0) += c;
+            *self.rows[cast::u32_to_usize(u)].entry(x).or_insert(0) += c;
         }
 
         // Repair every affected neighbor x: its row and local heap lose u
         // and v, gaining the merged cluster (slot u) with updated goodness.
         let nw = nu + nv;
-        let partners: Vec<(u32, u64, usize)> = self.rows[u as usize]
+        let partners: Vec<(u32, u64, usize)> = self.rows[cast::u32_to_usize(u)]
             .iter()
-            .map(|(&x, &c)| (x, c, self.members[x as usize].len()))
+            .map(|(&x, &c)| (x, c, self.members[cast::u32_to_usize(x)].len()))
             .collect();
         for &(x, c, nx) in &partners {
             let g = self.goodness.merge_goodness(c, nx, nw);
-            let xr = &mut self.rows[x as usize];
+            let xr = &mut self.rows[cast::u32_to_usize(x)];
             xr.remove(&u);
             xr.remove(&v);
             xr.insert(u, c);
-            let xl = &mut self.local[x as usize];
+            let xl = &mut self.local[cast::u32_to_usize(x)];
             xl.remove(u);
             xl.remove(v);
             xl.insert_or_update(u, GoodnessKey::new(g, u));
@@ -362,10 +429,10 @@ impl<'a> Engine<'a> {
         }
 
         // Rebuild u's local heap, retire v's.
-        self.local[v as usize].clear();
+        self.local[cast::u32_to_usize(v)].clear();
         self.global.remove(v);
         let good = self.goodness;
-        let ul = &mut self.local[u as usize];
+        let ul = &mut self.local[cast::u32_to_usize(u)];
         ul.clear();
         for &(x, c, nx) in &partners {
             let g = good.merge_goodness(c, nw, nx);
@@ -381,7 +448,7 @@ impl<'a> Engine<'a> {
                 kept: u,
                 absorbed: v,
                 goodness: goodness_value,
-                sizes: (nu as u32, nv as u32),
+                sizes: (cast::usize_to_u32(nu), cast::usize_to_u32(nv)),
                 criterion,
             });
         }
@@ -389,9 +456,9 @@ impl<'a> Engine<'a> {
 
     /// Discards every active cluster with at most `max_size` members.
     fn prune_small(&mut self, max_size: usize) {
-        let victims: Vec<u32> = (0..self.members.len() as u32)
+        let victims: Vec<u32> = (0..cast::usize_to_u32(self.members.len()))
             .filter(|&s| {
-                let m = &self.members[s as usize];
+                let m = &self.members[cast::u32_to_usize(s)];
                 !m.is_empty() && m.len() <= max_size
             })
             .collect();
@@ -400,16 +467,16 @@ impl<'a> Engine<'a> {
             return;
         }
         for s in victims {
-            let mem = std::mem::take(&mut self.members[s as usize]);
+            let mem = std::mem::take(&mut self.members[cast::u32_to_usize(s)]);
             self.outliers.extend(mem);
-            self.internal[s as usize] = 0;
-            let row = std::mem::take(&mut self.rows[s as usize]);
+            self.internal[cast::u32_to_usize(s)] = 0;
+            let row = std::mem::take(&mut self.rows[cast::u32_to_usize(s)]);
             for (x, _) in row {
-                self.rows[x as usize].remove(&s);
-                self.local[x as usize].remove(s);
+                self.rows[cast::u32_to_usize(x)].remove(&s);
+                self.local[cast::u32_to_usize(x)].remove(s);
                 self.refresh_global(x);
             }
-            self.local[s as usize].clear();
+            self.local[cast::u32_to_usize(s)].clear();
             self.global.remove(s);
             self.active -= 1;
         }
@@ -437,8 +504,11 @@ impl<'a> Engine<'a> {
         }
         PipelineCounters::add(&counters.heap_pushes, pushes);
         PipelineCounters::add(&counters.heap_pops, pops);
-        PipelineCounters::add(&counters.merges, self.merges as u64);
-        PipelineCounters::add(&counters.outliers_pruned, self.outliers.len() as u64);
+        PipelineCounters::add(&counters.merges, cast::usize_to_u64(self.merges));
+        PipelineCounters::add(
+            &counters.outliers_pruned,
+            cast::usize_to_u64(self.outliers.len()),
+        );
     }
 
     /// Current value of the criterion function E_l.
@@ -467,7 +537,7 @@ impl<'a> Engine<'a> {
         let mut assignment: Vec<Option<u32>> = vec![None; n];
         for (c, mem) in clusters.iter().enumerate() {
             for &p in mem {
-                assignment[p as usize] = Some(c as u32);
+                assignment[cast::u32_to_usize(p)] = Some(cast::usize_to_u32(c));
             }
         }
         let mut outliers = self.outliers;
@@ -520,6 +590,26 @@ mod tests {
         let c = GoodnessKey::new(1.0, 2);
         assert!(c > a);
         assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+        assert_eq!(a.goodness(), 1.0);
+        assert_eq!(a.tie(), 5);
+    }
+
+    #[test]
+    fn goodness_ord_is_total() {
+        let lo = GoodnessOrd::new(-1.5);
+        let hi = GoodnessOrd::new(2.5);
+        assert!(hi > lo);
+        assert_eq!(hi.get(), 2.5);
+        assert_eq!(lo.cmp(&lo), std::cmp::Ordering::Equal);
+        assert!(GoodnessOrd::new(f64::INFINITY) > hi);
+        assert!(GoodnessOrd::new(f64::NEG_INFINITY) < lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    #[cfg(debug_assertions)]
+    fn nan_goodness_is_rejected_in_debug() {
+        let _ = GoodnessOrd::new(f64::NAN);
     }
 
     #[test]

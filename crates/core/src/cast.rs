@@ -1,0 +1,169 @@
+//! Audited numeric conversions.
+//!
+//! The `core-bare-cast` lint (see `crates/analysis`) bans bare `as`
+//! casts in `rock-core`: a silent truncation in an id or a count corrupts
+//! clustering results without a panic. Conversions the type system can
+//! prove lossless should use `From`/`Into`; everything else funnels
+//! through this module, which is the audited home of the few remaining
+//! `as` expressions. Every helper either carries a compile-time proof
+//! (`usize` width assertions) or a `debug_assert!` that fires in tests
+//! and debug builds, while compiling to the plain cast in release.
+//!
+//! The workspace assumes `usize` is at least 32 bits wide and at most 64
+//! — checked at compile time below — which makes `u32 → usize` and
+//! `usize → u64` lossless.
+
+const _USIZE_AT_LEAST_32_BITS: () = assert!(usize::BITS >= 32);
+const _USIZE_AT_MOST_64_BITS: () = assert!(usize::BITS <= 64);
+
+/// `u32 → usize`, lossless: the workspace requires `usize` ≥ 32 bits.
+#[inline(always)]
+#[must_use]
+pub fn u32_to_usize(i: u32) -> usize {
+    // rock-analyze: allow(core-bare-cast) — lossless: usize ≥ 32 bits, asserted at compile time.
+    i as usize
+}
+
+/// `usize → u32` for dense point/cluster ids. ROCK indexes points with
+/// `u32`; collections larger than `u32::MAX` are rejected long before
+/// any hot path runs. Debug builds assert the value fits.
+#[inline(always)]
+#[must_use]
+pub fn usize_to_u32(n: usize) -> u32 {
+    debug_assert!(u32::try_from(n).is_ok(), "id {n} exceeds u32::MAX");
+    // rock-analyze: allow(core-bare-cast) — audited: debug-asserted in range above.
+    n as u32
+}
+
+/// `usize → u16` for attribute/domain codes. Debug builds assert the
+/// value fits; fallible call sites (user-controlled domains) must use
+/// `u16::try_from` and surface `RockError::DomainTooLarge` instead.
+#[inline(always)]
+#[must_use]
+pub fn usize_to_u16(n: usize) -> u16 {
+    debug_assert!(u16::try_from(n).is_ok(), "code {n} exceeds u16::MAX");
+    // rock-analyze: allow(core-bare-cast) — audited: debug-asserted in range above.
+    n as u16
+}
+
+/// `usize → u64`, lossless: the workspace requires `usize` ≤ 64 bits.
+#[inline(always)]
+#[must_use]
+pub fn usize_to_u64(n: usize) -> u64 {
+    // rock-analyze: allow(core-bare-cast) — lossless: usize ≤ 64 bits, asserted at compile time.
+    n as u64
+}
+
+/// `u64 → usize`, for counts that re-enter indexing. Debug builds assert
+/// the value fits (only relevant on 32-bit targets).
+#[inline(always)]
+#[must_use]
+pub fn u64_to_usize(n: u64) -> usize {
+    debug_assert!(usize::try_from(n).is_ok(), "count {n} exceeds usize::MAX");
+    // rock-analyze: allow(core-bare-cast) — audited: debug-asserted in range above.
+    n as usize
+}
+
+/// `usize → f64` for goodness/criterion arithmetic. Exact for every
+/// count below 2⁵³ — astronomically beyond any in-memory point count —
+/// and debug-asserted to stay in that exact range.
+#[inline(always)]
+#[must_use]
+pub fn usize_to_f64(n: usize) -> f64 {
+    debug_assert!(
+        usize_to_u64(n) <= (1u64 << f64::MANTISSA_DIGITS),
+        "count {n} not exactly representable in f64"
+    );
+    // rock-analyze: allow(core-bare-cast) — audited: exact below 2^53, debug-asserted above.
+    n as f64
+}
+
+/// `u64 → f64` for link-count arithmetic; exact below 2⁵³ and
+/// debug-asserted to stay there.
+#[inline(always)]
+#[must_use]
+pub fn u64_to_f64(n: u64) -> f64 {
+    debug_assert!(
+        n <= (1u64 << f64::MANTISSA_DIGITS),
+        "count {n} not exactly representable in f64"
+    );
+    // rock-analyze: allow(core-bare-cast) — audited: exact below 2^53, debug-asserted above.
+    n as f64
+}
+
+/// `i64 → f64` for score arithmetic (e.g. Hungarian-matching profits);
+/// exact below 2⁵³ in magnitude and debug-asserted to stay there.
+#[inline(always)]
+#[must_use]
+pub fn i64_to_f64(n: i64) -> f64 {
+    debug_assert!(
+        n.unsigned_abs() <= (1u64 << f64::MANTISSA_DIGITS),
+        "value {n} not exactly representable in f64"
+    );
+    // rock-analyze: allow(core-bare-cast) — audited: exact below 2^53 in magnitude, debug-asserted above.
+    n as f64
+}
+
+/// `f64 → usize` with the saturating semantics of Rust's float-to-int
+/// `as` (NaN → 0, clamps to the target range), for sizing computations
+/// like Chernoff sample bounds. Debug builds assert the input is finite
+/// and non-negative so saturation never silently hides a logic error.
+#[inline(always)]
+#[must_use]
+pub fn f64_to_usize(x: f64) -> usize {
+    debug_assert!(
+        x.is_finite() && x >= 0.0,
+        "size computation produced {x}; expected a finite non-negative value"
+    );
+    // rock-analyze: allow(core-bare-cast) — audited: finite & non-negative debug-asserted above; `as` saturates.
+    x as usize
+}
+
+/// `f64 → u64` with saturating semantics, for histogram/telemetry style
+/// rounding. Debug builds assert finite and non-negative.
+#[inline(always)]
+#[must_use]
+pub fn f64_to_u64(x: f64) -> u64 {
+    debug_assert!(
+        x.is_finite() && x >= 0.0,
+        "value {x} not convertible to u64; expected finite non-negative"
+    );
+    // rock-analyze: allow(core-bare-cast) — audited: finite & non-negative debug-asserted above; `as` saturates.
+    x as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_round_trips() {
+        assert_eq!(u32_to_usize(u32::MAX), u32::MAX as usize);
+        assert_eq!(usize_to_u32(7), 7);
+        assert_eq!(usize_to_u16(65_535), u16::MAX);
+        assert_eq!(usize_to_u64(123), 123);
+        assert_eq!(u64_to_usize(456), 456);
+    }
+
+    #[test]
+    fn float_conversions_are_exact_in_range() {
+        assert_eq!(usize_to_f64(1 << 20), 1_048_576.0);
+        assert_eq!(u64_to_f64(0), 0.0);
+        assert_eq!(f64_to_usize(12.9), 12);
+        assert_eq!(f64_to_u64(3.0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    #[cfg(debug_assertions)]
+    fn narrowing_overflow_is_caught_in_debug() {
+        let _ = usize_to_u32(usize::try_from(u64::from(u32::MAX) + 1).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a finite non-negative")]
+    #[cfg(debug_assertions)]
+    fn negative_sizes_are_caught_in_debug() {
+        let _ = f64_to_usize(-1.0);
+    }
+}

@@ -8,6 +8,7 @@
 //! at a dataset otherwise; the full link machinery remains the robust
 //! choice when bridges exist.
 
+use crate::cast;
 use crate::neighbors::NeighborGraph;
 
 /// Clusters the points of `graph` into connected components.
@@ -26,20 +27,20 @@ pub fn connected_components(graph: &NeighborGraph) -> Vec<Vec<u32>> {
             continue;
         }
         component[start] = next;
-        stack.push(start as u32);
+        stack.push(cast::usize_to_u32(start));
         while let Some(p) = stack.pop() {
-            for &q in graph.neighbors(p as usize) {
-                if component[q as usize] == u32::MAX {
-                    component[q as usize] = next;
+            for &q in graph.neighbors(cast::u32_to_usize(p)) {
+                if component[cast::u32_to_usize(q)] == u32::MAX {
+                    component[cast::u32_to_usize(q)] = next;
                     stack.push(q);
                 }
             }
         }
         next += 1;
     }
-    let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); next as usize];
+    let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); cast::u32_to_usize(next)];
     for (p, &c) in component.iter().enumerate() {
-        clusters[c as usize].push(p as u32);
+        clusters[cast::u32_to_usize(c)].push(cast::usize_to_u32(p));
     }
     clusters.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
     clusters

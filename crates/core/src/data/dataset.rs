@@ -78,7 +78,7 @@ impl TransactionSet {
             return 0.0;
         }
         let total: usize = self.transactions.iter().map(Transaction::len).sum();
-        total as f64 / self.transactions.len() as f64
+        crate::cast::usize_to_f64(total) / crate::cast::usize_to_f64(self.transactions.len())
     }
 
     /// Validates every transaction against the universe bound.
@@ -111,7 +111,7 @@ impl FromIterator<Transaction> for TransactionSet {
             .iter()
             .filter_map(|t| t.items().last().copied())
             .max()
-            .map_or(0, |m| m as usize + 1);
+            .map_or(0, |m| crate::cast::u32_to_usize(m) + 1);
         TransactionSet::new(transactions, universe)
     }
 }

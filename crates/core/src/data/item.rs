@@ -23,7 +23,7 @@ impl ItemId {
     /// Returns the id as a `usize` index.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        crate::cast::u32_to_usize(self.0)
     }
 }
 
@@ -55,7 +55,7 @@ impl AttrId {
     /// Returns the id as a `usize` index.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        usize::from(self.0)
     }
 }
 
@@ -83,7 +83,7 @@ impl ClusterId {
     /// Returns the id as a `usize` index.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        crate::cast::u32_to_usize(self.0)
     }
 }
 

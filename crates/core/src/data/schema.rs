@@ -7,6 +7,8 @@
 
 use std::collections::HashMap;
 
+use crate::error::{Result, RockError};
+
 use super::item::AttrId;
 
 /// Description of one categorical attribute: its name and value domain.
@@ -34,14 +36,23 @@ impl Attribute {
     }
 
     /// Interns a value, returning its dense code.
-    pub fn intern(&mut self, value: &str) -> u16 {
+    ///
+    /// # Errors
+    /// Returns [`RockError::DomainTooLarge`] if the attribute already holds
+    /// `u16::MAX + 1` distinct values — categorical domains that size are
+    /// almost always a parsing bug, and silently wrapping codes would
+    /// corrupt every downstream item id.
+    pub fn intern(&mut self, value: &str) -> Result<u16> {
         if let Some(&c) = self.index.get(value) {
-            return c;
+            return Ok(c);
         }
-        let code = u16::try_from(self.values.len()).expect("attribute domain exceeds u16");
+        let code = u16::try_from(self.values.len()).map_err(|_| RockError::DomainTooLarge {
+            attribute: self.name.clone(),
+            cardinality: self.values.len(),
+        })?;
         self.values.push(value.to_owned());
         self.index.insert(value.to_owned(), code);
-        code
+        Ok(code)
     }
 
     /// Looks up the code of a value without interning.
@@ -51,7 +62,7 @@ impl Attribute {
 
     /// Returns the textual value for a code.
     pub fn value(&self, code: u16) -> Option<&str> {
-        self.values.get(code as usize).map(String::as_str)
+        self.values.get(usize::from(code)).map(String::as_str)
     }
 
     /// Iterates the domain in code order.
@@ -111,7 +122,16 @@ impl Schema {
         self.attributes
             .iter()
             .enumerate()
-            .map(|(i, a)| (AttrId(i as u16), a))
+            .map(|(i, a)| (AttrId(crate::cast::usize_to_u16(i)), a))
+    }
+
+    /// Iterates `(AttrId, &mut Attribute)` in column order (for loaders
+    /// interning values).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (AttrId, &mut Attribute)> {
+        self.attributes
+            .iter_mut()
+            .enumerate()
+            .map(|(i, a)| (AttrId(crate::cast::usize_to_u16(i)), a))
     }
 
     /// Total number of `(attribute, value)` pairs across all domains — the
@@ -128,13 +148,28 @@ mod tests {
     #[test]
     fn intern_assigns_dense_codes() {
         let mut a = Attribute::new("color");
-        assert_eq!(a.intern("red"), 0);
-        assert_eq!(a.intern("blue"), 1);
-        assert_eq!(a.intern("red"), 0);
+        assert_eq!(a.intern("red").unwrap(), 0);
+        assert_eq!(a.intern("blue").unwrap(), 1);
+        assert_eq!(a.intern("red").unwrap(), 0);
         assert_eq!(a.cardinality(), 2);
         assert_eq!(a.value(1), Some("blue"));
         assert_eq!(a.code("blue"), Some(1));
         assert_eq!(a.code("green"), None);
+    }
+
+    #[test]
+    fn intern_rejects_oversized_domains() {
+        let mut a = Attribute::new("numeric-by-mistake");
+        for i in 0..=u32::from(u16::MAX) {
+            a.intern(&format!("v{i}")).unwrap();
+        }
+        let err = a.intern("one too many").unwrap_err();
+        assert!(matches!(
+            err,
+            RockError::DomainTooLarge { cardinality, .. } if cardinality == 65_536
+        ));
+        // Re-interning an existing value still succeeds.
+        assert_eq!(a.intern("v0").unwrap(), 0);
     }
 
     #[test]
@@ -155,9 +190,9 @@ mod tests {
     #[test]
     fn total_cardinality_sums_domains() {
         let mut s = Schema::with_unnamed(2);
-        s.attribute_mut(AttrId(0)).unwrap().intern("y");
-        s.attribute_mut(AttrId(0)).unwrap().intern("n");
-        s.attribute_mut(AttrId(1)).unwrap().intern("x");
+        s.attribute_mut(AttrId(0)).unwrap().intern("y").unwrap();
+        s.attribute_mut(AttrId(0)).unwrap().intern("n").unwrap();
+        s.attribute_mut(AttrId(1)).unwrap().intern("x").unwrap();
         assert_eq!(s.total_cardinality(), 3);
     }
 
@@ -171,8 +206,8 @@ mod tests {
     #[test]
     fn attribute_values_in_code_order() {
         let mut a = Attribute::new("x");
-        a.intern("c");
-        a.intern("a");
+        a.intern("c").unwrap();
+        a.intern("a").unwrap();
         let vals: Vec<&str> = a.values().collect();
         assert_eq!(vals, vec!["c", "a"]);
     }

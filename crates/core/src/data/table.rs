@@ -7,10 +7,10 @@
 //! the Congressional Votes and Mushroom datasets: records that agree on an
 //! attribute share an item, missing values simply contribute nothing.
 
+use crate::cast;
 use crate::error::{Result, RockError};
 
 use super::dataset::TransactionSet;
-use super::item::AttrId;
 use super::schema::Schema;
 use super::transaction::Transaction;
 use super::vocabulary::Vocabulary;
@@ -86,6 +86,11 @@ impl CategoricalTable {
 
     /// Appends a row of textual cells, interning values into the schema.
     /// `missing` cells (e.g. `"?"`) become `None`.
+    ///
+    /// # Errors
+    /// Returns [`RockError::LengthMismatch`] if the row width differs from
+    /// the schema, or [`RockError::DomainTooLarge`] if interning a cell
+    /// would overflow an attribute's `u16` code space.
     pub fn push_textual(&mut self, cells: &[&str], missing: &str) -> Result<()> {
         if cells.len() != self.schema.len() {
             return Err(RockError::LengthMismatch {
@@ -95,22 +100,14 @@ impl CategoricalTable {
                 right: self.schema.len(),
             });
         }
-        let coded: Vec<Option<u16>> = cells
-            .iter()
-            .enumerate()
-            .map(|(a, &cell)| {
-                if cell == missing {
-                    None
-                } else {
-                    Some(
-                        self.schema
-                            .attribute_mut(AttrId(a as u16))
-                            .expect("attr in range")
-                            .intern(cell),
-                    )
-                }
-            })
-            .collect();
+        let mut coded: Vec<Option<u16>> = Vec::with_capacity(cells.len());
+        for ((_, attr), &cell) in self.schema.iter_mut().zip(cells) {
+            coded.push(if cell == missing {
+                None
+            } else {
+                Some(attr.intern(cell)?)
+            });
+        }
         self.rows.push(coded);
         Ok(())
     }
@@ -126,7 +123,7 @@ impl CategoricalTable {
             .iter()
             .map(|r| r.iter().filter(|c| c.is_none()).count())
             .sum();
-        missing as f64 / total as f64
+        cast::usize_to_f64(missing) / cast::usize_to_f64(total)
     }
 
     /// Converts the table to a [`TransactionSet`]: each present
@@ -152,7 +149,7 @@ impl CategoricalTable {
         base.clear();
         for (_, a) in self.schema.iter() {
             base.push(offset);
-            offset += a.cardinality() as u32;
+            offset += cast::usize_to_u32(a.cardinality());
         }
         let transactions: Vec<Transaction> = self
             .rows
@@ -161,20 +158,21 @@ impl CategoricalTable {
                 let items: Vec<u32> = row
                     .iter()
                     .enumerate()
-                    .filter_map(|(a, cell)| cell.map(|code| base[a] + code as u32))
+                    .filter_map(|(a, cell)| cell.map(|code| base[a] + u32::from(code)))
                     .collect();
                 // Items are strictly increasing by construction (attribute
                 // order, one item per attribute).
                 Transaction::from_sorted(items)
             })
             .collect();
-        TransactionSet::with_vocabulary(transactions, offset as usize, vocab)
+        TransactionSet::with_vocabulary(transactions, cast::u32_to_usize(offset), vocab)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::AttrId;
 
     fn sample_table() -> CategoricalTable {
         let mut t = CategoricalTable::new(Schema::with_names(["vote1", "vote2"]));

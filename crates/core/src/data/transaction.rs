@@ -98,10 +98,12 @@ impl Transaction {
     /// Validates that every item id is `< universe`.
     pub fn validate(&self, universe: usize) -> Result<()> {
         match self.items.last() {
-            Some(&last) if (last as usize) >= universe => Err(RockError::ItemOutOfRange {
-                item: last,
-                universe,
-            }),
+            Some(&last) if crate::cast::u32_to_usize(last) >= universe => {
+                Err(RockError::ItemOutOfRange {
+                    item: last,
+                    universe,
+                })
+            }
             _ => Ok(()),
         }
     }

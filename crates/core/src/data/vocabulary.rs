@@ -58,7 +58,7 @@ impl Vocabulary {
             attr,
             value: value.to_owned(),
         };
-        let id = ItemId(self.reverse.len() as u32);
+        let id = ItemId(crate::cast::usize_to_u32(self.reverse.len()));
         self.reverse.push(key.clone());
         self.forward.insert(key, id);
         id
@@ -102,7 +102,7 @@ impl Vocabulary {
         self.reverse
             .iter()
             .enumerate()
-            .map(|(i, k)| (ItemId(i as u32), k))
+            .map(|(i, k)| (ItemId(crate::cast::usize_to_u32(i)), k))
     }
 }
 

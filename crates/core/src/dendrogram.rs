@@ -73,10 +73,12 @@ impl Dendrogram {
         // Union-find over the point slots; merge steps reference engine
         // slots, which are always the `kept`/`absorbed` cluster's slot id
         // (a point index), so replay is a straight union sequence.
-        let mut members: Vec<Vec<u32>> = (0..self.n as u32).map(|i| vec![i]).collect();
+        let mut members: Vec<Vec<u32>> = (0..crate::cast::usize_to_u32(self.n))
+            .map(|i| vec![i])
+            .collect();
         for step in &self.steps[..self.n - k] {
-            let absorbed = std::mem::take(&mut members[step.absorbed as usize]);
-            members[step.kept as usize].extend(absorbed);
+            let absorbed = std::mem::take(&mut members[crate::cast::u32_to_usize(step.absorbed)]);
+            members[crate::cast::u32_to_usize(step.kept)].extend(absorbed);
         }
         let mut clusters: Vec<Vec<u32>> = members
             .into_iter()
@@ -96,7 +98,7 @@ impl Dendrogram {
         let mut out = vec![0u32; self.n];
         for (c, members) in clusters.iter().enumerate() {
             for &p in members {
-                out[p as usize] = c as u32;
+                out[crate::cast::u32_to_usize(p)] = crate::cast::usize_to_u32(c);
             }
         }
         Some(out)

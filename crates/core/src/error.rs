@@ -54,6 +54,15 @@ pub enum RockError {
     /// The sample drawn for clustering was empty (e.g. every point was
     /// filtered as an outlier).
     EmptySample,
+    /// An attribute's value domain grew past the `u16` code space while
+    /// interning. Categorical domains this large are almost certainly a
+    /// parsing bug (e.g. a numeric column read as categorical).
+    DomainTooLarge {
+        /// Name of the offending attribute.
+        attribute: String,
+        /// Domain size at the point of failure (already `u16::MAX + 1`).
+        cardinality: usize,
+    },
     /// Clustering could not reach the requested number of clusters because
     /// no cross-cluster links remain; carries the number of clusters left.
     ///
@@ -98,6 +107,13 @@ impl fmt::Display for RockError {
             RockError::EmptySample => {
                 write!(f, "sample for clustering is empty (all points filtered?)")
             }
+            RockError::DomainTooLarge {
+                attribute,
+                cardinality,
+            } => write!(
+                f,
+                "attribute `{attribute}` has {cardinality} distinct values, exceeding the u16 code space"
+            ),
             RockError::NoLinksRemain {
                 remaining,
                 requested,
@@ -145,6 +161,13 @@ mod tests {
                 "item id 9",
             ),
             (RockError::EmptySample, "sample"),
+            (
+                RockError::DomainTooLarge {
+                    attribute: "odor".to_owned(),
+                    cardinality: 70_000,
+                },
+                "odor",
+            ),
             (
                 RockError::NoLinksRemain {
                     remaining: 7,

@@ -20,6 +20,7 @@
 //!
 //! Merging the pair with maximal goodness greedily increases `E_l`.
 
+use crate::cast;
 use crate::error::{Result, RockError};
 
 /// The cluster-size exponent function `f(θ)`.
@@ -94,7 +95,9 @@ impl Goodness {
             return Err(RockError::InvalidTheta(theta));
         }
         let exponent = 1.0 + 2.0 * f.f(theta);
-        let pow_cache = (0..POW_CACHE).map(|n| (n as f64).powf(exponent)).collect();
+        let pow_cache = (0..POW_CACHE)
+            .map(|n| cast::usize_to_f64(n).powf(exponent))
+            .collect();
         Ok(Goodness {
             theta,
             exponent,
@@ -121,7 +124,7 @@ impl Goodness {
         if n < self.pow_cache.len() {
             self.pow_cache[n]
         } else {
-            (n as f64).powf(self.exponent)
+            cast::usize_to_f64(n).powf(self.exponent)
         }
     }
 
@@ -139,9 +142,9 @@ impl Goodness {
         if denom <= 0.0 {
             // Degenerate exponent (f(θ) = 0 → e = 1). Fall back to raw
             // cross-link count so the merge order is still well-defined.
-            return links as f64;
+            return cast::u64_to_f64(links);
         }
-        links as f64 / denom
+        cast::u64_to_f64(links) / denom
     }
 
     /// Contribution of one cluster to the criterion `E_l`:
@@ -152,7 +155,7 @@ impl Goodness {
         if n == 0 {
             return 0.0;
         }
-        n as f64 * internal_links as f64 / self.expected_links(n)
+        cast::usize_to_f64(n) * cast::u64_to_f64(internal_links) / self.expected_links(n)
     }
 }
 

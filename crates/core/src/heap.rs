@@ -111,7 +111,9 @@ impl<P: Ord> IndexedHeap<P> {
         if slot != last {
             self.pos.insert(self.entries[slot].1, slot);
         }
-        let (p, _) = self.entries.pop().expect("nonempty");
+        // The position map just yielded a slot, so an entry must exist;
+        // degrade to `None` rather than panicking if that ever breaks.
+        let (p, _) = self.entries.pop()?;
         if slot < self.entries.len() {
             // The element swapped into the hole may need to move either
             // direction; the two sifts are mutually exclusive no-ops.
@@ -136,7 +138,7 @@ impl<P: Ord> IndexedHeap<P> {
     /// Removes every entry (keeps capacity). Each dropped entry counts as
     /// one pop in the telemetry tallies.
     pub fn clear(&mut self) {
-        self.pops += self.entries.len() as u64;
+        self.pops += crate::cast::usize_to_u64(self.entries.len());
         self.entries.clear();
         self.pos.clear();
     }

@@ -14,6 +14,7 @@
 //! automatically attract every point. Points with no neighbors in any
 //! `L_i` are labeled outliers.
 
+use crate::cast;
 use crate::data::{Transaction, TransactionSet};
 use crate::error::{Result, RockError};
 use crate::goodness::LinkExponent;
@@ -81,9 +82,10 @@ impl Representatives {
         let sets = clusters
             .iter()
             .map(|members| {
-                let want = ((members.len() as f64 * config.representative_fraction).ceil()
-                    as usize)
-                    .max(1);
+                let want = cast::f64_to_usize(
+                    (cast::usize_to_f64(members.len()) * config.representative_fraction).ceil(),
+                )
+                .max(1);
                 let want = if config.max_representatives > 0 {
                     want.min(config.max_representatives)
                 } else {
@@ -93,12 +95,10 @@ impl Representatives {
                 ids.shuffle(rng);
                 ids.truncate(want);
                 ids.iter()
-                    .map(|&i| {
-                        sample
-                            .transaction(i as usize)
-                            .expect("member in range")
-                            .clone()
-                    })
+                    // Member indices come from the clustering over this
+                    // sample, so the lookup cannot miss; skip defensively
+                    // instead of panicking.
+                    .filter_map(|&i| sample.transaction(cast::u32_to_usize(i)).cloned())
                     .collect()
             })
             .collect();
@@ -137,7 +137,7 @@ pub fn label_point<S: Similarity, F: LinkExponent>(
         if n_i == 0 {
             continue;
         }
-        let score = n_i as f64 / ((set.len() + 1) as f64).powf(exponent);
+        let score = cast::usize_to_f64(n_i) / cast::usize_to_f64(set.len() + 1).powf(exponent);
         // Deterministic tie-break: keep the lower cluster index.
         if best.is_none_or(|(b, _)| score > b) {
             best = Some((score, i));
@@ -214,11 +214,12 @@ pub fn label_many_observed<S: Similarity, F: LinkExponent>(
     let counters = observer.counters();
     PipelineCounters::add(
         &counters.labeling_evaluations,
-        points.len() as u64 * reps.total() as u64,
+        cast::usize_to_u64(points.len()) * cast::usize_to_u64(reps.total()),
     );
-    let labeled = out.iter().filter(|l| l.is_some()).count() as u64;
+    let labeled = cast::usize_to_u64(out.iter().filter(|l| l.is_some()).count());
     PipelineCounters::add(&counters.points_labeled, labeled);
-    observer.progress(Phase::Labeling, points.len() as u64, points.len() as u64);
+    let total = cast::usize_to_u64(points.len());
+    observer.progress(Phase::Labeling, total, total);
     out
 }
 

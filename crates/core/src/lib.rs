@@ -48,11 +48,14 @@
 //! engine, the heaps) are public so baselines, ablations and the
 //! experiment harness can compose them directly.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod agglomerate;
+pub mod cast;
 pub mod components;
+pub mod contracts;
 pub mod data;
 pub mod dendrogram;
 pub mod error;

@@ -12,6 +12,7 @@
 //! harvested into a sparse row. This is the classic sparse
 //! matrix-square-row kernel and keeps the inner loop to an indexed add.
 
+use crate::cast;
 use crate::neighbors::NeighborGraph;
 use crate::telemetry::{MemoryEstimate, MemoryGauges, Observer, PipelineCounters};
 
@@ -43,15 +44,15 @@ impl LinkTable {
         let mut kernel_steps = 0u64;
         for i in 0..n {
             for &l in graph.neighbors(i) {
-                kernel_steps += graph.degree(l as usize) as u64;
-                for &j in graph.neighbors(l as usize) {
+                kernel_steps += cast::usize_to_u64(graph.degree(cast::u32_to_usize(l)));
+                for &j in graph.neighbors(cast::u32_to_usize(l)) {
                     // Only accumulate the upper triangle (j > i); the pair
                     // (i, j) with j < i was produced when j was the source.
-                    if (j as usize) > i {
-                        if scratch[j as usize] == 0 {
+                    if cast::u32_to_usize(j) > i {
+                        if scratch[cast::u32_to_usize(j)] == 0 {
                             touched.push(j);
                         }
-                        scratch[j as usize] += 1;
+                        scratch[cast::u32_to_usize(j)] += 1;
                     }
                 }
             }
@@ -60,8 +61,8 @@ impl LinkTable {
                 let row: Vec<(u32, u32)> = touched
                     .iter()
                     .map(|&j| {
-                        let c = scratch[j as usize];
-                        scratch[j as usize] = 0;
+                        let c = scratch[cast::u32_to_usize(j)];
+                        scratch[cast::u32_to_usize(j)] = 0;
                         (j, c)
                     })
                     .collect();
@@ -72,10 +73,13 @@ impl LinkTable {
         let table = LinkTable { rows };
         let counters = observer.counters();
         PipelineCounters::add(&counters.link_kernel_steps, kernel_steps);
-        PipelineCounters::add(&counters.link_entries, table.num_entries() as u64);
+        PipelineCounters::add(
+            &counters.link_entries,
+            cast::usize_to_u64(table.num_entries()),
+        );
         MemoryGauges::observe(
             &observer.memory().link_table,
-            table.estimated_bytes() as u64,
+            cast::usize_to_u64(table.estimated_bytes()),
         );
         table
     }
@@ -96,7 +100,7 @@ impl LinkTable {
             return 0;
         }
         let (lo, hi) = if i < j { (i, j) } else { (j, i) };
-        match self.rows[lo].binary_search_by_key(&(hi as u32), |&(j, _)| j) {
+        match self.rows[lo].binary_search_by_key(&cast::usize_to_u32(hi), |&(j, _)| j) {
             Ok(pos) => self.rows[lo][pos].1,
             Err(_) => 0,
         }
@@ -112,7 +116,7 @@ impl LinkTable {
         self.rows
             .iter()
             .enumerate()
-            .flat_map(|(i, row)| row.iter().map(move |&(j, c)| (i as u32, j, c)))
+            .flat_map(|(i, row)| row.iter().map(move |&(j, c)| (cast::usize_to_u32(i), j, c)))
     }
 
     /// Number of stored nonzero entries.
@@ -125,7 +129,7 @@ impl LinkTable {
         self.rows
             .iter()
             .flat_map(|r| r.iter())
-            .map(|&(_, c)| c as u64)
+            .map(|&(_, c)| u64::from(c))
             .sum()
     }
 }

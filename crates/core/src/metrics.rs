@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 
+use crate::cast;
 use crate::error::{Result, RockError};
 
 /// Contingency matrix between predicted clusters and true classes.
@@ -47,12 +48,12 @@ impl ContingencyTable {
             .flatten()
             .copied()
             .max()
-            .map_or(0, |m| m as usize + 1);
+            .map_or(0, |m| cast::u32_to_usize(m) + 1);
         let mut counts = vec![vec![0usize; num_classes]; num_clusters];
         let mut unassigned = vec![0usize; num_classes];
         for (p, &t) in predicted.iter().zip(truth) {
             match p {
-                Some(c) => counts[*c as usize][t] += 1,
+                Some(c) => counts[cast::u32_to_usize(*c)][t] += 1,
                 None => unassigned[t] += 1,
             }
         }
@@ -106,7 +107,7 @@ impl ContingencyTable {
             .iter()
             .map(|row| row.iter().copied().max().unwrap_or(0))
             .sum();
-        hit as f64 / self.n as f64
+        cast::usize_to_f64(hit) / cast::usize_to_f64(self.n)
     }
 
     /// Accuracy under the best one-to-one cluster↔class matching (solved
@@ -121,7 +122,7 @@ impl ContingencyTable {
         let mut profit = vec![vec![0i64; k]; k];
         for (c, row) in self.counts.iter().enumerate() {
             for (t, &v) in row.iter().enumerate() {
-                profit[c][t] = v as i64;
+                profit[c][t] = i64::try_from(v).unwrap_or(i64::MAX);
             }
         }
         let assignment = hungarian_max(&profit);
@@ -130,7 +131,7 @@ impl ContingencyTable {
             .enumerate()
             .map(|(c, &t)| profit[c][t])
             .sum();
-        hit as f64 / self.n as f64
+        cast::i64_to_f64(hit) / cast::usize_to_f64(self.n)
     }
 
     /// Adjusted Rand Index over assigned points (unassigned excluded).
@@ -139,7 +140,7 @@ impl ContingencyTable {
         if n < 2 {
             return 0.0;
         }
-        let choose2 = |x: usize| (x * x.saturating_sub(1) / 2) as f64;
+        let choose2 = |x: usize| cast::usize_to_f64(x * x.saturating_sub(1) / 2);
         let sum_ij: f64 = self
             .counts
             .iter()
@@ -174,7 +175,7 @@ impl ContingencyTable {
         if n == 0 {
             return 0.0;
         }
-        let n_f = n as f64;
+        let n_f = cast::usize_to_f64(n);
         let cluster_totals: Vec<usize> = self.counts.iter().map(|r| r.iter().sum()).collect();
         let mut class_totals = vec![0usize; self.num_classes()];
         for row in &self.counts {
@@ -186,9 +187,10 @@ impl ContingencyTable {
         for (c, row) in self.counts.iter().enumerate() {
             for (t, &v) in row.iter().enumerate() {
                 if v > 0 {
-                    let p = v as f64 / n_f;
+                    let p = cast::usize_to_f64(v) / n_f;
                     mi += p
-                        * (p / ((cluster_totals[c] as f64 / n_f) * (class_totals[t] as f64 / n_f)))
+                        * (p / ((cast::usize_to_f64(cluster_totals[c]) / n_f)
+                            * (cast::usize_to_f64(class_totals[t]) / n_f)))
                             .ln();
                 }
             }
@@ -198,7 +200,7 @@ impl ContingencyTable {
                 .iter()
                 .filter(|&&v| v > 0)
                 .map(|&v| {
-                    let p = v as f64 / n_f;
+                    let p = cast::usize_to_f64(v) / n_f;
                     -p * p.ln()
                 })
                 .sum()
@@ -313,8 +315,9 @@ pub fn mean_std(values: &[f64]) -> (f64, f64) {
     if values.is_empty() {
         return (0.0, 0.0);
     }
-    let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    let mean = values.iter().sum::<f64>() / cast::usize_to_f64(values.len());
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        / cast::usize_to_f64(values.len());
     (mean, var.sqrt())
 }
 

@@ -12,6 +12,7 @@
 
 use std::sync::atomic::AtomicU64;
 
+use crate::cast;
 use crate::data::TransactionSet;
 use crate::error::{Result, RockError};
 use crate::similarity::Similarity;
@@ -67,12 +68,12 @@ impl NeighborGraph {
             let mut edges = 0u64;
             for (i, out) in lists.iter_mut().enumerate() {
                 fill_row(data, sim, theta, i, out);
-                edges += out.len() as u64;
+                edges += cast::usize_to_u64(out.len());
             }
             // Every row evaluates sim() against all n−1 other points.
             PipelineCounters::add(
                 &counters.similarity_comparisons,
-                (n as u64) * (n as u64 - 1),
+                cast::usize_to_u64(n) * cast::usize_to_u64(n - 1),
             );
             PipelineCounters::add(&counters.neighbor_edges, edges);
         } else {
@@ -89,17 +90,17 @@ impl NeighborGraph {
                         let mut edges = 0u64;
                         for (off, out) in slice.iter_mut().enumerate() {
                             fill_row(data, sim, theta, start + off, out);
-                            edges += out.len() as u64;
+                            edges += cast::usize_to_u64(out.len());
                         }
-                        let rows = slice.len() as u64;
+                        let rows = cast::usize_to_u64(slice.len());
                         PipelineCounters::add(
                             &counters.similarity_comparisons,
-                            rows * (n as u64 - 1),
+                            rows * cast::usize_to_u64(n - 1),
                         );
                         PipelineCounters::add(&counters.neighbor_edges, edges);
                         let done =
                             rows + done_rows.fetch_add(rows, std::sync::atomic::Ordering::Relaxed);
-                        observer.progress(Phase::Neighbors, done, n as u64);
+                        observer.progress(Phase::Neighbors, done, cast::usize_to_u64(n));
                     });
                 }
             });
@@ -107,7 +108,7 @@ impl NeighborGraph {
         let graph = NeighborGraph { lists, theta };
         MemoryGauges::observe(
             &observer.memory().neighbor_graph,
-            graph.estimated_bytes() as u64,
+            cast::usize_to_u64(graph.estimated_bytes()),
         );
         Ok(graph)
     }
@@ -153,7 +154,7 @@ impl NeighborGraph {
         let avg = if self.lists.is_empty() {
             0.0
         } else {
-            self.num_edges() as f64 / self.lists.len() as f64
+            cast::usize_to_f64(self.num_edges()) / cast::usize_to_f64(self.lists.len())
         };
         (avg, max)
     }
@@ -171,7 +172,7 @@ impl NeighborGraph {
         debug_assert!(kept.windows(2).all(|w| w[0] < w[1]));
         let mut remap: Vec<u32> = vec![u32::MAX; self.lists.len()];
         for (new, &old) in kept.iter().enumerate() {
-            remap[old] = new as u32;
+            remap[old] = cast::usize_to_u32(new);
         }
         let lists = kept
             .iter()
@@ -179,7 +180,7 @@ impl NeighborGraph {
                 self.lists[old]
                     .iter()
                     .filter_map(|&j| {
-                        let r = remap[j as usize];
+                        let r = remap[cast::u32_to_usize(j)];
                         (r != u32::MAX).then_some(r)
                     })
                     .collect()
@@ -211,10 +212,14 @@ fn fill_row<S: Similarity>(
     i: usize,
     out: &mut Vec<u32>,
 ) {
-    let ti = data.transaction(i).expect("row in range");
+    // Rows are driven by `lists` (length n), so `i` is always in range;
+    // degrade to an empty row rather than panicking if that ever breaks.
+    let Some(ti) = data.transaction(i) else {
+        return;
+    };
     for (j, tj) in data.iter().enumerate() {
         if j != i && sim.sim(ti, tj) >= theta {
-            out.push(j as u32);
+            out.push(cast::usize_to_u32(j));
         }
     }
 }

@@ -7,6 +7,7 @@
 //! reduced the cluster count to a checkpoint — lives in
 //! [`crate::agglomerate::PruneConfig`].
 
+use crate::cast;
 use crate::neighbors::NeighborGraph;
 use crate::telemetry::{Observer, PipelineCounters};
 
@@ -60,7 +61,7 @@ impl NeighborFilter {
         let (kept, outliers) = self.split(graph);
         PipelineCounters::add(
             &observer.counters().outliers_filtered,
-            outliers.len() as u64,
+            cast::usize_to_u64(outliers.len()),
         );
         (kept, outliers)
     }

@@ -20,6 +20,8 @@
 
 use std::ops::{Range, RangeInclusive};
 
+use crate::cast;
+
 /// SplitMix64: a tiny splittable generator used for state expansion.
 #[derive(Debug, Clone)]
 pub struct SplitMix64 {
@@ -87,6 +89,7 @@ impl Rng {
     /// Next 32-bit output (upper half of the 64-bit stream).
     #[inline]
     pub fn next_u32(&mut self) -> u32 {
+        // rock-analyze: allow(core-bare-cast) — the upper 32 bits after the shift always fit in u32.
         (self.next_u64() >> 32) as u32
     }
 
@@ -123,9 +126,13 @@ impl Rng {
         let threshold = bound.wrapping_neg() % bound;
         loop {
             let x = self.next_u64();
-            let m = (x as u128) * (bound as u128);
-            if (m as u64) >= threshold {
-                return (m >> 64) as u64;
+            let m = u128::from(x) * u128::from(bound);
+            // rock-analyze: allow(core-bare-cast) — low 64-bit half of the 128-bit product; truncation is the point.
+            let lo = m as u64;
+            // rock-analyze: allow(core-bare-cast) — high 64-bit half of the 128-bit product; truncation is the point.
+            let hi = (m >> 64) as u64;
+            if lo >= threshold {
+                return hi;
             }
         }
     }
@@ -162,7 +169,7 @@ impl FromRng for f64 {
     /// Uniform in `[0, 1)` using the top 53 bits.
     #[inline]
     fn from_rng(rng: &mut Rng) -> Self {
-        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        cast::u64_to_f64(rng.next_u64() >> 11) * (1.0 / cast::u64_to_f64(1u64 << 53))
     }
 }
 
@@ -179,7 +186,7 @@ impl SampleRange for Range<usize> {
     #[inline]
     fn sample(self, rng: &mut Rng) -> usize {
         assert!(self.start < self.end, "gen_range: empty range");
-        self.start + rng.bounded_u64((self.end - self.start) as u64) as usize
+        self.start + cast::u64_to_usize(rng.bounded_u64(cast::usize_to_u64(self.end - self.start)))
     }
 }
 
@@ -189,11 +196,11 @@ impl SampleRange for RangeInclusive<usize> {
     fn sample(self, rng: &mut Rng) -> usize {
         let (lo, hi) = (*self.start(), *self.end());
         assert!(lo <= hi, "gen_range: empty range");
-        let span = (hi - lo) as u64;
+        let span = cast::usize_to_u64(hi - lo);
         if span == u64::MAX {
-            return rng.next_u64() as usize;
+            return cast::u64_to_usize(rng.next_u64());
         }
-        lo + rng.bounded_u64(span + 1) as usize
+        lo + cast::u64_to_usize(rng.bounded_u64(span + 1))
     }
 }
 

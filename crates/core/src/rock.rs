@@ -28,6 +28,8 @@
 use std::time::{Duration, Instant};
 
 use crate::agglomerate::{agglomerate_observed, AgglomerateConfig, MergeStep, PruneConfig};
+use crate::cast;
+use crate::contracts;
 use crate::data::{ClusterId, TransactionSet};
 use crate::error::{Result, RockError};
 use crate::goodness::{Goodness, LinkExponent, MarketBasket};
@@ -341,6 +343,7 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
     /// Same as [`fit`](Self::fit).
     #[allow(clippy::needless_range_loop)] // assignments/outliers are index-aligned
     pub fn fit_observed(&self, data: &TransactionSet, observer: &Observer) -> Result<RockModel> {
+        // rock-analyze: allow(wall-clock) — the audited timing site: total wall time for PhaseTimings only, never in clustering decisions.
         let start = Instant::now();
         let n = data.len();
         if n == 0 {
@@ -366,9 +369,10 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
             }
         };
         let sample = data.subset(&sample_indices);
+        contracts::check_sample(&sample_indices, n);
         PipelineCounters::add(
             &observer.counters().points_sampled,
-            sample_indices.len() as u64,
+            cast::usize_to_u64(sample_indices.len()),
         );
         observer.log(Level::Info, || {
             format!("sampled {} of {n} points", sample_indices.len())
@@ -384,12 +388,14 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
             self.config.threads,
             observer,
         )?;
+        contracts::check_neighbor_graph(&graph);
         span.finish();
 
         // Up-front outlier filter.
         let span = observer.phase(Phase::Outliers);
         let (kept, filtered): (Vec<usize>, Vec<usize>) =
             self.config.neighbor_filter.split_observed(&graph, observer);
+        contracts::check_outlier_split(&kept, &filtered, sample.len());
         if kept.is_empty() {
             return Err(RockError::EmptySample);
         }
@@ -421,6 +427,7 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
         // ── Phase 3: links + merge ─────────────────────────────────────
         let span = observer.phase(Phase::Links);
         let links = LinkTable::compute_observed(&graph, observer);
+        contracts::check_link_table(&links);
         span.finish();
         let link_entries = links.num_entries();
 
@@ -440,8 +447,10 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
         )?;
         MemoryGauges::observe(
             &observer.memory().dendrogram,
-            (std::mem::size_of::<crate::dendrogram::Dendrogram>()
-                + agg.history.capacity() * std::mem::size_of::<MergeStep>()) as u64,
+            cast::usize_to_u64(
+                std::mem::size_of::<crate::dendrogram::Dendrogram>()
+                    + agg.history.capacity() * std::mem::size_of::<MergeStep>(),
+            ),
         );
         observer.log(Level::Info, || {
             format!(
@@ -455,7 +464,9 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
 
         // Map sample-local indices back to original dataset indices.
         // kept[i] = index into `sample`; sample_indices[kept[i]] = original.
-        let to_original = |local: u32| -> u32 { sample_indices[kept[local as usize]] as u32 };
+        let to_original = |local: u32| -> u32 {
+            cast::usize_to_u32(sample_indices[kept[cast::u32_to_usize(local)]])
+        };
 
         let mut assignments: Vec<Option<ClusterId>> = vec![None; n];
         let mut clusters: Vec<Vec<u32>> = agg
@@ -469,12 +480,12 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
             .collect();
         for (c, members) in clusters.iter().enumerate() {
             for &p in members {
-                assignments[p as usize] = Some(ClusterId(c as u32));
+                assignments[cast::u32_to_usize(p)] = Some(ClusterId(cast::usize_to_u32(c)));
             }
         }
         let mut outliers: Vec<u32> = filtered
             .iter()
-            .map(|&i| sample_indices[i] as u32)
+            .map(|&i| cast::usize_to_u32(sample_indices[i]))
             .chain(agg.outliers.iter().map(|&p| to_original(p)))
             .collect();
 
@@ -492,13 +503,18 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
                 .filter(|&i| {
                     !in_sample.contains(&i)
                         && assignments[i].is_none()
-                        && !fixed_outliers.contains(&(i as u32))
+                        && !fixed_outliers.contains(&cast::usize_to_u32(i))
                 })
                 .collect();
-            let points: Vec<&crate::data::Transaction> = unlabeled
+            // Indices come from `0..n`, so the lookup cannot fail; pairing
+            // each index with its transaction keeps the label zip aligned
+            // even if it ever did.
+            let labeled_points: Vec<(usize, &crate::data::Transaction)> = unlabeled
                 .iter()
-                .map(|&i| data.transaction(i).expect("in range"))
+                .filter_map(|&i| data.transaction(i).map(|t| (i, t)))
                 .collect();
+            let points: Vec<&crate::data::Transaction> =
+                labeled_points.iter().map(|&(_, t)| t).collect();
             let labels = crate::labeling::label_many_observed(
                 &points,
                 &reps,
@@ -508,13 +524,13 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
                 self.config.threads,
                 observer,
             );
-            for (&i, label) in unlabeled.iter().zip(labels) {
+            for (&(i, _), label) in labeled_points.iter().zip(labels) {
                 match label {
                     Some(c) => {
-                        assignments[i] = Some(ClusterId(c as u32));
-                        clusters[c].push(i as u32);
+                        assignments[i] = Some(ClusterId(cast::usize_to_u32(c)));
+                        clusters[c].push(cast::usize_to_u32(i));
                     }
-                    None => outliers.push(i as u32),
+                    None => outliers.push(cast::usize_to_u32(i)),
                 }
             }
             for members in &mut clusters {
@@ -535,11 +551,12 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
         let mut assignments: Vec<Option<ClusterId>> = vec![None; n];
         for (c, members) in clusters.iter().enumerate() {
             for &p in members {
-                assignments[p as usize] = Some(ClusterId(c as u32));
+                assignments[cast::u32_to_usize(p)] = Some(ClusterId(cast::usize_to_u32(c)));
             }
         }
         outliers.sort_unstable();
         outliers.dedup();
+        contracts::check_partition(&assignments, &outliers);
 
         let stats = RockStats {
             sample_size: clustered.len(),

@@ -37,14 +37,14 @@ pub fn chernoff_sample_size(n: usize, u_min: usize, xi: f64, delta: f64) -> Resu
     if u_min == 0 || u_min > n {
         return Err(RockError::InvalidFraction {
             name: "u_min",
-            value: u_min as f64,
+            value: crate::cast::usize_to_f64(u_min),
         });
     }
-    let n_f = n as f64;
-    let u = u_min as f64;
+    let n_f = crate::cast::usize_to_f64(n);
+    let u = crate::cast::usize_to_f64(u_min);
     let l = (1.0 / delta).ln();
     let s = xi * n_f + (n_f / u) * l + (n_f / u) * (l * l + 2.0 * xi * u * l).sqrt();
-    Ok((s.ceil() as usize).min(n))
+    Ok(crate::cast::f64_to_usize(s.ceil()).min(n))
 }
 
 /// Draws a uniform sample of `size` distinct indices from `0..n`, sorted

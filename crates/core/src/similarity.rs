@@ -6,6 +6,7 @@
 //! provides it along with common drop-in alternatives. All measures return
 //! values in `[0, 1]` with `sim(x, x) = 1` for non-empty `x`.
 
+use crate::cast;
 use crate::data::Transaction;
 
 /// A symmetric similarity measure on transactions with range `[0, 1]`.
@@ -33,7 +34,7 @@ impl Similarity for Jaccard {
         if union == 0 {
             1.0
         } else {
-            inter as f64 / union as f64
+            cast::usize_to_f64(inter) / cast::usize_to_f64(union)
         }
     }
 
@@ -53,7 +54,7 @@ impl Similarity for Dice {
         if denom == 0 {
             1.0
         } else {
-            2.0 * a.intersection_len(b) as f64 / denom as f64
+            2.0 * cast::usize_to_f64(a.intersection_len(b)) / cast::usize_to_f64(denom)
         }
     }
 
@@ -73,7 +74,7 @@ impl Similarity for Overlap {
         if denom == 0 {
             1.0
         } else {
-            a.intersection_len(b) as f64 / denom as f64
+            cast::usize_to_f64(a.intersection_len(b)) / cast::usize_to_f64(denom)
         }
     }
 
@@ -95,7 +96,7 @@ impl Similarity for Cosine {
         if a.is_empty() || b.is_empty() {
             return 0.0;
         }
-        a.intersection_len(b) as f64 / ((a.len() * b.len()) as f64).sqrt()
+        cast::usize_to_f64(a.intersection_len(b)) / cast::usize_to_f64(a.len() * b.len()).sqrt()
     }
 
     fn name(&self) -> &'static str {
@@ -129,7 +130,7 @@ impl Similarity for HammingRecord {
         if self.num_attributes == 0 {
             return 1.0;
         }
-        a.intersection_len(b) as f64 / self.num_attributes as f64
+        cast::usize_to_f64(a.intersection_len(b)) / cast::usize_to_f64(self.num_attributes)
     }
 
     fn name(&self) -> &'static str {

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use crate::cast;
 use crate::data::TransactionSet;
 
 /// One item with the fraction of cluster members containing it.
@@ -37,7 +38,7 @@ impl ClusterSummary {
     pub fn compute(data: &TransactionSet, members: &[u32], min_support: f64) -> Self {
         let mut counts: HashMap<u32, usize> = HashMap::new();
         for &p in members {
-            if let Some(t) = data.transaction(p as usize) {
+            if let Some(t) = data.transaction(cast::u32_to_usize(p)) {
                 for &item in t.items() {
                     *counts.entry(item).or_insert(0) += 1;
                 }
@@ -52,7 +53,7 @@ impl ClusterSummary {
                 support: if size == 0 {
                     0.0
                 } else {
-                    count as f64 / size as f64
+                    cast::usize_to_f64(count) / cast::usize_to_f64(size)
                 },
             })
             .filter(|s| s.support >= min_support)

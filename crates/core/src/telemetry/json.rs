@@ -21,8 +21,8 @@ pub fn escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
             }
             c => out.push(c),
         }
@@ -194,7 +194,7 @@ impl Json {
     /// The value as `u64`, if it is a non-negative integral number.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(crate::cast::f64_to_u64(*v)),
             _ => None,
         }
     }
@@ -310,7 +310,9 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Consume one UTF-8 scalar (multi-byte safe).
                 let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("non-empty");
+                let Some(c) = rest.chars().next() else {
+                    return Err("unexpected end of input".to_string());
+                };
                 out.push(c);
                 *pos += c.len_utf8();
             }

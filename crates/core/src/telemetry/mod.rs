@@ -186,7 +186,12 @@ impl RecordingSink {
 
     /// Snapshot of the events recorded so far.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("sink poisoned").clone()
+        // Recover from a poisoned lock: a panicking recorder thread must
+        // not take the telemetry snapshot down with it.
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -194,7 +199,7 @@ impl EventSink for RecordingSink {
     fn record(&self, event: &Event) {
         self.events
             .lock()
-            .expect("sink poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(event.clone());
     }
 }
@@ -484,7 +489,9 @@ impl Observer {
     }
 
     fn close_span(&self, phase: Phase, wall: Duration) {
-        self.phase_nanos[phase.index()].fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+        // Saturate instead of truncating: u64 nanoseconds cover ~584 years.
+        let nanos = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        self.phase_nanos[phase.index()].fetch_add(nanos, Ordering::Relaxed);
         self.emit(Event::PhaseEnd { phase, wall });
     }
 }
@@ -597,13 +604,16 @@ impl Metrics {
         let ind = usize::from(pretty);
 
         let mut run = JsonObj::new(pretty, ind);
-        run.num_u64("n", self.run.n as u64)
-            .num_u64("k", self.run.k as u64)
+        run.num_u64("n", crate::cast::usize_to_u64(self.run.n))
+            .num_u64("k", crate::cast::usize_to_u64(self.run.k))
             .num_f64("theta", self.run.theta)
             .num_u64("seed", self.run.seed)
-            .num_u64("sample_size", self.run.sample_size as u64)
-            .num_u64("clusters", self.run.clusters as u64)
-            .num_u64("outliers", self.run.outliers as u64);
+            .num_u64(
+                "sample_size",
+                crate::cast::usize_to_u64(self.run.sample_size),
+            )
+            .num_u64("clusters", crate::cast::usize_to_u64(self.run.clusters))
+            .num_u64("outliers", crate::cast::usize_to_u64(self.run.outliers));
 
         let mut wall = JsonObj::new(pretty, ind);
         for p in Phase::ALL {
