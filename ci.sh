@@ -35,4 +35,11 @@ else
     cargo test --offline --workspace -q
 fi
 
+# The chaos suite runs as part of the workspace tests above; rerunning it
+# as a named gate keeps the robustness contract visible in CI output:
+# no fault (poisoned input, budget trip, cancellation, injected I/O
+# failure) may panic, and every degraded outcome is a valid partition.
+echo "== chaos suite (fault injection, budgets, degradation)"
+cargo test --offline -q --test chaos
+
 echo "== ci.sh: all green"

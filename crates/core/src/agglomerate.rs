@@ -23,6 +23,7 @@ use crate::cast;
 use crate::contracts;
 use crate::error::{Result, RockError};
 use crate::goodness::Goodness;
+use crate::guard::{Guard, Trip};
 use crate::heap::IndexedHeap;
 use crate::links::LinkTable;
 use crate::telemetry::{MemoryGauges, Observer, PipelineCounters};
@@ -229,6 +230,30 @@ pub fn agglomerate_observed(
     config: &AgglomerateConfig,
     observer: &Observer,
 ) -> Result<Agglomeration> {
+    let (agg, _trip) =
+        agglomerate_guarded(n, links, goodness, config, observer, &Guard::unlimited())?;
+    Ok(agg)
+}
+
+/// [`agglomerate_observed`] under a [`Guard`]: the merge loop calls
+/// [`Guard::merge_tick`] before every merge, so a step budget of `s`
+/// permits exactly `s` merges, cancellation takes effect within one merge,
+/// and a deadline is sampled periodically. On a trip the engine stops
+/// cleanly — telemetry still flushes and the partial result is a valid
+/// partition (ROCK is an anytime algorithm: every prefix of the merge
+/// sequence is a consistent clustering). Returns the agglomeration plus
+/// the trip, if one occurred.
+///
+/// # Errors
+/// Same as [`agglomerate`]; a budget trip is **not** an error.
+pub fn agglomerate_guarded(
+    n: usize,
+    links: &LinkTable,
+    goodness: &Goodness,
+    config: &AgglomerateConfig,
+    observer: &Observer,
+    guard: &Guard,
+) -> Result<(Agglomeration, Option<Trip>)> {
     if n == 0 {
         return Err(RockError::EmptyDataset);
     }
@@ -251,6 +276,7 @@ pub fn agglomerate_observed(
     });
     let mut pruned_at_checkpoint = checkpoint.is_none();
 
+    let mut trip = None;
     let mut active = n;
     while active > config.k {
         if let Some((at, max_size)) = checkpoint {
@@ -269,6 +295,10 @@ pub fn agglomerate_observed(
                 break; // remaining merges are below the quality floor
             }
         }
+        if let Some(t) = guard.merge_tick() {
+            trip = Some(t); // budget tripped; keep the partial clustering
+            break;
+        }
         if !engine.merge_best() {
             break; // no cross-cluster links remain
         }
@@ -279,7 +309,7 @@ pub fn agglomerate_observed(
     let agg = engine.finish(active == config.k);
     // Contract: clusters, assignment, outliers and criterion agree.
     contracts::check_agglomeration(&agg);
-    Ok(agg)
+    Ok((agg, trip))
 }
 
 /// Internal merge-engine state.
@@ -497,13 +527,16 @@ impl<'a> Engine<'a> {
     fn flush_telemetry(&self, observer: &Observer) {
         let counters = observer.counters();
         let (mut pushes, mut pops) = self.global.telemetry_counts();
+        let mut anomalies = self.global.anomaly_count();
         for h in &self.local {
             let (pu, po) = h.telemetry_counts();
             pushes += pu;
             pops += po;
+            anomalies += h.anomaly_count();
         }
         PipelineCounters::add(&counters.heap_pushes, pushes);
         PipelineCounters::add(&counters.heap_pops, pops);
+        PipelineCounters::add(&counters.heap_anomalies, anomalies);
         PipelineCounters::add(&counters.merges, cast::usize_to_u64(self.merges));
         PipelineCounters::add(
             &counters.outliers_pruned,
@@ -811,5 +844,103 @@ mod tests {
         let b = pipeline(data, 0.5, 2);
         assert_eq!(a.clusters, b.clusters);
         assert_eq!(a.assignment, b.assignment);
+    }
+
+    fn guarded_fixture() -> (TransactionSet, LinkTable, Goodness) {
+        let mut data = block(0, 6, 4);
+        data.extend(block(500, 6, 4));
+        let ts: TransactionSet = data.into_iter().collect();
+        let g = NeighborGraph::compute(&ts, &Jaccard, 0.5, 1).unwrap();
+        let links = LinkTable::compute(&g);
+        let good = Goodness::new(0.5, &MarketBasket).unwrap();
+        (ts, links, good)
+    }
+
+    #[test]
+    fn step_budget_stops_after_exact_step_count() {
+        use crate::guard::{Guard, RunBudget, TripReason};
+        use crate::telemetry::Observer;
+        let (ts, links, good) = guarded_fixture();
+        let guard = Guard::new(RunBudget::unlimited().steps(3));
+        let (agg, trip) = agglomerate_guarded(
+            ts.len(),
+            &links,
+            &good,
+            &AgglomerateConfig::new(2),
+            &Observer::new(),
+            &guard,
+        )
+        .unwrap();
+        let trip = trip.expect("budget of 3 must trip before 10 merges");
+        assert_eq!(trip.reason, TripReason::StepBudget { limit: 3 });
+        assert_eq!(agg.merges, 3);
+        assert!(!agg.reached_k);
+        // The partial result is still a full, consistent partition.
+        assert_eq!(agg.clusters.len(), ts.len() - 3);
+        let covered: usize = agg.clusters.iter().map(Vec::len).sum();
+        assert_eq!(covered + agg.outliers.len(), ts.len());
+    }
+
+    #[test]
+    fn unlimited_guard_matches_unguarded_run() {
+        use crate::guard::Guard;
+        use crate::telemetry::Observer;
+        let (ts, links, good) = guarded_fixture();
+        let plain = agglomerate(ts.len(), &links, &good, &AgglomerateConfig::new(2)).unwrap();
+        let (guarded, trip) = agglomerate_guarded(
+            ts.len(),
+            &links,
+            &good,
+            &AgglomerateConfig::new(2),
+            &Observer::new(),
+            &Guard::unlimited(),
+        )
+        .unwrap();
+        assert!(trip.is_none());
+        assert_eq!(plain.clusters, guarded.clusters);
+        assert_eq!(plain.assignment, guarded.assignment);
+    }
+
+    #[test]
+    fn cancellation_stops_merge_loop() {
+        use crate::guard::{Guard, TripReason};
+        use crate::telemetry::Observer;
+        let (ts, links, good) = guarded_fixture();
+        let guard = Guard::unlimited();
+        guard.cancel_token().cancel();
+        let (agg, trip) = agglomerate_guarded(
+            ts.len(),
+            &links,
+            &good,
+            &AgglomerateConfig::new(2),
+            &Observer::new(),
+            &guard,
+        )
+        .unwrap();
+        assert_eq!(trip.map(|t| t.reason), Some(TripReason::Cancelled));
+        assert_eq!(agg.merges, 0);
+        assert_eq!(agg.clusters.len(), ts.len());
+    }
+
+    #[test]
+    fn guarded_run_flushes_heap_telemetry() {
+        use crate::guard::{Guard, RunBudget};
+        use crate::telemetry::Observer;
+        let (ts, links, good) = guarded_fixture();
+        let obs = Observer::new();
+        let guard = Guard::new(RunBudget::unlimited().steps(2));
+        agglomerate_guarded(
+            ts.len(),
+            &links,
+            &good,
+            &AgglomerateConfig::new(2),
+            &obs,
+            &guard,
+        )
+        .unwrap();
+        let c = obs.counters().snapshot();
+        assert_eq!(c.merges, 2);
+        assert!(c.heap_pushes > 0);
+        assert_eq!(c.heap_anomalies, 0);
     }
 }

@@ -74,6 +74,75 @@ pub enum RockError {
         /// The requested number of clusters.
         requested: usize,
     },
+    /// A filesystem operation failed. The underlying [`std::io::Error`]
+    /// is flattened to a message so the error stays `Clone + PartialEq`.
+    Io {
+        /// Path involved in the failed operation.
+        path: String,
+        /// The I/O error message.
+        message: String,
+    },
+    /// Input text was malformed (ragged row, unterminated quote, …).
+    Csv {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Human-readable description of the defect.
+        message: String,
+    },
+    /// The requested label column index is out of range.
+    InvalidLabelColumn {
+        /// Requested 0-based column index.
+        index: usize,
+        /// Number of columns in the file.
+        columns: usize,
+    },
+    /// Lenient ingestion quarantined more rows than the configured
+    /// ceiling allows; the file is too dirty to trust.
+    QuarantineExceeded {
+        /// Rows quarantined.
+        quarantined: usize,
+        /// Rows read in total.
+        rows: usize,
+        /// The configured maximum quarantine fraction.
+        max_fraction: f64,
+    },
+    /// A run budget (merge steps, wall-clock deadline, or memory ceiling)
+    /// was exhausted and the caller asked for strict failure instead of a
+    /// degraded result.
+    BudgetExhausted {
+        /// Machine-readable trip reason (see `guard::TripReason::name`).
+        reason: String,
+        /// Name of the pipeline phase that tripped.
+        phase: String,
+    },
+    /// The run was cancelled via a `guard::CancelToken` and the caller
+    /// asked for strict failure instead of a degraded result.
+    Cancelled,
+}
+
+impl RockError {
+    /// Stable process exit code for this error, used by the CLI:
+    ///
+    /// | code | class |
+    /// |------|-------|
+    /// | 0    | success (including recovered/degraded runs) |
+    /// | 1    | internal / non-`RockError` failure (mapped by the CLI) |
+    /// | 2    | usage error (bad flags — produced by the CLI, not here) |
+    /// | 3    | I/O failure |
+    /// | 4    | malformed input data |
+    /// | 5    | invalid configuration or data shape (default class) |
+    /// | 6    | budget exhausted / cancelled |
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            RockError::Io { .. } => 3,
+            RockError::Csv { .. }
+            | RockError::DomainTooLarge { .. }
+            | RockError::ItemOutOfRange { .. }
+            | RockError::QuarantineExceeded { .. } => 4,
+            RockError::BudgetExhausted { .. } | RockError::Cancelled => 6,
+            _ => 5,
+        }
+    }
 }
 
 impl fmt::Display for RockError {
@@ -121,6 +190,23 @@ impl fmt::Display for RockError {
                 f,
                 "no cross-cluster links remain with {remaining} clusters (requested {requested})"
             ),
+            RockError::Io { path, message } => write!(f, "io error on {path}: {message}"),
+            RockError::Csv { line, message } => write!(f, "csv error: {message} (line {line})"),
+            RockError::InvalidLabelColumn { index, columns } => {
+                write!(f, "label column {index} out of range for {columns} columns")
+            }
+            RockError::QuarantineExceeded {
+                quarantined,
+                rows,
+                max_fraction,
+            } => write!(
+                f,
+                "quarantined {quarantined} of {rows} rows, above the {max_fraction} ceiling"
+            ),
+            RockError::BudgetExhausted { reason, phase } => {
+                write!(f, "run budget exhausted ({reason}) at phase `{phase}`")
+            }
+            RockError::Cancelled => write!(f, "run cancelled"),
         }
     }
 }
@@ -175,6 +261,43 @@ mod tests {
                 },
                 "7 clusters",
             ),
+            (
+                RockError::Io {
+                    path: "/tmp/x.csv".to_owned(),
+                    message: "permission denied".to_owned(),
+                },
+                "/tmp/x.csv",
+            ),
+            (
+                RockError::Csv {
+                    line: 12,
+                    message: "unterminated quote".to_owned(),
+                },
+                "line 12",
+            ),
+            (
+                RockError::InvalidLabelColumn {
+                    index: 9,
+                    columns: 4,
+                },
+                "label column 9",
+            ),
+            (
+                RockError::QuarantineExceeded {
+                    quarantined: 30,
+                    rows: 100,
+                    max_fraction: 0.2,
+                },
+                "30 of 100",
+            ),
+            (
+                RockError::BudgetExhausted {
+                    reason: "step-budget".to_owned(),
+                    phase: "agglomerate".to_owned(),
+                },
+                "step-budget",
+            ),
+            (RockError::Cancelled, "cancelled"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
@@ -192,5 +315,61 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(RockError::EmptyDataset, RockError::EmptyDataset);
         assert_ne!(RockError::InvalidTheta(0.0), RockError::InvalidTheta(1.0));
+    }
+
+    #[test]
+    fn exit_codes_are_stable() {
+        assert_eq!(
+            RockError::Io {
+                path: "f".into(),
+                message: "m".into()
+            }
+            .exit_code(),
+            3
+        );
+        assert_eq!(
+            RockError::Csv {
+                line: 1,
+                message: "m".into()
+            }
+            .exit_code(),
+            4
+        );
+        assert_eq!(
+            RockError::DomainTooLarge {
+                attribute: "a".into(),
+                cardinality: 70_000
+            }
+            .exit_code(),
+            4
+        );
+        assert_eq!(
+            RockError::QuarantineExceeded {
+                quarantined: 3,
+                rows: 4,
+                max_fraction: 0.1
+            }
+            .exit_code(),
+            4
+        );
+        assert_eq!(RockError::EmptyDataset.exit_code(), 5);
+        assert_eq!(RockError::InvalidK { k: 9, n: 2 }.exit_code(), 5);
+        assert_eq!(
+            RockError::InvalidLabelColumn {
+                index: 9,
+                columns: 2
+            }
+            .exit_code(),
+            5
+        );
+        assert_eq!(
+            RockError::BudgetExhausted {
+                reason: "deadline".into(),
+                phase: "links".into()
+            }
+            .exit_code(),
+            6
+        );
+        assert_eq!(RockError::Cancelled.exit_code(), 6);
     }
 }

@@ -35,6 +35,9 @@ pub struct IndexedHeap<P: Ord> {
     pushes: u64,
     /// Lifetime count of removals (including entries dropped by `clear`).
     pops: u64,
+    /// Lifetime count of internal-consistency anomalies (a `remove` whose
+    /// position map and entry array disagreed). Always 0 on a healthy heap.
+    anomalies: u64,
 }
 
 impl<P: Ord> IndexedHeap<P> {
@@ -46,6 +49,7 @@ impl<P: Ord> IndexedHeap<P> {
             pos: HashMap::with_capacity(capacity.min(1024)),
             pushes: 0,
             pops: 0,
+            anomalies: 0,
         }
     }
 
@@ -56,6 +60,7 @@ impl<P: Ord> IndexedHeap<P> {
             pos: HashMap::new(),
             pushes: 0,
             pops: 0,
+            anomalies: 0,
         }
     }
 
@@ -111,9 +116,15 @@ impl<P: Ord> IndexedHeap<P> {
         if slot != last {
             self.pos.insert(self.entries[slot].1, slot);
         }
-        // The position map just yielded a slot, so an entry must exist;
-        // degrade to `None` rather than panicking if that ever breaks.
-        let (p, _) = self.entries.pop()?;
+        // The position map just yielded a slot, so an entry must exist; if
+        // that ever breaks, record the corruption and degrade to `None` —
+        // the anomaly tally surfaces it through telemetry and the
+        // contracts checks instead of a silent wrong answer.
+        let Some((p, _)) = self.entries.pop() else {
+            self.anomalies += 1;
+            debug_assert!(false, "heap position map referenced an empty entry array");
+            return None;
+        };
         if slot < self.entries.len() {
             // The element swapped into the hole may need to move either
             // direction; the two sifts are mutually exclusive no-ops.
@@ -146,6 +157,15 @@ impl<P: Ord> IndexedHeap<P> {
     /// Lifetime `(pushes, pops)` operation tallies of this heap.
     pub fn telemetry_counts(&self) -> (u64, u64) {
         (self.pushes, self.pops)
+    }
+
+    /// Lifetime count of internal-consistency anomalies (see
+    /// [`remove`](Self::remove)). Nonzero means the heap corrupted itself
+    /// and silently degraded; the merge engine flushes this into the
+    /// `heap_anomalies` pipeline counter and
+    /// [`assert_invariants`](Self::assert_invariants) rejects it outright.
+    pub fn anomaly_count(&self) -> u64 {
+        self.anomalies
     }
 
     /// Iterates `(priority, id)` in arbitrary (heap) order.
@@ -215,6 +235,11 @@ impl<P: Ord> IndexedHeap<P> {
             self.entries.len(),
             "pos map counts mismatch"
         );
+        assert_eq!(
+            self.anomalies, 0,
+            "heap recorded {} internal-consistency anomalies",
+            self.anomalies
+        );
     }
 }
 
@@ -240,6 +265,7 @@ mod tests {
         h.pop(); // remove() inside: 1 pop
         h.clear(); // 3 remaining entries → 3 pops
         assert_eq!(h.telemetry_counts(), (6, 5));
+        assert_eq!(h.anomaly_count(), 0);
         assert!(h.estimated_bytes() >= std::mem::size_of::<IndexedHeap<i64>>());
     }
 

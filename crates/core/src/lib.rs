@@ -61,6 +61,7 @@ pub mod dendrogram;
 pub mod error;
 pub mod export;
 pub mod goodness;
+pub mod guard;
 pub mod heap;
 pub mod labeling;
 pub mod links;
@@ -88,6 +89,7 @@ pub mod prelude {
     pub use crate::error::{Result, RockError};
     pub use crate::export::{read_assignments, write_assignments};
     pub use crate::goodness::{ConstantExponent, Goodness, LinkExponent, MarketBasket};
+    pub use crate::guard::{CancelToken, Degradation, Guard, RunBudget, Trip, TripReason};
     pub use crate::labeling::{LabelingConfig, Representatives};
     pub use crate::links::LinkTable;
     pub use crate::metrics::{
@@ -97,7 +99,7 @@ pub mod prelude {
     pub use crate::outliers::NeighborFilter;
     pub use crate::rng::{Rng, SliceRandom};
     pub use crate::rock::{
-        PhaseTimings, Rock, RockBuilder, RockConfig, RockModel, RockStats, SampleStrategy,
+        Outcome, PhaseTimings, Rock, RockBuilder, RockConfig, RockModel, RockStats, SampleStrategy,
     };
     pub use crate::sampling::{chernoff_sample_size, sample_indices, seeded_rng};
     pub use crate::similarity::{Cosine, Dice, HammingRecord, Jaccard, Overlap, Similarity};

@@ -27,12 +27,13 @@
 
 use std::time::{Duration, Instant};
 
-use crate::agglomerate::{agglomerate_observed, AgglomerateConfig, MergeStep, PruneConfig};
+use crate::agglomerate::{agglomerate_guarded, AgglomerateConfig, MergeStep, PruneConfig};
 use crate::cast;
 use crate::contracts;
 use crate::data::{ClusterId, TransactionSet};
 use crate::error::{Result, RockError};
 use crate::goodness::{Goodness, LinkExponent, MarketBasket};
+use crate::guard::{Degradation, Guard, Trip};
 use crate::labeling::{LabelingConfig, Representatives};
 use crate::links::LinkTable;
 use crate::neighbors::NeighborGraph;
@@ -317,6 +318,94 @@ impl RockModel {
     }
 }
 
+/// Result of a guarded fit ([`Rock::fit_guarded`]).
+///
+/// ROCK is an *anytime* algorithm: every prefix of the merge sequence is a
+/// valid partition, so running out of budget does not mean running out of
+/// answers. A guarded fit therefore never panics and never discards work —
+/// it either completes or hands back the best partition built so far,
+/// together with a machine-readable [`Degradation`] report.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The pipeline ran to completion under budget.
+    Complete(RockModel),
+    /// A budget tripped (or the run was cancelled) before the pipeline
+    /// finished.
+    Degraded {
+        /// The partial — but internally consistent — clustering. Points
+        /// the pipeline never reached are reported as outliers.
+        model: RockModel,
+        /// What tripped, at which phase, and how far the run got.
+        degradation: Degradation,
+    },
+}
+
+impl Outcome {
+    /// The model, complete or partial.
+    pub fn model(&self) -> &RockModel {
+        match self {
+            Outcome::Complete(m) | Outcome::Degraded { model: m, .. } => m,
+        }
+    }
+
+    /// Consumes the outcome, returning the model.
+    pub fn into_model(self) -> RockModel {
+        match self {
+            Outcome::Complete(m) | Outcome::Degraded { model: m, .. } => m,
+        }
+    }
+
+    /// The degradation report, when the run was cut short.
+    pub fn degradation(&self) -> Option<&Degradation> {
+        match self {
+            Outcome::Complete(_) => None,
+            Outcome::Degraded { degradation, .. } => Some(degradation),
+        }
+    }
+
+    /// Whether the run was cut short by a budget trip or cancellation.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Outcome::Degraded { .. })
+    }
+}
+
+/// The fallback partition when a guard trips before any clustering
+/// structure exists: every point is an outlier. Still a valid partition —
+/// [`contracts::check_partition`] holds — so downstream consumers need no
+/// special casing.
+fn degraded_all_outliers(
+    n: usize,
+    start: Instant,
+    observer: &Observer,
+    guard: &Guard,
+    trip: Trip,
+) -> Outcome {
+    let assignments: Vec<Option<ClusterId>> = vec![None; n];
+    let outliers: Vec<u32> = (0..n).map(cast::usize_to_u32).collect();
+    contracts::check_partition(&assignments, &outliers);
+    let stats = RockStats {
+        timings: PhaseTimings {
+            neighbors: observer.phase_wall(Phase::Neighbors),
+            links: observer.phase_wall(Phase::Links),
+            merge: observer.phase_wall(Phase::Agglomerate),
+            labeling: observer.phase_wall(Phase::Labeling),
+            total: start.elapsed(),
+        },
+        ..RockStats::default()
+    };
+    Outcome::Degraded {
+        model: RockModel {
+            assignments,
+            clusters: Vec::new(),
+            sample_indices: Vec::new(),
+            outliers,
+            history: Vec::new(),
+            stats,
+        },
+        degradation: guard.degradation(trip),
+    }
+}
+
 impl<S: Similarity, F: LinkExponent> Rock<S, F> {
     /// The configuration in use.
     pub fn config(&self) -> &RockConfig {
@@ -341,8 +430,31 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
     ///
     /// # Errors
     /// Same as [`fit`](Self::fit).
-    #[allow(clippy::needless_range_loop)] // assignments/outliers are index-aligned
     pub fn fit_observed(&self, data: &TransactionSet, observer: &Observer) -> Result<RockModel> {
+        Ok(self
+            .fit_guarded(data, observer, &Guard::unlimited())?
+            .into_model())
+    }
+
+    /// [`fit_observed`](Self::fit_observed) under an execution [`Guard`]:
+    /// budgets and cancellation are checked at every contract-instrumented
+    /// phase boundary and inside the agglomeration merge loop. When the
+    /// guard trips, the pipeline stops early and returns
+    /// [`Outcome::Degraded`] carrying the best valid partition built so
+    /// far plus a [`Degradation`] report — never a panic, and never a bare
+    /// error. Points the pipeline never assigned are swept into the
+    /// outlier set so the partition invariants still hold.
+    ///
+    /// # Errors
+    /// Same validation errors as [`fit`](Self::fit). Budget exhaustion and
+    /// cancellation are *not* errors; they degrade.
+    #[allow(clippy::needless_range_loop)] // assignments/outliers are index-aligned
+    pub fn fit_guarded(
+        &self,
+        data: &TransactionSet,
+        observer: &Observer,
+        guard: &Guard,
+    ) -> Result<Outcome> {
         // rock-analyze: allow(wall-clock) — the audited timing site: total wall time for PhaseTimings only, never in clustering decisions.
         let start = Instant::now();
         let n = data.len();
@@ -378,6 +490,9 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
             format!("sampled {} of {n} points", sample_indices.len())
         });
         span.finish();
+        if let Some(trip) = guard.checkpoint(Phase::Sample, observer) {
+            return Ok(degraded_all_outliers(n, start, observer, guard, trip));
+        }
 
         // ── Phase 2: neighbors on the sample ──────────────────────────
         let span = observer.phase(Phase::Neighbors);
@@ -390,6 +505,9 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
         )?;
         contracts::check_neighbor_graph(&graph);
         span.finish();
+        if let Some(trip) = guard.checkpoint(Phase::Neighbors, observer) {
+            return Ok(degraded_all_outliers(n, start, observer, guard, trip));
+        }
 
         // Up-front outlier filter.
         let span = observer.phase(Phase::Outliers);
@@ -423,17 +541,23 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
             )
         });
         span.finish();
+        if let Some(trip) = guard.checkpoint(Phase::Outliers, observer) {
+            return Ok(degraded_all_outliers(n, start, observer, guard, trip));
+        }
 
         // ── Phase 3: links + merge ─────────────────────────────────────
         let span = observer.phase(Phase::Links);
         let links = LinkTable::compute_observed(&graph, observer);
         contracts::check_link_table(&links);
         span.finish();
+        if let Some(trip) = guard.checkpoint(Phase::Links, observer) {
+            return Ok(degraded_all_outliers(n, start, observer, guard, trip));
+        }
         let link_entries = links.num_entries();
 
         let goodness = Goodness::new(self.config.theta, &self.f)?;
         let span = observer.phase(Phase::Agglomerate);
-        let agg = agglomerate_observed(
+        let (agg, agg_trip) = agglomerate_guarded(
             clustered.len(),
             &links,
             &goodness,
@@ -444,7 +568,9 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
                 min_goodness: self.config.min_goodness,
             },
             observer,
+            guard,
         )?;
+        let mut trip = agg_trip;
         MemoryGauges::observe(
             &observer.memory().dendrogram,
             cast::usize_to_u64(
@@ -491,7 +617,10 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
 
         // ── Phase 4: label points outside the clustered sample ────────
         let span = observer.phase(Phase::Labeling);
-        if clustered.len() < n {
+        if trip.is_none() {
+            trip = guard.checkpoint(Phase::Labeling, observer);
+        }
+        if trip.is_none() && clustered.len() < n {
             let in_sample: std::collections::HashSet<usize> =
                 kept.iter().map(|&i| sample_indices[i]).collect();
             let reps =
@@ -537,6 +666,16 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
                 members.sort_unstable();
             }
         }
+        if trip.is_some() {
+            // The run was cut short: every point the pipeline never
+            // assigned (skipped labeling, interrupted merges) becomes an
+            // outlier so the partition invariants below still hold.
+            for i in 0..n {
+                if assignments[i].is_none() {
+                    outliers.push(cast::usize_to_u32(i));
+                }
+            }
+        }
         span.finish();
 
         // Re-order clusters by decreasing final size and re-number.
@@ -574,13 +713,20 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
                 total: start.elapsed(),
             },
         };
-        Ok(RockModel {
+        let model = RockModel {
             assignments,
             clusters,
             sample_indices: kept.iter().map(|&i| sample_indices[i]).collect(),
             outliers,
             history: agg.history,
             stats,
+        };
+        Ok(match trip {
+            None => Outcome::Complete(model),
+            Some(t) => Outcome::Degraded {
+                model,
+                degradation: guard.degradation(t),
+            },
         })
     }
 }
@@ -783,6 +929,131 @@ mod tests {
             .fit(&data)
             .unwrap_err();
         assert!(matches!(err, RockError::InvalidFraction { .. }));
+    }
+
+    fn assert_valid_partition(model: &RockModel, n: usize) {
+        assert_eq!(model.assignments().len(), n);
+        let clustered: usize = model.clusters().iter().map(Vec::len).sum();
+        assert_eq!(clustered + model.outliers().len(), n);
+        for &o in model.outliers() {
+            assert!(model.assignments()[o as usize].is_none());
+        }
+        for (c, members) in model.clusters().iter().enumerate() {
+            for &p in members {
+                assert_eq!(model.assignments()[p as usize], Some(ClusterId(c as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn unlimited_guard_completes_and_matches_fit() {
+        use crate::telemetry::Observer;
+        let (data, _) = blocks(&[10, 10], 5);
+        let rock = RockBuilder::new(2, 0.5).build();
+        let plain = rock.fit(&data).unwrap();
+        let outcome = rock
+            .fit_guarded(&data, &Observer::new(), &Guard::unlimited())
+            .unwrap();
+        assert!(!outcome.is_degraded());
+        assert!(outcome.degradation().is_none());
+        assert_eq!(outcome.model().clusters(), plain.clusters());
+        assert_eq!(outcome.into_model().assignments(), plain.assignments());
+    }
+
+    #[test]
+    fn step_budget_degrades_to_valid_partition() {
+        use crate::guard::{RunBudget, TripReason};
+        use crate::telemetry::Observer;
+        let (data, _) = blocks(&[10, 10], 5);
+        let guard = Guard::new(RunBudget::unlimited().steps(4));
+        let outcome = RockBuilder::new(2, 0.5)
+            .build()
+            .fit_guarded(&data, &Observer::new(), &guard)
+            .unwrap();
+        assert!(outcome.is_degraded());
+        let d = outcome.degradation().unwrap();
+        assert_eq!(d.reason, TripReason::StepBudget { limit: 4 });
+        assert_eq!(d.merges_completed, 4);
+        assert_eq!(d.phase, Phase::Agglomerate);
+        let model = outcome.model();
+        assert_eq!(model.stats().merges, 4);
+        assert!(!model.stats().reached_k);
+        assert_valid_partition(model, 20);
+    }
+
+    #[test]
+    fn early_phase_trip_yields_all_outlier_partition() {
+        use crate::telemetry::Observer;
+        let (data, _) = blocks(&[8, 8], 5);
+        for phase in [
+            Phase::Sample,
+            Phase::Neighbors,
+            Phase::Outliers,
+            Phase::Links,
+        ] {
+            let guard = Guard::unlimited().inject_trip_at(phase);
+            let outcome = RockBuilder::new(2, 0.5)
+                .build()
+                .fit_guarded(&data, &Observer::new(), &guard)
+                .unwrap();
+            assert!(outcome.is_degraded(), "injection at {phase:?} must degrade");
+            assert_eq!(outcome.degradation().unwrap().phase, phase);
+            let model = outcome.model();
+            assert_eq!(model.num_clusters(), 0);
+            assert_eq!(model.outliers().len(), 16);
+            assert_valid_partition(model, 16);
+        }
+    }
+
+    #[test]
+    fn labeling_trip_keeps_sample_clusters_and_sweeps_rest() {
+        use crate::telemetry::Observer;
+        let (data, _) = blocks(&[40, 40], 6);
+        let guard = Guard::unlimited().inject_trip_at(Phase::Labeling);
+        let outcome = RockBuilder::new(2, 0.5)
+            .sample(SampleStrategy::Fixed(30))
+            .seed(3)
+            .build()
+            .fit_guarded(&data, &Observer::new(), &guard)
+            .unwrap();
+        assert!(outcome.is_degraded());
+        assert_eq!(outcome.degradation().unwrap().phase, Phase::Labeling);
+        let model = outcome.model();
+        // The sample was clustered, the other 50 points were never labeled
+        // and must have been swept into the outlier set.
+        assert_eq!(model.num_clusters(), 2);
+        assert_eq!(model.outliers().len(), 50);
+        assert_valid_partition(model, 80);
+    }
+
+    #[test]
+    fn cancellation_before_fit_degrades_immediately() {
+        use crate::telemetry::Observer;
+        let (data, _) = blocks(&[8, 8], 5);
+        let guard = Guard::unlimited();
+        guard.cancel_token().cancel();
+        let outcome = RockBuilder::new(2, 0.5)
+            .build()
+            .fit_guarded(&data, &Observer::new(), &guard)
+            .unwrap();
+        assert!(outcome.is_degraded());
+        assert_eq!(
+            outcome.degradation().unwrap().reason,
+            crate::guard::TripReason::Cancelled
+        );
+        assert_valid_partition(outcome.model(), 16);
+    }
+
+    #[test]
+    fn validation_errors_still_error_under_guard() {
+        use crate::telemetry::Observer;
+        let (data, _) = blocks(&[5, 5], 4);
+        let guard = Guard::unlimited();
+        let err = RockBuilder::new(0, 0.5)
+            .build()
+            .fit_guarded(&data, &Observer::new(), &guard)
+            .unwrap_err();
+        assert!(matches!(err, RockError::InvalidK { .. }));
     }
 
     #[test]

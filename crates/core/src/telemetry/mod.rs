@@ -249,6 +249,7 @@ impl EventSink for StderrSink {
 /// | `link_entries` | one nonzero upper-triangle entry in the link table |
 /// | `heap_pushes` | one `insert_or_update` on a merge-engine heap |
 /// | `heap_pops` | one removal from a merge-engine heap (`remove`, or one entry dropped by `clear`) |
+/// | `heap_anomalies` | one internal-consistency anomaly inside a merge-engine heap (a `remove` whose position map and entry array disagreed) — always 0 on a healthy run |
 /// | `merges` | one cluster merge |
 /// | `points_sampled` | one point drawn into the clustering sample |
 /// | `outliers_filtered` | one point dropped by the up-front neighbor filter |
@@ -269,6 +270,8 @@ pub struct PipelineCounters {
     pub heap_pushes: AtomicU64,
     /// Heap removal operations in the merge engine.
     pub heap_pops: AtomicU64,
+    /// Internal-consistency anomalies recorded by merge-engine heaps.
+    pub heap_anomalies: AtomicU64,
     /// Merges performed.
     pub merges: AtomicU64,
     /// Points drawn into the clustering sample.
@@ -293,6 +296,7 @@ pub struct CounterSnapshot {
     pub link_entries: u64,
     pub heap_pushes: u64,
     pub heap_pops: u64,
+    pub heap_anomalies: u64,
     pub merges: u64,
     pub points_sampled: u64,
     pub outliers_filtered: u64,
@@ -318,6 +322,7 @@ impl PipelineCounters {
             link_entries: get(&self.link_entries),
             heap_pushes: get(&self.heap_pushes),
             heap_pops: get(&self.heap_pops),
+            heap_anomalies: get(&self.heap_anomalies),
             merges: get(&self.merges),
             points_sampled: get(&self.points_sampled),
             outliers_filtered: get(&self.outliers_filtered),
@@ -575,6 +580,10 @@ pub struct Metrics {
     pub counters: CounterSnapshot,
     /// Memory estimates.
     pub memory: MemorySnapshot,
+    /// Degradation report, present when the run tripped a budget or was
+    /// cancelled (see [`crate::guard`]). Serialized as the `degradation`
+    /// block; absent from complete runs.
+    pub degradation: Option<crate::guard::Degradation>,
 }
 
 impl Metrics {
@@ -592,7 +601,14 @@ impl Metrics {
             total_secs: total.as_secs_f64(),
             counters: observer.counters().snapshot(),
             memory: observer.memory().snapshot(),
+            degradation: None,
         }
+    }
+
+    /// Attaches a degradation report (for degraded/early-exit runs).
+    pub fn with_degradation(mut self, degradation: crate::guard::Degradation) -> Self {
+        self.degradation = Some(degradation);
+        self
     }
 
     /// Wall seconds of one phase.
@@ -630,6 +646,7 @@ impl Metrics {
             .num_u64("link_entries", c.link_entries)
             .num_u64("heap_pushes", c.heap_pushes)
             .num_u64("heap_pops", c.heap_pops)
+            .num_u64("heap_anomalies", c.heap_anomalies)
             .num_u64("merges", c.merges)
             .num_u64("points_sampled", c.points_sampled)
             .num_u64("outliers_filtered", c.outliers_filtered)
@@ -653,6 +670,9 @@ impl Metrics {
             .raw("wall_secs", &wall.end())
             .raw("counters", &counters.end())
             .raw("memory_bytes", &memory.end());
+        if let Some(d) = &self.degradation {
+            doc.raw("degradation", &d.to_json_fragment(pretty, ind));
+        }
         doc.end()
     }
 
@@ -693,6 +713,7 @@ mod tests {
                 link_entries: 300,
                 heap_pushes: 777,
                 heap_pops: 555,
+                heap_anomalies: 0,
                 merges: 77,
                 points_sampled: 80,
                 outliers_filtered: 1,
@@ -706,6 +727,7 @@ mod tests {
                 heaps: 1024,
                 dendrogram: 512,
             },
+            degradation: None,
         }
     }
 
@@ -865,6 +887,7 @@ mod tests {
                 "link_entries",
                 "heap_pushes",
                 "heap_pops",
+                "heap_anomalies",
                 "merges",
                 "points_sampled",
                 "outliers_filtered",
@@ -899,6 +922,28 @@ mod tests {
     fn ndjson_line_is_single_line() {
         let line = demo_metrics().to_ndjson_line();
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn degraded_run_embeds_degradation_block() {
+        use crate::guard::{Degradation, TripReason};
+        let metrics = demo_metrics().with_degradation(Degradation {
+            reason: TripReason::StepBudget { limit: 40 },
+            phase: Phase::Agglomerate,
+            merges_completed: 40,
+            elapsed_secs: 0.75,
+        });
+        for doc in [metrics.to_json(), metrics.to_ndjson_line()] {
+            let v = json::Json::parse(&doc).expect("valid JSON");
+            let d = v.get("degradation").expect("degradation block present");
+            assert_eq!(d.get("reason").unwrap().as_str(), Some("step-budget"));
+            assert_eq!(d.get("phase").unwrap().as_str(), Some("agglomerate"));
+            assert_eq!(d.get("merges_completed").unwrap().as_u64(), Some(40));
+            assert_eq!(d.get("step_limit").unwrap().as_u64(), Some(40));
+        }
+        // Complete runs carry no degradation key at all.
+        let clean = json::Json::parse(&demo_metrics().to_json()).unwrap();
+        assert!(clean.get("degradation").is_none());
     }
 
     #[test]

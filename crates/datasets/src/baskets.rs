@@ -16,13 +16,15 @@
 use std::path::Path;
 
 use rock_core::data::{Transaction, TransactionSet, Vocabulary};
-
-use crate::loader::LoadError;
+use rock_core::{Result, RockError};
 
 /// Parses basket text into a [`TransactionSet`] with an attached
 /// vocabulary. `delimiter` of `None` splits on any whitespace; `Some(c)`
 /// splits on `c` (fields are trimmed).
-pub fn parse_baskets(text: &str, delimiter: Option<char>) -> Result<TransactionSet, LoadError> {
+///
+/// # Errors
+/// [`RockError::EmptyDataset`] when no baskets are found.
+pub fn parse_baskets(text: &str, delimiter: Option<char>) -> Result<TransactionSet> {
     let mut vocab = Vocabulary::new();
     let mut baskets = Vec::new();
     for line in text.lines() {
@@ -45,15 +47,22 @@ pub fn parse_baskets(text: &str, delimiter: Option<char>) -> Result<TransactionS
         baskets.push(Transaction::new(items));
     }
     if baskets.is_empty() {
-        return Err(LoadError::Empty);
+        return Err(RockError::EmptyDataset);
     }
     let universe = vocab.len();
     Ok(TransactionSet::with_vocabulary(baskets, universe, vocab))
 }
 
 /// Loads a basket file from disk.
-pub fn load_baskets(path: &Path, delimiter: Option<char>) -> Result<TransactionSet, LoadError> {
-    let text = std::fs::read_to_string(path)?;
+///
+/// # Errors
+/// [`RockError::Io`] on filesystem failure, plus everything
+/// [`parse_baskets`] can return.
+pub fn load_baskets(path: &Path, delimiter: Option<char>) -> Result<TransactionSet> {
+    let text = std::fs::read_to_string(path).map_err(|e| RockError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
     parse_baskets(&text, delimiter)
 }
 
@@ -97,7 +106,7 @@ mod tests {
     fn empty_input_rejected() {
         assert!(matches!(
             parse_baskets("\n  \n", None),
-            Err(LoadError::Empty)
+            Err(RockError::EmptyDataset)
         ));
     }
 
@@ -105,7 +114,7 @@ mod tests {
     fn missing_file_is_io_error() {
         assert!(matches!(
             load_baskets(Path::new("/no/such/file.basket"), None),
-            Err(LoadError::Io(_))
+            Err(RockError::Io { .. })
         ));
     }
 

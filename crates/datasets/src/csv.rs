@@ -4,9 +4,17 @@
 //! plain comma-separated text without quoting or embedded separators, one
 //! record per line, with `?` marking missing values. This parser handles
 //! exactly that format — plus optional quoting with `"` since a few
-//! mirrors quote string fields — with no external dependency.
+//! mirrors quote string fields — with no external dependency. A UTF-8
+//! byte-order mark is stripped, CRLF line endings are handled (via
+//! [`str::lines`]), and blank or `#`-comment lines are skipped.
+//!
+//! Two parsing modes are offered: [`parse`] fails on the first malformed
+//! row (strict), while [`parse_lenient`] keeps going and reports the rows
+//! it had to reject so the loader can quarantine them.
 
 use std::fmt;
+
+use rock_core::RockError;
 
 /// Errors from CSV parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +51,38 @@ impl fmt::Display for CsvError {
 }
 
 impl std::error::Error for CsvError {}
+
+impl From<CsvError> for RockError {
+    fn from(e: CsvError) -> Self {
+        match e {
+            CsvError::UnterminatedQuote { line } => RockError::Csv {
+                line,
+                message: "unterminated quote".to_owned(),
+            },
+            CsvError::RaggedRow {
+                line,
+                found,
+                expected,
+            } => RockError::Csv {
+                line,
+                message: format!("{found} fields, expected {expected}"),
+            },
+        }
+    }
+}
+
+/// Strips a leading UTF-8 byte-order mark, if present. UCI mirrors (and
+/// files re-saved on Windows) sometimes carry one; it would otherwise be
+/// glued onto the first field's value.
+pub fn strip_bom(text: &str) -> &str {
+    text.strip_prefix('\u{feff}').unwrap_or(text)
+}
+
+/// Whether a line carries no record: blank or a `#` comment.
+fn skippable(line: &str) -> bool {
+    let t = line.trim();
+    t.is_empty() || t.starts_with('#')
+}
 
 /// Parses one line into fields. `delimiter` is usually `,`.
 pub fn parse_line(line: &str, delimiter: char, line_no: usize) -> Result<Vec<String>, CsvError> {
@@ -88,13 +128,14 @@ pub fn parse_line(line: &str, delimiter: char, line_no: usize) -> Result<Vec<Str
     Ok(fields)
 }
 
-/// Parses full CSV text into rows of fields. Blank lines are skipped; all
-/// rows must have the same arity as the first.
+/// Parses full CSV text into rows of fields. Blank and `#`-comment lines
+/// are skipped, a leading BOM is stripped, and all rows must have the
+/// same arity as the first; the first malformed row aborts the parse.
 pub fn parse(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, CsvError> {
     let mut rows = Vec::new();
     let mut expected: Option<usize> = None;
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
+    for (i, line) in strip_bom(text).lines().enumerate() {
+        if skippable(line) {
             continue;
         }
         let fields = parse_line(line, delimiter, i + 1)?;
@@ -112,6 +153,72 @@ pub fn parse(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, CsvError> 
         rows.push(fields);
     }
     Ok(rows)
+}
+
+/// Outcome of [`parse_lenient`]: the rows that parsed cleanly and the
+/// ones that had to be rejected, each tagged with its 1-based line number.
+#[derive(Debug, Clone, Default)]
+pub struct LenientParse {
+    /// Well-formed rows, in file order.
+    pub rows: Vec<(usize, Vec<String>)>,
+    /// Rejected rows and why.
+    pub rejected: Vec<(usize, CsvError)>,
+}
+
+/// Parses CSV text, setting malformed rows aside instead of failing.
+///
+/// Same conventions as [`parse`] (BOM strip, blank/`#` lines skipped) but
+/// a ragged row or an unterminated quote lands in
+/// [`LenientParse::rejected`] and parsing continues with the next line.
+/// The expected arity is the *majority* field count among parseable rows
+/// (earliest wins a tie), not the first row's — a corrupted first line
+/// must cost one row, not the whole file. Never fails: a file of pure
+/// garbage simply yields zero kept rows.
+pub fn parse_lenient(text: &str, delimiter: char) -> LenientParse {
+    let mut out = LenientParse::default();
+    let mut parsed: Vec<(usize, Vec<String>)> = Vec::new();
+    for (i, line) in strip_bom(text).lines().enumerate() {
+        if skippable(line) {
+            continue;
+        }
+        let line_no = i + 1;
+        match parse_line(line, delimiter, line_no) {
+            Err(e) => out.rejected.push((line_no, e)),
+            Ok(fields) => parsed.push((line_no, fields)),
+        }
+    }
+    // Majority vote on arity: count each field-width, keep the most common
+    // (first-seen wins ties, so well-behaved files are unaffected).
+    let mut tallies: Vec<(usize, usize)> = Vec::new();
+    for (_, fields) in &parsed {
+        match tallies.iter_mut().find(|(w, _)| *w == fields.len()) {
+            Some((_, count)) => *count += 1,
+            None => tallies.push((fields.len(), 1)),
+        }
+    }
+    let mut expected: Option<usize> = None;
+    let mut best = 0usize;
+    for &(width, count) in &tallies {
+        if count > best {
+            best = count;
+            expected = Some(width);
+        }
+    }
+    for (line_no, fields) in parsed {
+        match expected {
+            Some(e) if fields.len() != e => out.rejected.push((
+                line_no,
+                CsvError::RaggedRow {
+                    line: line_no,
+                    found: fields.len(),
+                    expected: e,
+                },
+            )),
+            _ => out.rows.push((line_no, fields)),
+        }
+    }
+    out.rejected.sort_unstable_by_key(|&(line, _)| line);
+    out
 }
 
 #[cfg(test)]
@@ -195,5 +302,103 @@ mod tests {
         assert!(CsvError::UnterminatedQuote { line: 1 }
             .to_string()
             .contains("unterminated"));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let rows = parse("a,b\r\nc,d\r\n", ',').unwrap();
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["c", "d"]]);
+        let lenient = parse_lenient("a,b\r\nc\r\nd,e\r\n", ',');
+        assert_eq!(lenient.rows.len(), 2);
+        assert_eq!(lenient.rejected.len(), 1);
+    }
+
+    #[test]
+    fn utf8_bom_is_stripped() {
+        let rows = parse("\u{feff}y,n\nn,y\n", ',').unwrap();
+        assert_eq!(rows[0], vec!["y", "n"], "BOM must not stick to field 1");
+        let lenient = parse_lenient("\u{feff}a,b\n", ',');
+        assert_eq!(lenient.rows[0].1, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn trailing_delimiter_yields_empty_last_field() {
+        // `a,b,` is three fields, the last empty — consistently in both
+        // modes, and consistently ragged against two-field rows.
+        let rows = parse("a,b,\nc,d,\n", ',').unwrap();
+        assert_eq!(rows[0], vec!["a", "b", ""]);
+        let lenient = parse_lenient("a,b\nc,d,\n", ',');
+        assert_eq!(lenient.rows.len(), 1);
+        assert_eq!(
+            lenient.rejected,
+            vec![(
+                2,
+                CsvError::RaggedRow {
+                    line: 2,
+                    found: 3,
+                    expected: 2
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn comment_lines_are_skipped() {
+        let text = "# header comment\na,b\n  # indented comment\nc,d\n";
+        assert_eq!(parse(text, ',').unwrap().len(), 2);
+        let lenient = parse_lenient(text, ',');
+        assert_eq!(lenient.rows.len(), 2);
+        assert!(lenient.rejected.is_empty());
+    }
+
+    #[test]
+    fn lone_missing_marker_rows_parse() {
+        // A row of only `?` markers is structurally fine; semantics are the
+        // loader's business.
+        let rows = parse("?,?\ny,n\n", ',').unwrap();
+        assert_eq!(rows[0], vec!["?", "?"]);
+        let lenient = parse_lenient("?\n", ',');
+        assert_eq!(lenient.rows, vec![(1, vec!["?".to_owned()])]);
+    }
+
+    #[test]
+    fn lenient_keeps_line_numbers_and_recovers() {
+        let text = "a,b\n\"broken\nc\nd,e\n# note\nf,g,h\n";
+        let out = parse_lenient(text, ',');
+        let kept: Vec<usize> = out.rows.iter().map(|&(l, _)| l).collect();
+        assert_eq!(kept, vec![1, 4]);
+        let rejected: Vec<usize> = out.rejected.iter().map(|&(l, _)| l).collect();
+        assert_eq!(rejected, vec![2, 3, 6]);
+        assert!(matches!(
+            out.rejected[0].1,
+            CsvError::UnterminatedQuote { line: 2 }
+        ));
+    }
+
+    #[test]
+    fn lenient_on_pure_garbage_keeps_nothing() {
+        let out = parse_lenient("\"x\n\"y\n", ',');
+        assert!(out.rows.is_empty());
+        assert_eq!(out.rejected.len(), 2);
+    }
+
+    #[test]
+    fn csv_error_converts_to_rock_error() {
+        let e: RockError = CsvError::UnterminatedQuote { line: 7 }.into();
+        assert_eq!(
+            e,
+            RockError::Csv {
+                line: 7,
+                message: "unterminated quote".to_owned()
+            }
+        );
+        let e: RockError = CsvError::RaggedRow {
+            line: 3,
+            found: 1,
+            expected: 4,
+        }
+        .into();
+        assert!(matches!(e, RockError::Csv { line: 3, .. }));
+        assert_eq!(e.exit_code(), 4);
     }
 }

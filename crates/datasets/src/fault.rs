@@ -1,0 +1,190 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! The chaos suite (see `tests/chaos.rs`) needs to manufacture the
+//! failure modes real deployments hit — truncated downloads, rows mangled
+//! by a flaky proxy, disks that error mid-read — *reproducibly*, so a
+//! failing case can be replayed from its seed alone. [`FaultInjector`]
+//! wraps the crate's vendored RNG ([`rock_core::rng`], splitmix64-seeded)
+//! and offers three text-level corruptions plus an injectable I/O
+//! failure. Forced budget exhaustion, the fourth fault class, lives in
+//! the core layer (`rock_core::guard::Guard::inject_trip_at`) because it
+//! must fire inside the pipeline.
+//!
+//! Everything here is pure: the same seed and inputs produce the same
+//! corruption, byte for byte.
+
+use std::path::Path;
+
+use rock_core::rng::Rng;
+use rock_core::{Result, RockError};
+
+/// A seeded source of deterministic faults.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: Rng,
+    io_failure_rate: f64,
+}
+
+impl FaultInjector {
+    /// Creates an injector. All randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            rng: Rng::seed_from_u64(seed),
+            io_failure_rate: 0.0,
+        }
+    }
+
+    /// Sets the probability that [`read_to_string`](Self::read_to_string)
+    /// fails with an injected I/O error (default 0).
+    pub fn io_failure_rate(mut self, rate: f64) -> Self {
+        self.io_failure_rate = rate;
+        self
+    }
+
+    /// Reads a file, or fails with an injected [`RockError::Io`] at the
+    /// configured rate. Real filesystem errors surface the same way, so
+    /// callers exercise one code path for both.
+    ///
+    /// # Errors
+    /// The injected or real I/O failure.
+    pub fn read_to_string(&mut self, path: &Path) -> Result<String> {
+        if self.rng.gen_bool(self.io_failure_rate) {
+            return Err(RockError::Io {
+                path: path.display().to_string(),
+                message: "injected i/o failure".to_owned(),
+            });
+        }
+        std::fs::read_to_string(path).map_err(|e| RockError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })
+    }
+
+    /// Corrupts roughly `fraction` of the lines in `text`, choosing per
+    /// line among: truncating it mid-field, opening an unterminated
+    /// quote, appending a spurious extra field, or replacing it with a
+    /// single-field garbage token. All four read as ragged/quote defects
+    /// downstream, exactly what lenient ingestion must quarantine.
+    pub fn poison_rows(&mut self, text: &str, fraction: f64) -> String {
+        let mut out = String::with_capacity(text.len());
+        for line in text.lines() {
+            if line.trim().is_empty() || !self.rng.gen_bool(fraction) {
+                out.push_str(line);
+            } else {
+                match self.rng.gen_range(0..4usize) {
+                    0 => {
+                        let cut = floor_char_boundary(line, line.len() / 2);
+                        out.push_str(&line[..cut]);
+                    }
+                    1 => {
+                        out.push('"');
+                        out.push_str(line);
+                    }
+                    2 => {
+                        out.push_str(line);
+                        out.push_str(",spurious");
+                    }
+                    _ => out.push_str("!!corrupted!!"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Keeps only the leading `keep_fraction` of `text` (by bytes,
+    /// snapped to a character boundary) — a truncated download. The cut
+    /// usually lands mid-row, leaving a ragged final record.
+    pub fn truncate(&mut self, text: &str, keep_fraction: f64) -> String {
+        let target = rock_core::cast::f64_to_usize(
+            rock_core::cast::usize_to_f64(text.len()) * keep_fraction.clamp(0.0, 1.0),
+        );
+        let cut = floor_char_boundary(text, target.min(text.len()));
+        text[..cut].to_owned()
+    }
+}
+
+/// Largest byte index `<= at` that is a char boundary of `s`.
+fn floor_char_boundary(s: &str, at: usize) -> usize {
+    let mut i = at.min(s.len());
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::parse_lenient;
+
+    const CLEAN: &str = "a,b,c\nd,e,f\ng,h,i\nj,k,l\nm,n,o\n";
+
+    #[test]
+    fn same_seed_same_corruption() {
+        let a = FaultInjector::new(42).poison_rows(CLEAN, 0.5);
+        let b = FaultInjector::new(42).poison_rows(CLEAN, 0.5);
+        assert_eq!(a, b);
+        let c = FaultInjector::new(43).poison_rows(CLEAN, 0.5);
+        assert_ne!(a, c, "different seeds should corrupt differently");
+    }
+
+    #[test]
+    fn poisoned_rows_are_quarantined_not_fatal() {
+        let dirty = FaultInjector::new(7).poison_rows(CLEAN, 0.6);
+        let parsed = parse_lenient(&dirty, ',');
+        assert!(
+            !parsed.rejected.is_empty(),
+            "60% poison over 5 rows should reject something"
+        );
+        // Kept rows are mutually consistent: all carry the majority arity.
+        let arity = parsed.rows[0].1.len();
+        for (_, fields) in &parsed.rows {
+            assert_eq!(fields.len(), arity, "kept rows must agree on arity");
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_identity_modulo_final_newline() {
+        let out = FaultInjector::new(1).poison_rows(CLEAN, 0.0);
+        assert_eq!(out, CLEAN);
+    }
+
+    #[test]
+    fn truncation_cuts_at_char_boundary() {
+        let text = "héllo,wörld\nrow,two\n";
+        let mut inj = FaultInjector::new(9);
+        for pct in [0.0, 0.1, 0.3, 0.5, 0.9, 1.0] {
+            let cut = inj.truncate(text, pct);
+            assert!(text.starts_with(&cut));
+        }
+        assert_eq!(inj.truncate(text, 1.0), text);
+        assert_eq!(inj.truncate(text, 0.0), "");
+    }
+
+    #[test]
+    fn injected_io_failure_is_a_rock_error() {
+        let mut always = FaultInjector::new(3).io_failure_rate(1.0);
+        let err = always
+            .read_to_string(Path::new("/tmp/whatever"))
+            .unwrap_err();
+        assert!(matches!(err, RockError::Io { .. }));
+        assert!(err.to_string().contains("injected"));
+        assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn io_passthrough_when_rate_is_zero() {
+        let dir = std::env::temp_dir().join("rock-fault-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ok.csv");
+        std::fs::write(&path, "x,y\n").unwrap();
+        let mut never = FaultInjector::new(5).io_failure_rate(0.0);
+        assert_eq!(never.read_to_string(&path).unwrap(), "x,y\n");
+        let missing = never
+            .read_to_string(Path::new("/no/such/file"))
+            .unwrap_err();
+        assert!(matches!(missing, RockError::Io { .. }));
+        std::fs::remove_file(path).ok();
+    }
+}

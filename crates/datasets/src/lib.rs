@@ -13,18 +13,27 @@
 //!   mushroom-like, market baskets, planted boolean blocks, mutual-fund
 //!   sector series);
 //! * [`timeseries`] — the paper's numeric-series → Up/Down categorical
-//!   conversion.
+//!   conversion;
+//! * [`fault`] — deterministic fault injection (poisoned rows, truncated
+//!   files, injected I/O failures) for the chaos suite.
+//!
+//! Every fallible entry point returns [`rock_core::RockError`], so the
+//! CLI and tests handle one error type with one table of exit codes.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod baskets;
 pub mod csv;
+pub mod fault;
 pub mod loader;
 pub mod synthetic;
 pub mod timeseries;
 pub mod uci;
 
 pub use baskets::{load_baskets, parse_baskets};
-pub use loader::{LabelPosition, LabeledTable, LoadConfig, LoadError};
+pub use fault::FaultInjector;
+pub use loader::{
+    IngestMode, IngestReport, LabelPosition, LabeledTable, LoadConfig, QuarantinedRow,
+};
 pub use uci::UciDataset;

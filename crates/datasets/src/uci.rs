@@ -10,7 +10,9 @@
 
 use std::path::{Path, PathBuf};
 
-use crate::loader::{load_labeled, LabelPosition, LabeledTable, LoadConfig, LoadError};
+use rock_core::Result;
+
+use crate::loader::{load_labeled, LabelPosition, LabeledTable, LoadConfig};
 
 /// A known UCI categorical dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,7 +88,10 @@ impl UciDataset {
     }
 
     /// Loads the dataset from `dir`.
-    pub fn load(&self, dir: &Path) -> Result<LabeledTable, LoadError> {
+    ///
+    /// # Errors
+    /// Everything [`load_labeled`] can return ([`rock_core::RockError`]).
+    pub fn load(&self, dir: &Path) -> Result<LabeledTable> {
         load_labeled(&self.path_in(dir), &self.load_config())
     }
 

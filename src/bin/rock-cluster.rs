@@ -5,7 +5,9 @@
 //!     [--label first|last|none|COLUMN] [--ignore 0,3] [--missing '?'] \
 //!     [--sample N | --chernoff UMIN,XI,DELTA] [--min-goodness G] \
 //!     [--seed N] [--threads N] [--summary TOP] [--output assignments.txt] \
-//!     [--metrics metrics.json] [--progress] [--log-level info]
+//!     [--metrics metrics.json] [--progress] [--log-level info] \
+//!     [--time-budget SECS] [--step-budget N] [--mem-budget BYTES[K|M|G]] \
+//!     [--on-error fail|recover]
 //! ```
 //!
 //! Reads a UCI-style categorical CSV, runs the full ROCK pipeline, prints
@@ -15,17 +17,30 @@
 //! wall times, pipeline counters, memory estimates) is written to `FILE`
 //! as pretty-printed JSON in the `rock-metrics/v1` schema; `--progress`
 //! and `--log-level` stream phase events to stderr while it runs.
+//!
+//! **Guardrails.** `--time-budget`, `--step-budget` and `--mem-budget`
+//! bound the run (wall seconds, agglomeration merge steps, estimated
+//! tracked bytes). When a budget trips, the pipeline degrades to the best
+//! valid partition built so far; `--on-error recover` (the default is
+//! `fail`) accepts that partition and exits 0, also switching ingestion
+//! to lenient mode so malformed rows are quarantined instead of fatal.
+//! Metrics are flushed on *every* exit path — complete, degraded, or
+//! error — and degraded runs carry a machine-readable `degradation`
+//! block. Exit codes are stable: 0 success/recovered, 1 internal, 2
+//! usage, 3 I/O, 4 malformed input, 5 invalid configuration, 6 budget
+//! exhausted or cancelled under `--on-error fail`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use rock::core::export::write_assignments;
 use rock::core::metrics::{cluster_breakdown, densify_labels, matched_accuracy, purity};
 use rock::core::summary::ClusterSummary;
 use rock::core::telemetry::StderrSink;
 use rock::datasets::baskets::load_baskets;
-use rock::datasets::loader::{load_labeled, LabelPosition, LoadConfig};
+use rock::datasets::loader::{load_labeled, IngestMode, LabelPosition, LoadConfig};
 use rock::prelude::*;
 
 /// Input file format.
@@ -35,6 +50,16 @@ enum Format {
     Table,
     /// Market baskets: one whitespace/comma-separated transaction per line.
     Basket,
+}
+
+/// What to do when a budget trips or the input is dirty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OnError {
+    /// Budget trips are fatal (exit 6); malformed rows are fatal (exit 4).
+    Fail,
+    /// Degrade gracefully: accept the partial partition (exit 0) and
+    /// quarantine malformed rows during ingestion.
+    Recover,
 }
 
 /// Parsed command-line options.
@@ -56,13 +81,36 @@ struct Options {
     metrics: Option<PathBuf>,
     progress: bool,
     log_level: Level,
+    time_budget: Option<f64>,
+    step_budget: Option<u64>,
+    mem_budget: Option<u64>,
+    on_error: OnError,
 }
 
 const USAGE: &str = "usage: rock-cluster --input FILE --k K --theta T \
 [--format table|basket] [--label first|last|none|IDX] [--ignore i,j,...] \
 [--missing TOKEN] [--sample N | --chernoff UMIN,XI,DELTA] \
 [--min-goodness G] [--seed N] [--threads N] [--summary TOP] [--output FILE] \
-[--metrics FILE] [--progress] [--log-level off|error|info|debug]";
+[--metrics FILE] [--progress] [--log-level off|error|info|debug] \
+[--time-budget SECS] [--step-budget N] [--mem-budget BYTES[K|M|G]] \
+[--on-error fail|recover]";
+
+/// Parses a byte count with an optional K/M/G (binary) suffix.
+fn parse_mem_budget(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    let (digits, shift) = match t.chars().last() {
+        Some('k') | Some('K') => (&t[..t.len() - 1], 10),
+        Some('m') | Some('M') => (&t[..t.len() - 1], 20),
+        Some('g') | Some('G') => (&t[..t.len() - 1], 30),
+        _ => (t, 0),
+    };
+    let base: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|e| format!("--mem-budget: {e}"))?;
+    base.checked_mul(1u64 << shift)
+        .ok_or_else(|| format!("--mem-budget: {t:?} overflows u64"))
+}
 
 fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
     let mut input: Option<PathBuf> = None;
@@ -81,6 +129,10 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
     let mut metrics = None;
     let mut progress = false;
     let mut log_level = Level::Off;
+    let mut time_budget = None;
+    let mut step_budget = None;
+    let mut mem_budget = None;
+    let mut on_error = OnError::Fail;
 
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -179,6 +231,32 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
                     .parse()
                     .map_err(|e| format!("--log-level: {e}"))?
             }
+            "--time-budget" => {
+                let secs: f64 = value("--time-budget")?
+                    .parse()
+                    .map_err(|e| format!("--time-budget: {e}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("--time-budget: {secs} is not a valid duration"));
+                }
+                time_budget = Some(secs);
+            }
+            "--step-budget" => {
+                step_budget = Some(
+                    value("--step-budget")?
+                        .parse()
+                        .map_err(|e| format!("--step-budget: {e}"))?,
+                )
+            }
+            "--mem-budget" => mem_budget = Some(parse_mem_budget(&value("--mem-budget")?)?),
+            "--on-error" => {
+                on_error = match value("--on-error")?.as_str() {
+                    "fail" => OnError::Fail,
+                    "recover" => OnError::Recover,
+                    other => {
+                        return Err(format!("--on-error: expected fail|recover, got {other:?}"))
+                    }
+                }
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -200,16 +278,62 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
         metrics,
         progress,
         log_level,
+        time_budget,
+        step_budget,
+        mem_budget,
+        on_error,
     })
 }
 
-fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+/// Writes the `rock-metrics/v1` document for this run, whatever the exit
+/// path: `model`/`degradation` are whatever is known at that point
+/// (zeros/absent when the pipeline failed before producing a model).
+/// Metrics-write failures are reported but never mask the run's outcome.
+fn write_metrics(
+    opts: &Options,
+    observer: &Observer,
+    model: Option<&RockModel>,
+    degradation: Option<&Degradation>,
+    n: usize,
+    total: Duration,
+) {
+    let Some(path) = &opts.metrics else {
+        return;
+    };
+    let run = RunInfo {
+        experiment: "cli".to_owned(),
+        n,
+        k: opts.k,
+        theta: opts.theta,
+        seed: opts.seed,
+        sample_size: model.map_or(0, |m| m.stats().sample_size),
+        clusters: model.map_or(0, |m| m.num_clusters()),
+        outliers: model.map_or(0, |m| m.outliers().len()),
+    };
+    let mut metrics = Metrics::collect(observer, run, total);
+    if let Some(d) = degradation {
+        metrics = metrics.with_degradation(d.clone());
+    }
+    match std::fs::write(path, metrics.to_json() + "\n") {
+        Ok(()) => eprintln!("metrics written to {}", path.display()),
+        Err(e) => eprintln!(
+            "warning: could not write metrics to {}: {e}",
+            path.display()
+        ),
+    }
+}
+
+fn run(opts: &Options) -> Result<(), RockError> {
     let (data, labels) = match opts.format {
         Format::Table => {
             let load = LoadConfig {
                 label: opts.label,
                 ignore_columns: opts.ignore.clone(),
                 missing: opts.missing.clone(),
+                mode: match opts.on_error {
+                    OnError::Fail => IngestMode::Strict,
+                    OnError::Recover => IngestMode::lenient(),
+                },
                 ..LoadConfig::default()
             };
             let loaded = load_labeled(&opts.input, &load)?;
@@ -220,6 +344,15 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
                 100.0 * loaded.table.missing_fraction(),
                 opts.input.display()
             );
+            if !loaded.report.is_clean() {
+                eprintln!(
+                    "quarantined {} of {} rows ({:.1}%), first at line {}",
+                    loaded.report.quarantined.len(),
+                    loaded.report.rows_read,
+                    100.0 * loaded.report.quarantine_fraction(),
+                    loaded.report.quarantined[0].line
+                );
+            }
             (loaded.table.to_transactions(), loaded.labels)
         }
         Format::Basket => {
@@ -249,7 +382,29 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     } else {
         Observer::new()
     };
-    let model = builder.build().fit_observed(&data, &observer)?;
+
+    let mut budget = RunBudget::unlimited();
+    if let Some(steps) = opts.step_budget {
+        budget = budget.steps(steps);
+    }
+    if let Some(secs) = opts.time_budget {
+        budget = budget.wall(Duration::from_secs_f64(secs));
+    }
+    if let Some(bytes) = opts.mem_budget {
+        budget = budget.memory(bytes);
+    }
+    let guard = Guard::new(budget);
+
+    let outcome = match builder.build().fit_guarded(&data, &observer, &guard) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            // Even a failed run flushes its telemetry so partial phase
+            // timings and counters are not lost.
+            write_metrics(opts, &observer, None, None, data.len(), guard.elapsed());
+            return Err(e);
+        }
+    };
+    let model = outcome.model();
     let stats = model.stats();
     eprintln!(
         "clustered sample of {} (avg degree {:.1}) into {} clusters, {} outliers, in {:?}",
@@ -289,25 +444,40 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if let Some(path) = &opts.output {
-        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-        write_assignments(&mut file, model.assignments())?;
+        let io_err = |e: std::io::Error| RockError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path).map_err(io_err)?);
+        write_assignments(&mut file, model.assignments()).map_err(io_err)?;
         eprintln!("assignments written to {}", path.display());
     }
 
-    if let Some(path) = &opts.metrics {
-        let run = RunInfo {
-            experiment: "cli".to_owned(),
-            n: data.len(),
-            k: opts.k,
-            theta: opts.theta,
-            seed: opts.seed,
-            sample_size: stats.sample_size,
-            clusters: model.num_clusters(),
-            outliers: model.outliers().len(),
-        };
-        let metrics = Metrics::collect(&observer, run, stats.timings.total);
-        std::fs::write(path, metrics.to_json() + "\n")?;
-        eprintln!("metrics written to {}", path.display());
+    write_metrics(
+        opts,
+        &observer,
+        Some(model),
+        outcome.degradation(),
+        data.len(),
+        stats.timings.total,
+    );
+
+    if let Some(d) = outcome.degradation() {
+        println!("degraded: {d}");
+        match opts.on_error {
+            OnError::Recover => {
+                eprintln!("accepting partial partition (--on-error recover)");
+            }
+            OnError::Fail => {
+                return Err(match d.reason {
+                    TripReason::Cancelled => RockError::Cancelled,
+                    _ => RockError::BudgetExhausted {
+                        reason: d.reason.name().to_owned(),
+                        phase: d.phase.name().to_owned(),
+                    },
+                });
+            }
+        }
     }
     Ok(())
 }
@@ -324,7 +494,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -388,6 +558,10 @@ mod tests {
             metrics: None,
             progress: false,
             log_level: Level::Off,
+            time_budget: None,
+            step_budget: None,
+            mem_budget: None,
+            on_error: OnError::Fail,
         };
         run(&opts).unwrap();
         std::fs::remove_file(input).ok();
@@ -441,6 +615,208 @@ mod tests {
         assert_eq!(o.metrics, Some(PathBuf::from("m.json")));
         assert!(o.progress);
         assert_eq!(o.log_level, Level::Debug);
+    }
+
+    #[test]
+    fn parses_budget_flags() {
+        let o = parse(&[
+            "--input",
+            "d.csv",
+            "--k",
+            "2",
+            "--theta",
+            "0.5",
+            "--time-budget",
+            "1.5",
+            "--step-budget",
+            "100",
+            "--mem-budget",
+            "64M",
+            "--on-error",
+            "recover",
+        ])
+        .unwrap();
+        assert_eq!(o.time_budget, Some(1.5));
+        assert_eq!(o.step_budget, Some(100));
+        assert_eq!(o.mem_budget, Some(64 << 20));
+        assert_eq!(o.on_error, OnError::Recover);
+    }
+
+    #[test]
+    fn budgets_default_to_unlimited_and_fail() {
+        let o = parse(&["--input", "x", "--k", "2", "--theta", "0.5"]).unwrap();
+        assert_eq!(o.time_budget, None);
+        assert_eq!(o.step_budget, None);
+        assert_eq!(o.mem_budget, None);
+        assert_eq!(o.on_error, OnError::Fail);
+    }
+
+    #[test]
+    fn mem_budget_suffixes() {
+        assert_eq!(parse_mem_budget("1024").unwrap(), 1024);
+        assert_eq!(parse_mem_budget("512K").unwrap(), 512 << 10);
+        assert_eq!(parse_mem_budget("64m").unwrap(), 64 << 20);
+        assert_eq!(parse_mem_budget("2G").unwrap(), 2 << 30);
+        assert!(parse_mem_budget("lots").is_err());
+        assert!(parse_mem_budget("99999999999G").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_budget_values() {
+        assert!(parse(&[
+            "--input",
+            "x",
+            "--k",
+            "2",
+            "--theta",
+            "0.5",
+            "--time-budget",
+            "-1",
+        ])
+        .is_err());
+        assert!(parse(&[
+            "--input",
+            "x",
+            "--k",
+            "2",
+            "--theta",
+            "0.5",
+            "--on-error",
+            "panic",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn degraded_run_recovers_with_metrics() {
+        let dir = std::env::temp_dir().join("rock-cli-degraded-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("toy.csv");
+        let mut csv = String::new();
+        for _ in 0..10 {
+            csv.push_str("a,b,c,left\n");
+            csv.push_str("x,y,z,right\n");
+        }
+        std::fs::write(&input, csv).unwrap();
+        let metrics = dir.join("degraded-metrics.json");
+        let mut opts = Options {
+            input: input.clone(),
+            format: Format::Table,
+            k: 2,
+            theta: 0.5,
+            label: LabelPosition::Last,
+            ignore: vec![],
+            missing: "?".into(),
+            sample: SampleStrategy::All,
+            min_goodness: None,
+            seed: 1,
+            threads: 1,
+            summary_top: 0,
+            output: None,
+            metrics: Some(metrics.clone()),
+            progress: false,
+            log_level: Level::Off,
+            time_budget: None,
+            step_budget: Some(3),
+            mem_budget: None,
+            on_error: OnError::Recover,
+        };
+        // Recover: the degraded run is accepted.
+        run(&opts).unwrap();
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("\"degradation\""));
+        assert!(json.contains("\"step-budget\""));
+        // Fail: the same trip becomes a budget error (exit code 6).
+        opts.on_error = OnError::Fail;
+        let err = run(&opts).unwrap_err();
+        assert!(matches!(err, RockError::BudgetExhausted { .. }));
+        assert_eq!(err.exit_code(), 6);
+        std::fs::remove_file(input).ok();
+        std::fs::remove_file(metrics).ok();
+    }
+
+    #[test]
+    fn error_exit_still_writes_metrics() {
+        let dir = std::env::temp_dir().join("rock-cli-error-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("tiny.csv");
+        std::fs::write(&input, "a,b,one\nc,d,two\n").unwrap();
+        let metrics = dir.join("error-metrics.json");
+        let opts = Options {
+            input: input.clone(),
+            format: Format::Table,
+            k: 99, // more clusters than points: validation error
+            theta: 0.5,
+            label: LabelPosition::Last,
+            ignore: vec![],
+            missing: "?".into(),
+            sample: SampleStrategy::All,
+            min_goodness: None,
+            seed: 1,
+            threads: 1,
+            summary_top: 0,
+            output: None,
+            metrics: Some(metrics.clone()),
+            progress: false,
+            log_level: Level::Off,
+            time_budget: None,
+            step_budget: None,
+            mem_budget: None,
+            on_error: OnError::Fail,
+        };
+        let err = run(&opts).unwrap_err();
+        assert!(matches!(err, RockError::InvalidK { .. }));
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("\"schema\": \"rock-metrics/v1\""));
+        assert!(!json.contains("\"degradation\""));
+        std::fs::remove_file(input).ok();
+        std::fs::remove_file(metrics).ok();
+    }
+
+    #[test]
+    fn recover_mode_quarantines_dirty_input() {
+        let dir = std::env::temp_dir().join("rock-cli-lenient-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("dirty.csv");
+        let mut csv = String::new();
+        for _ in 0..10 {
+            csv.push_str("a,b,c,left\n");
+            csv.push_str("x,y,z,right\n");
+        }
+        csv.push_str("oops-short-row\n");
+        std::fs::write(&input, csv).unwrap();
+        let opts = Options {
+            input: input.clone(),
+            format: Format::Table,
+            k: 2,
+            theta: 0.5,
+            label: LabelPosition::Last,
+            ignore: vec![],
+            missing: "?".into(),
+            sample: SampleStrategy::All,
+            min_goodness: None,
+            seed: 1,
+            threads: 1,
+            summary_top: 0,
+            output: None,
+            metrics: None,
+            progress: false,
+            log_level: Level::Off,
+            time_budget: None,
+            step_budget: None,
+            mem_budget: None,
+            on_error: OnError::Recover,
+        };
+        run(&opts).unwrap();
+        // Strict mode fails on the same file with a CSV error (exit 4).
+        let strict = Options {
+            on_error: OnError::Fail,
+            ..opts
+        };
+        let err = run(&strict).unwrap_err();
+        assert!(matches!(err, RockError::Csv { .. }));
+        assert_eq!(err.exit_code(), 4);
+        std::fs::remove_file(input).ok();
     }
 
     #[test]
@@ -528,6 +904,10 @@ mod tests {
             metrics: Some(metrics.clone()),
             progress: false,
             log_level: Level::Off,
+            time_budget: None,
+            step_budget: None,
+            mem_budget: None,
+            on_error: OnError::Fail,
         };
         run(&opts).unwrap();
         let written = std::fs::read_to_string(&output).unwrap();

@@ -1,0 +1,343 @@
+//! Chaos suite: deterministic fault injection against the full pipeline.
+//!
+//! The contract under test: **no input corruption, budget exhaustion, or
+//! cancellation may panic, and every degraded outcome is a valid
+//! partition** — assignments, clusters and outliers mutually consistent
+//! and covering every point. Faults are injected three ways, all seeded:
+//!
+//! * `Guard::inject_trip_at` forces a budget trip at a chosen phase;
+//! * real budgets (steps / deadline / memory / cancellation) trip on
+//!   their own;
+//! * `FaultInjector` poisons or truncates CSV text and injects I/O
+//!   failures ahead of the pipeline.
+//!
+//! The final test drives the shipped `rock-cluster` binary end to end on
+//! a mushroom-like dataset with an exhausted step budget and
+//! `--on-error recover`, pinning the CLI acceptance criterion: exit 0, a
+//! printed degraded outcome, and a `degradation` block in the metrics
+//! JSON.
+
+use std::time::Duration;
+
+use rock::core::data::AttrId;
+use rock::core::telemetry::Phase;
+use rock::datasets::fault::FaultInjector;
+use rock::datasets::loader::{parse_labeled, IngestMode, LabelPosition, LoadConfig};
+use rock::datasets::synthetic::MushroomModel;
+use rock::prelude::*;
+
+/// Asserts the partition invariants that must hold on *every* outcome,
+/// complete or degraded: clusters and outliers tile the point set, and
+/// assignments agree with cluster membership.
+fn assert_valid_partition(model: &RockModel, n: usize) {
+    assert_eq!(model.assignments().len(), n);
+    let clustered: usize = model.clusters().iter().map(Vec::len).sum();
+    assert_eq!(
+        clustered + model.outliers().len(),
+        n,
+        "clusters + outliers must cover all {n} points exactly once"
+    );
+    for &o in model.outliers() {
+        assert!(
+            model.assignments()[o as usize].is_none(),
+            "outlier {o} must be unassigned"
+        );
+    }
+    let mut seen = vec![false; n];
+    for (c, members) in model.clusters().iter().enumerate() {
+        for &p in members {
+            assert!(!seen[p as usize], "point {p} appears in two clusters");
+            seen[p as usize] = true;
+            assert_eq!(
+                model.assignments()[p as usize].map(|id| id.0 as usize),
+                Some(c)
+            );
+        }
+    }
+}
+
+fn mushroom_like(n: usize, groups: usize, seed: u64) -> (TransactionSet, usize) {
+    let (table, _, _) = MushroomModel::scaled(n, groups).seed(seed).generate();
+    let data = table.to_transactions();
+    let len = data.len();
+    (data, len)
+}
+
+#[test]
+fn injected_trips_at_every_phase_degrade_cleanly() {
+    let (data, n) = mushroom_like(240, 4, 5);
+    for phase in Phase::ALL {
+        let guard = Guard::unlimited().inject_trip_at(phase);
+        let outcome = RockBuilder::new(4, 0.8)
+            .sample(SampleStrategy::Fixed(120))
+            .seed(5)
+            .build()
+            .fit_guarded(&data, &Observer::new(), &guard)
+            .unwrap_or_else(|e| panic!("injection at {phase:?} errored: {e}"));
+        assert!(outcome.is_degraded(), "injection at {phase:?} must degrade");
+        let d = outcome.degradation().unwrap();
+        assert_eq!(d.phase, phase);
+        assert_eq!(d.reason, TripReason::Injected);
+        assert_valid_partition(outcome.model(), n);
+    }
+}
+
+#[test]
+fn real_budgets_trip_and_degrade() {
+    let (data, n) = mushroom_like(200, 4, 9);
+    let rock = RockBuilder::new(4, 0.8).seed(9).build();
+
+    // Step budget.
+    let guard = Guard::new(RunBudget::unlimited().steps(10));
+    let outcome = rock.fit_guarded(&data, &Observer::new(), &guard).unwrap();
+    assert!(outcome.is_degraded());
+    assert_eq!(outcome.model().stats().merges, 10);
+    assert_valid_partition(outcome.model(), n);
+
+    // Zero deadline trips at the first checkpoint.
+    let guard = Guard::new(RunBudget::unlimited().wall(Duration::ZERO));
+    let outcome = rock.fit_guarded(&data, &Observer::new(), &guard).unwrap();
+    assert!(matches!(
+        outcome.degradation().unwrap().reason,
+        TripReason::Deadline { .. }
+    ));
+    assert_valid_partition(outcome.model(), n);
+
+    // A one-byte memory ceiling trips once any gauge reports.
+    let guard = Guard::new(RunBudget::unlimited().memory(1));
+    let outcome = rock.fit_guarded(&data, &Observer::new(), &guard).unwrap();
+    assert!(matches!(
+        outcome.degradation().unwrap().reason,
+        TripReason::MemoryBudget { .. }
+    ));
+    assert_valid_partition(outcome.model(), n);
+
+    // Cancellation before the run starts.
+    let guard = Guard::unlimited();
+    guard.cancel_token().cancel();
+    let outcome = rock.fit_guarded(&data, &Observer::new(), &guard).unwrap();
+    assert_eq!(outcome.degradation().unwrap().reason, TripReason::Cancelled);
+    assert_valid_partition(outcome.model(), n);
+}
+
+#[test]
+fn degraded_prefix_agrees_with_unbudgeted_run() {
+    // The anytime property, end to end: a step-budgeted run's merges are a
+    // prefix of the unbudgeted run's, so its sample-phase history matches.
+    let (data, _) = mushroom_like(160, 4, 13);
+    let rock = RockBuilder::new(4, 0.8)
+        .seed(13)
+        .record_history(true)
+        .build();
+    let full = rock.fit(&data).unwrap();
+    let guard = Guard::new(RunBudget::unlimited().steps(7));
+    let partial = rock
+        .fit_guarded(&data, &Observer::new(), &guard)
+        .unwrap()
+        .into_model();
+    assert_eq!(partial.history().len(), 7);
+    assert_eq!(&full.history()[..7], partial.history());
+}
+
+/// Satellite: seed-loop fuzz-lite. 64 seeded random datasets through the
+/// guarded pipeline under randomized budgets — the run may complete or
+/// degrade, but must never panic and must always return a valid
+/// partition.
+#[test]
+fn fuzz_lite_64_seeds_under_random_budgets() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0x0c1a05 ^ seed);
+        let n = rng.gen_range(24..96usize);
+        let groups = rng.gen_range(2..5usize);
+        let (data, len) = mushroom_like(n, groups, seed);
+        let k = rng.gen_range(2..5usize).min(len);
+        let mut budget = RunBudget::unlimited();
+        match rng.gen_range(0..5usize) {
+            0 => budget = budget.steps(rng.gen_range(0..32u64)),
+            1 => budget = budget.wall(Duration::from_nanos(rng.gen_range(0..2_000_000u64))),
+            2 => budget = budget.memory(rng.gen_range(1..100_000u64)),
+            3 => {
+                budget = budget
+                    .steps(rng.gen_range(0..16u64))
+                    .memory(rng.gen_range(1..50_000u64));
+            }
+            _ => {} // unlimited: must complete
+        }
+        let guard = Guard::new(budget);
+        if rng.gen_bool(0.1) {
+            guard.cancel_token().cancel();
+        }
+        let theta = rng.gen_range(0.3..0.9);
+        let sample = if rng.gen_bool(0.5) {
+            SampleStrategy::All
+        } else {
+            SampleStrategy::Fixed(rng.gen_range(k..len.max(k + 1)))
+        };
+        let outcome = RockBuilder::new(k, theta)
+            .sample(sample)
+            .seed(seed)
+            .build()
+            .fit_guarded(&data, &Observer::new(), &guard)
+            .unwrap_or_else(|e| panic!("seed {seed}: unexpected error {e}"));
+        assert_valid_partition(outcome.model(), len);
+        if guard.budget().is_unlimited() && !guard.cancel_token().is_cancelled() {
+            assert!(!outcome.is_degraded(), "seed {seed}: nothing should trip");
+        }
+    }
+}
+
+/// Renders a categorical table back to label-first CSV text, `?` for
+/// missing cells — the inverse of the loader, for corruption tests.
+fn table_to_csv(table: &rock::core::data::CategoricalTable, labels: &[&'static str]) -> String {
+    let mut out = String::new();
+    for (i, row) in table.rows().enumerate() {
+        out.push_str(labels[i]);
+        for (j, cell) in row.iter().enumerate() {
+            out.push(',');
+            match cell {
+                Some(code) => {
+                    let attr = table
+                        .schema()
+                        .attribute(AttrId(u16::try_from(j).unwrap()))
+                        .unwrap();
+                    out.push_str(attr.value(*code).unwrap());
+                }
+                None => out.push('?'),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn poisoned_csv_survives_lenient_ingestion_and_clusters() {
+    let (table, classes, _) = MushroomModel::scaled(150, 3).seed(21).generate();
+    let clean = table_to_csv(&table, &classes);
+    for seed in [1u64, 2, 3] {
+        let dirty = FaultInjector::new(seed).poison_rows(&clean, 0.1);
+        let cfg = LoadConfig {
+            label: LabelPosition::First,
+            mode: IngestMode::Lenient {
+                max_quarantine_fraction: 0.5,
+            },
+            ..LoadConfig::default()
+        };
+        let loaded = parse_labeled(&dirty, &cfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: lenient load failed: {e}"));
+        assert_eq!(loaded.table.len(), loaded.labels.len());
+        let data = loaded.table.to_transactions();
+        let n = data.len();
+        let model = RockBuilder::new(3, 0.8)
+            .seed(seed)
+            .build()
+            .fit(&data)
+            .unwrap();
+        assert_valid_partition(&model, n);
+    }
+}
+
+#[test]
+fn truncated_csv_survives_lenient_ingestion() {
+    let (table, classes, _) = MushroomModel::scaled(120, 3).seed(33).generate();
+    let clean = table_to_csv(&table, &classes);
+    let mut inj = FaultInjector::new(7);
+    for keep in [0.85, 0.5, 0.25] {
+        let cut = inj.truncate(&clean, keep);
+        let cfg = LoadConfig {
+            label: LabelPosition::First,
+            mode: IngestMode::Lenient {
+                max_quarantine_fraction: 0.5,
+            },
+            ..LoadConfig::default()
+        };
+        let loaded = parse_labeled(&cut, &cfg).unwrap();
+        assert!(!loaded.table.is_empty());
+        // At most the final, cut-off record can be quarantined.
+        assert!(loaded.report.quarantined.len() <= 1);
+    }
+}
+
+#[test]
+fn injected_io_failures_are_errors_not_panics() {
+    let mut inj = FaultInjector::new(11).io_failure_rate(1.0);
+    let err = inj
+        .read_to_string(std::path::Path::new("/tmp/anything"))
+        .unwrap_err();
+    assert_eq!(err.exit_code(), 3);
+}
+
+/// CLI acceptance criterion: a mushroom-like dataset under an exhausted
+/// step budget with `--on-error recover` exits 0, prints the degraded
+/// outcome, and writes metrics JSON with a `degradation` block.
+#[test]
+fn cli_recovers_from_exhausted_step_budget_on_mushroom() {
+    let dir = std::env::temp_dir().join("rock-chaos-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("mushroom-like.csv");
+    let metrics = dir.join("metrics.json");
+    let (table, classes, _) = MushroomModel::scaled(400, 4).seed(3).generate();
+    std::fs::write(&input, table_to_csv(&table, &classes)).unwrap();
+
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_rock-cluster"))
+        .args([
+            "--input",
+            input.to_str().unwrap(),
+            "--k",
+            "4",
+            "--theta",
+            "0.8",
+            "--label",
+            "first",
+            "--step-budget",
+            "5",
+            "--on-error",
+            "recover",
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("binary should launch");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "expected exit 0, got {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status.code()
+    );
+    assert!(
+        stdout.contains("degraded:") && stdout.contains("merge-step budget"),
+        "stdout should print the degraded outcome, got:\n{stdout}"
+    );
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    assert!(json.contains("\"degradation\""));
+    assert!(json.contains("\"reason\": \"step-budget\""));
+    assert!(json.contains("\"phase\": \"agglomerate\""));
+
+    // Same budget under --on-error fail: stable exit code 6.
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_rock-cluster"))
+        .args([
+            "--input",
+            input.to_str().unwrap(),
+            "--k",
+            "4",
+            "--theta",
+            "0.8",
+            "--label",
+            "first",
+            "--step-budget",
+            "5",
+            "--on-error",
+            "fail",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("binary should launch");
+    assert_eq!(output.status.code(), Some(6));
+
+    std::fs::remove_file(input).ok();
+    std::fs::remove_file(metrics).ok();
+}
