@@ -42,4 +42,13 @@ fi
 echo "== chaos suite (fault injection, budgets, degradation)"
 cargo test --offline -q --test chaos
 
+# Serve gate: the labeling server must build, survive its chaos suite
+# (malformed HTTP, truncated bodies, poisoned snapshots, load shedding)
+# and answer the 10k-request loopback smoke with labels identical to
+# the offline `rock-cluster label` path.
+echo "== serve gate (rock-serve build + chaos + loopback smoke)"
+cargo build --offline -q -p rock-serve
+cargo test --offline -q -p rock-serve
+cargo test --offline -q -p rock --test serve_smoke
+
 echo "== ci.sh: all green"

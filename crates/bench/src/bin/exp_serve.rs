@@ -1,0 +1,256 @@
+//! E-serve — online labeling latency and throughput over loopback HTTP.
+//!
+//! Fits ROCK on a mushroom-like table, captures the model as a
+//! `rock-model/v1` snapshot, serves it with an in-process `rock-serve`
+//! worker pool, then replays the training points as `/label` queries:
+//!
+//! * a **sequential** phase over one keep-alive connection measures
+//!   per-request latency (p50 / p99),
+//! * a **concurrent** phase (4 connections) measures aggregate
+//!   throughput.
+//!
+//! `--metrics <FILE>` appends one `rock-serve-bench/v1` NDJSON line
+//! (this is the line committed as `results/BENCH_serve.json`).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rock_bench::cli::ExpOptions;
+use rock_bench::table::{banner, f4, TextTable};
+use rock_core::prelude::*;
+use rock_core::snapshot::{ModelSnapshot, OutlierPolicy, SimilarityKind};
+use rock_core::telemetry::json::JsonObj;
+use rock_datasets::synthetic::MushroomModel;
+use rock_serve::server::{ServeConfig, Server, ServerHandle};
+
+const THETA: f64 = 0.8;
+const K: usize = 6;
+const CONCURRENT_CONNS: usize = 4;
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    banner("E-serve: rock-serve loopback labeling latency and throughput");
+
+    let n = opts.scaled(2000, 300);
+    let (table, _, _) = MushroomModel::scaled(n, K).seed(opts.seed).generate();
+    let data = table.to_transactions();
+    println!("fit: mushroom-like n = {n}, theta = {THETA}, k = {K}");
+    let model = RockBuilder::new(K, THETA)
+        .seed(opts.seed)
+        .build()
+        .fit(&data)
+        .expect("fit");
+    let snapshot = ModelSnapshot::from_model(
+        &data,
+        &model,
+        THETA,
+        MarketBasket.f(THETA),
+        SimilarityKind::Jaccard,
+        OutlierPolicy::Mark,
+        &LabelingConfig::default(),
+        opts.seed,
+    )
+    .expect("snapshot");
+    println!(
+        "snapshot: {} clusters, {} representatives",
+        snapshot.num_clusters(),
+        snapshot.representatives().total()
+    );
+
+    let bodies: Vec<String> = data
+        .transactions()
+        .iter()
+        .map(|t| {
+            let items: Vec<String> = t.items().iter().map(u32::to_string).collect();
+            format!("{{\"items\":[{}]}}", items.join(","))
+        })
+        .collect();
+
+    let config = ServeConfig {
+        threads: CONCURRENT_CONNS + 1,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(snapshot, config).expect("server start");
+
+    // ── Sequential phase: latency percentiles ──────────────────────────
+    let sequential = opts.scaled(4000, 400);
+    let mut latencies_ms = Vec::with_capacity(sequential);
+    let mut client = Client::connect(&handle);
+    let seq_start = Instant::now();
+    for i in 0..sequential {
+        let body = &bodies[i % bodies.len()];
+        let t0 = Instant::now();
+        client.label(body);
+        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let seq_wall = seq_start.elapsed();
+    drop(client);
+    latencies_ms.sort_by(f64::total_cmp);
+    let p50 = percentile(&latencies_ms, 0.50);
+    let p99 = percentile(&latencies_ms, 0.99);
+    let seq_rps = latencies_ms.len() as f64 / seq_wall.as_secs_f64();
+
+    // ── Concurrent phase: aggregate throughput ─────────────────────────
+    let per_conn = opts.scaled(2000, 200);
+    let conc_start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..CONCURRENT_CONNS {
+            let bodies = &bodies;
+            let handle = &handle;
+            scope.spawn(move || {
+                let mut client = Client::connect(handle);
+                for i in 0..per_conn {
+                    client.label(&bodies[(c + i * CONCURRENT_CONNS) % bodies.len()]);
+                }
+            });
+        }
+    });
+    let conc_wall = conc_start.elapsed();
+    let conc_total = CONCURRENT_CONNS * per_conn;
+    let conc_rps = conc_total as f64 / conc_wall.as_secs_f64();
+
+    let counters = handle.counters();
+    let _final_metrics = handle.shutdown();
+
+    let mut t = TextTable::new(["phase", "requests", "wall s", "req/s", "p50 ms", "p99 ms"]);
+    t.row([
+        "sequential".to_string(),
+        sequential.to_string(),
+        f4(seq_wall.as_secs_f64()),
+        f4(seq_rps),
+        f4(p50),
+        f4(p99),
+    ]);
+    t.row([
+        format!("concurrent x{CONCURRENT_CONNS}"),
+        conc_total.to_string(),
+        f4(conc_wall.as_secs_f64()),
+        f4(conc_rps),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    t.print();
+    println!(
+        "labeled {} / outlier {} / rejected {} / shed {}",
+        counters.labeled, counters.outlier, counters.rejected, counters.shed
+    );
+
+    emit_bench_line(
+        &opts,
+        n,
+        sequential,
+        conc_total,
+        seq_wall + conc_wall,
+        p50,
+        p99,
+        seq_rps,
+        conc_rps,
+        counters.labeled,
+        counters.outlier,
+    );
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ms.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Appends the `rock-serve-bench/v1` NDJSON line to `--metrics`.
+#[allow(clippy::too_many_arguments)] // one flat measurement record
+fn emit_bench_line(
+    opts: &ExpOptions,
+    n: usize,
+    sequential: usize,
+    concurrent: usize,
+    wall: Duration,
+    p50_ms: f64,
+    p99_ms: f64,
+    seq_rps: f64,
+    conc_rps: f64,
+    labeled: u64,
+    outlier: u64,
+) {
+    let Some(path) = &opts.metrics else {
+        return;
+    };
+    let mut obj = JsonObj::new(false, 0);
+    obj.str("schema", "rock-serve-bench/v1")
+        .str("experiment", "exp_serve")
+        .num_u64("seed", opts.seed)
+        .num_u64("n", n as u64)
+        .num_u64("sequential_requests", sequential as u64)
+        .num_u64("concurrent_requests", concurrent as u64)
+        .num_f64("wall_secs", wall.as_secs_f64())
+        .num_f64("latency_p50_ms", p50_ms)
+        .num_f64("latency_p99_ms", p99_ms)
+        .num_f64("sequential_rps", seq_rps)
+        .num_f64("concurrent_rps", conc_rps)
+        .num_u64("labeled", labeled)
+        .num_u64("outlier", outlier);
+    let line = obj.end();
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open metrics file");
+    writeln!(file, "{line}").expect("write metrics line");
+    println!("bench line appended to {}", path.display());
+}
+
+/// One keep-alive loopback client.
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        Client { stream }
+    }
+
+    fn label(&mut self, body: &str) {
+        let raw = format!(
+            "POST /label HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        self.stream.write_all(raw.as_bytes()).expect("send");
+        let response = self.read_response();
+        assert!(
+            response.starts_with("HTTP/1.1 200"),
+            "expected 200, got {response:?}"
+        );
+    }
+
+    /// Reads one HTTP response using its `Content-Length` framing.
+    fn read_response(&mut self) -> String {
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            let got = self.stream.read(&mut byte).expect("read");
+            assert_eq!(got, 1, "connection closed mid-response");
+            head.push(byte[0]);
+        }
+        let text = String::from_utf8(head.clone()).expect("utf8 head");
+        let len: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content-length")
+            .trim()
+            .parse()
+            .expect("length");
+        let mut body = vec![0u8; len];
+        self.stream.read_exact(&mut body).expect("body");
+        head.extend_from_slice(&body);
+        String::from_utf8(head).expect("utf8 body")
+    }
+}

@@ -118,6 +118,32 @@ pub enum RockError {
     /// The run was cancelled via a `guard::CancelToken` and the caller
     /// asked for strict failure instead of a degraded result.
     Cancelled,
+    /// A model snapshot's header named an unknown format or version.
+    SnapshotVersion {
+        /// The header line actually found.
+        found: String,
+    },
+    /// A model snapshot's content checksum did not match its body —
+    /// the file was corrupted or hand-edited.
+    SnapshotChecksum {
+        /// Checksum declared in the header.
+        expected: String,
+        /// Checksum recomputed from the body.
+        actual: String,
+    },
+    /// A model snapshot line could not be parsed.
+    SnapshotFormat {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the defect.
+        message: String,
+    },
+    /// A model snapshot parsed cleanly but violated a semantic invariant
+    /// (item id outside the universe, cluster count mismatch, …).
+    SnapshotInvalid {
+        /// Human-readable description of the violated invariant.
+        message: String,
+    },
 }
 
 impl RockError {
@@ -138,7 +164,11 @@ impl RockError {
             RockError::Csv { .. }
             | RockError::DomainTooLarge { .. }
             | RockError::ItemOutOfRange { .. }
-            | RockError::QuarantineExceeded { .. } => 4,
+            | RockError::QuarantineExceeded { .. }
+            | RockError::SnapshotVersion { .. }
+            | RockError::SnapshotChecksum { .. }
+            | RockError::SnapshotFormat { .. }
+            | RockError::SnapshotInvalid { .. } => 4,
             RockError::BudgetExhausted { .. } | RockError::Cancelled => 6,
             _ => 5,
         }
@@ -207,6 +237,19 @@ impl fmt::Display for RockError {
                 write!(f, "run budget exhausted ({reason}) at phase `{phase}`")
             }
             RockError::Cancelled => write!(f, "run cancelled"),
+            RockError::SnapshotVersion { found } => {
+                write!(f, "unknown snapshot format/version: {found:?}")
+            }
+            RockError::SnapshotChecksum { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: header says {expected}, body hashes to {actual}"
+            ),
+            RockError::SnapshotFormat { line, message } => {
+                write!(f, "snapshot format error: {message} (line {line})")
+            }
+            RockError::SnapshotInvalid { message } => {
+                write!(f, "snapshot invariant violated: {message}")
+            }
         }
     }
 }
@@ -298,6 +341,32 @@ mod tests {
                 "step-budget",
             ),
             (RockError::Cancelled, "cancelled"),
+            (
+                RockError::SnapshotVersion {
+                    found: "rock-model/v9".to_owned(),
+                },
+                "rock-model/v9",
+            ),
+            (
+                RockError::SnapshotChecksum {
+                    expected: "fnv1a64:00".to_owned(),
+                    actual: "fnv1a64:ff".to_owned(),
+                },
+                "checksum mismatch",
+            ),
+            (
+                RockError::SnapshotFormat {
+                    line: 7,
+                    message: "bad reps header".to_owned(),
+                },
+                "line 7",
+            ),
+            (
+                RockError::SnapshotInvalid {
+                    message: "item 9 outside universe 4".to_owned(),
+                },
+                "item 9",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
@@ -348,6 +417,33 @@ mod tests {
                 quarantined: 3,
                 rows: 4,
                 max_fraction: 0.1
+            }
+            .exit_code(),
+            4
+        );
+        assert_eq!(
+            RockError::SnapshotVersion { found: "x".into() }.exit_code(),
+            4
+        );
+        assert_eq!(
+            RockError::SnapshotChecksum {
+                expected: "a".into(),
+                actual: "b".into()
+            }
+            .exit_code(),
+            4
+        );
+        assert_eq!(
+            RockError::SnapshotFormat {
+                line: 1,
+                message: "m".into()
+            }
+            .exit_code(),
+            4
+        );
+        assert_eq!(
+            RockError::SnapshotInvalid {
+                message: "m".into()
             }
             .exit_code(),
             4

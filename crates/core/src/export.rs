@@ -98,6 +98,12 @@ impl From<std::io::Error> for ImportError {
 }
 
 /// Reads assignments previously written by [`write_assignments`].
+///
+/// Tolerant of transport mangling that leaves the data intact (mirroring
+/// the CSV loader's hardening): CRLF line endings, a UTF-8 BOM before the
+/// header, blank lines and a trailing newline are all accepted. `lines()`
+/// strips `\r\n` pairs; the explicit `\r`-trimming below additionally
+/// covers lone carriage returns from pre-split or mixed-ending input.
 pub fn read_assignments<R: BufRead>(
     input: R,
 ) -> std::result::Result<Vec<Option<ClusterId>>, ImportError> {
@@ -105,12 +111,13 @@ pub fn read_assignments<R: BufRead>(
     let header = lines
         .next()
         .ok_or_else(|| ImportError::BadHeader(String::new()))??;
-    if header.trim() != HEADER {
+    if header.trim_start_matches('\u{feff}').trim() != HEADER {
         return Err(ImportError::BadHeader(header));
     }
     let meta = lines
         .next()
         .ok_or_else(|| ImportError::Inconsistent("missing meta line".into()))??;
+    let meta = meta.trim_end_matches('\r');
     let n: usize = meta
         .split_whitespace()
         .find_map(|kv| kv.strip_prefix("n=").and_then(|v| v.parse().ok()))
@@ -118,6 +125,7 @@ pub fn read_assignments<R: BufRead>(
     let mut out: Vec<Option<ClusterId>> = Vec::with_capacity(n);
     for (lineno, line) in lines.enumerate() {
         let line = line?;
+        let line = line.trim_end_matches('\r').to_owned();
         if line.trim().is_empty() {
             continue;
         }
@@ -236,5 +244,43 @@ mod tests {
     #[test]
     fn convenience_roundtrip() {
         assert_eq!(roundtrip(&sample()).unwrap(), sample());
+    }
+
+    #[test]
+    fn tolerates_crlf_line_endings() {
+        let a = sample();
+        let mut buf = Vec::new();
+        write_assignments(&mut buf, &a).unwrap();
+        let crlf = String::from_utf8(buf).unwrap().replace('\n', "\r\n");
+        let back = read_assignments(Cursor::new(crlf.into_bytes())).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn tolerates_trailing_newlines_and_bom() {
+        let a = sample();
+        let mut buf = Vec::new();
+        write_assignments(&mut buf, &a).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        // A trailing newline (already present) plus extra blank lines.
+        text.push('\n');
+        text.push_str("\r\n");
+        let bom = format!("\u{feff}{text}");
+        assert_eq!(read_assignments(Cursor::new(text.into_bytes())).unwrap(), a);
+        assert_eq!(read_assignments(Cursor::new(bom.into_bytes())).unwrap(), a);
+    }
+
+    #[test]
+    fn tolerates_missing_final_newline() {
+        let text = "rock-assignments v1\nn=2 k=1 outliers=1\n0 0\n1 -";
+        let back = read_assignments(Cursor::new(text.as_bytes().to_vec())).unwrap();
+        assert_eq!(back, vec![Some(ClusterId(0)), None]);
+    }
+
+    #[test]
+    fn crlf_malformed_lines_still_rejected() {
+        let text = "rock-assignments v1\r\nn=1 k=1 outliers=0\r\n0 zero\r\n";
+        let err = read_assignments(Cursor::new(text.as_bytes().to_vec())).unwrap_err();
+        assert!(matches!(err, ImportError::BadLine { line: 3, .. }));
     }
 }

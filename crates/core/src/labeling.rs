@@ -105,6 +105,13 @@ impl Representatives {
         Ok(Representatives { sets })
     }
 
+    /// Reconstructs representative sets from explicit per-cluster
+    /// transactions (the model-snapshot load path; `draw` is the fitting
+    /// path).
+    pub fn from_sets(sets: Vec<Vec<Transaction>>) -> Self {
+        Representatives { sets }
+    }
+
     /// Number of clusters.
     pub fn num_clusters(&self) -> usize {
         self.sets.len()

@@ -72,6 +72,7 @@ pub mod rng;
 pub mod rock;
 pub mod sampling;
 pub mod similarity;
+pub mod snapshot;
 pub mod summary;
 pub mod telemetry;
 
@@ -103,6 +104,7 @@ pub mod prelude {
     };
     pub use crate::sampling::{chernoff_sample_size, sample_indices, seeded_rng};
     pub use crate::similarity::{Cosine, Dice, HammingRecord, Jaccard, Overlap, Similarity};
+    pub use crate::snapshot::{ModelSnapshot, OutlierPolicy, SimilarityKind};
     pub use crate::summary::{ClusterSummary, ItemSupport};
     pub use crate::telemetry::{Level, MemoryEstimate, Metrics, Observer, Phase, RunInfo};
 }

@@ -1,0 +1,424 @@
+//! Minimal HTTP/1.1 request parsing and response writing.
+//!
+//! Just enough of RFC 9112 for a loopback labeling service: a request
+//! line, headers, and an optional `Content-Length` body. No chunked
+//! transfer encoding (a request declaring it is rejected as
+//! unsupported), no multipart, no TLS. The parser is defensive — header
+//! and body sizes are capped, and every malformed input maps to a typed
+//! error the server turns into a 4xx response instead of a panic.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on the request line plus all header bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on the number of header lines.
+const MAX_HEADERS: usize = 64;
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying socket failure (including read timeouts).
+    Io(std::io::Error),
+    /// The request violates the grammar this parser accepts.
+    Malformed(String),
+    /// The declared body exceeds the server's limit (→ 413).
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// Configured ceiling.
+        limit: usize,
+    },
+    /// A feature this server deliberately does not implement (→ 501).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds limit of {limit}")
+            }
+            HttpError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path only; this server ignores queries).
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length` was declared).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Reads one request from `reader`.
+///
+/// Returns `Ok(None)` on clean EOF before any request byte (the peer
+/// closed an idle keep-alive connection).
+///
+/// # Errors
+/// [`HttpError::Malformed`] for grammar violations,
+/// [`HttpError::BodyTooLarge`] when `Content-Length` exceeds
+/// `max_body`, [`HttpError::Unsupported`] for chunked transfer
+/// encoding, [`HttpError::Io`] for socket failures.
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(reader, true)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Malformed(format!(
+            "request line {request_line:?}"
+        )));
+    };
+    if method.is_empty() || path.is_empty() {
+        return Err(HttpError::Malformed(format!(
+            "request line {request_line:?}"
+        )));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed(format!("http version {version:?}")));
+    }
+
+    let mut content_length: usize = 0;
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut head_bytes = request_line.len();
+    for _ in 0..=MAX_HEADERS {
+        let Some(line) = read_line(reader, false)? else {
+            return Err(HttpError::Malformed("eof inside headers".into()));
+        };
+        if line.is_empty() {
+            let request = Request {
+                method: method.to_ascii_uppercase(),
+                path: path.to_owned(),
+                body: read_body(reader, content_length)?,
+                keep_alive,
+            };
+            return Ok(Some(request));
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("headers too large".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("header line {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let declared: usize = value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed(format!("content-length {value:?}")))?;
+                if declared > max_body {
+                    return Err(HttpError::BodyTooLarge {
+                        declared,
+                        limit: max_body,
+                    });
+                }
+                content_length = declared;
+            }
+            "transfer-encoding" => {
+                return Err(HttpError::Unsupported(format!(
+                    "transfer-encoding {value:?}"
+                )));
+            }
+            "connection" => {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            }
+            _ => {}
+        }
+    }
+    Err(HttpError::Malformed("too many headers".into()))
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, without the
+/// terminator. `Ok(None)` = EOF before any byte; mid-line EOF or a
+/// too-long line is malformed. `allow_blank_prefix` skips empty lines
+/// before the payload (RFC 9112 §2.2 tolerance between pipelined
+/// requests).
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    allow_blank_prefix: bool,
+) -> Result<Option<String>, HttpError> {
+    loop {
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            match reader.read(&mut byte)? {
+                0 => {
+                    if buf.is_empty() {
+                        return Ok(None);
+                    }
+                    return Err(HttpError::Malformed("eof mid-line".into()));
+                }
+                _ => {
+                    if byte[0] == b'\n' {
+                        break;
+                    }
+                    buf.push(byte[0]);
+                    if buf.len() > MAX_HEAD_BYTES {
+                        return Err(HttpError::Malformed("line too long".into()));
+                    }
+                }
+            }
+        }
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        if buf.is_empty() && allow_blank_prefix {
+            continue;
+        }
+        return String::from_utf8(buf)
+            .map(Some)
+            .map_err(|_| HttpError::Malformed("non-utf8 in request head".into()));
+    }
+}
+
+/// Reads exactly `len` body bytes; a short read is a truncated body.
+fn read_body<R: BufRead>(reader: &mut R, len: usize) -> Result<Vec<u8>, HttpError> {
+    let mut body = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match reader.read(&mut body[filled..])? {
+            0 => {
+                return Err(HttpError::Malformed(format!(
+                    "body truncated at {filled} of {len} bytes"
+                )));
+            }
+            n => filled += n,
+        }
+    }
+    Ok(body)
+}
+
+/// A response ready to be written.
+#[derive(Debug)]
+pub struct Response {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    extra_headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with `status`/`reason` and a JSON body.
+    pub fn json(status: u16, reason: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            reason,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response (errors, health probe).
+    pub fn text(status: u16, reason: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            reason,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Adds a header (e.g. `Retry-After` on a 503).
+    #[must_use]
+    pub fn header(mut self, name: &str, value: &str) -> Self {
+        self.extra_headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// The status code (for logging and tests).
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// Writes the response; `keep_alive` selects the `Connection`
+    /// header.
+    ///
+    /// # Errors
+    /// Propagates socket write failures.
+    pub fn write_to<W: Write>(&self, out: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        write!(out, "HTTP/1.1 {} {}\r\n", self.status, self.reason)?;
+        write!(out, "Content-Type: {}\r\n", self.content_type)?;
+        write!(out, "Content-Length: {}\r\n", self.body.len())?;
+        let conn = if keep_alive { "keep-alive" } else { "close" };
+        write!(out, "Connection: {conn}\r\n")?;
+        for (name, value) in &self.extra_headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        out.write_all(b"\r\n")?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()), 1024)
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.body.is_empty());
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn parses_post_with_body_and_close() {
+        let r = parse("POST /label HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"abcd");
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn bare_lf_lines_accepted() {
+        let r = parse("GET / HTTP/1.1\nHost: x\n\n").unwrap().unwrap();
+        assert_eq!(r.path, "/");
+    }
+
+    #[test]
+    fn http_10_defaults_to_close() {
+        let r = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        for raw in [
+            "GET\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+        ] {
+            assert!(matches!(parse(raw), Err(HttpError::Malformed(_))), "{raw}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_version_and_header() {
+        assert!(matches!(
+            parse("GET / SPDY/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_body_before_reading_it() {
+        let err = parse("POST /label HTTP/1.1\r\nContent-Length: 4096\r\n\r\n").unwrap_err();
+        assert!(matches!(
+            err,
+            HttpError::BodyTooLarge {
+                declared: 4096,
+                limit: 1024
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let err = parse("POST /label HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn rejects_chunked_encoding() {
+        let err = parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::Unsupported(_)));
+    }
+
+    #[test]
+    fn rejects_eof_mid_headers() {
+        let err = parse("GET / HTTP/1.1\r\nHost: x\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn skips_blank_lines_between_pipelined_requests() {
+        let raw = "\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n";
+        let r = parse(raw).unwrap().unwrap();
+        assert_eq!(r.path, "/healthz");
+    }
+
+    #[test]
+    fn response_writes_status_headers_and_body() {
+        let mut out = Vec::new();
+        Response::json(200, "OK", br#"{"ok":true}"#.to_vec())
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn response_extra_headers_and_close() {
+        let mut out = Vec::new();
+        Response::text(503, "Service Unavailable", "busy\n")
+            .header("Retry-After", "1")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # rock-serve
+//!
+//! A dependency-free online labeling server for fitted ROCK models.
+//!
+//! The offline pipeline (`rock-cluster --save-model`) persists a
+//! [`ModelSnapshot`](rock_core::snapshot::ModelSnapshot) — θ, `f(θ)`, the
+//! interned vocabulary and the per-cluster representative sets `L_i`
+//! drawn by the paper's §4.2 labeling phase. That snapshot is the entire
+//! servable state: labeling a new point needs only the representatives
+//! and the similarity threshold, never the training data. This crate
+//! loads one snapshot and answers labeling queries over HTTP/1.1.
+//!
+//! Everything is hand-rolled over `std`: the HTTP layer ([`http`]) is a
+//! small request parser and response writer over
+//! [`std::net::TcpStream`]; the server ([`server`]) runs a fixed worker
+//! pool over a bounded connection queue, sheds load with
+//! `503 Retry-After` when the queue is full, bounds each request with a
+//! [`RunBudget`](rock_core::guard::RunBudget) wall deadline, and drains
+//! in-flight work before flushing metrics on shutdown.
+//!
+//! Endpoints:
+//!
+//! * `POST /label` — one JSON object, or an NDJSON batch (one object
+//!   per line). Each object is `{"items":[…]}` (raw interned ids),
+//!   `{"record":[…]}` (textual cells mapped through the snapshot
+//!   vocabulary) or `{"basket":[…]}` (market-basket item names). Each
+//!   input line yields one NDJSON response line
+//!   `{"cluster":<id>}`, with `null` for outliers.
+//! * `GET /healthz` — liveness probe.
+//! * `GET /metrics` — a `rock-serve-metrics/v1` JSON document embedding
+//!   the core `rock-metrics/v1` schema plus server counters.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(rust_2018_idioms)]
+
+pub mod http;
+pub mod server;
+
+pub use http::{HttpError, Request, Response};
+pub use server::{ServeConfig, Server, ServerHandle};

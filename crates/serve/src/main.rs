@@ -1,0 +1,200 @@
+//! `rock-serve` — serve a fitted ROCK model snapshot over HTTP.
+//!
+//! ```text
+//! rock-cluster --input data.csv --k 8 --theta 0.7 --save-model m.rockmodel
+//! rock-serve --model m.rockmodel --addr 127.0.0.1:7700
+//! curl -s http://127.0.0.1:7700/label -d '{"record":["a","b","c"]}'
+//! ```
+//!
+//! The server runs until **stdin closes** (ctrl-D, or the supervisor
+//! closing the pipe) — the dependency-free stand-in for a SIGTERM
+//! handler, which would require `unsafe` signal code the workspace
+//! forbids. On shutdown it drains in-flight requests and flushes the
+//! final `rock-serve-metrics/v1` document to `--metrics` (or stderr).
+//!
+//! Exit codes match `rock-cluster`: 0 ok, 2 usage, 3 I/O, 4 malformed
+//! snapshot, 5 invalid configuration.
+
+use std::io::Read;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rock_core::snapshot::ModelSnapshot;
+use rock_serve::server::{flush_metrics, ServeConfig, Server};
+
+/// Parsed command line.
+#[derive(Debug)]
+struct Options {
+    model: PathBuf,
+    metrics: Option<PathBuf>,
+    config: ServeConfig,
+}
+
+const USAGE: &str = "\
+usage: rock-serve --model <path> [options]
+
+  --model <path>        rock-model/v1 snapshot to serve (required)
+  --addr <host:port>    bind address            [default 127.0.0.1:7700]
+  --threads <n>         worker threads          [default 4]
+  --queue <n>           accept-queue capacity   [default 64]
+  --deadline-ms <n>     per-request deadline    [default 1000]
+  --max-body <bytes>    request body limit      [default 1048576]
+  --metrics <path>      write final metrics JSON here (default: stderr)
+
+The server shuts down gracefully when stdin reaches EOF.";
+
+fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, String> {
+    let mut model: Option<PathBuf> = None;
+    let mut metrics: Option<PathBuf> = None;
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7700".into(),
+        ..ServeConfig::default()
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--model" => model = Some(PathBuf::from(value("--model")?)),
+            "--addr" => config.addr = value("--addr")?,
+            "--threads" => {
+                config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| format!("--threads expects an integer\n{USAGE}"))?;
+            }
+            "--queue" => {
+                config.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|_| format!("--queue expects an integer\n{USAGE}"))?;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| format!("--deadline-ms expects an integer\n{USAGE}"))?;
+                config.deadline = Duration::from_millis(ms);
+            }
+            "--max-body" => {
+                config.max_body = value("--max-body")?
+                    .parse()
+                    .map_err(|_| format!("--max-body expects an integer\n{USAGE}"))?;
+            }
+            "--metrics" => metrics = Some(PathBuf::from(value("--metrics")?)),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let model = model.ok_or_else(|| format!("--model is required\n{USAGE}"))?;
+    Ok(Options {
+        model,
+        metrics,
+        config,
+    })
+}
+
+fn run(opts: &Options) -> rock_core::Result<()> {
+    let snapshot = ModelSnapshot::load(&opts.model)?;
+    eprintln!(
+        "rock-serve: loaded {} ({} clusters, {} representatives, theta {})",
+        opts.model.display(),
+        snapshot.num_clusters(),
+        snapshot.representatives().total(),
+        snapshot.theta(),
+    );
+    let handle = Server::start(snapshot, opts.config.clone())?;
+    eprintln!("rock-serve: listening on {}", handle.addr());
+    eprintln!("rock-serve: close stdin (ctrl-D) to shut down");
+
+    // Block until stdin closes; every read is discarded. This is the
+    // shutdown signal — see the module docs.
+    let mut sink = [0u8; 4096];
+    let mut stdin = std::io::stdin().lock();
+    loop {
+        match stdin.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+
+    eprintln!("rock-serve: stdin closed, draining");
+    let final_metrics = handle.shutdown();
+    flush_metrics(&final_metrics, opts.metrics.as_deref())?;
+    eprintln!("rock-serve: bye");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn requires_model() {
+        assert!(parse(&[]).unwrap_err().contains("--model is required"));
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse(&[
+            "--model",
+            "m.rockmodel",
+            "--addr",
+            "0.0.0.0:9000",
+            "--threads",
+            "8",
+            "--queue",
+            "128",
+            "--deadline-ms",
+            "250",
+            "--max-body",
+            "4096",
+            "--metrics",
+            "serve.json",
+        ])
+        .unwrap();
+        assert_eq!(o.model, PathBuf::from("m.rockmodel"));
+        assert_eq!(o.config.addr, "0.0.0.0:9000");
+        assert_eq!(o.config.threads, 8);
+        assert_eq!(o.config.queue_capacity, 128);
+        assert_eq!(o.config.deadline, Duration::from_millis(250));
+        assert_eq!(o.config.max_body, 4096);
+        assert_eq!(o.metrics, Some(PathBuf::from("serve.json")));
+    }
+
+    #[test]
+    fn rejects_unknown_and_unparsable_flags() {
+        assert!(parse(&["--model", "m", "--wat"]).is_err());
+        assert!(parse(&["--model", "m", "--threads", "many"]).is_err());
+        assert!(parse(&["--model"]).is_err());
+    }
+
+    #[test]
+    fn missing_snapshot_maps_to_io_error() {
+        let opts = parse(&["--model", "/nonexistent/void.rockmodel"]).unwrap();
+        let err = run(&opts).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+    }
+}

@@ -1,0 +1,788 @@
+//! The labeling server: worker pool, routing, load shedding, metrics.
+//!
+//! Architecture (all `std`, no `unsafe`):
+//!
+//! ```text
+//! acceptor thread ──► bounded VecDeque<TcpStream> ──► N worker threads
+//!      │                    (Mutex + Condvar)              │
+//!      └── queue full: inline 503 + Retry-After            └── parse →
+//!                                                              route →
+//!                                                              respond
+//! ```
+//!
+//! The acceptor polls a non-blocking [`TcpListener`] so it can observe
+//! the stop flag between accepts. When the queue is at capacity it
+//! writes `503 Service Unavailable` with `Retry-After` directly on the
+//! accepted socket and closes it — back-pressure is explicit, never an
+//! unbounded backlog. Each `/label` request runs under a
+//! [`Guard`] with a wall-clock [`RunBudget`]; a request that
+//! exceeds the deadline mid-batch is answered `503` and counted as
+//! shed. Shutdown (`ServerHandle::shutdown`) stops the acceptor, lets
+//! the workers drain every queued connection, then renders the final
+//! `rock-serve-metrics/v1` document.
+//!
+//! The workspace forbids `unsafe`, so no `SIGTERM` handler can be
+//! installed; the `rock-serve` binary instead treats **stdin close** as
+//! the shutdown signal (`kill` the pipe's writer, or press ctrl-D), the
+//! conventional dependency-free stand-in.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rock_core::cast::usize_to_u64;
+use rock_core::error::{Result, RockError};
+use rock_core::guard::{Guard, RunBudget};
+use rock_core::prelude::Transaction;
+use rock_core::similarity::Similarity;
+use rock_core::snapshot::ModelSnapshot;
+use rock_core::telemetry::json::{Json, JsonObj};
+use rock_core::telemetry::{Metrics, Observer, Phase, PipelineCounters, RunInfo};
+
+use crate::http::{read_request, HttpError, Request, Response};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling connections. A keep-alive connection
+    /// occupies its worker until the peer closes (or the idle read
+    /// times out), so size this to the expected number of concurrent
+    /// keep-alive clients; excess connections wait in the queue.
+    pub threads: usize,
+    /// Bounded accept-queue capacity; beyond it, connections are shed.
+    pub queue_capacity: usize,
+    /// Per-request wall-clock deadline (enforced between batch lines).
+    pub deadline: Duration,
+    /// Largest accepted request body, in bytes (beyond it: 413).
+    pub max_body: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 4,
+            queue_capacity: 64,
+            deadline: Duration::from_secs(1),
+            max_body: 1 << 20,
+        }
+    }
+}
+
+/// Monotonic request counters, exposed under `"requests"` in the
+/// metrics document.
+#[derive(Debug, Default)]
+struct ServeCounters {
+    /// Connections accepted (including ones later shed or rejected).
+    accepted: AtomicU64,
+    /// Points labeled into a cluster.
+    labeled: AtomicU64,
+    /// Points answered `{"cluster":null}` under the mark policy.
+    outlier: AtomicU64,
+    /// Requests refused as client errors (4xx/405/404/501).
+    rejected: AtomicU64,
+    /// Connections or batches dropped by load shedding (queue full or
+    /// deadline exceeded → 503).
+    shed: AtomicU64,
+}
+
+/// A point-in-time copy of the server counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Points labeled into a cluster.
+    pub labeled: u64,
+    /// Points marked outliers.
+    pub outlier: u64,
+    /// Client errors.
+    pub rejected: u64,
+    /// 503 responses from queue or deadline shedding.
+    pub shed: u64,
+}
+
+impl ServeCounters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            labeled: self.labeled.load(Ordering::Relaxed),
+            outlier: self.outlier.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Accept queue guarded by [`Shared::queue`].
+#[derive(Default)]
+struct Queue {
+    conns: VecDeque<TcpStream>,
+    /// Set at shutdown: workers drain remaining connections, then exit.
+    stopping: bool,
+}
+
+/// State shared by the acceptor, the workers and the handle.
+struct Shared {
+    model: ModelSnapshot,
+    config: ServeConfig,
+    counters: ServeCounters,
+    observer: Observer,
+    queue: Mutex<Queue>,
+    available: Condvar,
+    stop: AtomicBool,
+    started: Instant,
+}
+
+/// Locks a mutex, recovering the guard if a worker panicked while
+/// holding it (counters stay usable; a poisoned queue must not wedge
+/// shutdown).
+fn lock_queue(shared: &Shared) -> MutexGuard<'_, Queue> {
+    match shared.queue.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The running server (namespace for [`Server::start`]).
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr`, spawns the acceptor and worker threads, and
+    /// returns a handle for inspection and shutdown. Thread count and
+    /// queue capacity are clamped to at least 1 (a server with no
+    /// workers or no queue slots could never answer).
+    ///
+    /// # Errors
+    /// [`RockError::Io`] when the address cannot be bound or a thread
+    /// cannot be spawned.
+    pub fn start(model: ModelSnapshot, config: ServeConfig) -> Result<ServerHandle> {
+        let mut config = config;
+        config.threads = config.threads.max(1);
+        config.queue_capacity = config.queue_capacity.max(1);
+        let listener = TcpListener::bind(&config.addr).map_err(|e| RockError::Io {
+            path: config.addr.clone(),
+            message: e.to_string(),
+        })?;
+        let addr = listener.local_addr().map_err(|e| RockError::Io {
+            path: config.addr.clone(),
+            message: e.to_string(),
+        })?;
+        listener.set_nonblocking(true).map_err(|e| RockError::Io {
+            path: config.addr.clone(),
+            message: e.to_string(),
+        })?;
+
+        let shared = Arc::new(Shared {
+            model,
+            config,
+            counters: ServeCounters::default(),
+            observer: Observer::new(),
+            queue: Mutex::new(Queue::default()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+
+        let mut workers = Vec::with_capacity(shared.config.threads);
+        for i in 0..shared.config.threads {
+            let shared = Arc::clone(&shared);
+            let worker = std::thread::Builder::new()
+                .name(format!("rock-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .map_err(|e| RockError::Io {
+                    path: "rock-serve worker".into(),
+                    message: e.to_string(),
+                })?;
+            workers.push(worker);
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("rock-serve-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .map_err(|e| RockError::Io {
+                    path: "rock-serve acceptor".into(),
+                    message: e.to_string(),
+                })?
+        };
+
+        Ok(ServerHandle {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+/// A running server: address, live counters, graceful shutdown.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the request counters.
+    pub fn counters(&self) -> CounterSnapshot {
+        self.shared.counters.snapshot()
+    }
+
+    /// The current `rock-serve-metrics/v1` document.
+    pub fn metrics_json(&self) -> String {
+        render_metrics(&self.shared)
+    }
+
+    /// Stops accepting, drains every queued connection, joins all
+    /// threads and returns the final metrics document.
+    pub fn shutdown(mut self) -> String {
+        self.stop_and_join();
+        render_metrics(&self.shared)
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            // The acceptor observes the flag within one poll interval;
+            // joining it first guarantees no connection is enqueued
+            // after `stopping` is set.
+            acceptor.join().ok();
+        }
+        {
+            let mut queue = lock_queue(&self.shared);
+            queue.stopping = true;
+            self.shared.available.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().ok();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Shutdown-by-drop keeps tests leak-free; `shutdown()` is the
+        // intended path and has already emptied the thread handles.
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Accepts connections until the stop flag is raised, shedding when the
+/// queue is full.
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                ServeCounters::bump(&shared.counters.accepted);
+                let mut queue = lock_queue(shared);
+                if queue.conns.len() >= shared.config.queue_capacity {
+                    drop(queue);
+                    ServeCounters::bump(&shared.counters.shed);
+                    shed_connection(stream);
+                } else {
+                    queue.conns.push_back(stream);
+                    drop(queue);
+                    shared.available.notify_one();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            // Transient accept errors (e.g. ECONNABORTED) are not fatal.
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Answers a shed connection inline on the acceptor thread. Best
+/// effort: the client may already be gone.
+fn shed_connection(stream: TcpStream) {
+    let mut stream = stream;
+    stream.set_nonblocking(false).ok();
+    stream
+        .set_write_timeout(Some(Duration::from_millis(200)))
+        .ok();
+    Response::text(503, "Service Unavailable", "queue full\n")
+        .header("Retry-After", "1")
+        .write_to(&mut stream, false)
+        .ok();
+}
+
+/// Pops connections until shutdown drains the queue.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = lock_queue(shared);
+            loop {
+                if let Some(stream) = queue.conns.pop_front() {
+                    break stream;
+                }
+                if queue.stopping {
+                    return;
+                }
+                queue = match shared.available.wait(queue) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        handle_connection(shared, stream);
+    }
+}
+
+/// Serves one connection: keep-alive request loop, typed error → 4xx/5xx.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let io_timeout = shared.config.deadline.max(Duration::from_secs(1)) * 2;
+    stream.set_read_timeout(Some(io_timeout)).ok();
+    stream.set_write_timeout(Some(io_timeout)).ok();
+    // Request/response traffic is latency-bound; Nagle + delayed ACK
+    // would add ~40ms to every small round-trip.
+    stream.set_nodelay(true).ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut out = stream;
+    loop {
+        match read_request(&mut reader, shared.config.max_body) {
+            Ok(None) => return,
+            Ok(Some(request)) => {
+                // Stop keep-alive once shutdown begins so draining
+                // terminates after the in-flight request.
+                let keep = request.keep_alive && !shared.stop.load(Ordering::SeqCst);
+                let response = route(shared, &request);
+                if response.write_to(&mut out, keep).is_err() || !keep {
+                    return;
+                }
+            }
+            Err(error) => {
+                respond_to_error(&shared.counters, &mut out, &error);
+                return;
+            }
+        }
+    }
+}
+
+/// Maps a parse failure to its status line; write is best effort.
+fn respond_to_error(counters: &ServeCounters, out: &mut TcpStream, error: &HttpError) {
+    let response = match error {
+        HttpError::Io(_) => return, // peer gone; nothing to say
+        HttpError::Malformed(msg) => {
+            ServeCounters::bump(&counters.rejected);
+            Response::text(400, "Bad Request", format!("{msg}\n"))
+        }
+        HttpError::BodyTooLarge { declared, limit } => {
+            ServeCounters::bump(&counters.rejected);
+            Response::text(
+                413,
+                "Content Too Large",
+                format!("body of {declared} bytes exceeds limit of {limit}\n"),
+            )
+        }
+        HttpError::Unsupported(what) => {
+            ServeCounters::bump(&counters.rejected);
+            Response::text(501, "Not Implemented", format!("{what}\n"))
+        }
+    };
+    response.write_to(out, false).ok();
+}
+
+/// Dispatches a parsed request to its endpoint.
+fn route(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/label") => handle_label(shared, &request.body),
+        ("GET", "/healthz") => Response::json(200, "OK", "{\"status\":\"ok\"}\n"),
+        ("GET", "/metrics") => Response::json(200, "OK", render_metrics(shared)),
+        ("GET" | "HEAD", "/label") | ("POST" | "PUT" | "DELETE", "/healthz" | "/metrics") => {
+            ServeCounters::bump(&shared.counters.rejected);
+            let allow = if request.path == "/label" {
+                "POST"
+            } else {
+                "GET"
+            };
+            Response::text(405, "Method Not Allowed", "method not allowed\n").header("Allow", allow)
+        }
+        _ => {
+            ServeCounters::bump(&shared.counters.rejected);
+            Response::text(404, "Not Found", "not found\n")
+        }
+    }
+}
+
+/// `POST /label`: one JSON object per line (a single object is a batch
+/// of one); each line answers `{"cluster":<id>}` or `{"cluster":null}`.
+fn handle_label(shared: &Shared, body: &[u8]) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        ServeCounters::bump(&shared.counters.rejected);
+        return Response::text(400, "Bad Request", "body is not utf-8\n");
+    };
+    let guard = Guard::new(RunBudget::unlimited().wall(shared.config.deadline));
+    let mut answers = String::new();
+    let mut lines = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if guard
+            .checkpoint(Phase::Labeling, &shared.observer)
+            .is_some()
+        {
+            // Deadline exceeded mid-batch: shed the rest rather than
+            // hold a worker hostage. 503 invites a retry with a
+            // smaller batch.
+            ServeCounters::bump(&shared.counters.shed);
+            return Response::text(503, "Service Unavailable", "deadline exceeded\n")
+                .header("Retry-After", "1");
+        }
+        lines += 1;
+        match parse_query(&shared.model, line) {
+            Ok(point) => {
+                match shared.model.label(&point) {
+                    Some(cluster) => {
+                        ServeCounters::bump(&shared.counters.labeled);
+                        PipelineCounters::add(&shared.observer.counters().points_labeled, 1);
+                        answers.push_str(&format!("{{\"cluster\":{cluster}}}\n"));
+                    }
+                    None => {
+                        ServeCounters::bump(&shared.counters.outlier);
+                        answers.push_str("{\"cluster\":null}\n");
+                    }
+                }
+                PipelineCounters::add(
+                    &shared.observer.counters().labeling_evaluations,
+                    usize_to_u64(shared.model.representatives().total()),
+                );
+            }
+            Err(message) => {
+                ServeCounters::bump(&shared.counters.rejected);
+                return Response::text(400, "Bad Request", format!("line {lines}: {message}\n"));
+            }
+        }
+    }
+    if lines == 0 {
+        ServeCounters::bump(&shared.counters.rejected);
+        return Response::text(400, "Bad Request", "empty body\n");
+    }
+    Response::json(200, "OK", answers)
+}
+
+/// Parses one query line into a [`Transaction`] against the snapshot.
+///
+/// Accepted shapes: `{"items":[0,3,7]}` (raw interned ids),
+/// `{"record":["a","b",…]}` (textual cells through the snapshot
+/// vocabulary, `"?"` treated as missing) and `{"basket":["milk",…]}`
+/// (market-basket item names). Unknown record/basket values contribute
+/// no item — exactly as the offline `rock-cluster label` path behaves.
+fn parse_query(model: &ModelSnapshot, line: &str) -> std::result::Result<Transaction, String> {
+    let value = Json::parse(line).map_err(|e| format!("bad json: {e}"))?;
+    if value.fields().is_none() {
+        return Err("expected a json object".into());
+    }
+    if let Some(items) = value.get("items") {
+        let Json::Arr(items) = items else {
+            return Err("\"items\" must be an array of integers".into());
+        };
+        let mut ids = Vec::with_capacity(items.len());
+        for item in items {
+            let id = item
+                .as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| "\"items\" must be an array of integers".to_string())?;
+            if (id as usize) >= model.universe() {
+                return Err(format!(
+                    "item id {id} out of range (universe {})",
+                    model.universe()
+                ));
+            }
+            ids.push(id);
+        }
+        return Ok(Transaction::new(ids));
+    }
+    if let Some(record) = value.get("record") {
+        let cells = string_array(record, "record")?;
+        return model
+            .transaction_from_cells(&cells.iter().map(String::as_str).collect::<Vec<_>>(), "?")
+            .map_err(|e| e.to_string());
+    }
+    if let Some(basket) = value.get("basket") {
+        let names = string_array(basket, "basket")?;
+        return model
+            .transaction_from_basket(names.iter().map(String::as_str))
+            .map_err(|e| e.to_string());
+    }
+    Err("object needs one of \"items\", \"record\" or \"basket\"".into())
+}
+
+/// Extracts an all-strings array field or explains why it isn't one.
+fn string_array(value: &Json, field: &str) -> std::result::Result<Vec<String>, String> {
+    let Json::Arr(entries) = value else {
+        return Err(format!("\"{field}\" must be an array of strings"));
+    };
+    entries
+        .iter()
+        .map(|e| {
+            e.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("\"{field}\" must be an array of strings"))
+        })
+        .collect()
+}
+
+/// Renders the `rock-serve-metrics/v1` document: server counters and
+/// model facts wrapped around the core `rock-metrics/v1` schema.
+fn render_metrics(shared: &Shared) -> String {
+    let counters = shared.counters.snapshot();
+    let uptime = shared.started.elapsed();
+    let outliers = usize::try_from(counters.outlier).unwrap_or(usize::MAX);
+    let core = Metrics::collect(
+        &shared.observer,
+        RunInfo {
+            experiment: "rock-serve".into(),
+            n: usize::try_from(counters.labeled).unwrap_or(usize::MAX),
+            k: shared.model.num_clusters(),
+            theta: shared.model.theta(),
+            seed: 0,
+            sample_size: shared.model.representatives().total(),
+            clusters: shared.model.num_clusters(),
+            outliers,
+        },
+        uptime,
+    );
+
+    let mut requests = JsonObj::new(true, 2);
+    requests
+        .num_u64("accepted", counters.accepted)
+        .num_u64("labeled", counters.labeled)
+        .num_u64("outlier", counters.outlier)
+        .num_u64("rejected", counters.rejected)
+        .num_u64("shed", counters.shed);
+
+    let mut model = JsonObj::new(true, 2);
+    model
+        .num_u64("clusters", usize_to_u64(shared.model.num_clusters()))
+        .num_u64(
+            "representatives",
+            usize_to_u64(shared.model.representatives().total()),
+        )
+        .num_u64("universe", usize_to_u64(shared.model.universe()))
+        .num_f64("theta", shared.model.theta())
+        .num_f64("exponent", shared.model.exponent())
+        .str("similarity", shared.model.similarity().name())
+        .str("policy", shared.model.policy().name());
+
+    let mut doc = JsonObj::new(true, 1);
+    doc.str("schema", "rock-serve-metrics/v1")
+        .num_f64("uptime_secs", uptime.as_secs_f64())
+        .raw("requests", &requests.end())
+        .raw("model", &model.end())
+        .raw("core", &indent_block(&core.to_json()));
+    let mut text = doc.end();
+    text.push('\n');
+    text
+}
+
+/// Re-indents an embedded pretty JSON document one level deeper so the
+/// composed `rock-serve-metrics/v1` output stays readable.
+fn indent_block(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    for (i, line) in json.trim_end().lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str(line);
+    }
+    out
+}
+
+/// Writes `metrics` to `path`, or to stderr when `path` is `None`.
+///
+/// # Errors
+/// [`RockError::Io`] when the file cannot be written.
+pub fn flush_metrics(metrics: &str, path: Option<&std::path::Path>) -> Result<()> {
+    match path {
+        Some(path) => std::fs::write(path, metrics).map_err(|e| RockError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        }),
+        None => {
+            let mut err = std::io::stderr().lock();
+            err.write_all(metrics.as_bytes()).ok();
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_core::labeling::Representatives;
+    use rock_core::snapshot::{OutlierPolicy, SimilarityKind};
+
+    /// Two clusters over a 6-item universe: {0,1,2} and {3,4,5}.
+    fn toy_snapshot() -> ModelSnapshot {
+        let reps = Representatives::from_sets(vec![
+            vec![Transaction::new([0, 1, 2]), Transaction::new([0, 1, 2])],
+            vec![Transaction::new([3, 4, 5])],
+        ]);
+        ModelSnapshot::new(
+            0.5,
+            1.0,
+            SimilarityKind::Jaccard,
+            OutlierPolicy::Mark,
+            6,
+            None,
+            reps,
+        )
+        .unwrap()
+    }
+
+    fn shared() -> Shared {
+        Shared {
+            model: toy_snapshot(),
+            config: ServeConfig::default(),
+            counters: ServeCounters::default(),
+            observer: Observer::new(),
+            queue: Mutex::new(Queue::default()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            started: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn label_batch_answers_one_line_per_query() {
+        let s = shared();
+        let body = b"{\"items\":[0,1,2]}\n{\"items\":[3,4]}\n\n{\"items\":[0]}\n";
+        let resp = handle_label(&s, body);
+        assert_eq!(resp.status(), 200);
+        let counters = s.counters.snapshot();
+        assert_eq!(counters.labeled + counters.outlier, 3);
+    }
+
+    #[test]
+    fn label_rejects_bad_lines_with_400() {
+        let s = shared();
+        for body in [
+            &b"not json"[..],
+            b"[1,2,3]",
+            b"{\"wrong\":[]}",
+            b"{\"items\":[\"a\"]}",
+            b"{\"items\":[99]}",
+            b"{\"record\":[1]}",
+            b"",
+            b"\xff\xfe",
+        ] {
+            let resp = handle_label(&s, body);
+            assert_eq!(resp.status(), 400, "body {body:?}");
+        }
+        assert_eq!(s.counters.snapshot().rejected, 8);
+    }
+
+    #[test]
+    fn deadline_mid_batch_sheds_with_503() {
+        let mut s = shared();
+        s.config.deadline = Duration::from_secs(0);
+        let resp = handle_label(&s, b"{\"items\":[0]}\n");
+        assert_eq!(resp.status(), 503);
+        assert_eq!(s.counters.snapshot().shed, 1);
+    }
+
+    #[test]
+    fn routes_404_405_and_health() {
+        let s = shared();
+        let req = |method: &str, path: &str| Request {
+            method: method.into(),
+            path: path.into(),
+            body: Vec::new(),
+            keep_alive: true,
+        };
+        assert_eq!(route(&s, &req("GET", "/healthz")).status(), 200);
+        assert_eq!(route(&s, &req("GET", "/metrics")).status(), 200);
+        assert_eq!(route(&s, &req("GET", "/label")).status(), 405);
+        assert_eq!(route(&s, &req("POST", "/metrics")).status(), 405);
+        assert_eq!(route(&s, &req("GET", "/nope")).status(), 404);
+        assert_eq!(s.counters.snapshot().rejected, 3);
+    }
+
+    #[test]
+    fn metrics_document_embeds_core_schema() {
+        let s = shared();
+        handle_label(&s, b"{\"items\":[0,1,2]}\n");
+        let doc = render_metrics(&s);
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("rock-serve-metrics/v1")
+        );
+        let requests = parsed.get("requests").unwrap();
+        assert_eq!(requests.get("labeled").and_then(Json::as_u64), Some(1));
+        let core = parsed.get("core").unwrap();
+        assert_eq!(
+            core.get("schema").and_then(Json::as_str),
+            Some("rock-metrics/v1")
+        );
+        let model = parsed.get("model").unwrap();
+        assert_eq!(model.get("clusters").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn record_and_basket_queries_work_when_vocabulary_present() {
+        use rock_core::prelude::Vocabulary;
+        let mut vocab = Vocabulary::new();
+        vocab.intern_basket("milk");
+        vocab.intern_basket("eggs");
+        let model = ModelSnapshot::new(
+            0.5,
+            1.0,
+            SimilarityKind::Jaccard,
+            OutlierPolicy::Mark,
+            2,
+            Some(vocab),
+            Representatives::from_sets(vec![vec![Transaction::new([0, 1])]]),
+        )
+        .unwrap();
+        let point = parse_query(&model, "{\"basket\":[\"milk\",\"eggs\",\"unknown\"]}").unwrap();
+        assert_eq!(model.label(&point), Some(0));
+        // Record queries need an attribute vocabulary; basket-interned
+        // snapshots simply find no matching (attr, value) keys.
+        let empty = parse_query(&model, "{\"record\":[\"milk\"]}").unwrap();
+        assert_eq!(model.label(&empty), None);
+    }
+
+    #[test]
+    fn zero_sized_pools_are_clamped_not_fatal() {
+        let config = ServeConfig {
+            threads: 0,
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        };
+        let handle = Server::start(toy_snapshot(), config).unwrap();
+        let addr = handle.addr();
+        assert_ne!(addr.port(), 0);
+        let metrics = handle.shutdown();
+        assert!(metrics.contains("rock-serve-metrics/v1"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Chaos coverage for the labeling server: malformed HTTP, truncated
+//! bodies, oversized payloads, poisoned snapshots and load shedding.
+//! The invariant throughout: clean 4xx/5xx responses, zero panics, and
+//! a metrics document that still renders afterwards.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rock_core::labeling::Representatives;
+use rock_core::prelude::Transaction;
+use rock_core::snapshot::{ModelSnapshot, OutlierPolicy, SimilarityKind};
+use rock_core::RockError;
+use rock_datasets::fault::FaultInjector;
+use rock_serve::server::{ServeConfig, Server, ServerHandle};
+
+/// Two clusters over a 6-item universe: {0,1,2} and {3,4,5}.
+fn toy_snapshot() -> ModelSnapshot {
+    let reps = Representatives::from_sets(vec![
+        vec![Transaction::new([0, 1, 2]), Transaction::new([0, 1, 2])],
+        vec![Transaction::new([3, 4, 5])],
+    ]);
+    ModelSnapshot::new(
+        0.5,
+        1.0,
+        SimilarityKind::Jaccard,
+        OutlierPolicy::Mark,
+        6,
+        None,
+        reps,
+    )
+    .unwrap()
+}
+
+fn start_server(config: ServeConfig) -> ServerHandle {
+    Server::start(toy_snapshot(), config).unwrap()
+}
+
+/// Writes `raw` to the server and returns the full response text.
+fn raw_roundtrip(handle: &ServerHandle, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw).unwrap();
+    // Half-close so a parser waiting for more bytes sees EOF.
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap_or(0);
+    out
+}
+
+fn post_label(handle: &ServerHandle, body: &str) -> String {
+    let raw = format!(
+        "POST /label HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    raw_roundtrip(handle, raw.as_bytes())
+}
+
+#[test]
+fn malformed_http_gets_400_not_a_panic() {
+    let handle = start_server(ServeConfig::default());
+    for raw in [
+        &b"\x00\x01\x02\x03 garbage\r\n\r\n"[..],
+        b"GET\r\n\r\n",
+        b"GET / HTTP/9.9\r\n\r\n",
+        b"GET / HTTP/1.1\r\nbroken header line\r\n\r\n",
+        b"POST /label HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+    ] {
+        let resp = raw_roundtrip(&handle, raw);
+        assert!(resp.starts_with("HTTP/1.1 400"), "raw {raw:?} -> {resp:?}");
+    }
+    // The server is still healthy afterwards.
+    let resp = raw_roundtrip(&handle, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp:?}");
+    assert!(handle.counters().rejected >= 5);
+}
+
+#[test]
+fn truncated_body_is_a_clean_400() {
+    let handle = start_server(ServeConfig::default());
+    let resp = raw_roundtrip(
+        &handle,
+        b"POST /label HTTP/1.1\r\nContent-Length: 100\r\n\r\n{\"items\":[0]}",
+    );
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp:?}");
+    assert!(resp.contains("truncated"), "{resp:?}");
+}
+
+#[test]
+fn oversized_payload_is_413_without_reading_it() {
+    let config = ServeConfig {
+        max_body: 64,
+        ..ServeConfig::default()
+    };
+    let handle = start_server(config);
+    let resp = raw_roundtrip(
+        &handle,
+        b"POST /label HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 413"), "{resp:?}");
+}
+
+#[test]
+fn chunked_encoding_is_501() {
+    let handle = start_server(ServeConfig::default());
+    let resp = raw_roundtrip(
+        &handle,
+        b"POST /label HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 501"), "{resp:?}");
+}
+
+#[test]
+fn bad_json_and_unknown_routes_are_4xx() {
+    let handle = start_server(ServeConfig::default());
+    for body in ["not json", "[]", "{\"wrong\":1}", "{\"items\":[9999]}"] {
+        let resp = post_label(&handle, body);
+        assert!(
+            resp.starts_with("HTTP/1.1 400"),
+            "body {body:?} -> {resp:?}"
+        );
+    }
+    let resp = raw_roundtrip(&handle, b"GET /nope HTTP/1.1\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 404"), "{resp:?}");
+    let resp = raw_roundtrip(&handle, b"GET /label HTTP/1.1\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 405"), "{resp:?}");
+    assert!(resp.contains("Allow: POST"), "{resp:?}");
+}
+
+#[test]
+fn poisoned_snapshot_fails_closed_at_load_time() {
+    let snapshot = toy_snapshot();
+    let text = snapshot.render();
+    let mut injector = FaultInjector::new(0xC0FFEE);
+    let mut seen_errors = 0;
+    for fraction in [0.05, 0.25, 0.75] {
+        let poisoned = injector.poison_rows(&text, fraction);
+        if poisoned == text {
+            continue;
+        }
+        match ModelSnapshot::parse(&poisoned) {
+            Ok(_) => {}
+            Err(
+                RockError::SnapshotVersion { .. }
+                | RockError::SnapshotChecksum { .. }
+                | RockError::SnapshotFormat { .. }
+                | RockError::SnapshotInvalid { .. },
+            ) => seen_errors += 1,
+            Err(other) => panic!("unexpected error class: {other}"),
+        }
+    }
+    for keep in [0.1, 0.5, 0.9] {
+        let truncated = injector.truncate(&text, keep);
+        if truncated == text {
+            continue;
+        }
+        match ModelSnapshot::parse(&truncated) {
+            Ok(_) => panic!("truncated snapshot must not parse"),
+            Err(
+                RockError::SnapshotVersion { .. }
+                | RockError::SnapshotChecksum { .. }
+                | RockError::SnapshotFormat { .. }
+                | RockError::SnapshotInvalid { .. },
+            ) => seen_errors += 1,
+            Err(other) => panic!("unexpected error class: {other}"),
+        }
+    }
+    assert!(seen_errors >= 3, "expected several typed failures");
+}
+
+#[test]
+fn queue_overflow_sheds_with_503_retry_after() {
+    // One worker, one queue slot: occupy the worker with a half-open
+    // request, fill the slot, then every further connection is shed.
+    let config = ServeConfig {
+        threads: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    };
+    let handle = start_server(config);
+
+    // Occupy the single worker: connect and send only a partial request
+    // line; the worker blocks reading until we finish or time out.
+    let mut hog = TcpStream::connect(handle.addr()).unwrap();
+    hog.write_all(b"POST /label HT").unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Fill the single queue slot (never picked up while the hog lives).
+    let _queued = TcpStream::connect(handle.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Everything beyond the queue is answered 503 inline.
+    let mut shed_seen = 0;
+    for _ in 0..3 {
+        let resp = raw_roundtrip(&handle, b"GET /healthz HTTP/1.1\r\n\r\n");
+        if resp.starts_with("HTTP/1.1 503") {
+            assert!(resp.contains("Retry-After: 1"), "{resp:?}");
+            shed_seen += 1;
+        }
+    }
+    assert!(shed_seen >= 1, "expected at least one shed connection");
+    assert!(handle.counters().shed >= 1);
+
+    // Release the hog; the server drains and still reports metrics.
+    hog.write_all(b"TP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    drop(hog);
+    let metrics = handle.shutdown();
+    assert!(metrics.contains("rock-serve-metrics/v1"));
+    assert!(metrics.contains("\"shed\""));
+}
+
+#[test]
+fn metrics_flush_after_chaos() {
+    let handle = start_server(ServeConfig::default());
+    // A mix of garbage and good traffic.
+    raw_roundtrip(&handle, b"total garbage\r\n\r\n");
+    let good = post_label(&handle, "{\"items\":[0,1,2]}\n{\"items\":[3,4,5]}\n");
+    assert!(good.starts_with("HTTP/1.1 200"), "{good:?}");
+    assert!(good.contains("{\"cluster\":0}"), "{good:?}");
+    assert!(good.contains("{\"cluster\":1}"), "{good:?}");
+
+    let resp = raw_roundtrip(&handle, b"GET /metrics HTTP/1.1\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp:?}");
+    let body = resp.split("\r\n\r\n").nth(1).unwrap();
+    let doc = rock_core::telemetry::json::Json::parse(body).unwrap();
+    let requests = doc.get("requests").unwrap();
+    assert_eq!(
+        requests
+            .get("labeled")
+            .and_then(rock_core::telemetry::json::Json::as_u64),
+        Some(2)
+    );
+    assert!(requests.get("rejected").is_some());
+
+    // Shutdown flushes a parseable final document with the same shape.
+    let final_metrics = handle.shutdown();
+    let doc = rock_core::telemetry::json::Json::parse(&final_metrics).unwrap();
+    assert_eq!(
+        doc.get("schema")
+            .and_then(rock_core::telemetry::json::Json::as_str),
+        Some("rock-serve-metrics/v1")
+    );
+    assert_eq!(
+        doc.get("core")
+            .and_then(|c| c.get("schema"))
+            .and_then(rock_core::telemetry::json::Json::as_str),
+        Some("rock-metrics/v1")
+    );
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let handle = start_server(ServeConfig::default());
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for i in 0..50 {
+        let body = format!("{{\"items\":[{}]}}", i % 6);
+        let raw = format!(
+            "POST /label HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        stream.write_all(raw.as_bytes()).unwrap();
+        let resp = read_one_response(&mut stream);
+        assert!(resp.starts_with("HTTP/1.1 200"), "request {i}: {resp:?}");
+    }
+    drop(stream);
+    let counters = handle.counters();
+    assert_eq!(counters.labeled + counters.outlier, 50);
+    assert_eq!(counters.accepted, 1);
+}
+
+/// Reads exactly one HTTP response (headers + Content-Length body).
+fn read_one_response(stream: &mut TcpStream) -> String {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    // Headers end at the first CRLFCRLF.
+    while !buf.ends_with(b"\r\n\r\n") {
+        assert_eq!(stream.read(&mut byte).unwrap(), 1, "eof in headers");
+        buf.push(byte[0]);
+    }
+    let head = String::from_utf8(buf.clone()).unwrap();
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).unwrap();
+    buf.extend_from_slice(&body);
+    String::from_utf8(buf).unwrap()
+}

@@ -7,7 +7,12 @@
 //!     [--seed N] [--threads N] [--summary TOP] [--output assignments.txt] \
 //!     [--metrics metrics.json] [--progress] [--log-level info] \
 //!     [--time-budget SECS] [--step-budget N] [--mem-budget BYTES[K|M|G]] \
-//!     [--on-error fail|recover]
+//!     [--on-error fail|recover] \
+//!     [--save-model model.rockmodel] [--outlier-policy mark|nearest]
+//!
+//! rock-cluster label --model model.rockmodel --input new.csv \
+//!     [--format table|basket] [--label first|last|none|COLUMN] \
+//!     [--ignore 0,3] [--missing '?'] [--output labels.txt]
 //! ```
 //!
 //! Reads a UCI-style categorical CSV, runs the full ROCK pipeline, prints
@@ -29,6 +34,16 @@
 //! block. Exit codes are stable: 0 success/recovered, 1 internal, 2
 //! usage, 3 I/O, 4 malformed input, 5 invalid configuration, 6 budget
 //! exhausted or cancelled under `--on-error fail`.
+//!
+//! **Snapshots.** `--save-model PATH` persists the fitted model as a
+//! `rock-model/v1` snapshot (`rock_core::snapshot`): the §4.2 labeling
+//! closure — representatives `L_i`, θ, `f(θ)`, the interned item table
+//! and an outlier policy — behind a content checksum. The `label`
+//! subcommand loads a snapshot and batch-labels a new file without
+//! re-clustering, writing `rock-assignments v1` to `--output` (or
+//! stdout); the same snapshot also powers the `rock-serve` HTTP server.
+//! Labeling is deterministic: the same snapshot and input always produce
+//! byte-identical output.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -85,6 +100,29 @@ struct Options {
     step_budget: Option<u64>,
     mem_budget: Option<u64>,
     on_error: OnError,
+    save_model: Option<PathBuf>,
+    outlier_policy: OutlierPolicy,
+}
+
+/// Parsed options for the `label` subcommand.
+#[derive(Debug, Clone)]
+struct LabelOptions {
+    model: PathBuf,
+    input: PathBuf,
+    format: Format,
+    label: LabelPosition,
+    ignore: Vec<usize>,
+    missing: String,
+    output: Option<PathBuf>,
+}
+
+/// Which entry point the command line selected.
+#[derive(Debug, Clone)]
+enum Command {
+    /// Fit a model (optionally saving a snapshot).
+    Fit(Box<Options>),
+    /// Batch-label a file against a saved snapshot.
+    Label(LabelOptions),
 }
 
 const USAGE: &str = "usage: rock-cluster --input FILE --k K --theta T \
@@ -93,7 +131,10 @@ const USAGE: &str = "usage: rock-cluster --input FILE --k K --theta T \
 [--min-goodness G] [--seed N] [--threads N] [--summary TOP] [--output FILE] \
 [--metrics FILE] [--progress] [--log-level off|error|info|debug] \
 [--time-budget SECS] [--step-budget N] [--mem-budget BYTES[K|M|G]] \
-[--on-error fail|recover]";
+[--on-error fail|recover] [--save-model FILE] [--outlier-policy mark|nearest]\n\
+       rock-cluster label --model FILE --input FILE [--format table|basket] \
+[--label first|last|none|IDX] [--ignore i,j,...] [--missing TOKEN] \
+[--output FILE]";
 
 /// Parses a byte count with an optional K/M/G (binary) suffix.
 fn parse_mem_budget(s: &str) -> Result<u64, String> {
@@ -133,6 +174,8 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
     let mut step_budget = None;
     let mut mem_budget = None;
     let mut on_error = OnError::Fail;
+    let mut save_model = None;
+    let mut outlier_policy = OutlierPolicy::Mark;
 
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -248,6 +291,13 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
                 )
             }
             "--mem-budget" => mem_budget = Some(parse_mem_budget(&value("--mem-budget")?)?),
+            "--save-model" => save_model = Some(PathBuf::from(value("--save-model")?)),
+            "--outlier-policy" => {
+                let raw = value("--outlier-policy")?;
+                outlier_policy = OutlierPolicy::from_name(&raw).ok_or_else(|| {
+                    format!("--outlier-policy: expected mark|nearest, got {raw:?}")
+                })?;
+            }
             "--on-error" => {
                 on_error = match value("--on-error")?.as_str() {
                     "fail" => OnError::Fail,
@@ -282,7 +332,78 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
         step_budget,
         mem_budget,
         on_error,
+        save_model,
+        outlier_policy,
     })
+}
+
+/// Parses the `label` subcommand's flags (the leading `label` token has
+/// already been consumed).
+fn parse_label_args<I: IntoIterator<Item = String>>(args: I) -> Result<LabelOptions, String> {
+    let mut model: Option<PathBuf> = None;
+    let mut input: Option<PathBuf> = None;
+    let mut format = Format::Table;
+    let mut label = LabelPosition::None;
+    let mut ignore = Vec::new();
+    let mut missing = "?".to_owned();
+    let mut output = None;
+
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--model" => model = Some(PathBuf::from(value("--model")?)),
+            "--input" => input = Some(PathBuf::from(value("--input")?)),
+            "--format" => {
+                format = match value("--format")?.as_str() {
+                    "table" => Format::Table,
+                    "basket" => Format::Basket,
+                    other => return Err(format!("--format: expected table|basket, got {other:?}")),
+                }
+            }
+            "--label" => {
+                label = match value("--label")?.as_str() {
+                    "first" => LabelPosition::First,
+                    "last" => LabelPosition::Last,
+                    "none" => LabelPosition::None,
+                    idx => LabelPosition::Column(
+                        idx.parse()
+                            .map_err(|_| format!("--label: bad value {idx:?}"))?,
+                    ),
+                }
+            }
+            "--ignore" => {
+                for part in value("--ignore")?.split(',') {
+                    ignore.push(part.trim().parse().map_err(|e| format!("--ignore: {e}"))?);
+                }
+            }
+            "--missing" => missing = value("--missing")?,
+            "--output" => output = Some(PathBuf::from(value("--output")?)),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(LabelOptions {
+        model: model.ok_or_else(|| format!("--model is required\n{USAGE}"))?,
+        input: input.ok_or_else(|| format!("--input is required\n{USAGE}"))?,
+        format,
+        label,
+        ignore,
+        missing,
+        output,
+    })
+}
+
+/// Dispatches between the fit entry point and the `label` subcommand.
+fn parse_command<I: IntoIterator<Item = String>>(args: I) -> Result<Command, String> {
+    let mut it = args.into_iter().peekable();
+    if it.peek().map(String::as_str) == Some("label") {
+        it.next();
+        return parse_label_args(it).map(Command::Label);
+    }
+    parse_args(it).map(|o| Command::Fit(Box::new(o)))
 }
 
 /// Writes the `rock-metrics/v1` document for this run, whatever the exit
@@ -453,6 +574,26 @@ fn run(opts: &Options) -> Result<(), RockError> {
         eprintln!("assignments written to {}", path.display());
     }
 
+    if let Some(path) = &opts.save_model {
+        let snapshot = ModelSnapshot::from_model(
+            &data,
+            model,
+            opts.theta,
+            MarketBasket.f(opts.theta),
+            SimilarityKind::Jaccard,
+            opts.outlier_policy,
+            &LabelingConfig::default(),
+            opts.seed,
+        )?;
+        snapshot.save(path)?;
+        eprintln!(
+            "model snapshot ({} clusters, {} representatives) written to {}",
+            snapshot.num_clusters(),
+            snapshot.representatives().total(),
+            path.display()
+        );
+    }
+
     write_metrics(
         opts,
         &observer,
@@ -482,15 +623,117 @@ fn run(opts: &Options) -> Result<(), RockError> {
     Ok(())
 }
 
+/// Batch-labels `opts.input` against a saved snapshot: maps every record
+/// into item-id space via the snapshot's vocabulary, applies the §4.2
+/// rule and writes `rock-assignments v1` to `--output` or stdout. No RNG
+/// is involved — output is byte-identical across invocations.
+fn run_label(opts: &LabelOptions) -> Result<(), RockError> {
+    let snapshot = ModelSnapshot::load(&opts.model)?;
+    eprintln!(
+        "loaded rock-model/v1 snapshot: {} clusters, {} representatives, theta = {}, policy = {}",
+        snapshot.num_clusters(),
+        snapshot.representatives().total(),
+        snapshot.theta(),
+        snapshot.policy().name()
+    );
+
+    let transactions: Vec<Transaction> = match opts.format {
+        Format::Table => {
+            let load = LoadConfig {
+                label: opts.label,
+                ignore_columns: opts.ignore.clone(),
+                missing: opts.missing.clone(),
+                mode: IngestMode::Strict,
+                ..LoadConfig::default()
+            };
+            let loaded = load_labeled(&opts.input, &load)?;
+            let table = &loaded.table;
+            let attrs: Vec<_> = table.schema().iter().map(|(_, a)| a).collect();
+            table
+                .rows()
+                .map(|row| {
+                    // Recover the textual cells (the loader interned them
+                    // into its own schema) and re-map them through the
+                    // *snapshot's* vocabulary.
+                    let cells: Vec<&str> = row
+                        .iter()
+                        .enumerate()
+                        .map(|(j, cell)| {
+                            cell.and_then(|code| attrs[j].value(code))
+                                .unwrap_or(&opts.missing)
+                        })
+                        .collect();
+                    snapshot.transaction_from_cells(&cells, &opts.missing)
+                })
+                .collect::<Result<_, _>>()?
+        }
+        Format::Basket => {
+            let data = load_baskets(&opts.input, None)?;
+            let vocab = data.vocabulary().cloned().unwrap_or_default();
+            data.iter()
+                .map(|t| {
+                    let names: Vec<&str> = t
+                        .items()
+                        .iter()
+                        .filter_map(|&i| vocab.key(ItemId(i)).map(|k| k.value.as_str()))
+                        .collect();
+                    snapshot.transaction_from_basket(names)
+                })
+                .collect::<Result<_, _>>()?
+        }
+    };
+
+    let assignments: Vec<Option<ClusterId>> = transactions
+        .iter()
+        .map(|t| {
+            snapshot
+                .label(t)
+                .map(|c| ClusterId(rock::core::cast::usize_to_u32(c)))
+        })
+        .collect();
+    let assigned = assignments.iter().filter(|a| a.is_some()).count();
+    eprintln!(
+        "labeled {} records: {} assigned, {} outliers",
+        assignments.len(),
+        assigned,
+        assignments.len() - assigned
+    );
+
+    match &opts.output {
+        Some(path) => {
+            let io_err = |e: std::io::Error| RockError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            };
+            let mut file = std::io::BufWriter::new(std::fs::File::create(path).map_err(io_err)?);
+            write_assignments(&mut file, &assignments).map_err(io_err)?;
+            eprintln!("labels written to {}", path.display());
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            write_assignments(&mut out, &assignments).map_err(|e| RockError::Io {
+                path: "<stdout>".to_owned(),
+                message: e.to_string(),
+            })?;
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let opts = match parse_args(std::env::args().skip(1)) {
-        Ok(o) => o,
+    let command = match parse_command(std::env::args().skip(1)) {
+        Ok(c) => c,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::from(2);
         }
     };
-    match run(&opts) {
+    let result = match &command {
+        Command::Fit(opts) => run(opts),
+        Command::Label(opts) => run_label(opts),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -562,6 +805,8 @@ mod tests {
             step_budget: None,
             mem_budget: None,
             on_error: OnError::Fail,
+            save_model: None,
+            outlier_policy: OutlierPolicy::Mark,
         };
         run(&opts).unwrap();
         std::fs::remove_file(input).ok();
@@ -720,6 +965,8 @@ mod tests {
             step_budget: Some(3),
             mem_budget: None,
             on_error: OnError::Recover,
+            save_model: None,
+            outlier_policy: OutlierPolicy::Mark,
         };
         // Recover: the degraded run is accepted.
         run(&opts).unwrap();
@@ -763,6 +1010,8 @@ mod tests {
             step_budget: None,
             mem_budget: None,
             on_error: OnError::Fail,
+            save_model: None,
+            outlier_policy: OutlierPolicy::Mark,
         };
         let err = run(&opts).unwrap_err();
         assert!(matches!(err, RockError::InvalidK { .. }));
@@ -806,6 +1055,8 @@ mod tests {
             step_budget: None,
             mem_budget: None,
             on_error: OnError::Recover,
+            save_model: None,
+            outlier_policy: OutlierPolicy::Mark,
         };
         run(&opts).unwrap();
         // Strict mode fails on the same file with a CSV error (exit 4).
@@ -875,6 +1126,186 @@ mod tests {
     }
 
     #[test]
+    fn parses_save_model_and_outlier_policy() {
+        let o = parse(&[
+            "--input",
+            "d.csv",
+            "--k",
+            "2",
+            "--theta",
+            "0.5",
+            "--save-model",
+            "m.rockmodel",
+            "--outlier-policy",
+            "nearest",
+        ])
+        .unwrap();
+        assert_eq!(o.save_model, Some(PathBuf::from("m.rockmodel")));
+        assert_eq!(o.outlier_policy, OutlierPolicy::Nearest);
+        // Defaults: no snapshot, paper's mark-as-outlier policy.
+        let o = parse(&["--input", "d.csv", "--k", "2", "--theta", "0.5"]).unwrap();
+        assert_eq!(o.save_model, None);
+        assert_eq!(o.outlier_policy, OutlierPolicy::Mark);
+        assert!(parse(&[
+            "--input",
+            "d.csv",
+            "--k",
+            "2",
+            "--theta",
+            "0.5",
+            "--outlier-policy",
+            "drop",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn parses_label_subcommand() {
+        let cmd = parse_command(
+            [
+                "label",
+                "--model",
+                "m.rockmodel",
+                "--input",
+                "new.csv",
+                "--format",
+                "table",
+                "--label",
+                "last",
+                "--missing",
+                "NA",
+                "--output",
+                "out.txt",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let Command::Label(o) = cmd else {
+            panic!("expected label subcommand");
+        };
+        assert_eq!(o.model, PathBuf::from("m.rockmodel"));
+        assert_eq!(o.input, PathBuf::from("new.csv"));
+        assert_eq!(o.label, LabelPosition::Last);
+        assert_eq!(o.missing, "NA");
+        assert_eq!(o.output, Some(PathBuf::from("out.txt")));
+        // --model and --input are both required.
+        assert!(parse_label_args(["--model".to_owned(), "m".to_owned()]).is_err());
+        assert!(parse_label_args(["--input".to_owned(), "i".to_owned()]).is_err());
+        // Without the leading `label` token we are in fit mode.
+        assert!(matches!(
+            parse_command(
+                ["--input", "x", "--k", "2", "--theta", "0.5"]
+                    .iter()
+                    .map(|s| s.to_string())
+            ),
+            Ok(Command::Fit(_))
+        ));
+    }
+
+    #[test]
+    fn save_model_then_label_roundtrip() {
+        let dir = std::env::temp_dir().join("rock-cli-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("toy.csv");
+        let mut csv = String::new();
+        for _ in 0..10 {
+            csv.push_str("a,b,c,left\n");
+            csv.push_str("x,y,z,right\n");
+        }
+        std::fs::write(&input, &csv).unwrap();
+        let model_path = dir.join("toy.rockmodel");
+        let opts = Options {
+            input: input.clone(),
+            format: Format::Table,
+            k: 2,
+            theta: 0.5,
+            label: LabelPosition::Last,
+            ignore: vec![],
+            missing: "?".into(),
+            sample: SampleStrategy::All,
+            min_goodness: None,
+            seed: 1,
+            threads: 1,
+            summary_top: 0,
+            output: None,
+            metrics: None,
+            progress: false,
+            log_level: Level::Off,
+            time_budget: None,
+            step_budget: None,
+            mem_budget: None,
+            on_error: OnError::Fail,
+            save_model: Some(model_path.clone()),
+            outlier_policy: OutlierPolicy::Mark,
+        };
+        run(&opts).unwrap();
+
+        // The snapshot is loadable and canonically serialized:
+        // load → save produces byte-identical content.
+        let snap = ModelSnapshot::load(&model_path).unwrap();
+        assert_eq!(snap.num_clusters(), 2);
+        let original = std::fs::read(&model_path).unwrap();
+        let resaved = dir.join("resaved.rockmodel");
+        snap.save(&resaved).unwrap();
+        assert_eq!(std::fs::read(&resaved).unwrap(), original);
+
+        // Batch labeling assigns every record of the training file to a
+        // cluster (the file has two clean blocks, no outliers).
+        let labels_path = dir.join("labels.txt");
+        let label_opts = LabelOptions {
+            model: model_path.clone(),
+            input: input.clone(),
+            format: Format::Table,
+            label: LabelPosition::Last,
+            ignore: vec![],
+            missing: "?".into(),
+            output: Some(labels_path.clone()),
+        };
+        run_label(&label_opts).unwrap();
+        let text = std::fs::read_to_string(&labels_path).unwrap();
+        assert!(text.starts_with("rock-assignments v1"));
+        assert!(text.contains("n=20 k=2 outliers=0"));
+
+        // Labeling is deterministic: a second pass is byte-identical.
+        let labels2 = dir.join("labels2.txt");
+        run_label(&LabelOptions {
+            output: Some(labels2.clone()),
+            ..label_opts
+        })
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&labels_path).unwrap(),
+            std::fs::read(&labels2).unwrap()
+        );
+
+        for f in [&input, &model_path, &resaved, &labels_path, &labels2] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn label_subcommand_rejects_corrupt_snapshot() {
+        let dir = std::env::temp_dir().join("rock-cli-corrupt-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("bad.rockmodel");
+        std::fs::write(&model_path, "rock-model/v7\ngarbage\n").unwrap();
+        let err = run_label(&LabelOptions {
+            model: model_path.clone(),
+            input: dir.join("whatever.csv"),
+            format: Format::Table,
+            label: LabelPosition::None,
+            ignore: vec![],
+            missing: "?".into(),
+            output: None,
+        })
+        .unwrap_err();
+        assert!(matches!(err, RockError::SnapshotVersion { .. }));
+        assert_eq!(err.exit_code(), 4);
+        std::fs::remove_file(model_path).ok();
+    }
+
+    #[test]
     fn end_to_end_on_temp_csv() {
         let dir = std::env::temp_dir().join("rock-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -908,6 +1339,8 @@ mod tests {
             step_budget: None,
             mem_budget: None,
             on_error: OnError::Fail,
+            save_model: None,
+            outlier_policy: OutlierPolicy::Mark,
         };
         run(&opts).unwrap();
         let written = std::fs::read_to_string(&output).unwrap();

@@ -1,0 +1,250 @@
+//! Loopback smoke test for `rock-serve`: ten thousand `/label`
+//! requests, sequential and concurrent, with zero dropped responses
+//! and labels identical to the offline `rock-cluster label` batch
+//! path over the same snapshot.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+
+use rock::core::data::{AttrId, ClusterId};
+use rock::core::export::read_assignments;
+use rock::core::snapshot::ModelSnapshot;
+use rock::core::telemetry::json::{escape, Json};
+use rock::datasets::synthetic::MushroomModel;
+use rock_serve::server::{ServeConfig, Server, ServerHandle};
+
+const RECORDS: usize = 500;
+const SEQUENTIAL_PASSES: usize = 4; // 4 × 500 = 2,000 requests
+const CONCURRENT_THREADS: usize = 8;
+const CONCURRENT_PASSES: usize = 2; // 8 × 2 × 500 = 8,000 requests
+const TOTAL: u64 = (SEQUENTIAL_PASSES * RECORDS) as u64
+    + (CONCURRENT_THREADS * CONCURRENT_PASSES * RECORDS) as u64;
+
+fn table_to_csv(table: &rock::core::data::CategoricalTable, labels: &[&'static str]) -> String {
+    let mut out = String::new();
+    for (i, row) in table.rows().enumerate() {
+        out.push_str(labels[i]);
+        for (j, cell) in row.iter().enumerate() {
+            out.push(',');
+            match cell {
+                Some(code) => {
+                    let attr = table
+                        .schema()
+                        .attribute(AttrId(u16::try_from(j).unwrap()))
+                        .unwrap();
+                    out.push_str(attr.value(*code).unwrap());
+                }
+                None => out.push('?'),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// `{"record":["v1","v2",…]}` for row `i` of the table.
+fn record_body(table: &rock::core::data::CategoricalTable, i: usize) -> String {
+    let row: Vec<Option<u16>> = table.rows().nth(i).unwrap().to_vec();
+    let mut body = String::from("{\"record\":[");
+    for (j, cell) in row.iter().enumerate() {
+        if j > 0 {
+            body.push(',');
+        }
+        let text = match cell {
+            Some(code) => table
+                .schema()
+                .attribute(AttrId(u16::try_from(j).unwrap()))
+                .unwrap()
+                .value(*code)
+                .unwrap(),
+            None => "?",
+        };
+        body.push('"');
+        body.push_str(&escape(text));
+        body.push('"');
+    }
+    body.push_str("]}");
+    body
+}
+
+/// One keep-alive client connection.
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.set_nodelay(true).unwrap();
+        Client { stream }
+    }
+
+    /// Sends one `/label` request, returns the parsed cluster
+    /// (`None` = outlier). Panics on any non-200 or dropped response.
+    fn label(&mut self, body: &str) -> Option<u64> {
+        let raw = format!(
+            "POST /label HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        self.stream.write_all(raw.as_bytes()).unwrap();
+        let response = self.read_response();
+        assert!(
+            response.starts_with("HTTP/1.1 200"),
+            "expected 200 for {body:?}, got {response:?}"
+        );
+        let payload = response.split("\r\n\r\n").nth(1).unwrap().trim();
+        let doc = Json::parse(payload).unwrap();
+        doc.get("cluster").and_then(Json::as_u64)
+    }
+
+    /// Reads one HTTP response using its `Content-Length` framing.
+    fn read_response(&mut self) -> String {
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            assert_eq!(
+                self.stream.read(&mut byte).unwrap(),
+                1,
+                "connection closed mid-response (dropped response)"
+            );
+            head.push(byte[0]);
+        }
+        let text = String::from_utf8(head.clone()).unwrap();
+        let len: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; len];
+        self.stream.read_exact(&mut body).unwrap();
+        head.extend_from_slice(&body);
+        String::from_utf8(head).unwrap()
+    }
+}
+
+fn fit_and_label_offline(dir: &Path, input: &Path) -> (PathBuf, Vec<Option<ClusterId>>) {
+    let model = dir.join("model.rockmodel");
+    let output = Command::new(env!("CARGO_BIN_EXE_rock-cluster"))
+        .args([
+            "--input",
+            input.to_str().unwrap(),
+            "--k",
+            "3",
+            "--theta",
+            "0.8",
+            "--label",
+            "first",
+            "--seed",
+            "42",
+            "--save-model",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "fit failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let labels = dir.join("offline-labels.txt");
+    let output = Command::new(env!("CARGO_BIN_EXE_rock-cluster"))
+        .args([
+            "label",
+            "--model",
+            model.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--label",
+            "first",
+            "--output",
+            labels.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "offline label failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let expected = read_assignments(BufReader::new(std::fs::File::open(&labels).unwrap())).unwrap();
+    std::fs::remove_file(&labels).ok();
+    (model, expected)
+}
+
+#[test]
+fn ten_thousand_loopback_requests_match_offline_labeling() {
+    let dir = std::env::temp_dir().join("rock-serve-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("data.csv");
+    let (table, classes, _) = MushroomModel::scaled(RECORDS, 3).seed(7).generate();
+    std::fs::write(&input, table_to_csv(&table, &classes)).unwrap();
+
+    let (model_path, expected) = fit_and_label_offline(&dir, &input);
+    assert_eq!(expected.len(), RECORDS);
+
+    let snapshot = ModelSnapshot::load(&model_path).unwrap();
+    // A keep-alive connection occupies its worker for its lifetime, so
+    // the pool must cover the peak concurrent-connection count.
+    let config = ServeConfig {
+        threads: CONCURRENT_THREADS + 1,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(snapshot, config).unwrap();
+
+    let bodies: Vec<String> = (0..RECORDS).map(|i| record_body(&table, i)).collect();
+    let check = |got: Option<u64>, i: usize| {
+        let want = expected[i].map(|c| u64::from(c.0));
+        assert_eq!(got, want, "record {i}: server and offline labels differ");
+    };
+
+    // Sequential phase: one keep-alive connection, every record,
+    // several passes.
+    let mut client = Client::connect(&handle);
+    for _ in 0..SEQUENTIAL_PASSES {
+        for (i, body) in bodies.iter().enumerate() {
+            check(client.label(body), i);
+        }
+    }
+    drop(client);
+
+    // Concurrent phase: independent connections hammering in parallel.
+    std::thread::scope(|scope| {
+        for _ in 0..CONCURRENT_THREADS {
+            scope.spawn(|| {
+                let mut client = Client::connect(&handle);
+                for _ in 0..CONCURRENT_PASSES {
+                    for (i, body) in bodies.iter().enumerate() {
+                        check(client.label(body), i);
+                    }
+                }
+            });
+        }
+    });
+
+    // Every request was answered (zero drops, zero shed) and the final
+    // metrics agree with the request count.
+    let counters = handle.counters();
+    assert_eq!(counters.labeled + counters.outlier, TOTAL);
+    assert_eq!(counters.shed, 0);
+    assert_eq!(counters.rejected, 0);
+
+    let metrics = handle.shutdown();
+    let doc = Json::parse(&metrics).unwrap();
+    let requests = doc.get("requests").unwrap();
+    let labeled = requests.get("labeled").and_then(Json::as_u64).unwrap();
+    let outlier = requests.get("outlier").and_then(Json::as_u64).unwrap();
+    assert_eq!(labeled + outlier, TOTAL);
+
+    std::fs::remove_file(&input).ok();
+    std::fs::remove_file(&model_path).ok();
+}

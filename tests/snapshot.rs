@@ -1,0 +1,172 @@
+//! Snapshot determinism across *process* invocations: the same fit
+//! must save byte-identical `rock-model/v1` files, and the same
+//! snapshot must label the same input byte-identically, run twice
+//! through the real CLI binary.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use rock::core::data::AttrId;
+use rock::core::snapshot::ModelSnapshot;
+use rock::datasets::synthetic::MushroomModel;
+
+fn table_to_csv(table: &rock::core::data::CategoricalTable, labels: &[&'static str]) -> String {
+    let mut out = String::new();
+    for (i, row) in table.rows().enumerate() {
+        out.push_str(labels[i]);
+        for (j, cell) in row.iter().enumerate() {
+            out.push(',');
+            match cell {
+                Some(code) => {
+                    let attr = table
+                        .schema()
+                        .attribute(AttrId(u16::try_from(j).unwrap()))
+                        .unwrap();
+                    out.push_str(attr.value(*code).unwrap());
+                }
+                None => out.push('?'),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn fixture_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fit_with_snapshot(input: &Path, model_out: &Path) {
+    let output = Command::new(env!("CARGO_BIN_EXE_rock-cluster"))
+        .args([
+            "--input",
+            input.to_str().unwrap(),
+            "--k",
+            "3",
+            "--theta",
+            "0.8",
+            "--label",
+            "first",
+            "--seed",
+            "42",
+            "--save-model",
+            model_out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "fit failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+fn label_batch(model: &Path, input: &Path, out: &Path) {
+    let output = Command::new(env!("CARGO_BIN_EXE_rock-cluster"))
+        .args([
+            "label",
+            "--model",
+            model.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--label",
+            "first",
+            "--output",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "label failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn save_model_is_byte_identical_across_invocations() {
+    let dir = fixture_dir("rock-snapshot-determinism");
+    let input = dir.join("data.csv");
+    let (table, classes, _) = MushroomModel::scaled(300, 3).seed(9).generate();
+    std::fs::write(&input, table_to_csv(&table, &classes)).unwrap();
+
+    let model_a = dir.join("a.rockmodel");
+    let model_b = dir.join("b.rockmodel");
+    fit_with_snapshot(&input, &model_a);
+    fit_with_snapshot(&input, &model_b);
+
+    let bytes_a = std::fs::read(&model_a).unwrap();
+    let bytes_b = std::fs::read(&model_b).unwrap();
+    assert!(!bytes_a.is_empty());
+    assert_eq!(
+        bytes_a, bytes_b,
+        "identical fits must save identical snapshots"
+    );
+
+    // save → load → save is also byte-identical (canonical rendering).
+    let snapshot = ModelSnapshot::load(&model_a).unwrap();
+    let resaved = dir.join("resaved.rockmodel");
+    snapshot.save(&resaved).unwrap();
+    assert_eq!(std::fs::read(&resaved).unwrap(), bytes_a);
+
+    for f in [&input, &model_a, &model_b, &resaved] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn labeling_is_byte_identical_across_invocations() {
+    let dir = fixture_dir("rock-label-determinism");
+    let input = dir.join("data.csv");
+    let (table, classes, _) = MushroomModel::scaled(250, 3).seed(13).generate();
+    std::fs::write(&input, table_to_csv(&table, &classes)).unwrap();
+
+    let model = dir.join("model.rockmodel");
+    fit_with_snapshot(&input, &model);
+
+    let labels_a = dir.join("labels-a.txt");
+    let labels_b = dir.join("labels-b.txt");
+    label_batch(&model, &input, &labels_a);
+    label_batch(&model, &input, &labels_b);
+
+    let bytes_a = std::fs::read(&labels_a).unwrap();
+    let bytes_b = std::fs::read(&labels_b).unwrap();
+    assert!(bytes_a.starts_with(b"rock-assignments v1"));
+    assert_eq!(
+        bytes_a, bytes_b,
+        "same snapshot + same input must label byte-identically"
+    );
+
+    for f in [&input, &model, &labels_a, &labels_b] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn snapshot_survives_corruption_detection() {
+    let dir = fixture_dir("rock-snapshot-corruption");
+    let input = dir.join("data.csv");
+    let (table, classes, _) = MushroomModel::scaled(150, 3).seed(5).generate();
+    std::fs::write(&input, table_to_csv(&table, &classes)).unwrap();
+    let model = dir.join("model.rockmodel");
+    fit_with_snapshot(&input, &model);
+
+    // Flip one byte in the body: the checksum must catch it.
+    let mut bytes = std::fs::read(&model).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] = bytes[mid].wrapping_add(1);
+    let corrupt = dir.join("corrupt.rockmodel");
+    std::fs::write(&corrupt, &bytes).unwrap();
+    let err = ModelSnapshot::load(&corrupt).unwrap_err();
+    assert_eq!(
+        err.exit_code(),
+        4,
+        "corruption must map to exit code 4: {err}"
+    );
+
+    for f in [&input, &model, &corrupt] {
+        std::fs::remove_file(f).ok();
+    }
+}
