@@ -40,19 +40,33 @@ fn main() {
     for &n in &sizes {
         let n = n.min(data.len());
         for &theta in &thetas {
-            let observer = Observer::new();
-            let (model, wall) = time_it(|| {
-                RockBuilder::new(21.min(n), theta)
-                    .sample(SampleStrategy::Fixed(n))
-                    .labeling(LabelingConfig {
-                        representative_fraction: 0.0001, // timing the clustering, not labeling
-                        max_representatives: 1,
-                    })
-                    .seed(opts.seed)
-                    .build()
-                    .fit_observed(&data, &observer)
-            });
-            let model = model.expect("fit");
+            // Min-of-epochs: wall times feed the CI regression gate
+            // (bench_check), and the fastest epoch is the stablest point
+            // estimate on a shared machine. Counters and clustering are
+            // identical across epochs, so only the clock is being picked.
+            let mut best = None;
+            for _ in 0..opts.epochs {
+                let observer = Observer::new();
+                let (model, wall) = time_it(|| {
+                    RockBuilder::new(21.min(n), theta)
+                        .sample(SampleStrategy::Fixed(n))
+                        .labeling(LabelingConfig {
+                            representative_fraction: 0.0001, // timing the clustering, not labeling
+                            max_representatives: 1,
+                        })
+                        .seed(opts.seed)
+                        .build()
+                        .fit_observed(&data, &observer)
+                });
+                let model = model.expect("fit");
+                if best
+                    .as_ref()
+                    .is_none_or(|(w, _, _): &(std::time::Duration, _, _)| wall < *w)
+                {
+                    best = Some((wall, model, observer));
+                }
+            }
+            let (wall, model, observer) = best.expect("at least one epoch");
             let s = model.stats();
             opts.emit_metrics(&Metrics::collect(
                 &observer,

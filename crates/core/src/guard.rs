@@ -6,8 +6,11 @@
 //! whatever representative clusters exist. This module exploits that: a
 //! [`Guard`] carries a [`RunBudget`] (merge-step ceiling, wall-clock
 //! deadline, memory ceiling) plus a [`CancelToken`], and the pipeline
-//! checks it at the six contract-instrumented phase boundaries and inside
-//! the merge loop. When a budget trips, [`fit_guarded`] returns
+//! checks it at the six contract-instrumented phase boundaries, inside
+//! the merge loop, and from every worker of the sharded link kernel
+//! (which also streams its stored-entry bytes into the memory gauge, so
+//! the memory ceiling is live *while* the table grows). When a budget
+//! trips, [`fit_guarded`] returns
 //! [`Outcome::Degraded`] carrying the best partition available at the
 //! trip point and a machine-readable [`Degradation`] report — never a
 //! panic, never a bare error.
@@ -335,7 +338,10 @@ impl Guard {
     /// Phase-boundary check: consults the forced trip, the cancellation
     /// token, the deadline and the memory ceiling (read from `observer`'s
     /// gauges). Returns the trip, if any. Called by the pipeline at each
-    /// of the six contract-instrumented phase boundaries.
+    /// of the six contract-instrumented phase boundaries, and polled
+    /// concurrently by the link-kernel workers every few rows — the
+    /// check is read-only over atomics (plus an occasional clock read),
+    /// so it is safe and cheap from any thread.
     pub fn checkpoint(&self, phase: Phase, observer: &Observer) -> Option<Trip> {
         if let Some((at, reason)) = self.forced {
             if at == phase {

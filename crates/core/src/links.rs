@@ -11,77 +11,271 @@
 //! walking `j ∈ N(l)` for every `l ∈ N(i)`, then the touched entries are
 //! harvested into a sparse row. This is the classic sparse
 //! matrix-square-row kernel and keeps the inner loop to an indexed add.
+//!
+//! Source rows are independent — row `i` reads only the (immutable)
+//! neighbor graph and writes only `rows[i]` — so the kernel shards over a
+//! scoped thread pool (DESIGN.md §13): rows are partitioned into
+//! contiguous ranges balanced by the per-row work estimate
+//! `Σ_{l∈N(i)} deg(l)`, each worker owns a private scratch + touched list,
+//! and the merged table is **byte-identical** to the sequential result for
+//! any thread count. Workers poll the run [`Guard`] every
+//! [`GUARD_STRIDE`] rows, so budget trips and cancellation degrade
+//! mid-phase instead of finishing the whole table first.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::cast;
+use crate::guard::{Guard, Trip};
 use crate::neighbors::NeighborGraph;
-use crate::telemetry::{MemoryEstimate, MemoryGauges, Observer, PipelineCounters};
+use crate::telemetry::{MemoryEstimate, MemoryGauges, Observer, Phase, PipelineCounters};
+
+/// How often (in source rows) each worker polls the guard and flushes its
+/// stored-entry tally into the shared memory gauge. Checkpoints read two
+/// or three atomics plus (rarely) the clock, so a small stride keeps
+/// trips responsive without measurable kernel overhead.
+const GUARD_STRIDE: usize = 64;
 
 /// Sparse symmetric matrix of link counts, stored as upper-triangle rows:
 /// `rows[i]` holds `(j, link(i, j))` for `j > i`, sorted by `j`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinkTable {
     rows: Vec<Vec<(u32, u32)>>,
 }
 
+/// Computes one upper-triangle row of the link table into `out`,
+/// returning the kernel steps spent (`Σ_{l∈N(i)} deg(l)`). `scratch` must
+/// be all-zero on entry and is restored to all-zero on exit; `touched` is
+/// scratch storage for the nonzero column indices.
+fn fill_links_row(
+    graph: &NeighborGraph,
+    i: usize,
+    scratch: &mut [u32],
+    touched: &mut Vec<u32>,
+    out: &mut Vec<(u32, u32)>,
+) -> u64 {
+    let mut kernel_steps = 0u64;
+    for &l in graph.neighbors(i) {
+        kernel_steps += cast::usize_to_u64(graph.degree(cast::u32_to_usize(l)));
+        for &j in graph.neighbors(cast::u32_to_usize(l)) {
+            // Only accumulate the upper triangle (j > i); the pair
+            // (i, j) with j < i was produced when j was the source.
+            if cast::u32_to_usize(j) > i {
+                if scratch[cast::u32_to_usize(j)] == 0 {
+                    touched.push(j);
+                }
+                scratch[cast::u32_to_usize(j)] += 1;
+            }
+        }
+    }
+    if !touched.is_empty() {
+        touched.sort_unstable();
+        *out = touched
+            .iter()
+            .map(|&j| {
+                let c = scratch[cast::u32_to_usize(j)];
+                scratch[cast::u32_to_usize(j)] = 0;
+                (j, c)
+            })
+            .collect();
+        touched.clear();
+    }
+    kernel_steps
+}
+
+/// Shared state of one sharded computation: the early-exit broadcast flag
+/// and the cross-worker stored-entry tally feeding the memory gauge (so a
+/// memory ceiling can trip *while* the table grows, not only after).
+struct ShardState<'a> {
+    stop: AtomicBool,
+    partial_entries: AtomicU64,
+    observer: &'a Observer,
+    guard: &'a Guard,
+}
+
+impl ShardState<'_> {
+    /// Worker poll: flushes `delta` freshly stored entries into the
+    /// shared gauge (entry payload bytes only — always at or below the
+    /// finished table's estimate, so the high-water mark stays
+    /// deterministic) and consults the guard. Returns the trip, if any,
+    /// after broadcasting stop to the other workers.
+    fn poll(&self, delta: u64) -> Option<Trip> {
+        let entries = delta + self.partial_entries.fetch_add(delta, Ordering::Relaxed);
+        MemoryGauges::observe(
+            &self.observer.memory().link_table,
+            entries * cast::usize_to_u64(std::mem::size_of::<(u32, u32)>()),
+        );
+        if self.stop.load(Ordering::Relaxed) {
+            return None; // another worker already tripped and reported
+        }
+        let trip = self.guard.checkpoint(Phase::Links, self.observer)?;
+        self.stop.store(true, Ordering::Relaxed);
+        Some(trip)
+    }
+}
+
+/// Computes rows `start..start + out.len()` into `out`, polling the guard
+/// every [`GUARD_STRIDE`] rows. Returns the kernel steps performed, the
+/// entries stored, and the trip that stopped this worker (if any).
+fn compute_range(
+    graph: &NeighborGraph,
+    start: usize,
+    out: &mut [Vec<(u32, u32)>],
+    state: &ShardState<'_>,
+) -> (u64, u64, Option<Trip>) {
+    let mut scratch: Vec<u32> = vec![0; graph.len()];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut kernel_steps = 0u64;
+    let mut entries = 0u64;
+    let mut unflushed = 0u64;
+    let mut trip = None;
+    for (off, row) in out.iter_mut().enumerate() {
+        if off.is_multiple_of(GUARD_STRIDE) {
+            trip = state.poll(unflushed);
+            unflushed = 0;
+            if trip.is_some() || state.stop.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+        kernel_steps += fill_links_row(graph, start + off, &mut scratch, &mut touched, row);
+        entries += cast::usize_to_u64(row.len());
+        unflushed += cast::usize_to_u64(row.len());
+    }
+    state
+        .partial_entries
+        .fetch_add(unflushed, Ordering::Relaxed);
+    (kernel_steps, entries, trip)
+}
+
+/// Splits `0..n` into `shards` contiguous ranges balanced by the per-row
+/// work estimate `Σ_{l∈N(i)} deg(l)` (+1 so empty rows still carry their
+/// loop cost). Returns `shards + 1` non-decreasing boundaries starting at
+/// 0 and ending at `n`. Purely a function of the graph, so the partition
+/// — and hence each worker's output slice — is deterministic.
+fn shard_boundaries(graph: &NeighborGraph, shards: usize) -> Vec<usize> {
+    let n = graph.len();
+    let weights: Vec<u64> = (0..n)
+        .map(|i| {
+            1 + graph
+                .neighbors(i)
+                .iter()
+                .map(|&l| cast::usize_to_u64(graph.degree(cast::u32_to_usize(l))))
+                .sum::<u64>()
+        })
+        .collect();
+    let total: u64 = weights.iter().sum();
+    let shards_u64 = cast::usize_to_u64(shards);
+    let mut bounds = Vec::with_capacity(shards + 1);
+    bounds.push(0);
+    let mut acc = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        // Cut after row i once this prefix holds its proportional share.
+        while bounds.len() < shards && acc * shards_u64 >= total * cast::usize_to_u64(bounds.len())
+        {
+            bounds.push(i + 1);
+        }
+    }
+    while bounds.len() < shards {
+        bounds.push(n);
+    }
+    bounds.push(n);
+    bounds
+}
+
 impl LinkTable {
-    /// Computes all pairwise link counts from a neighbor graph.
+    /// Computes all pairwise link counts from a neighbor graph
+    /// (single-threaded).
     pub fn compute(graph: &NeighborGraph) -> Self {
-        Self::compute_observed(graph, &Observer::new())
+        Self::compute_observed(graph, 1, &Observer::new())
     }
 
-    /// [`compute`](Self::compute) with telemetry: inner-kernel visits
-    /// (the paper's `Σ deg²` cost measure) and stored entries flow into
-    /// `observer`'s counters, and the finished table's size into its
-    /// memory gauge.
-    #[allow(clippy::needless_range_loop)] // scratch/touched/rows are parallel arrays
-    pub fn compute_observed(graph: &NeighborGraph, observer: &Observer) -> Self {
+    /// [`compute`](Self::compute) with telemetry, sharded over `threads`
+    /// workers (`0` = one per available CPU, capped; tiny inputs stay
+    /// single-threaded): inner-kernel visits (the paper's `Σ deg²` cost
+    /// measure) and stored entries flow into `observer`'s counters, and
+    /// the finished table's size into its memory gauge. The result is
+    /// byte-identical for every thread count.
+    pub fn compute_observed(graph: &NeighborGraph, threads: usize, observer: &Observer) -> Self {
+        let (table, _) = Self::compute_guarded(graph, threads, observer, &Guard::unlimited());
+        table
+    }
+
+    /// [`compute_observed`](Self::compute_observed) under an execution
+    /// [`Guard`]: every worker polls [`Guard::checkpoint`] each
+    /// [`GUARD_STRIDE`] rows and flushes its stored-entry tally into the
+    /// link-table memory gauge, so budget trips and cancellation stop the
+    /// kernel mid-phase. On a trip the partially filled table is returned
+    /// together with the trip; counters then cover the completed prefix
+    /// only and the caller is expected to discard the partial table
+    /// (the pipeline degrades to an all-outlier partition).
+    pub fn compute_guarded(
+        graph: &NeighborGraph,
+        threads: usize,
+        observer: &Observer,
+        guard: &Guard,
+    ) -> (Self, Option<Trip>) {
         let n = graph.len();
+        let threads = crate::neighbors::effective_threads(threads, n);
         let mut rows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
-        // Dense scratch: counts for the current source row; `touched`
-        // records which entries must be reset (rows are usually sparse).
-        let mut scratch: Vec<u32> = vec![0; n];
-        let mut touched: Vec<u32> = Vec::new();
+        let state = ShardState {
+            stop: AtomicBool::new(false),
+            partial_entries: AtomicU64::new(0),
+            observer,
+            guard,
+        };
         let mut kernel_steps = 0u64;
-        for i in 0..n {
-            for &l in graph.neighbors(i) {
-                kernel_steps += cast::usize_to_u64(graph.degree(cast::u32_to_usize(l)));
-                for &j in graph.neighbors(cast::u32_to_usize(l)) {
-                    // Only accumulate the upper triangle (j > i); the pair
-                    // (i, j) with j < i was produced when j was the source.
-                    if cast::u32_to_usize(j) > i {
-                        if scratch[cast::u32_to_usize(j)] == 0 {
-                            touched.push(j);
-                        }
-                        scratch[cast::u32_to_usize(j)] += 1;
-                    }
+        let mut entries = 0u64;
+        let mut trip: Option<Trip> = None;
+        if threads <= 1 {
+            let (steps, stored, t) = compute_range(graph, 0, &mut rows, &state);
+            kernel_steps = steps;
+            entries = stored;
+            trip = t;
+        } else {
+            let bounds = shard_boundaries(graph, threads);
+            // Per-worker tallies come back through the join handles and
+            // are summed in spawn (= row-range) order, so the flushed
+            // totals are deterministic for every thread count.
+            let results = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                let mut rest: &mut [Vec<(u32, u32)>] = &mut rows;
+                let mut prev = 0usize;
+                for w in 0..threads {
+                    let (slice, tail) = rest.split_at_mut(bounds[w + 1] - prev);
+                    rest = tail;
+                    let start = prev;
+                    prev = bounds[w + 1];
+                    let state = &state;
+                    handles.push(scope.spawn(move || compute_range(graph, start, slice, state)));
                 }
-            }
-            if !touched.is_empty() {
-                touched.sort_unstable();
-                let row: Vec<(u32, u32)> = touched
-                    .iter()
-                    .map(|&j| {
-                        let c = scratch[cast::u32_to_usize(j)];
-                        scratch[cast::u32_to_usize(j)] = 0;
-                        (j, c)
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(result) => result,
+                        Err(panic) => std::panic::resume_unwind(panic),
                     })
-                    .collect();
-                rows[i] = row;
-                touched.clear();
+                    .collect::<Vec<_>>()
+            });
+            for (steps, stored, t) in results {
+                kernel_steps += steps;
+                entries += stored;
+                trip = trip.or(t);
             }
         }
         let table = LinkTable { rows };
         let counters = observer.counters();
         PipelineCounters::add(&counters.link_kernel_steps, kernel_steps);
-        PipelineCounters::add(
-            &counters.link_entries,
-            cast::usize_to_u64(table.num_entries()),
-        );
-        MemoryGauges::observe(
-            &observer.memory().link_table,
-            cast::usize_to_u64(table.estimated_bytes()),
-        );
-        table
+        PipelineCounters::add(&counters.link_entries, entries);
+        if trip.is_none() {
+            // Only a finished table publishes its full (capacity-based)
+            // footprint; a tripped run leaves the gauge at the partial
+            // entry bytes already flushed.
+            MemoryGauges::observe(
+                &observer.memory().link_table,
+                cast::usize_to_u64(table.estimated_bytes()),
+            );
+        }
+        (table, trip)
     }
 
     /// Number of points.
@@ -279,5 +473,106 @@ mod tests {
             assert!(c > 0);
         }
         assert_eq!(t.iter().count(), t.num_entries());
+    }
+
+    /// A random graph with enough rows to clear the tiny-input
+    /// single-thread cutoff in [`effective_threads`], plus skewed
+    /// degrees so shard boundaries actually move with the weights.
+    fn random_graph(seed: u64) -> NeighborGraph {
+        let mut rng = crate::rng::Rng::seed_from_u64(seed);
+        let n = rng.gen_range(300..500usize);
+        let data: Vec<Transaction> = (0..n)
+            .map(|_| {
+                // Two vocabularies of very different sizes: items drawn
+                // from the small one create dense hub rows.
+                let vocab: usize = if rng.gen_bool(0.3) { 6 } else { 40 };
+                let len = rng.gen_range(2..6usize);
+                Transaction::new((0..len).map(|_| rng.gen_range(0..vocab) as u32))
+            })
+            .collect();
+        graph_of(data, 0.4)
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_across_thread_counts() {
+        const CASES: u64 = 16;
+        for seed in 0..CASES {
+            let g = random_graph(seed);
+            let base_obs = Observer::new();
+            let base = LinkTable::compute_observed(&g, 1, &base_obs);
+            let base_counters = base_obs.counters().snapshot();
+            for threads in [2usize, 4, 8] {
+                let obs = Observer::new();
+                let t = LinkTable::compute_observed(&g, threads, &obs);
+                assert_eq!(t, base, "seed {seed}, threads {threads}");
+                let c = obs.counters().snapshot();
+                assert_eq!(
+                    c.link_kernel_steps, base_counters.link_kernel_steps,
+                    "seed {seed}, threads {threads}"
+                );
+                assert_eq!(
+                    c.link_entries, base_counters.link_entries,
+                    "seed {seed}, threads {threads}"
+                );
+                // The completed-run high-water gauge is capacity-based and
+                // must not depend on worker interleaving.
+                assert_eq!(
+                    obs.memory().snapshot().link_table,
+                    base_obs.memory().snapshot().link_table,
+                    "seed {seed}, threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_boundaries_partition_all_rows() {
+        for seed in 0..8u64 {
+            let g = random_graph(seed);
+            let n = g.len();
+            for shards in 1..=8usize {
+                let bounds = shard_boundaries(&g, shards);
+                assert_eq!(bounds.len(), shards + 1);
+                assert_eq!(bounds[0], 0);
+                assert_eq!(bounds[shards], n);
+                for w in bounds.windows(2) {
+                    assert!(w[0] <= w[1], "non-decreasing boundaries");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_boundaries_with_more_shards_than_rows() {
+        let data = vec![
+            Transaction::new([0, 1]),
+            Transaction::new([0, 1]),
+            Transaction::new([0, 1]),
+        ];
+        let g = graph_of(data, 0.9);
+        let bounds = shard_boundaries(&g, 8);
+        assert_eq!(bounds.len(), 9);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(*bounds.last().unwrap(), 3);
+        // Every row is covered exactly once by the slices.
+        let covered: usize = bounds.windows(2).map(|w| w[1] - w[0]).sum();
+        assert_eq!(covered, 3);
+    }
+
+    #[test]
+    fn injected_trip_stops_the_kernel_mid_phase() {
+        let g = random_graph(0);
+        let observer = Observer::new();
+        let guard = Guard::unlimited().inject_trip_at(Phase::Links);
+        let (_, trip) = LinkTable::compute_guarded(&g, 4, &observer, &guard);
+        let trip = trip.expect("injected trip must surface from the workers");
+        assert_eq!(trip.phase, Phase::Links);
+        // The workers stopped early: strictly fewer kernel steps than the
+        // full run performs on this graph.
+        let full_obs = Observer::new();
+        let _ = LinkTable::compute_observed(&g, 1, &full_obs);
+        let partial = observer.counters().snapshot().link_kernel_steps;
+        let full = full_obs.counters().snapshot().link_kernel_steps;
+        assert!(partial < full, "partial {partial} vs full {full}");
     }
 }

@@ -225,8 +225,10 @@ fn fill_row<S: Similarity>(
 }
 
 /// Resolves a `threads` request: `0` means auto (one per CPU, capped), and
-/// tiny inputs stay single-threaded to avoid spawn overhead.
-fn effective_threads(requested: usize, n: usize) -> usize {
+/// tiny inputs stay single-threaded to avoid spawn overhead. Shared by
+/// every row-sharded phase (neighbors, links, labeling) so one knob means
+/// the same thing everywhere.
+pub(crate) fn effective_threads(requested: usize, n: usize) -> usize {
     let hw = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)

@@ -78,7 +78,8 @@ pub struct RockConfig {
     pub prune: Option<PruneConfig>,
     /// Labeling configuration (representatives per cluster).
     pub labeling: LabelingConfig,
-    /// Worker threads for the neighbor phase (`0` = auto).
+    /// Worker threads for the row-sharded phases — neighbor graph, link
+    /// kernel and labeling (`0` = auto: one per available CPU, capped).
     pub threads: usize,
     /// RNG seed (sampling + representative selection).
     pub seed: u64,
@@ -167,7 +168,8 @@ impl<S: Similarity, F: LinkExponent> RockBuilder<S, F> {
         self
     }
 
-    /// Sets the neighbor-phase thread count (`0` = auto).
+    /// Sets the worker-thread count for the neighbor, link and labeling
+    /// phases (`0` = auto). Results are identical for every value.
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
         self
@@ -547,12 +549,16 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
 
         // ── Phase 3: links + merge ─────────────────────────────────────
         let span = observer.phase(Phase::Links);
-        let links = LinkTable::compute_observed(&graph, observer);
-        contracts::check_link_table(&links);
+        // The sharded kernel polls the guard from inside its worker
+        // loops, so a trip stops the phase mid-flight; the partial table
+        // is discarded and the run degrades like any other Links trip.
+        let (links, links_trip) =
+            LinkTable::compute_guarded(&graph, self.config.threads, observer, guard);
         span.finish();
-        if let Some(trip) = guard.checkpoint(Phase::Links, observer) {
+        if let Some(trip) = links_trip.or_else(|| guard.checkpoint(Phase::Links, observer)) {
             return Ok(degraded_all_outliers(n, start, observer, guard, trip));
         }
+        contracts::check_link_table(&links);
         let link_entries = links.num_entries();
 
         let goodness = Goodness::new(self.config.theta, &self.f)?;

@@ -36,7 +36,7 @@ usage: rock-serve --model <path> [options]
 
   --model <path>        rock-model/v1 snapshot to serve (required)
   --addr <host:port>    bind address            [default 127.0.0.1:7700]
-  --threads <n>         worker threads          [default 4]
+  --threads <n>         worker threads, 0 = one per CPU  [default 4]
   --queue <n>           accept-queue capacity   [default 64]
   --deadline-ms <n>     per-request deadline    [default 1000]
   --max-body <bytes>    request body limit      [default 1048576]

@@ -50,10 +50,12 @@ use crate::http::{read_request, HttpError, Request, Response};
 pub struct ServeConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Worker threads handling connections. A keep-alive connection
-    /// occupies its worker until the peer closes (or the idle read
-    /// times out), so size this to the expected number of concurrent
-    /// keep-alive clients; excess connections wait in the queue.
+    /// Worker threads handling connections (`0` = one per available
+    /// CPU, capped at 16 — the same auto convention as the clustering
+    /// pipeline's `--threads`). A keep-alive connection occupies its
+    /// worker until the peer closes (or the idle read times out), so
+    /// size this to the expected number of concurrent keep-alive
+    /// clients; excess connections wait in the queue.
     pub threads: usize,
     /// Bounded accept-queue capacity; beyond it, connections are shed.
     pub queue_capacity: usize,
@@ -158,16 +160,22 @@ pub struct Server;
 
 impl Server {
     /// Binds `config.addr`, spawns the acceptor and worker threads, and
-    /// returns a handle for inspection and shutdown. Thread count and
-    /// queue capacity are clamped to at least 1 (a server with no
-    /// workers or no queue slots could never answer).
+    /// returns a handle for inspection and shutdown. A thread count of
+    /// 0 resolves to one worker per available CPU (capped at 16);
+    /// explicit counts and the queue capacity are clamped to at least 1
+    /// (a server with no workers or no queue slots could never answer).
     ///
     /// # Errors
     /// [`RockError::Io`] when the address cannot be bound or a thread
     /// cannot be spawned.
     pub fn start(model: ModelSnapshot, config: ServeConfig) -> Result<ServerHandle> {
         let mut config = config;
-        config.threads = config.threads.max(1);
+        config.threads = match config.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get().min(16))
+                .unwrap_or(1),
+            t => t,
+        };
         config.queue_capacity = config.queue_capacity.max(1);
         let listener = TcpListener::bind(&config.addr).map_err(|e| RockError::Io {
             path: config.addr.clone(),
@@ -773,7 +781,9 @@ mod tests {
     }
 
     #[test]
-    fn zero_sized_pools_are_clamped_not_fatal() {
+    fn zero_sized_pools_resolve_to_a_working_server() {
+        // threads: 0 is the auto convention (one per CPU, capped);
+        // queue_capacity: 0 is clamped to 1. Neither may be fatal.
         let config = ServeConfig {
             threads: 0,
             queue_capacity: 0,

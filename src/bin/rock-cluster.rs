@@ -90,6 +90,8 @@ struct Options {
     sample: SampleStrategy,
     min_goodness: Option<f64>,
     seed: u64,
+    /// Workers for the row-sharded phases (neighbors, links, labeling);
+    /// 0 = one per CPU. Output is identical for every value.
     threads: usize,
     summary_top: usize,
     output: Option<PathBuf>,

@@ -121,6 +121,39 @@ fn real_budgets_trip_and_degrade() {
 }
 
 #[test]
+fn memory_budget_trips_mid_link_phase_under_parallel_workers() {
+    // The sharded link kernel streams its stored-entry bytes into the
+    // memory gauge and polls the guard from every worker, so a ceiling
+    // crossed *while* the table grows must stop the run inside the
+    // Links phase — not at the next boundary — and still yield a valid
+    // degraded partition.
+    let (data, n) = mushroom_like(600, 4, 11);
+    let build = || {
+        RockBuilder::new(4, 0.8)
+            .sample(SampleStrategy::All)
+            .threads(4)
+            .seed(11)
+            .build()
+    };
+    // Measure the neighbor graph's footprint on an identical run, then
+    // allow only a sliver beyond it: the link table cannot fit.
+    let observer = Observer::new();
+    build().fit_observed(&data, &observer).unwrap();
+    let neighbor_bytes = observer.memory().snapshot().neighbor_graph;
+    assert!(neighbor_bytes > 0);
+
+    let guard = Guard::new(RunBudget::unlimited().memory(neighbor_bytes + 512));
+    let outcome = build()
+        .fit_guarded(&data, &Observer::new(), &guard)
+        .unwrap();
+    assert!(outcome.is_degraded());
+    let d = outcome.degradation().unwrap();
+    assert_eq!(d.phase, Phase::Links);
+    assert!(matches!(d.reason, TripReason::MemoryBudget { .. }));
+    assert_valid_partition(outcome.model(), n);
+}
+
+#[test]
 fn degraded_prefix_agrees_with_unbudgeted_run() {
     // The anytime property, end to end: a step-budgeted run's merges are a
     // prefix of the unbudgeted run's, so its sample-phase history matches.

@@ -122,6 +122,26 @@ fn links_match_bruteforce() {
     }
 }
 
+#[test]
+fn parallel_links_are_byte_identical_to_sequential() {
+    // The sharded kernel must be a pure optimization: same rows, same
+    // order, same counts for every thread count (DESIGN.md §13). Sizes
+    // start above the tiny-input cutoff so the parallel path really runs.
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n = rng.gen_range(260..400usize);
+        let rows: Vec<Transaction> = (0..n).map(|_| arb_transaction(&mut rng, 30, 8)).collect();
+        let data = TransactionSet::new(rows, 30);
+        let theta = rng.gen_range(0.1..0.9);
+        let g = NeighborGraph::compute(&data, &Jaccard, theta, 1).unwrap();
+        let sequential = LinkTable::compute_observed(&g, 1, &Observer::new());
+        for threads in [2usize, 4, 8] {
+            let parallel = LinkTable::compute_observed(&g, threads, &Observer::new());
+            assert_eq!(parallel, sequential, "seed {seed}, threads {threads}");
+        }
+    }
+}
+
 // ── Heap vs reference model ────────────────────────────────────────────
 
 #[test]

@@ -41,7 +41,7 @@ fn stage_counters_match_hand_computed_values() {
     let observer = Observer::new();
 
     let graph = NeighborGraph::compute_observed(&data, &Jaccard, THETA, 1, &observer).unwrap();
-    let links = LinkTable::compute_observed(&graph, &observer);
+    let links = LinkTable::compute_observed(&graph, 1, &observer);
     let goodness = Goodness::new(THETA, &MarketBasket).unwrap();
     let agg = agglomerate_observed(
         data.len(),
