@@ -93,4 +93,18 @@ cargo build --offline -q -p rock-serve
 cargo test --offline -q -p rock-serve
 cargo test --offline -q --test serve_smoke
 
+# Trace gate: a real traced run must produce a canonical rock-trace/v1
+# stream (`rock-trace --check` is strict: emit → parse → re-emit must be
+# byte-identical on every line), render, and export to Chrome JSON.
+echo "== trace gate (traced run + rock-trace --check / report / export)"
+cargo build --offline -q -p rock-trace
+mkdir -p target/trace
+rm -f target/trace/ci.trace target/trace/ci-chrome.json
+cargo run --offline -q -p rock-bench --bin exp_scalability -- \
+    --scale 0.05 --epochs 1 --trace target/trace/ci.trace >/dev/null
+cargo run --offline -q -p rock-trace -- target/trace/ci.trace --check
+cargo run --offline -q -p rock-trace -- target/trace/ci.trace >/dev/null
+cargo run --offline -q -p rock-trace -- target/trace/ci.trace \
+    --export-chrome target/trace/ci-chrome.json >/dev/null
+
 echo "== ci.sh: all green"

@@ -64,7 +64,10 @@ fn l4_counter_fixture_exact_lines() {
 fn l5_wall_clock_fixture_exact_lines() {
     let src = include_str!("fixtures/l5_wall_clock.rs");
     // `Instant::now()` at line 6, `SystemTime::now()` at line 10; the
-    // import (line 3) and the pass-through annotation (line 13) are fine.
+    // import (line 3) and the pass-through annotation (line 13) are
+    // fine, and the justified allow(wall-clock) directive inside the
+    // audited monotonic-clock helper (line 18) suppresses the guarded
+    // `Instant::now()` on line 19 without any `bare-allow` finding.
     assert_eq!(
         run_core("l5_wall_clock.rs", src),
         vec![(6, "wall-clock"), (10, "wall-clock")]

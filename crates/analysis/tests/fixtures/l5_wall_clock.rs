@@ -13,3 +13,8 @@ fn epoch() -> SystemTime {
 fn carry(t: Instant) -> Instant {
     t
 }
+
+fn monotonic_now() -> Instant {
+    // rock-analyze: allow(wall-clock) — audited monotonic clock: trace timestamps only, never in clustering decisions.
+    Instant::now()
+}

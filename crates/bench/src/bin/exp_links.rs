@@ -13,6 +13,7 @@ use rock_bench::table::{banner, TextTable};
 use rock_core::links::LinkTable;
 use rock_core::neighbors::NeighborGraph;
 use rock_core::prelude::*;
+use rock_core::telemetry::trace::LatencyHistogram;
 use rock_core::telemetry::{format_secs as secs, time_it};
 use rock_datasets::synthetic::MushroomModel;
 
@@ -32,7 +33,8 @@ fn main() {
     let mut t = TextTable::new([
         "n",
         "threads",
-        "links_wall",
+        "links_p50",
+        "links_p99",
         "kernel_steps",
         "entries",
         "speedup",
@@ -46,10 +48,14 @@ fn main() {
 
         let mut sequential: Option<(LinkTable, std::time::Duration)> = None;
         for &threads in &THREADS {
-            // Keep the fastest epoch: link wall time is the metric under
-            // the CI regression gate, and min-of-epochs is the stablest
-            // point estimate on a shared machine.
-            let mut best: Option<(std::time::Duration, Metrics, LinkTable)> = None;
+            // Every epoch's wall time goes into a log2-bucketed
+            // LatencyHistogram (rock-trace/v1's bucket scheme); the
+            // reported numbers are its p50/p99 rather than the mean, so
+            // one descheduled epoch cannot drag the estimate. The median
+            // epoch's metrics feed the CI regression gate (bench_check).
+            let mut hist = LatencyHistogram::new();
+            let mut epochs: Vec<(std::time::Duration, Metrics)> = Vec::new();
+            let mut links_out: Option<LinkTable> = None;
             for _ in 0..opts.epochs {
                 let observer = Observer::new();
                 let span = observer.phase(Phase::Links);
@@ -70,11 +76,16 @@ fn main() {
                     },
                     wall,
                 );
-                if best.as_ref().is_none_or(|(w, _, _)| wall < *w) {
-                    best = Some((wall, metrics, links));
-                }
+                hist.record(u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX));
+                epochs.push((wall, metrics));
+                // The table is identical across epochs; keep only one.
+                links_out.get_or_insert(links);
             }
-            let (wall, metrics, links) = best.expect("at least one epoch");
+            epochs.sort_by_key(|(wall, _)| *wall);
+            let (wall, metrics) = epochs.swap_remove(epochs.len() / 2);
+            let links = links_out.expect("at least one epoch");
+            let p50 = std::time::Duration::from_nanos(hist.percentile(0.50));
+            let p99 = std::time::Duration::from_nanos(hist.percentile(0.99));
 
             match &sequential {
                 None => sequential = Some((links, wall)),
@@ -86,7 +97,8 @@ fn main() {
                     t.row([
                         n.to_string(),
                         threads.to_string(),
-                        secs(wall),
+                        secs(p50),
+                        secs(p99),
                         metrics.counters.link_kernel_steps.to_string(),
                         metrics.counters.link_entries.to_string(),
                         format!(
@@ -101,7 +113,8 @@ fn main() {
             t.row([
                 n.to_string(),
                 threads.to_string(),
-                secs(wall),
+                secs(p50),
+                secs(p99),
                 metrics.counters.link_kernel_steps.to_string(),
                 metrics.counters.link_entries.to_string(),
                 "1.00x".to_string(),

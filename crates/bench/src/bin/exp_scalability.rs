@@ -37,6 +37,9 @@ fn main() {
         "avg_degree",
         "clusters",
     ]);
+    // With --trace, the very first fit writes a rock-trace/v1 stream;
+    // min-of-epochs timing absorbs its (small) overhead.
+    let mut trace_pending = opts.trace.clone();
     for &n in &sizes {
         let n = n.min(data.len());
         for &theta in &thetas {
@@ -47,17 +50,18 @@ fn main() {
             let mut best = None;
             for _ in 0..opts.epochs {
                 let observer = Observer::new();
-                let (model, wall) = time_it(|| {
-                    RockBuilder::new(21.min(n), theta)
-                        .sample(SampleStrategy::Fixed(n))
-                        .labeling(LabelingConfig {
-                            representative_fraction: 0.0001, // timing the clustering, not labeling
-                            max_representatives: 1,
-                        })
-                        .seed(opts.seed)
-                        .build()
-                        .fit_observed(&data, &observer)
-                });
+                let mut builder = RockBuilder::new(21.min(n), theta)
+                    .sample(SampleStrategy::Fixed(n))
+                    .labeling(LabelingConfig {
+                        representative_fraction: 0.0001, // timing the clustering, not labeling
+                        max_representatives: 1,
+                    })
+                    .seed(opts.seed);
+                if let Some(path) = trace_pending.take() {
+                    builder = builder.trace(path);
+                }
+                let rock = builder.build();
+                let (model, wall) = time_it(|| rock.fit_observed(&data, &observer));
                 let model = model.expect("fit");
                 if best
                     .as_ref()

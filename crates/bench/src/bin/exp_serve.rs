@@ -5,7 +5,8 @@
 //! worker pool, then replays the training points as `/label` queries:
 //!
 //! * a **sequential** phase over one keep-alive connection measures
-//!   per-request latency (p50 / p99),
+//!   per-request latency — recorded into the log2-bucketed
+//!   `LatencyHistogram` of `rock-trace/v1`, reported as its p50 / p99,
 //! * a **concurrent** phase (4 connections) measures aggregate
 //!   throughput.
 //!
@@ -18,9 +19,11 @@ use std::time::{Duration, Instant};
 
 use rock_bench::cli::ExpOptions;
 use rock_bench::table::{banner, f4, TextTable};
+use rock_core::cast::u64_to_f64;
 use rock_core::prelude::*;
 use rock_core::snapshot::{ModelSnapshot, OutlierPolicy, SimilarityKind};
 use rock_core::telemetry::json::JsonObj;
+use rock_core::telemetry::trace::LatencyHistogram;
 use rock_datasets::synthetic::MushroomModel;
 use rock_serve::server::{ServeConfig, Server, ServerHandle};
 
@@ -69,27 +72,31 @@ fn main() {
 
     let config = ServeConfig {
         threads: CONCURRENT_CONNS + 1,
+        trace: opts.trace.clone(),
         ..ServeConfig::default()
     };
     let handle = Server::start(snapshot, config).expect("server start");
 
     // ── Sequential phase: latency percentiles ──────────────────────────
+    // Latencies go into the same log2-bucketed histogram the tracer
+    // flushes (`serve.request_ns`): mergeable, O(1) per record, and the
+    // reported p50/p99 are the bucket-bound estimates of rock-trace/v1.
     let sequential = opts.scaled(4000, 400);
-    let mut latencies_ms = Vec::with_capacity(sequential);
+    let mut hist = LatencyHistogram::new();
     let mut client = Client::connect(&handle);
     let seq_start = Instant::now();
     for i in 0..sequential {
         let body = &bodies[i % bodies.len()];
         let t0 = Instant::now();
         client.label(body);
-        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        hist.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
     let seq_wall = seq_start.elapsed();
     drop(client);
-    latencies_ms.sort_by(f64::total_cmp);
-    let p50 = percentile(&latencies_ms, 0.50);
-    let p99 = percentile(&latencies_ms, 0.99);
-    let seq_rps = latencies_ms.len() as f64 / seq_wall.as_secs_f64();
+    let ns_to_ms = |ns: u64| u64_to_f64(ns) / 1.0e6;
+    let p50 = ns_to_ms(hist.percentile(0.50));
+    let p99 = ns_to_ms(hist.percentile(0.99));
+    let seq_rps = u64_to_f64(hist.count()) / seq_wall.as_secs_f64();
 
     // ── Concurrent phase: aggregate throughput ─────────────────────────
     let per_conn = opts.scaled(2000, 200);
@@ -149,15 +156,6 @@ fn main() {
         counters.labeled,
         counters.outlier,
     );
-}
-
-/// Nearest-rank percentile over an ascending-sorted slice.
-fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted_ms.len() as f64 - 1.0) * q).round() as usize;
-    sorted_ms[rank.min(sorted_ms.len() - 1)]
 }
 
 /// Appends the `rock-serve-bench/v1` NDJSON line to `--metrics`.

@@ -22,6 +22,9 @@ pub struct ExpOptions {
     pub epochs: usize,
     /// Append telemetry NDJSON lines to this file (default: no metrics).
     pub metrics: Option<PathBuf>,
+    /// Write a `rock-trace/v1` NDJSON event stream of one run here
+    /// (default: tracing disabled).
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for ExpOptions {
@@ -31,6 +34,7 @@ impl Default for ExpOptions {
             scale: 1.0,
             epochs: 3,
             metrics: None,
+            trace: None,
         }
     }
 }
@@ -69,10 +73,13 @@ impl ExpOptions {
                 "--metrics" => {
                     opts.metrics = Some(PathBuf::from(take("--metrics")?));
                 }
+                "--trace" => {
+                    opts.trace = Some(PathBuf::from(take("--trace")?));
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: exp_* [--seed <u64>] [--scale <0..1>] [--epochs <n>] \
-                         [--metrics <FILE>]"
+                         [--metrics <FILE>] [--trace <FILE>]"
                             .to_owned(),
                     );
                 }
@@ -142,12 +149,15 @@ mod tests {
             "10",
             "--metrics",
             "bench.json",
+            "--trace",
+            "bench.trace",
         ])
         .unwrap();
         assert_eq!(o.seed, 7);
         assert_eq!(o.scale, 0.5);
         assert_eq!(o.epochs, 10);
         assert_eq!(o.metrics, Some(PathBuf::from("bench.json")));
+        assert_eq!(o.trace, Some(PathBuf::from("bench.trace")));
     }
 
     #[test]

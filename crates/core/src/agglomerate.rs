@@ -26,7 +26,13 @@ use crate::goodness::Goodness;
 use crate::guard::{Guard, Trip};
 use crate::heap::IndexedHeap;
 use crate::links::LinkTable;
-use crate::telemetry::{MemoryGauges, Observer, PipelineCounters};
+use crate::telemetry::trace::{LatencyHistogram, Payload, Tracer};
+use crate::telemetry::{MemoryGauges, Observer, Phase, PipelineCounters};
+
+/// Merges per trace span / histogram sample in the instrumented merge
+/// loop: small enough to localize a slow stretch, large enough to keep
+/// trace volume at ~1/64 of the merge count.
+const MERGE_BATCH: u64 = 64;
 
 /// The workspace's **single audited total order over floating-point
 /// goodness values**.
@@ -276,6 +282,35 @@ pub fn agglomerate_guarded(
     });
     let mut pruned_at_checkpoint = checkpoint.is_none();
 
+    // Trace instrumentation: one `agglomerate.batch` span (and one
+    // histogram sample) per MERGE_BATCH merges. All of it is `None`-guarded,
+    // so a disabled tracer costs one atomic load before the loop.
+    let tracer = observer.tracer();
+    let mut batch_span = tracer.begin();
+    let mut batch_hist = LatencyHistogram::new();
+    let mut batch_merges = 0u64;
+    let mut batch_goodness = 0.0f64;
+    fn end_batch(
+        tracer: &Tracer,
+        hist: &mut LatencyHistogram,
+        span: crate::telemetry::trace::SpanStart,
+        merges: u64,
+        goodness: f64,
+        active: usize,
+    ) {
+        hist.record(Tracer::elapsed_ns(&span));
+        tracer.end(
+            span,
+            "agglomerate.batch",
+            Some(Phase::Agglomerate),
+            0,
+            Payload::new()
+                .count("merges", merges)
+                .num("goodness", goodness)
+                .count("active", cast::usize_to_u64(active)),
+        );
+    }
+
     let mut trip = None;
     let mut active = n;
     while active > config.k {
@@ -299,10 +334,43 @@ pub fn agglomerate_guarded(
             trip = Some(t); // budget tripped; keep the partial clustering
             break;
         }
-        if !engine.merge_best() {
+        let Some(goodness_value) = engine.merge_best() else {
             break; // no cross-cluster links remain
-        }
+        };
         active -= 1;
+        if batch_span.is_some() {
+            batch_merges += 1;
+            batch_goodness = goodness_value;
+            if batch_merges == MERGE_BATCH {
+                if let Some(span) = batch_span.take() {
+                    end_batch(
+                        tracer,
+                        &mut batch_hist,
+                        span,
+                        batch_merges,
+                        batch_goodness,
+                        active,
+                    );
+                }
+                batch_merges = 0;
+                batch_span = tracer.begin();
+            }
+        }
+    }
+    if batch_merges > 0 {
+        if let Some(span) = batch_span.take() {
+            end_batch(
+                tracer,
+                &mut batch_hist,
+                span,
+                batch_merges,
+                batch_goodness,
+                active,
+            );
+        }
+    }
+    if batch_hist.count() > 0 {
+        tracer.record_hist("agglomerate.batch_ns", None, &batch_hist);
     }
 
     engine.flush_telemetry(observer);
@@ -396,21 +464,23 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Merges the globally best pair. Returns `false` when no pair exists.
-    fn merge_best(&mut self) -> bool {
-        let Some((_, u)) = self.global.peek() else {
-            return false;
-        };
+    /// Merges the globally best pair, returning its goodness. `None` when
+    /// no pair exists.
+    fn merge_best(&mut self) -> Option<f64> {
+        let (_, u) = self.global.peek()?;
         let Some((key, v)) = self.local[cast::u32_to_usize(u)]
             .peek()
             .map(|(k, v)| (*k, v))
         else {
             // Defensive: a slot in the global heap always has a local best.
             self.global.remove(u);
-            return !self.global.is_empty() && self.merge_best();
+            if self.global.is_empty() {
+                return None;
+            }
+            return self.merge_best();
         };
         self.merge(u, v, key.goodness());
-        true
+        Some(key.goodness())
     }
 
     /// Merges cluster `v` into cluster `u`.

@@ -61,6 +61,15 @@ fn now() -> Instant {
     Instant::now()
 }
 
+/// The monotonic base shared with the trace layer: rock-trace/v1
+/// timestamps annotate *completed* work and never influence clustering
+/// decisions, so they reuse this audited clock instead of introducing a
+/// second wall-clock site.
+#[inline]
+pub(crate) fn monotonic_now() -> Instant {
+    now()
+}
+
 /// Cooperative cancellation flag, cheaply cloneable across threads.
 ///
 /// Cancellation is *cooperative*: the pipeline polls the token at phase

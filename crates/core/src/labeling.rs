@@ -20,6 +20,7 @@ use crate::error::{Result, RockError};
 use crate::goodness::LinkExponent;
 use crate::rng::{Rng, SliceRandom};
 use crate::similarity::Similarity;
+use crate::telemetry::trace::Payload;
 use crate::telemetry::{Observer, Phase, PipelineCounters};
 
 /// Configuration for the labeling pass.
@@ -217,6 +218,7 @@ pub fn label_many_observed<S: Similarity, F: LinkExponent>(
     threads: usize,
     observer: &Observer,
 ) -> Vec<Option<usize>> {
+    let span = observer.tracer().begin();
     let out = label_many_parallel(points, reps, sim, f, theta, threads);
     let counters = observer.counters();
     PipelineCounters::add(
@@ -226,6 +228,18 @@ pub fn label_many_observed<S: Similarity, F: LinkExponent>(
     let labeled = cast::usize_to_u64(out.iter().filter(|l| l.is_some()).count());
     PipelineCounters::add(&counters.points_labeled, labeled);
     let total = cast::usize_to_u64(points.len());
+    if let Some(s) = span {
+        observer.tracer().end(
+            s,
+            "labeling.pass",
+            Some(Phase::Labeling),
+            0,
+            Payload::new()
+                .count("points", total)
+                .count("representatives", cast::usize_to_u64(reps.total()))
+                .count("labeled", labeled),
+        );
+    }
     observer.progress(Phase::Labeling, total, total);
     out
 }

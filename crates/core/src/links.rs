@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::cast;
 use crate::guard::{Guard, Trip};
 use crate::neighbors::NeighborGraph;
+use crate::telemetry::trace::{LatencyHistogram, Payload};
 use crate::telemetry::{MemoryEstimate, MemoryGauges, Observer, Phase, PipelineCounters};
 
 /// How often (in source rows) each worker polls the guard and flushes its
@@ -113,23 +114,47 @@ impl ShardState<'_> {
     }
 }
 
+/// Per-worker tallies of one [`compute_range`] call.
+struct RangeResult {
+    kernel_steps: u64,
+    entries: u64,
+    trip: Option<Trip>,
+    /// Per-stride-batch latencies (empty unless tracing was enabled).
+    batch_ns: LatencyHistogram,
+}
+
 /// Computes rows `start..start + out.len()` into `out`, polling the guard
 /// every [`GUARD_STRIDE`] rows. Returns the kernel steps performed, the
-/// entries stored, and the trip that stopped this worker (if any).
+/// entries stored, and the trip that stopped this worker (if any). When
+/// tracing is enabled it also emits one `links.shard` span and fills the
+/// per-stride-batch latency histogram.
 fn compute_range(
     graph: &NeighborGraph,
+    worker: u64,
     start: usize,
     out: &mut [Vec<(u32, u32)>],
     state: &ShardState<'_>,
-) -> (u64, u64, Option<Trip>) {
+) -> RangeResult {
+    let tracer = state.observer.tracer();
+    let shard_span = tracer.begin();
+    let mut watch = tracer.stopwatch();
+    let mut batch_ns = LatencyHistogram::new();
     let mut scratch: Vec<u32> = vec![0; graph.len()];
     let mut touched: Vec<u32> = Vec::new();
     let mut kernel_steps = 0u64;
     let mut entries = 0u64;
     let mut unflushed = 0u64;
+    let mut rows_done = 0u64;
+    let mut rows_since_lap = 0u64;
     let mut trip = None;
     for (off, row) in out.iter_mut().enumerate() {
         if off.is_multiple_of(GUARD_STRIDE) {
+            if rows_since_lap > 0 {
+                if let Some(w) = watch.as_mut() {
+                    batch_ns.record(w.lap_ns());
+                }
+                rows_since_lap = 0;
+            }
             trip = state.poll(unflushed);
             unflushed = 0;
             if trip.is_some() || state.stop.load(Ordering::Relaxed) {
@@ -139,11 +164,36 @@ fn compute_range(
         kernel_steps += fill_links_row(graph, start + off, &mut scratch, &mut touched, row);
         entries += cast::usize_to_u64(row.len());
         unflushed += cast::usize_to_u64(row.len());
+        rows_done += 1;
+        rows_since_lap += 1;
+    }
+    if rows_since_lap > 0 {
+        if let Some(w) = watch.as_mut() {
+            batch_ns.record(w.lap_ns());
+        }
     }
     state
         .partial_entries
         .fetch_add(unflushed, Ordering::Relaxed);
-    (kernel_steps, entries, trip)
+    if let Some(span) = shard_span {
+        tracer.end(
+            span,
+            "links.shard",
+            Some(Phase::Links),
+            worker,
+            Payload::new()
+                .count("start", cast::usize_to_u64(start))
+                .count("rows", rows_done)
+                .count("kernel_steps", kernel_steps)
+                .count("entries", entries),
+        );
+    }
+    RangeResult {
+        kernel_steps,
+        entries,
+        trip,
+        batch_ns,
+    }
 }
 
 /// Splits `0..n` into `shards` contiguous ranges balanced by the per-row
@@ -227,10 +277,15 @@ impl LinkTable {
         let mut entries = 0u64;
         let mut trip: Option<Trip> = None;
         if threads <= 1 {
-            let (steps, stored, t) = compute_range(graph, 0, &mut rows, &state);
-            kernel_steps = steps;
-            entries = stored;
-            trip = t;
+            let result = compute_range(graph, 0, 0, &mut rows, &state);
+            kernel_steps = result.kernel_steps;
+            entries = result.entries;
+            trip = result.trip;
+            if result.batch_ns.count() > 0 {
+                observer
+                    .tracer()
+                    .record_hist("links.shard_ns", Some(0), &result.batch_ns);
+            }
         } else {
             let bounds = shard_boundaries(graph, threads);
             // Per-worker tallies come back through the join handles and
@@ -246,7 +301,10 @@ impl LinkTable {
                     let start = prev;
                     prev = bounds[w + 1];
                     let state = &state;
-                    handles.push(scope.spawn(move || compute_range(graph, start, slice, state)));
+                    let worker = cast::usize_to_u64(w);
+                    handles.push(
+                        scope.spawn(move || compute_range(graph, worker, start, slice, state)),
+                    );
                 }
                 handles
                     .into_iter()
@@ -256,10 +314,17 @@ impl LinkTable {
                     })
                     .collect::<Vec<_>>()
             });
-            for (steps, stored, t) in results {
-                kernel_steps += steps;
-                entries += stored;
-                trip = trip.or(t);
+            for (w, result) in results.into_iter().enumerate() {
+                kernel_steps += result.kernel_steps;
+                entries += result.entries;
+                trip = trip.or(result.trip);
+                if result.batch_ns.count() > 0 {
+                    observer.tracer().record_hist(
+                        "links.shard_ns",
+                        Some(cast::usize_to_u64(w)),
+                        &result.batch_ns,
+                    );
+                }
             }
         }
         let table = LinkTable { rows };

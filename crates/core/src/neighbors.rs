@@ -16,6 +16,7 @@ use crate::cast;
 use crate::data::TransactionSet;
 use crate::error::{Result, RockError};
 use crate::similarity::Similarity;
+use crate::telemetry::trace::Payload;
 use crate::telemetry::{MemoryEstimate, MemoryGauges, Observer, Phase, PipelineCounters};
 
 /// θ-threshold neighbor graph: for each point, the sorted list of its
@@ -65,6 +66,7 @@ impl NeighborGraph {
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
         let counters = observer.counters();
         if threads <= 1 {
+            let span = observer.tracer().begin();
             let mut edges = 0u64;
             for (i, out) in lists.iter_mut().enumerate() {
                 fill_row(data, sim, theta, i, out);
@@ -76,6 +78,18 @@ impl NeighborGraph {
                 cast::usize_to_u64(n) * cast::usize_to_u64(n - 1),
             );
             PipelineCounters::add(&counters.neighbor_edges, edges);
+            if let Some(s) = span {
+                observer.tracer().end(
+                    s,
+                    "neighbors.scan",
+                    Some(Phase::Neighbors),
+                    0,
+                    Payload::new()
+                        .count("start", 0)
+                        .count("rows", cast::usize_to_u64(n))
+                        .count("edges", edges),
+                );
+            }
         } else {
             // Chunk rows contiguously; each worker writes its own disjoint
             // slice of `lists`, so no synchronization is needed. Counters
@@ -87,6 +101,7 @@ impl NeighborGraph {
                     let start = c * chunk;
                     let done_rows = &done_rows;
                     scope.spawn(move || {
+                        let span = observer.tracer().begin();
                         let mut edges = 0u64;
                         for (off, out) in slice.iter_mut().enumerate() {
                             fill_row(data, sim, theta, start + off, out);
@@ -98,6 +113,18 @@ impl NeighborGraph {
                             rows * cast::usize_to_u64(n - 1),
                         );
                         PipelineCounters::add(&counters.neighbor_edges, edges);
+                        if let Some(s) = span {
+                            observer.tracer().end(
+                                s,
+                                "neighbors.scan",
+                                Some(Phase::Neighbors),
+                                cast::usize_to_u64(c),
+                                Payload::new()
+                                    .count("start", cast::usize_to_u64(start))
+                                    .count("rows", rows)
+                                    .count("edges", edges),
+                            );
+                        }
                         let done =
                             rows + done_rows.fetch_add(rows, std::sync::atomic::Ordering::Relaxed);
                         observer.progress(Phase::Neighbors, done, cast::usize_to_u64(n));

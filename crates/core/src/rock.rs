@@ -25,6 +25,7 @@
 //! assert_ne!(model.assignments()[0], model.assignments()[3]);
 //! ```
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use crate::agglomerate::{agglomerate_guarded, AgglomerateConfig, MergeStep, PruneConfig};
@@ -40,6 +41,7 @@ use crate::neighbors::NeighborGraph;
 use crate::outliers::NeighborFilter;
 use crate::sampling::{chernoff_sample_size, sample_indices, seeded_rng};
 use crate::similarity::{Jaccard, Similarity};
+use crate::telemetry::trace::Payload;
 use crate::telemetry::{Level, MemoryGauges, Observer, Phase, PipelineCounters};
 
 /// How the clustering sample is chosen.
@@ -88,6 +90,9 @@ pub struct RockConfig {
     /// Stop merging once the best available goodness falls below this
     /// value (`None` = merge down to `k` or link exhaustion).
     pub min_goodness: Option<f64>,
+    /// Write a rock-trace/v1 NDJSON event stream to this path during
+    /// `fit` (`None` = tracing disabled, the near-zero-cost default).
+    pub trace: Option<PathBuf>,
 }
 
 /// Builder for a [`Rock`] clusterer.
@@ -118,6 +123,7 @@ impl RockBuilder {
                 seed: 0,
                 record_history: false,
                 min_goodness: None,
+                trace: None,
             },
             sim: Jaccard,
             f: MarketBasket,
@@ -191,6 +197,14 @@ impl<S: Similarity, F: LinkExponent> RockBuilder<S, F> {
     /// `threshold` (the paper's alternative termination condition).
     pub fn min_goodness(mut self, threshold: f64) -> Self {
         self.config.min_goodness = Some(threshold);
+        self
+    }
+
+    /// Write a rock-trace/v1 event stream to `path` during `fit`: phase
+    /// scopes, per-worker shard spans, merge batches and latency
+    /// histograms. See `DESIGN.md` §14 for the format.
+    pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.trace = Some(path.into());
         self
     }
 
@@ -449,9 +463,37 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
     ///
     /// # Errors
     /// Same validation errors as [`fit`](Self::fit). Budget exhaustion and
-    /// cancellation are *not* errors; they degrade.
-    #[allow(clippy::needless_range_loop)] // assignments/outliers are index-aligned
+    /// cancellation are *not* errors; they degrade — and when `trace` is
+    /// configured, the stream is flushed on *every* exit path (complete,
+    /// degraded or error), so even a tripped run leaves a well-formed,
+    /// truncated-but-parseable trace behind.
     pub fn fit_guarded(
+        &self,
+        data: &TransactionSet,
+        observer: &Observer,
+        guard: &Guard,
+    ) -> Result<Outcome> {
+        let started_trace = match &self.config.trace {
+            // An already-enabled tracer (e.g. attached by the caller) is
+            // left untouched: the caller owns its lifecycle.
+            Some(path) if !observer.tracer().is_enabled() => {
+                observer.tracer().start_to_path(path, "rock-core")?;
+                true
+            }
+            _ => false,
+        };
+        let result = self.fit_guarded_inner(data, observer, guard);
+        if started_trace {
+            let finished = observer.tracer().finish();
+            if result.is_ok() {
+                finished?;
+            }
+        }
+        result
+    }
+
+    #[allow(clippy::needless_range_loop)] // assignments/outliers are index-aligned
+    fn fit_guarded_inner(
         &self,
         data: &TransactionSet,
         observer: &Observer,
@@ -474,6 +516,7 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
 
         // ── Phase 1: sample ────────────────────────────────────────────
         let span = observer.phase(Phase::Sample);
+        let tspan = observer.tracer().begin_scope();
         let sample_indices: Vec<usize> = match self.config.sample {
             SampleStrategy::All => (0..n).collect(),
             SampleStrategy::Fixed(s) => sample_indices(n, s.min(n).max(1), &mut rng)?,
@@ -491,6 +534,14 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
         observer.log(Level::Info, || {
             format!("sampled {} of {n} points", sample_indices.len())
         });
+        if let Some(ts) = tspan {
+            observer.tracer().end_scope(
+                ts,
+                "phase",
+                Some(Phase::Sample),
+                Payload::new().count("points", cast::usize_to_u64(sample_indices.len())),
+            );
+        }
         span.finish();
         if let Some(trip) = guard.checkpoint(Phase::Sample, observer) {
             return Ok(degraded_all_outliers(n, start, observer, guard, trip));
@@ -498,6 +549,7 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
 
         // ── Phase 2: neighbors on the sample ──────────────────────────
         let span = observer.phase(Phase::Neighbors);
+        let tspan = observer.tracer().begin_scope();
         let graph = NeighborGraph::compute_observed(
             &sample,
             &self.sim,
@@ -506,6 +558,14 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
             observer,
         )?;
         contracts::check_neighbor_graph(&graph);
+        if let Some(ts) = tspan {
+            observer.tracer().end_scope(
+                ts,
+                "phase",
+                Some(Phase::Neighbors),
+                Payload::new().count("edges", cast::usize_to_u64(graph.num_edges())),
+            );
+        }
         span.finish();
         if let Some(trip) = guard.checkpoint(Phase::Neighbors, observer) {
             return Ok(degraded_all_outliers(n, start, observer, guard, trip));
@@ -513,6 +573,7 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
 
         // Up-front outlier filter.
         let span = observer.phase(Phase::Outliers);
+        let tspan = observer.tracer().begin_scope();
         let (kept, filtered): (Vec<usize>, Vec<usize>) =
             self.config.neighbor_filter.split_observed(&graph, observer);
         contracts::check_outlier_split(&kept, &filtered, sample.len());
@@ -542,6 +603,16 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
                 filtered.len()
             )
         });
+        if let Some(ts) = tspan {
+            observer.tracer().end_scope(
+                ts,
+                "phase",
+                Some(Phase::Outliers),
+                Payload::new()
+                    .count("kept", cast::usize_to_u64(kept.len()))
+                    .count("filtered", cast::usize_to_u64(filtered.len())),
+            );
+        }
         span.finish();
         if let Some(trip) = guard.checkpoint(Phase::Outliers, observer) {
             return Ok(degraded_all_outliers(n, start, observer, guard, trip));
@@ -549,11 +620,20 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
 
         // ── Phase 3: links + merge ─────────────────────────────────────
         let span = observer.phase(Phase::Links);
+        let tspan = observer.tracer().begin_scope();
         // The sharded kernel polls the guard from inside its worker
         // loops, so a trip stops the phase mid-flight; the partial table
         // is discarded and the run degrades like any other Links trip.
         let (links, links_trip) =
             LinkTable::compute_guarded(&graph, self.config.threads, observer, guard);
+        if let Some(ts) = tspan {
+            observer.tracer().end_scope(
+                ts,
+                "phase",
+                Some(Phase::Links),
+                Payload::new().count("entries", cast::usize_to_u64(links.num_entries())),
+            );
+        }
         span.finish();
         if let Some(trip) = links_trip.or_else(|| guard.checkpoint(Phase::Links, observer)) {
             return Ok(degraded_all_outliers(n, start, observer, guard, trip));
@@ -563,6 +643,7 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
 
         let goodness = Goodness::new(self.config.theta, &self.f)?;
         let span = observer.phase(Phase::Agglomerate);
+        let tspan = observer.tracer().begin_scope();
         let (agg, agg_trip) = agglomerate_guarded(
             clustered.len(),
             &links,
@@ -592,6 +673,16 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
                 agg.reached_k
             )
         });
+        if let Some(ts) = tspan {
+            observer.tracer().end_scope(
+                ts,
+                "phase",
+                Some(Phase::Agglomerate),
+                Payload::new()
+                    .count("merges", cast::usize_to_u64(agg.merges))
+                    .count("clusters", cast::usize_to_u64(agg.clusters.len())),
+            );
+        }
         span.finish();
 
         // Map sample-local indices back to original dataset indices.
@@ -623,6 +714,7 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
 
         // ── Phase 4: label points outside the clustered sample ────────
         let span = observer.phase(Phase::Labeling);
+        let tspan = observer.tracer().begin_scope();
         if trip.is_none() {
             trip = guard.checkpoint(Phase::Labeling, observer);
         }
@@ -681,6 +773,14 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
                     outliers.push(cast::usize_to_u32(i));
                 }
             }
+        }
+        if let Some(ts) = tspan {
+            observer.tracer().end_scope(
+                ts,
+                "phase",
+                Some(Phase::Labeling),
+                Payload::new().count("outliers", cast::usize_to_u64(outliers.len())),
+            );
         }
         span.finish();
 

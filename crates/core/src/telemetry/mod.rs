@@ -42,6 +42,7 @@
 //! ```
 
 pub mod json;
+pub mod trace;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -406,6 +407,7 @@ pub struct Observer {
     phase_nanos: [AtomicU64; 6],
     sink: Option<Arc<dyn EventSink>>,
     level: Level,
+    tracer: trace::Tracer,
 }
 
 impl std::fmt::Debug for Observer {
@@ -443,6 +445,12 @@ impl Observer {
     /// The memory gauges.
     pub fn memory(&self) -> &MemoryGauges {
         &self.memory
+    }
+
+    /// The rock-trace/v1 emitter (disabled until a stream is attached;
+    /// see [`trace::Tracer::start_to_path`]).
+    pub fn tracer(&self) -> &trace::Tracer {
+        &self.tracer
     }
 
     /// `true` when an event sink is attached.

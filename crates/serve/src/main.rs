@@ -41,6 +41,11 @@ usage: rock-serve --model <path> [options]
   --deadline-ms <n>     per-request deadline    [default 1000]
   --max-body <bytes>    request body limit      [default 1048576]
   --metrics <path>      write final metrics JSON here (default: stderr)
+  --trace <path>        write a rock-trace/v1 NDJSON event stream here
+                        (one serve.request span per request; analyze
+                        with rock-trace)
+  --slow-ms <n>         flag requests slower than this in the trace
+                        [default 100]
 
 The server shuts down gracefully when stdin reaches EOF.";
 
@@ -81,6 +86,13 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, String
                     .map_err(|_| format!("--max-body expects an integer\n{USAGE}"))?;
             }
             "--metrics" => metrics = Some(PathBuf::from(value("--metrics")?)),
+            "--trace" => config.trace = Some(PathBuf::from(value("--trace")?)),
+            "--slow-ms" => {
+                let ms: u64 = value("--slow-ms")?
+                    .parse()
+                    .map_err(|_| format!("--slow-ms expects an integer\n{USAGE}"))?;
+                config.slow_request = Duration::from_millis(ms);
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -173,6 +185,10 @@ mod tests {
             "4096",
             "--metrics",
             "serve.json",
+            "--trace",
+            "serve.trace",
+            "--slow-ms",
+            "40",
         ])
         .unwrap();
         assert_eq!(o.model, PathBuf::from("m.rockmodel"));
@@ -182,6 +198,8 @@ mod tests {
         assert_eq!(o.config.deadline, Duration::from_millis(250));
         assert_eq!(o.config.max_body, 4096);
         assert_eq!(o.metrics, Some(PathBuf::from("serve.json")));
+        assert_eq!(o.config.trace, Some(PathBuf::from("serve.trace")));
+        assert_eq!(o.config.slow_request, Duration::from_millis(40));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 use std::collections::VecDeque;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -41,6 +42,7 @@ use rock_core::prelude::Transaction;
 use rock_core::similarity::Similarity;
 use rock_core::snapshot::ModelSnapshot;
 use rock_core::telemetry::json::{Json, JsonObj};
+use rock_core::telemetry::trace::{LatencyHistogram, Payload};
 use rock_core::telemetry::{Metrics, Observer, Phase, PipelineCounters, RunInfo};
 
 use crate::http::{read_request, HttpError, Request, Response};
@@ -63,6 +65,14 @@ pub struct ServeConfig {
     pub deadline: Duration,
     /// Largest accepted request body, in bytes (beyond it: 413).
     pub max_body: usize,
+    /// Write a `rock-trace/v1` NDJSON event stream to this path while
+    /// the server runs (`None` = tracing disabled, the near-zero-cost
+    /// default). Each handled request becomes a `serve.request` span;
+    /// the request-latency histogram is flushed at shutdown.
+    pub trace: Option<PathBuf>,
+    /// Requests slower than this are flagged `"slow":1` in their trace
+    /// span payload, making outliers trivially grep-able.
+    pub slow_request: Duration,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +83,8 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             deadline: Duration::from_secs(1),
             max_body: 1 << 20,
+            trace: None,
+            slow_request: Duration::from_millis(100),
         }
     }
 }
@@ -143,6 +155,11 @@ struct Shared {
     available: Condvar,
     stop: AtomicBool,
     started: Instant,
+    /// Request-latency histogram (always on — it powers the `latency`
+    /// percentiles in `/metrics` whether or not tracing is enabled).
+    latency: Mutex<LatencyHistogram>,
+    /// Monotonic request ids for trace spans.
+    request_seq: AtomicU64,
 }
 
 /// Locks a mutex, recovering the guard if a worker panicked while
@@ -150,6 +167,15 @@ struct Shared {
 /// shutdown).
 fn lock_queue(shared: &Shared) -> MutexGuard<'_, Queue> {
     match shared.queue.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Same poison recovery for the latency histogram (a record is a pure
+/// bucket increment; a panicked holder cannot leave it inconsistent).
+fn lock_latency(shared: &Shared) -> MutexGuard<'_, LatencyHistogram> {
+    match shared.latency.lock() {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
     }
@@ -199,14 +225,19 @@ impl Server {
             available: Condvar::new(),
             stop: AtomicBool::new(false),
             started: Instant::now(),
+            latency: Mutex::new(LatencyHistogram::new()),
+            request_seq: AtomicU64::new(0),
         });
+        if let Some(path) = &shared.config.trace {
+            shared.observer.tracer().start_to_path(path, "rock-serve")?;
+        }
 
         let mut workers = Vec::with_capacity(shared.config.threads);
         for i in 0..shared.config.threads {
             let shared = Arc::clone(&shared);
             let worker = std::thread::Builder::new()
                 .name(format!("rock-serve-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
+                .spawn(move || worker_loop(&shared, usize_to_u64(i)))
                 .map_err(|e| RockError::Io {
                     path: "rock-serve worker".into(),
                     message: e.to_string(),
@@ -280,6 +311,16 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             worker.join().ok();
         }
+        let tracer = self.shared.observer.tracer();
+        if tracer.is_enabled() {
+            let hist = lock_latency(&self.shared).clone();
+            if hist.count() > 0 {
+                tracer.record_hist("serve.request_ns", None, &hist);
+            }
+            // Best effort: a flush failure at shutdown must not panic a
+            // drop path; the trace written so far stays parseable.
+            tracer.finish().ok();
+        }
     }
 }
 
@@ -338,7 +379,7 @@ fn shed_connection(stream: TcpStream) {
 }
 
 /// Pops connections until shutdown drains the queue.
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: u64) {
     loop {
         let stream = {
             let mut queue = lock_queue(shared);
@@ -355,12 +396,12 @@ fn worker_loop(shared: &Shared) {
                 };
             }
         };
-        handle_connection(shared, stream);
+        handle_connection(shared, worker, stream);
     }
 }
 
 /// Serves one connection: keep-alive request loop, typed error → 4xx/5xx.
-fn handle_connection(shared: &Shared, stream: TcpStream) {
+fn handle_connection(shared: &Shared, worker: u64, stream: TcpStream) {
     let io_timeout = shared.config.deadline.max(Duration::from_secs(1)) * 2;
     stream.set_read_timeout(Some(io_timeout)).ok();
     stream.set_write_timeout(Some(io_timeout)).ok();
@@ -379,7 +420,26 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                 // Stop keep-alive once shutdown begins so draining
                 // terminates after the in-flight request.
                 let keep = request.keep_alive && !shared.stop.load(Ordering::SeqCst);
+                let span = shared.observer.tracer().begin();
+                let clock = Instant::now();
                 let response = route(shared, &request);
+                let elapsed = clock.elapsed();
+                lock_latency(shared).record(duration_ns(elapsed));
+                if let Some(s) = span {
+                    let id = shared.request_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                    let mut payload = Payload::new()
+                        .count("request", id)
+                        .str("method", &request.method)
+                        .str("path", &request.path)
+                        .count("status", u64::from(response.status()));
+                    if elapsed > shared.config.slow_request {
+                        payload = payload.count("slow", 1);
+                    }
+                    shared
+                        .observer
+                        .tracer()
+                        .end(s, "serve.request", None, worker, payload);
+                }
                 if response.write_to(&mut out, keep).is_err() || !keep {
                     return;
                 }
@@ -390,6 +450,12 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             }
         }
     }
+}
+
+/// Saturating `Duration` → whole nanoseconds (a request would need to
+/// run for ~584 years to clip).
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Maps a parse failure to its status line; write is best effort.
@@ -587,6 +653,16 @@ fn render_metrics(shared: &Shared) -> String {
         .num_u64("rejected", counters.rejected)
         .num_u64("shed", counters.shed);
 
+    let hist = lock_latency(shared).clone();
+    let ms = |ns: u64| rock_core::cast::u64_to_f64(ns) / 1.0e6;
+    let mut latency = JsonObj::new(true, 2);
+    latency
+        .num_u64("count", hist.count())
+        .num_f64("p50_ms", ms(hist.percentile(0.50)))
+        .num_f64("p90_ms", ms(hist.percentile(0.90)))
+        .num_f64("p99_ms", ms(hist.percentile(0.99)))
+        .num_f64("max_ms", ms(hist.max()));
+
     let mut model = JsonObj::new(true, 2);
     model
         .num_u64("clusters", usize_to_u64(shared.model.num_clusters()))
@@ -604,6 +680,7 @@ fn render_metrics(shared: &Shared) -> String {
     doc.str("schema", "rock-serve-metrics/v1")
         .num_f64("uptime_secs", uptime.as_secs_f64())
         .raw("requests", &requests.end())
+        .raw("latency", &latency.end())
         .raw("model", &model.end())
         .raw("core", &indent_block(&core.to_json()));
     let mut text = doc.end();
@@ -677,6 +754,8 @@ mod tests {
             available: Condvar::new(),
             stop: AtomicBool::new(false),
             started: Instant::now(),
+            latency: Mutex::new(LatencyHistogram::new()),
+            request_seq: AtomicU64::new(0),
         }
     }
 
@@ -754,6 +833,24 @@ mod tests {
         );
         let model = parsed.get("model").unwrap();
         assert_eq!(model.get("clusters").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn metrics_latency_percentiles_track_recorded_requests() {
+        let s = shared();
+        // One exact-power bucket (1024ns) dominates, so every quantile
+        // reports that bucket's upper bound.
+        for _ in 0..10 {
+            lock_latency(&s).record(1024);
+        }
+        let doc = render_metrics(&s);
+        let parsed = Json::parse(&doc).unwrap();
+        let latency = parsed.get("latency").unwrap();
+        assert_eq!(latency.get("count").and_then(Json::as_u64), Some(10));
+        for key in ["p50_ms", "p90_ms", "p99_ms", "max_ms"] {
+            let v = latency.get(key).and_then(Json::as_f64).unwrap();
+            assert!(v > 0.0, "{key} should be positive, got {v}");
+        }
     }
 
     #[test]

@@ -1,0 +1,501 @@
+//! `rock-trace` — analyze a **rock-trace/v1** NDJSON event stream.
+//!
+//! ```text
+//! rock-cluster --input data.csv --k 8 --theta 0.7 --trace fit.trace
+//! rock-trace fit.trace                      # timeline + self-time + percentiles
+//! rock-trace fit.trace --check              # canonical-form validation only
+//! rock-trace fit.trace --export-chrome t.json   # chrome://tracing JSON
+//! ```
+//!
+//! The default report has three sections:
+//!
+//! * **phase timeline** — the sequential `phase` scope spans in begin
+//!   order, with start offset, duration and share of total,
+//! * **span summary** — every span name aggregated: count, distinct
+//!   workers, total time and *self* time (duration minus the duration of
+//!   child spans, flamegraph-style, so a phase whose time is fully
+//!   accounted to its worker shards shows near-zero self time),
+//! * **histograms** — each `hist` record's p50/p90/p99/max.
+//!
+//! `--check` re-emits every parsed line and fails unless the bytes match
+//! (the canonical-form contract of `rock_core::telemetry::trace`); ci.sh
+//! runs it over the traces the integration suite produces. The Chrome
+//! export writes `trace_event` complete (`"ph":"X"`) events — load the
+//! file in `chrome://tracing` or Perfetto; lanes are worker ids.
+//!
+//! Exit codes: 0 ok, 2 usage, 3 I/O, 4 invalid or non-canonical trace.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rock_core::cast::u64_to_f64;
+use rock_core::telemetry::json::JsonObj;
+use rock_core::telemetry::trace::{validate, HistRecord, PayloadValue, SpanRecord, TraceRecord};
+
+/// Parsed command line.
+#[derive(Debug)]
+struct Options {
+    input: PathBuf,
+    check_only: bool,
+    export_chrome: Option<PathBuf>,
+}
+
+const USAGE: &str = "\
+usage: rock-trace <trace-file> [options]
+
+  --check                 validate only: schema, parseability and the
+                          canonical emit->parse->re-emit contract
+  --export-chrome <path>  also write Chrome trace_event JSON (open in
+                          chrome://tracing or Perfetto)
+
+Reads a rock-trace/v1 NDJSON stream (rock-cluster/rock-serve --trace)
+and prints a phase timeline, a self-time span summary and latency
+histogram percentiles.";
+
+fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, String> {
+    let mut input: Option<PathBuf> = None;
+    let mut check_only = false;
+    let mut export_chrome = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check_only = true,
+            "--export-chrome" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| format!("--export-chrome requires a value\n{USAGE}"))?;
+                export_chrome = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?}\n{USAGE}"))
+            }
+            path => {
+                if input.is_some() {
+                    return Err(format!("more than one trace file given\n{USAGE}"));
+                }
+                input = Some(PathBuf::from(path));
+            }
+        }
+    }
+    Ok(Options {
+        input: input.ok_or_else(|| format!("a trace file is required\n{USAGE}"))?,
+        check_only,
+        export_chrome,
+    })
+}
+
+/// A parsed stream, split by record type (order preserved within each).
+#[derive(Debug)]
+struct Trace {
+    source: String,
+    spans: Vec<SpanRecord>,
+    hists: Vec<HistRecord>,
+}
+
+/// Parses and validates the full stream. Validation runs first so every
+/// later consumer can assume well-formed, canonical records.
+fn load_trace(text: &str) -> Result<Trace, String> {
+    let summary = validate(text)?;
+    let mut spans = Vec::with_capacity(summary.spans);
+    let mut hists = Vec::with_capacity(summary.hists);
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        // validate() has already proven every line parses.
+        match TraceRecord::parse_line(line)? {
+            TraceRecord::Meta { .. } => {}
+            TraceRecord::Span(s) => spans.push(s),
+            TraceRecord::Hist(h) => hists.push(*h),
+        }
+    }
+    Ok(Trace {
+        source: summary.source,
+        spans,
+        hists,
+    })
+}
+
+/// Nanoseconds → milliseconds for display.
+fn ms(ns: u64) -> f64 {
+    u64_to_f64(ns) / 1.0e6
+}
+
+/// Nanoseconds → microseconds for display.
+fn us(ns: u64) -> f64 {
+    u64_to_f64(ns) / 1.0e3
+}
+
+/// Renders the phase timeline: `phase` scope spans in begin order.
+fn render_timeline(out: &mut String, trace: &Trace) {
+    let mut phases: Vec<&SpanRecord> = trace.spans.iter().filter(|s| s.name == "phase").collect();
+    if phases.is_empty() {
+        return;
+    }
+    phases.sort_by_key(|s| s.ts_ns);
+    let total: u64 = phases.iter().map(|s| s.dur_ns).sum();
+    out.push_str("phase timeline\n");
+    out.push_str(&format!(
+        "  {:<12} {:>12} {:>12} {:>7}\n",
+        "phase", "start_ms", "dur_ms", "share"
+    ));
+    for span in &phases {
+        let share = if total > 0 {
+            100.0 * u64_to_f64(span.dur_ns) / u64_to_f64(total)
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {:<12} {:>12.3} {:>12.3} {:>6.1}%\n",
+            span.phase.as_deref().unwrap_or("-"),
+            ms(span.ts_ns),
+            ms(span.dur_ns),
+            share
+        ));
+    }
+    out.push_str(&format!(
+        "  {:<12} {:>12} {:>12.3}\n\n",
+        "total",
+        "",
+        ms(total)
+    ));
+}
+
+/// Per-name aggregate for the span summary table.
+#[derive(Default)]
+struct NameStats {
+    count: u64,
+    workers: std::collections::BTreeSet<u64>,
+    total_ns: u64,
+    self_ns: u64,
+}
+
+/// Renders the flamegraph-style summary: self time charges each span's
+/// duration minus its direct children's durations to its own name.
+fn render_summary(out: &mut String, trace: &Trace) {
+    if trace.spans.is_empty() {
+        return;
+    }
+    // Child durations, charged to the parent id.
+    let mut child_ns: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for span in &trace.spans {
+        if span.parent != 0 {
+            *child_ns.entry(span.parent).or_default() += span.dur_ns;
+        }
+    }
+    let mut by_name: std::collections::BTreeMap<&str, NameStats> =
+        std::collections::BTreeMap::new();
+    for span in &trace.spans {
+        let stats = by_name.entry(span.name.as_str()).or_default();
+        stats.count += 1;
+        stats.workers.insert(span.worker);
+        stats.total_ns += span.dur_ns;
+        let children = child_ns.get(&span.id).copied().unwrap_or(0);
+        stats.self_ns += span.dur_ns.saturating_sub(children);
+    }
+    out.push_str("span summary\n");
+    out.push_str(&format!(
+        "  {:<20} {:>6} {:>8} {:>12} {:>12}\n",
+        "name", "count", "workers", "total_ms", "self_ms"
+    ));
+    let mut rows: Vec<(&str, NameStats)> = by_name.into_iter().collect();
+    rows.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then(a.0.cmp(b.0)));
+    for (name, stats) in rows {
+        out.push_str(&format!(
+            "  {:<20} {:>6} {:>8} {:>12.3} {:>12.3}\n",
+            name,
+            stats.count,
+            stats.workers.len(),
+            ms(stats.total_ns),
+            ms(stats.self_ns)
+        ));
+    }
+    out.push('\n');
+}
+
+/// Renders each histogram's percentile breakdown (values in µs).
+fn render_hists(out: &mut String, trace: &Trace) {
+    if trace.hists.is_empty() {
+        return;
+    }
+    out.push_str("histograms (us)\n");
+    out.push_str(&format!(
+        "  {:<22} {:>6} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+        "name", "worker", "count", "p50", "p90", "p99", "max"
+    ));
+    for h in &trace.hists {
+        let worker = h.worker.map_or_else(|| "-".to_owned(), |w| w.to_string());
+        out.push_str(&format!(
+            "  {:<22} {:>6} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
+            h.name,
+            worker,
+            h.hist.count(),
+            us(h.hist.percentile(0.50)),
+            us(h.hist.percentile(0.90)),
+            us(h.hist.percentile(0.99)),
+            us(h.hist.max())
+        ));
+    }
+    out.push('\n');
+}
+
+/// The full default report.
+fn render_report(path: &std::path::Path, trace: &Trace) -> String {
+    let mut out = format!(
+        "rock-trace: {} (source {}, {} spans, {} hists)\n\n",
+        path.display(),
+        trace.source,
+        trace.spans.len(),
+        trace.hists.len()
+    );
+    render_timeline(&mut out, trace);
+    render_summary(&mut out, trace);
+    render_hists(&mut out, trace);
+    out
+}
+
+/// Serializes the spans as Chrome `trace_event` complete events
+/// (`{"traceEvents":[...]}`); timestamps and durations are microseconds,
+/// lanes (`tid`) are worker ids, categories are pipeline phases.
+fn export_chrome(trace: &Trace) -> String {
+    let mut events = Vec::with_capacity(trace.spans.len());
+    for span in &trace.spans {
+        let mut args = JsonObj::new(false, 0);
+        args.num_u64("span", span.id);
+        if span.parent != 0 {
+            args.num_u64("parent", span.parent);
+        }
+        for (key, value) in &span.payload {
+            match value {
+                PayloadValue::Num(v) => args.num_f64(key, *v),
+                PayloadValue::Str(v) => args.str(key, v),
+            };
+        }
+        let mut event = JsonObj::new(false, 0);
+        event
+            .str("name", &span.name)
+            .str("cat", span.phase.as_deref().unwrap_or(&trace.source))
+            .str("ph", "X")
+            .num_f64("ts", u64_to_f64(span.ts_ns) / 1.0e3)
+            .num_f64("dur", u64_to_f64(span.dur_ns) / 1.0e3)
+            .num_u64("pid", 1)
+            .num_u64("tid", span.worker)
+            .raw("args", &args.end());
+        events.push(event.end());
+    }
+    let mut doc = String::from("{\"traceEvents\":[");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push('\n');
+        doc.push_str(event);
+    }
+    doc.push_str("\n]}\n");
+    doc
+}
+
+/// 0 ok, 3 I/O, 4 invalid trace (usage errors exit 2 from `main`).
+fn run(opts: &Options) -> Result<(), (u8, String)> {
+    let text = std::fs::read_to_string(&opts.input)
+        .map_err(|e| (3, format!("{}: {e}", opts.input.display())))?;
+    let trace = load_trace(&text).map_err(|e| (4, format!("{}: {e}", opts.input.display())))?;
+    if opts.check_only {
+        println!(
+            "ok: {} (source {}, {} spans, {} hists)",
+            opts.input.display(),
+            trace.source,
+            trace.spans.len(),
+            trace.hists.len()
+        );
+        return Ok(());
+    }
+    print!("{}", render_report(&opts.input, &trace));
+    if let Some(path) = &opts.export_chrome {
+        std::fs::write(path, export_chrome(&trace))
+            .map_err(|e| (3, format!("{}: {e}", path.display())))?;
+        eprintln!("chrome trace written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((code, msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_core::telemetry::json::Json;
+    use rock_core::telemetry::trace::{LatencyHistogram, TRACE_SCHEMA};
+
+    /// A tiny canonical stream: one phase scope, two worker shards
+    /// under it, one histogram.
+    fn sample_trace() -> String {
+        let mut hist = LatencyHistogram::new();
+        for v in [1_000u64, 2_000, 150_000] {
+            hist.record(v);
+        }
+        let records = vec![
+            TraceRecord::Meta {
+                schema: TRACE_SCHEMA.to_owned(),
+                source: "unit".to_owned(),
+            },
+            TraceRecord::Span(SpanRecord {
+                id: 2,
+                parent: 1,
+                name: "links.shard".to_owned(),
+                phase: Some("links".to_owned()),
+                worker: 0,
+                ts_ns: 1_000,
+                dur_ns: 40_000,
+                payload: vec![("rows".to_owned(), PayloadValue::Num(64.0))],
+            }),
+            TraceRecord::Span(SpanRecord {
+                id: 3,
+                parent: 1,
+                name: "links.shard".to_owned(),
+                phase: Some("links".to_owned()),
+                worker: 1,
+                ts_ns: 1_500,
+                dur_ns: 50_000,
+                payload: vec![("rows".to_owned(), PayloadValue::Num(64.0))],
+            }),
+            TraceRecord::Span(SpanRecord {
+                id: 1,
+                parent: 0,
+                name: "phase".to_owned(),
+                phase: Some("links".to_owned()),
+                worker: 0,
+                ts_ns: 0,
+                dur_ns: 100_000,
+                payload: vec![("entries".to_owned(), PayloadValue::Num(12.0))],
+            }),
+            TraceRecord::Hist(Box::new(HistRecord {
+                name: "links.shard_ns".to_owned(),
+                worker: Some(0),
+                unit: "ns".to_owned(),
+                hist,
+            })),
+        ];
+        let mut text = String::new();
+        for r in records {
+            text.push_str(&r.to_line());
+            text.push('\n');
+        }
+        text
+    }
+
+    #[test]
+    fn parses_flags_and_rejects_garbage() {
+        let o = parse_args(
+            ["t.trace", "--check", "--export-chrome", "c.json"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(o.input, PathBuf::from("t.trace"));
+        assert!(o.check_only);
+        assert_eq!(o.export_chrome, Some(PathBuf::from("c.json")));
+        assert!(parse_args(std::iter::empty()).is_err());
+        assert!(parse_args(["--wat".to_owned()].into_iter()).is_err());
+        assert!(parse_args(["a".to_owned(), "b".to_owned()].into_iter()).is_err());
+        assert!(parse_args(["--export-chrome".to_owned()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn report_contains_all_three_sections() {
+        let trace = load_trace(&sample_trace()).unwrap();
+        assert_eq!(trace.source, "unit");
+        let report = render_report(std::path::Path::new("t.trace"), &trace);
+        assert!(report.contains("phase timeline"));
+        assert!(report.contains("span summary"));
+        assert!(report.contains("histograms (us)"));
+        assert!(report.contains("links.shard"));
+        // The phase span's 100us minus the shards' 90us leaves 10us of
+        // self time; the shards keep their full time (leaf spans).
+        assert!(report.contains("0.010"), "phase self time:\n{report}");
+        assert!(report.contains("0.090"), "shard total time:\n{report}");
+    }
+
+    #[test]
+    fn load_rejects_non_canonical_streams() {
+        let mut text = sample_trace();
+        text.push_str(
+            "{\"type\":\"span\",\"name\":\"x\",\"id\":9,\"worker\":0,\"ts_ns\":0,\"dur_ns\":0}\n",
+        );
+        let err = load_trace(&text).unwrap_err();
+        assert!(err.contains("canonical"), "{err}");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_one_event_per_span() {
+        let trace = load_trace(&sample_trace()).unwrap();
+        let doc = export_chrome(&trace);
+        let parsed = Json::parse(&doc).unwrap();
+        let Some(Json::Arr(events)) = parsed.get("traceEvents") else {
+            panic!("missing traceEvents array");
+        };
+        assert_eq!(events.len(), 3);
+        let first = &events[0];
+        assert_eq!(first.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(first.get("cat").and_then(Json::as_str), Some("links"));
+        assert_eq!(first.get("tid").and_then(Json::as_u64), Some(0));
+        // ts/dur are microseconds.
+        assert_eq!(first.get("dur").and_then(Json::as_f64), Some(40.0));
+        let args = first.get("args").unwrap();
+        assert_eq!(args.get("rows").and_then(Json::as_f64), Some(64.0));
+        assert_eq!(args.get("parent").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn run_round_trips_a_real_file() {
+        let dir = std::env::temp_dir().join("rock-trace-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("sample.trace");
+        std::fs::write(&input, sample_trace()).unwrap();
+        let chrome = dir.join("sample.chrome.json");
+        run(&Options {
+            input: input.clone(),
+            check_only: false,
+            export_chrome: Some(chrome.clone()),
+        })
+        .unwrap();
+        let exported = std::fs::read_to_string(&chrome).unwrap();
+        assert!(Json::parse(&exported).is_ok());
+        run(&Options {
+            input: input.clone(),
+            check_only: true,
+            export_chrome: None,
+        })
+        .unwrap();
+        // Missing file → I/O (3); garbage → invalid trace (4).
+        let (code, _) = run(&Options {
+            input: dir.join("missing.trace"),
+            check_only: true,
+            export_chrome: None,
+        })
+        .unwrap_err();
+        assert_eq!(code, 3);
+        std::fs::write(dir.join("bad.trace"), "not a trace\n").unwrap();
+        let (code, _) = run(&Options {
+            input: dir.join("bad.trace"),
+            check_only: true,
+            export_chrome: None,
+        })
+        .unwrap_err();
+        assert_eq!(code, 4);
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&chrome).ok();
+    }
+}

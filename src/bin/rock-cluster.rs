@@ -104,6 +104,9 @@ struct Options {
     on_error: OnError,
     save_model: Option<PathBuf>,
     outlier_policy: OutlierPolicy,
+    /// Write a `rock-trace/v1` NDJSON event stream of the fit here
+    /// (analyze with `rock-trace`). `None` = tracing disabled.
+    trace: Option<PathBuf>,
 }
 
 /// Parsed options for the `label` subcommand.
@@ -133,7 +136,8 @@ const USAGE: &str = "usage: rock-cluster --input FILE --k K --theta T \
 [--min-goodness G] [--seed N] [--threads N] [--summary TOP] [--output FILE] \
 [--metrics FILE] [--progress] [--log-level off|error|info|debug] \
 [--time-budget SECS] [--step-budget N] [--mem-budget BYTES[K|M|G]] \
-[--on-error fail|recover] [--save-model FILE] [--outlier-policy mark|nearest]\n\
+[--on-error fail|recover] [--save-model FILE] [--outlier-policy mark|nearest] \
+[--trace FILE]\n\
        rock-cluster label --model FILE --input FILE [--format table|basket] \
 [--label first|last|none|IDX] [--ignore i,j,...] [--missing TOKEN] \
 [--output FILE]";
@@ -178,6 +182,7 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
     let mut on_error = OnError::Fail;
     let mut save_model = None;
     let mut outlier_policy = OutlierPolicy::Mark;
+    let mut trace = None;
 
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -294,6 +299,7 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
             }
             "--mem-budget" => mem_budget = Some(parse_mem_budget(&value("--mem-budget")?)?),
             "--save-model" => save_model = Some(PathBuf::from(value("--save-model")?)),
+            "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
             "--outlier-policy" => {
                 let raw = value("--outlier-policy")?;
                 outlier_policy = OutlierPolicy::from_name(&raw).ok_or_else(|| {
@@ -336,6 +342,7 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
         on_error,
         save_model,
         outlier_policy,
+        trace,
     })
 }
 
@@ -496,6 +503,9 @@ fn run(opts: &Options) -> Result<(), RockError> {
         .threads(opts.threads);
     if let Some(g) = opts.min_goodness {
         builder = builder.min_goodness(g);
+    }
+    if let Some(path) = &opts.trace {
+        builder = builder.trace(path);
     }
     let observer = if opts.progress || opts.log_level > Level::Off {
         Observer::with_sink(
@@ -809,6 +819,7 @@ mod tests {
             on_error: OnError::Fail,
             save_model: None,
             outlier_policy: OutlierPolicy::Mark,
+            trace: None,
         };
         run(&opts).unwrap();
         std::fs::remove_file(input).ok();
@@ -969,6 +980,7 @@ mod tests {
             on_error: OnError::Recover,
             save_model: None,
             outlier_policy: OutlierPolicy::Mark,
+            trace: None,
         };
         // Recover: the degraded run is accepted.
         run(&opts).unwrap();
@@ -1014,6 +1026,7 @@ mod tests {
             on_error: OnError::Fail,
             save_model: None,
             outlier_policy: OutlierPolicy::Mark,
+            trace: None,
         };
         let err = run(&opts).unwrap_err();
         assert!(matches!(err, RockError::InvalidK { .. }));
@@ -1059,6 +1072,7 @@ mod tests {
             on_error: OnError::Recover,
             save_model: None,
             outlier_policy: OutlierPolicy::Mark,
+            trace: None,
         };
         run(&opts).unwrap();
         // Strict mode fails on the same file with a CSV error (exit 4).
@@ -1140,14 +1154,18 @@ mod tests {
             "m.rockmodel",
             "--outlier-policy",
             "nearest",
+            "--trace",
+            "fit.trace",
         ])
         .unwrap();
         assert_eq!(o.save_model, Some(PathBuf::from("m.rockmodel")));
         assert_eq!(o.outlier_policy, OutlierPolicy::Nearest);
-        // Defaults: no snapshot, paper's mark-as-outlier policy.
+        assert_eq!(o.trace, Some(PathBuf::from("fit.trace")));
+        // Defaults: no snapshot, paper's mark-as-outlier policy, no trace.
         let o = parse(&["--input", "d.csv", "--k", "2", "--theta", "0.5"]).unwrap();
         assert_eq!(o.save_model, None);
         assert_eq!(o.outlier_policy, OutlierPolicy::Mark);
+        assert_eq!(o.trace, None);
         assert!(parse(&[
             "--input",
             "d.csv",
@@ -1240,6 +1258,7 @@ mod tests {
             on_error: OnError::Fail,
             save_model: Some(model_path.clone()),
             outlier_policy: OutlierPolicy::Mark,
+            trace: None,
         };
         run(&opts).unwrap();
 
@@ -1343,6 +1362,7 @@ mod tests {
             on_error: OnError::Fail,
             save_model: None,
             outlier_policy: OutlierPolicy::Mark,
+            trace: None,
         };
         run(&opts).unwrap();
         let written = std::fs::read_to_string(&output).unwrap();

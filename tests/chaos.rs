@@ -83,6 +83,41 @@ fn injected_trips_at_every_phase_degrade_cleanly() {
 }
 
 #[test]
+fn tripped_runs_still_flush_a_parseable_trace() {
+    // `fit_guarded` flushes the rock-trace/v1 stream on every exit path,
+    // so a budget trip at *any* phase must leave a truncated but
+    // canonical (validate-clean) trace behind — the mid-flight spans of
+    // the tripped phase are simply absent, never half-written.
+    use rock::core::telemetry::trace::validate;
+    let dir = std::env::temp_dir().join("rock-chaos-trace-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (data, n) = mushroom_like(240, 4, 5);
+    for phase in Phase::ALL {
+        let path = dir.join(format!("trip-{phase:?}.trace"));
+        std::fs::remove_file(&path).ok();
+        let guard = Guard::unlimited().inject_trip_at(phase);
+        let outcome = RockBuilder::new(4, 0.8)
+            .sample(SampleStrategy::Fixed(120))
+            .seed(5)
+            .trace(&path)
+            .build()
+            .fit_guarded(&data, &Observer::new(), &guard)
+            .unwrap_or_else(|e| panic!("injection at {phase:?} errored: {e}"));
+        assert!(outcome.is_degraded(), "injection at {phase:?} must degrade");
+        assert_valid_partition(outcome.model(), n);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("trip at {phase:?} left no trace: {e}"));
+        let summary = validate(&text)
+            .unwrap_or_else(|e| panic!("trip at {phase:?} left a non-canonical trace: {e}"));
+        assert!(
+            summary.spans >= 1,
+            "trip at {phase:?}: at least the completed phases must have spans"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
 fn real_budgets_trip_and_degrade() {
     let (data, n) = mushroom_like(200, 4, 9);
     let rock = RockBuilder::new(4, 0.8).seed(9).build();

@@ -245,6 +245,23 @@ fn ten_thousand_loopback_requests_match_offline_labeling() {
     let outlier = requests.get("outlier").and_then(Json::as_u64).unwrap();
     assert_eq!(labeled + outlier, TOTAL);
 
+    // The latency histogram saw every request, and its percentile
+    // estimates are ordered and positive.
+    let latency = doc.get("latency").unwrap();
+    let field = |key: &str| latency.get(key).and_then(Json::as_f64).unwrap();
+    assert_eq!(latency.get("count").and_then(Json::as_u64), Some(TOTAL));
+    let (p50, p90, p99, max) = (
+        field("p50_ms"),
+        field("p90_ms"),
+        field("p99_ms"),
+        field("max_ms"),
+    );
+    assert!(p50 > 0.0, "p50 must be positive, got {p50}");
+    assert!(
+        p50 <= p90 && p90 <= p99 && p99 <= max,
+        "percentiles must be ordered: {p50} {p90} {p99} {max}"
+    );
+
     std::fs::remove_file(&input).ok();
     std::fs::remove_file(&model_path).ok();
 }

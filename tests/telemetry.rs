@@ -204,3 +204,144 @@ fn sampled_fit_labels_the_rest_and_counts_it() {
     assert_eq!(c.labeling_evaluations % (40 - 12), 0);
     assert_eq!(c.points_labeled, 40 - 12);
 }
+
+#[test]
+fn traced_fit_emits_a_deterministic_canonical_stream() {
+    use rock::core::telemetry::trace::{validate, TraceRecord, TRACE_SCHEMA};
+
+    // Same 40-point dataset as above: `Fixed(12)` guarantees a labeling
+    // pass, and a 12-point sample keeps every stage on one worker, so
+    // the event *structure* (not the timings) is fully deterministic.
+    let mut rows = Vec::new();
+    for i in 0..20u32 {
+        rows.push(Transaction::new([0, 1, 2, 20 + (i % 3)]));
+        rows.push(Transaction::new([10, 11, 12, 30 + (i % 3)]));
+    }
+    let data = TransactionSet::new(rows, 40);
+
+    let dir = std::env::temp_dir().join("rock-telemetry-trace-test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Runs one traced fit and returns the stream with timestamps,
+    // durations, span ids and histogram samples normalized away: record
+    // kind, name, phase, worker and payload keys/values remain.
+    let shape = |path: &std::path::Path| -> Vec<String> {
+        let observer = Observer::new();
+        let model = RockBuilder::new(2, 0.4)
+            .sample(SampleStrategy::Fixed(12))
+            .seed(3)
+            .trace(path)
+            .build()
+            .fit_observed(&data, &observer)
+            .unwrap();
+        assert_eq!(model.num_clusters(), 2);
+
+        let text = std::fs::read_to_string(path).unwrap();
+        let summary = validate(&text).expect("stream must be canonical");
+        assert_eq!(summary.source, "rock-core");
+        assert_eq!(summary.spans, 10);
+        assert_eq!(summary.hists, 2);
+
+        let records: Vec<TraceRecord> = text
+            .lines()
+            .map(|line| {
+                let record = TraceRecord::parse_line(line).unwrap();
+                // Emit → parse → re-emit is byte-identical, line by line.
+                assert_eq!(record.to_line(), line);
+                record
+            })
+            .collect();
+
+        // Worker spans nest under their phase scope: every non-"phase"
+        // span's parent must be the id of a "phase" span, and phase
+        // scopes themselves are roots.
+        let phase_ids: std::collections::HashSet<u64> = records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Span(s) if s.name == "phase" => Some(s.id),
+                _ => None,
+            })
+            .collect();
+        for r in &records {
+            if let TraceRecord::Span(s) = r {
+                if s.name == "phase" {
+                    assert_eq!(s.parent, 0, "phase scope {} must be a root", s.id);
+                } else {
+                    assert!(
+                        phase_ids.contains(&s.parent),
+                        "span {:?} must nest under a phase scope, parent {}",
+                        s.name,
+                        s.parent
+                    );
+                }
+            }
+        }
+
+        records
+            .iter()
+            .map(|r| match r {
+                TraceRecord::Meta { schema, .. } => format!("meta {schema}"),
+                TraceRecord::Span(s) => {
+                    let payload: Vec<String> = s
+                        .payload
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v:?}"))
+                        .collect();
+                    format!(
+                        "span {} {} w{} [{}]",
+                        s.name,
+                        s.phase.as_deref().unwrap_or("-"),
+                        s.worker,
+                        payload.join(" ")
+                    )
+                }
+                TraceRecord::Hist(h) => {
+                    let worker = h.worker.map_or("-".to_owned(), |w| w.to_string());
+                    format!("hist {} w{worker} {}", h.name, h.unit)
+                }
+            })
+            .collect()
+    };
+
+    let first = shape(&dir.join("a.trace"));
+
+    // The spine of the stream: one scope span per pipeline phase in
+    // execution order, with the single-threaded worker spans and their
+    // histograms inside. Spans are written at *end*, so each child line
+    // precedes its enclosing phase line.
+    let spine: Vec<(&str, &str)> = first
+        .iter()
+        .filter_map(|line| {
+            let mut it = line.split_whitespace();
+            match (it.next(), it.next(), it.next()) {
+                (Some("meta"), Some(schema), _) => Some((schema, "")),
+                (Some("span"), Some(name), Some(phase)) => Some((name, phase)),
+                (Some("hist"), Some(name), _) => Some((name, "")),
+                _ => None,
+            }
+        })
+        .collect();
+    assert_eq!(
+        spine,
+        vec![
+            (TRACE_SCHEMA, ""),
+            ("phase", "sample"),
+            ("neighbors.scan", "neighbors"),
+            ("phase", "neighbors"),
+            ("phase", "outliers"),
+            ("links.shard", "links"),
+            ("links.shard_ns", ""),
+            ("phase", "links"),
+            ("agglomerate.batch", "agglomerate"),
+            ("agglomerate.batch_ns", ""),
+            ("phase", "agglomerate"),
+            ("labeling.pass", "labeling"),
+            ("phase", "labeling"),
+        ]
+    );
+
+    // A second run with the same seed produces the identical normalized
+    // stream — payload values (edge counts, merges, goodness) included.
+    let second = shape(&dir.join("b.trace"));
+    assert_eq!(first, second, "trace structure must be deterministic");
+}
