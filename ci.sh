@@ -59,7 +59,15 @@ echo "== cargo clippy (all targets, warnings are errors)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== rock-analyze --deny (workspace lint pass)"
-cargo run --offline -q -p rock-analyze -- --deny
+# The JSON report lands in target/analyze/ so CI can upload it as an
+# artifact when the gate fails (same pattern as the bench gate).
+mkdir -p target/analyze
+if ! cargo run --offline -q -p rock-analyze -- --deny --format=json \
+    > target/analyze/findings.json; then
+    echo "-- rock-analyze findings (target/analyze/findings.json):" >&2
+    cat target/analyze/findings.json >&2
+    exit 1
+fi
 
 # Unit tests (lib + bin targets) run here; every integration suite runs
 # exactly once, each as its own named gate below, so nothing is tested

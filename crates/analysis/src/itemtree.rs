@@ -1,0 +1,553 @@
+//! A lightweight item-tree parser over the token stream.
+//!
+//! The v1 analyzer pattern-matched a flat token stream, which is enough
+//! for "never call `.unwrap()`" but not for structural questions like
+//! *which function does this call site live in*, *does this `while` body
+//! contain a `Guard` checkpoint*, or *is this identifier bound to a
+//! `HashMap` in the current function*. This module builds just enough
+//! structure to answer those — still dependency-free, still best-effort
+//! (the compiler is the arbiter of what parses):
+//!
+//! * **items** — `fn` / `impl` / `mod` / `trait` / `struct` / `enum`
+//!   with names, nesting (parent links), and token spans for bodies;
+//! * **loops** — `for` / `while` / `loop` sites with header and body
+//!   token ranges, linked to their enclosing function;
+//! * **call sites** — `callee(…)`, `.method(…)` and `macro!(…)`
+//!   invocations with argument spans, linked to their enclosing function.
+//!
+//! The determinism lint pack ([`crate::determinism`]) is built on these
+//! three tables; future dataflow lints can reuse the same scaffold.
+
+use std::ops::Range;
+
+use crate::lexer::{Tok, TokKind};
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function or method (`fn`).
+    Fn,
+    /// An `impl` block.
+    Impl,
+    /// An inline module (`mod name { … }`) or declaration (`mod name;`).
+    Mod,
+    /// A `trait` definition.
+    Trait,
+    /// A `struct` definition.
+    Struct,
+    /// An `enum` definition.
+    Enum,
+}
+
+/// One parsed item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// The item kind.
+    pub kind: ItemKind,
+    /// Item name. For `impl` blocks this is the last path segment of the
+    /// implemented-for type (`impl fmt::Display for Finding` → `Finding`).
+    pub name: String,
+    /// 1-based line of the introducing keyword.
+    pub line: u32,
+    /// Token range of the whole item, keyword through closing brace/`;`.
+    pub span: Range<usize>,
+    /// Token range strictly inside the body braces (`None` for bodyless
+    /// items such as `mod x;` or trait method declarations).
+    pub body: Option<Range<usize>>,
+    /// Index of the enclosing item in [`ItemTree::items`], if nested.
+    pub parent: Option<usize>,
+}
+
+/// The looping construct of a [`LoopSite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// A `for … in … { }` loop (bounded by its iterator).
+    For,
+    /// A `while cond { }` loop.
+    While,
+    /// A bare `loop { }`.
+    Loop,
+}
+
+/// One `for`/`while`/`loop` site.
+#[derive(Debug, Clone)]
+pub struct LoopSite {
+    /// Which looping construct.
+    pub kind: LoopKind,
+    /// 1-based line of the loop keyword.
+    pub line: u32,
+    /// Tokens between the keyword and the body's `{` (empty for `loop`).
+    pub header: Range<usize>,
+    /// Tokens strictly inside the body braces.
+    pub body: Range<usize>,
+    /// Enclosing `fn` item index, when inside one.
+    pub enclosing_fn: Option<usize>,
+}
+
+/// One call site: a plain call, a method call, or a macro invocation.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The called identifier (`spawn`, `unwrap`, `panic`, …).
+    pub callee: String,
+    /// Token index of the callee identifier.
+    pub token: usize,
+    /// 1-based line of the callee.
+    pub line: u32,
+    /// `true` when invoked as `.callee(…)`.
+    pub is_method: bool,
+    /// `true` when invoked as `callee!(…)` / `callee![…]` / `callee!{…}`.
+    pub is_macro: bool,
+    /// Tokens strictly inside the argument delimiters.
+    pub args: Range<usize>,
+    /// Enclosing `fn` item index, when inside one.
+    pub enclosing_fn: Option<usize>,
+}
+
+/// The parse result: flat tables with parent links.
+#[derive(Debug, Default)]
+pub struct ItemTree {
+    /// Every parsed item, in source order.
+    pub items: Vec<Item>,
+    /// Every loop site, in source order.
+    pub loops: Vec<LoopSite>,
+    /// Every call site, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+impl ItemTree {
+    /// Parses the token stream into an item tree.
+    pub fn build(tokens: &[Tok]) -> ItemTree {
+        let mut tree = ItemTree::default();
+        Parser {
+            toks: tokens,
+            tree: &mut tree,
+        }
+        .region(0, tokens.len(), None, None);
+        tree
+    }
+
+    /// Iterator over `fn` items (index + item).
+    pub fn fns(&self) -> impl Iterator<Item = (usize, &Item)> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| it.kind == ItemKind::Fn)
+    }
+
+    /// The chain of item names from the root to `item`, dot-joined —
+    /// `Engine.merge` for a method, `tests.check` for a test fn.
+    pub fn qualified_name(&self, item: usize) -> String {
+        let mut parts = vec![self.items[item].name.clone()];
+        let mut cur = self.items[item].parent;
+        while let Some(p) = cur {
+            parts.push(self.items[p].name.clone());
+            cur = self.items[p].parent;
+        }
+        parts.reverse();
+        parts.join(".")
+    }
+}
+
+/// Index of the token matching the opening delimiter at `open` (`{`/`[`/
+/// `(`), or `len` when unbalanced at end-of-file.
+pub fn matching_close(toks: &[Tok], open: usize) -> usize {
+    let (o, c) = match toks[open].kind {
+        TokKind::Punct('{') => ('{', '}'),
+        TokKind::Punct('[') => ('[', ']'),
+        TokKind::Punct('(') => ('(', ')'),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len()
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    tree: &'a mut ItemTree,
+}
+
+impl Parser<'_> {
+    /// Parses tokens in `[start, end)` as item-or-statement context.
+    /// `parent` is the enclosing item; `encl_fn` the innermost `fn`.
+    fn region(&mut self, start: usize, end: usize, parent: Option<usize>, encl_fn: Option<usize>) {
+        let mut i = start;
+        while i < end {
+            let t = &self.toks[i];
+            match t.kind {
+                // Skip attributes wholesale: `#[derive(Clone)]` must not
+                // register `derive` as a call site.
+                TokKind::Punct('#') if self.peek_punct(i + 1, '[') => {
+                    i = matching_close(self.toks, i + 1) + 1;
+                }
+                TokKind::Ident => match t.text.as_str() {
+                    "fn" => i = self.item_fn(i, end, parent),
+                    "impl" | "mod" | "trait" => i = self.item_braced(i, end, parent, encl_fn),
+                    "struct" | "enum" | "union" => i = self.item_type(i, end, parent),
+                    "use" | "extern" => i = self.skip_to_semi(i, end),
+                    "for" | "while" | "loop" => i = self.loop_site(i, end, encl_fn),
+                    _ => {
+                        self.maybe_call(i, encl_fn);
+                        i += 1;
+                    }
+                },
+                _ => i += 1,
+            }
+        }
+    }
+
+    fn peek_punct(&self, i: usize, c: char) -> bool {
+        self.toks.get(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn peek_ident(&self, i: usize) -> Option<&str> {
+        self.toks
+            .get(i)
+            .and_then(|t| (t.kind == TokKind::Ident).then_some(t.text.as_str()))
+    }
+
+    /// First `{` at bracket depth 0 in `[from, end)`, or the first `;`
+    /// at depth 0 when `or_semi` (bodyless items). Returns (index, is_brace).
+    fn find_body_open(&self, from: usize, end: usize, or_semi: bool) -> Option<(usize, bool)> {
+        let mut depth = 0usize;
+        let mut i = from;
+        while i < end {
+            let t = &self.toks[i];
+            match t.kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => depth = depth.saturating_sub(1),
+                TokKind::Punct('{') if depth == 0 => return Some((i, true)),
+                TokKind::Punct(';') if depth == 0 && or_semi => return Some((i, false)),
+                _ => {}
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Parses `fn name …(…) … { body }` (or a bodyless trait decl ending
+    /// in `;`). Returns the index just past the item.
+    fn item_fn(&mut self, kw: usize, end: usize, parent: Option<usize>) -> usize {
+        let name = self.peek_ident(kw + 1).unwrap_or("").to_string();
+        let Some((open, is_brace)) = self.find_body_open(kw + 1, end, true) else {
+            return end;
+        };
+        if !is_brace {
+            // Trait method declaration: `fn f(…) -> T;`
+            self.tree.items.push(Item {
+                kind: ItemKind::Fn,
+                name,
+                line: self.toks[kw].line,
+                span: kw..open + 1,
+                body: None,
+                parent,
+            });
+            return open + 1;
+        }
+        let close = matching_close(self.toks, open);
+        let idx = self.tree.items.len();
+        self.tree.items.push(Item {
+            kind: ItemKind::Fn,
+            name,
+            line: self.toks[kw].line,
+            span: kw..close + 1,
+            body: Some(open + 1..close),
+            parent,
+        });
+        // Scan the signature for call sites (default-arg exprs are rare,
+        // but closures in `where` bounds are not lintable anyway) — skip.
+        self.region(open + 1, close.min(end), Some(idx), Some(idx));
+        close + 1
+    }
+
+    /// Parses `impl … { }`, `mod name { }` / `mod name;`, `trait … { }`.
+    fn item_braced(
+        &mut self,
+        kw: usize,
+        end: usize,
+        parent: Option<usize>,
+        encl_fn: Option<usize>,
+    ) -> usize {
+        let kind = match self.toks[kw].text.as_str() {
+            "impl" => ItemKind::Impl,
+            "mod" => ItemKind::Mod,
+            _ => ItemKind::Trait,
+        };
+        let Some((open, is_brace)) = self.find_body_open(kw + 1, end, true) else {
+            return end;
+        };
+        // Name: the last identifier in the header (for `impl A for B`,
+        // that is B; for `mod tests`, `tests`), skipping keywords.
+        let name = self.toks[kw + 1..open]
+            .iter()
+            .rfind(|t| t.kind == TokKind::Ident && t.text != "for" && t.text != "where")
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        if !is_brace {
+            self.tree.items.push(Item {
+                kind,
+                name,
+                line: self.toks[kw].line,
+                span: kw..open + 1,
+                body: None,
+                parent,
+            });
+            return open + 1;
+        }
+        let close = matching_close(self.toks, open);
+        let idx = self.tree.items.len();
+        self.tree.items.push(Item {
+            kind,
+            name,
+            line: self.toks[kw].line,
+            span: kw..close + 1,
+            body: Some(open + 1..close),
+            parent,
+        });
+        self.region(open + 1, close.min(end), Some(idx), encl_fn);
+        close + 1
+    }
+
+    /// Parses `struct`/`enum`/`union` definitions. Bodies are recorded
+    /// (field scans need them) but not recursed into — no code inside.
+    fn item_type(&mut self, kw: usize, end: usize, parent: Option<usize>) -> usize {
+        let kind = match self.toks[kw].text.as_str() {
+            "struct" => ItemKind::Struct,
+            "enum" => ItemKind::Enum,
+            _ => ItemKind::Struct, // `union` — close enough for field scans
+        };
+        let name = self.peek_ident(kw + 1).unwrap_or("").to_string();
+        let Some((open, is_brace)) = self.find_body_open(kw + 1, end, true) else {
+            return end;
+        };
+        if !is_brace {
+            // Tuple struct `struct S(T);` or unit struct `struct S;` —
+            // `find_body_open` stopped at the `;` (parens are depth).
+            self.tree.items.push(Item {
+                kind,
+                name,
+                line: self.toks[kw].line,
+                span: kw..open + 1,
+                body: None,
+                parent,
+            });
+            return open + 1;
+        }
+        let close = matching_close(self.toks, open);
+        self.tree.items.push(Item {
+            kind,
+            name,
+            line: self.toks[kw].line,
+            span: kw..close + 1,
+            body: Some(open + 1..close),
+            parent,
+        });
+        close + 1
+    }
+
+    fn skip_to_semi(&self, from: usize, end: usize) -> usize {
+        let mut i = from;
+        while i < end {
+            if self.toks[i].is_punct(';') {
+                return i + 1;
+            }
+            // `extern "C" fn` and `use x::{..}` braces: step over groups.
+            if self.toks[i].is_punct('{') {
+                return matching_close(self.toks, i) + 1;
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Records a `for`/`while`/`loop` site and continues the scan *inside*
+    /// the header and body (nested loops, calls, and items are picked up
+    /// by the enclosing linear scan). Returns the index just past the
+    /// keyword — not past the body — so inner constructs are visited.
+    fn loop_site(&mut self, kw: usize, end: usize, encl_fn: Option<usize>) -> usize {
+        let kind = match self.toks[kw].text.as_str() {
+            "for" => LoopKind::For,
+            "while" => LoopKind::While,
+            _ => LoopKind::Loop,
+        };
+        // `for` in `impl Trait for Type` never reaches here: impl headers
+        // are consumed by `item_braced` before the region scan sees them.
+        let Some((open, _)) = self.find_body_open(kw + 1, end, false) else {
+            return kw + 1;
+        };
+        let close = matching_close(self.toks, open);
+        self.tree.loops.push(LoopSite {
+            kind,
+            line: self.toks[kw].line,
+            header: kw + 1..open,
+            body: open + 1..close,
+            enclosing_fn: encl_fn,
+        });
+        kw + 1
+    }
+
+    /// Records `callee(…)`, `.callee(…)`, and `callee!(…)` call sites.
+    fn maybe_call(&mut self, i: usize, encl_fn: Option<usize>) {
+        let t = &self.toks[i];
+        let is_method = i > 0 && self.toks[i - 1].is_punct('.');
+        let (args_open, is_macro) = if self.peek_punct(i + 1, '(') {
+            (i + 1, false)
+        } else if self.peek_punct(i + 1, '!')
+            && (self.peek_punct(i + 2, '(')
+                || self.peek_punct(i + 2, '[')
+                || self.peek_punct(i + 2, '{'))
+        {
+            (i + 2, true)
+        } else {
+            return;
+        };
+        // Keywords that precede a parenthesis are not calls.
+        if matches!(
+            t.text.as_str(),
+            "if" | "match" | "return" | "in" | "as" | "let" | "else" | "move" | "mut" | "ref"
+        ) {
+            return;
+        }
+        let close = matching_close(self.toks, args_open);
+        self.tree.calls.push(CallSite {
+            callee: t.text.clone(),
+            token: i,
+            line: t.line,
+            is_method,
+            is_macro,
+            args: args_open + 1..close,
+            enclosing_fn: encl_fn,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> (Vec<Tok>, ItemTree) {
+        let toks = lex(src).tokens;
+        let tree = ItemTree::build(&toks);
+        (toks, tree)
+    }
+
+    #[test]
+    fn nesting_and_names() {
+        let src = "mod m {\n  struct S { x: u32 }\n  impl fmt::Display for S {\n    fn fmt(&self) -> u32 { self.x }\n  }\n}\n";
+        let (_, t) = tree(src);
+        let kinds: Vec<(ItemKind, &str)> =
+            t.items.iter().map(|i| (i.kind, i.name.as_str())).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (ItemKind::Mod, "m"),
+                (ItemKind::Struct, "S"),
+                (ItemKind::Impl, "S"),
+                (ItemKind::Fn, "fmt"),
+            ]
+        );
+        let f = t.items.iter().position(|i| i.kind == ItemKind::Fn).unwrap();
+        assert_eq!(t.qualified_name(f), "m.S.fmt");
+    }
+
+    #[test]
+    fn loops_are_linked_to_their_fn() {
+        let src = "fn a() { for x in v { while x { loop { tick(); } } } }\nfn b() { }";
+        let (_, t) = tree(src);
+        assert_eq!(t.loops.len(), 3);
+        let a = t.items.iter().position(|i| i.name == "a").unwrap();
+        for l in &t.loops {
+            assert_eq!(l.enclosing_fn, Some(a));
+        }
+        assert_eq!(t.loops[0].kind, LoopKind::For);
+        assert_eq!(t.loops[1].kind, LoopKind::While);
+        assert_eq!(t.loops[2].kind, LoopKind::Loop);
+        // The innermost `loop` body contains the tick() call.
+        let lp = &t.loops[2];
+        assert!(t
+            .calls
+            .iter()
+            .any(|c| c.callee == "tick" && lp.body.contains(&c.token)));
+    }
+
+    #[test]
+    fn calls_methods_and_macros() {
+        let src = "fn f() { g(); x.h(1); panic!(\"boom\"); let v = vec![1]; }";
+        let (_, t) = tree(src);
+        let names: Vec<(&str, bool, bool)> = t
+            .calls
+            .iter()
+            .map(|c| (c.callee.as_str(), c.is_method, c.is_macro))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("g", false, false),
+                ("h", true, false),
+                ("panic", false, true),
+                ("vec", false, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_are_not_calls() {
+        let src = "#[derive(Clone, Debug)]\nstruct S;\nfn f() { real(); }";
+        let (_, t) = tree(src);
+        assert!(t.calls.iter().all(|c| c.callee != "derive"));
+        assert!(t.calls.iter().any(|c| c.callee == "real"));
+    }
+
+    #[test]
+    fn impl_trait_for_is_not_a_loop() {
+        let src = "impl Iterator for Rows { fn next(&mut self) -> Option<u32> { None } }";
+        let (_, t) = tree(src);
+        assert!(t.loops.is_empty());
+        assert_eq!(t.items[0].kind, ItemKind::Impl);
+        assert_eq!(t.items[0].name, "Rows");
+    }
+
+    #[test]
+    fn while_let_and_labeled_loops() {
+        let src = "fn f() { 'outer: while let Some(x) = it.next() { break 'outer; } }";
+        let (_, t) = tree(src);
+        assert_eq!(t.loops.len(), 1);
+        assert_eq!(t.loops[0].kind, LoopKind::While);
+        // The header covers `let Some(x) = it.next()`.
+        assert!(t
+            .calls
+            .iter()
+            .any(|c| c.callee == "next" && t.loops[0].header.contains(&c.token)));
+    }
+
+    #[test]
+    fn bodyless_items() {
+        let src = "mod other;\ntrait T { fn decl(&self); fn given(&self) { body(); } }";
+        let (_, t) = tree(src);
+        let m = &t.items[0];
+        assert_eq!((m.kind, m.body.is_some()), (ItemKind::Mod, false));
+        let decl = t.items.iter().find(|i| i.name == "decl").unwrap();
+        assert!(decl.body.is_none());
+        let given = t.items.iter().find(|i| i.name == "given").unwrap();
+        assert!(given.body.is_some());
+    }
+
+    #[test]
+    fn struct_fields_span_is_recorded() {
+        let src = "struct S { pos: HashMap<u32, usize>, n: usize }";
+        let (toks, t) = tree(src);
+        let body = t.items[0].body.clone().unwrap();
+        assert!(toks[body.clone()].iter().any(|x| x.is_ident("HashMap")));
+        assert!(toks[body].iter().any(|x| x.is_ident("pos")));
+    }
+}

@@ -163,8 +163,13 @@ impl Lexer {
             text.push(c);
             self.bump();
         }
-        if let Some(directive) = parse_directive(&text, line) {
-            self.out.directives.push(directive);
+        // Only plain `//` comments carry directives: `///` and `//!` doc
+        // text may *mention* the syntax without being a directive.
+        let doc = text.starts_with("///") || text.starts_with("//!");
+        if !doc {
+            if let Some(directive) = parse_directive(&text, line) {
+                self.out.directives.push(directive);
+            }
         }
     }
 
@@ -248,20 +253,22 @@ impl Lexer {
             (Some('b'), Some('r')) if matches!(c2, Some('"') | Some('#')) => {
                 self.bump();
                 self.bump();
-                self.raw_prefix_body(line)
+                self.raw_prefix_body("br", line)
             }
             // r"…" / r#"…"# — raw string; r#ident — raw identifier.
             (Some('r'), Some('"') | Some('#')) => {
                 self.bump();
-                self.raw_prefix_body(line)
+                self.raw_prefix_body("r", line)
             }
             _ => false,
         }
     }
 
     /// After the `r` of a raw-string or raw-identifier prefix: counts `#`s
-    /// and dispatches. Returns `true` if a literal was consumed.
-    fn raw_prefix_body(&mut self, line: u32) -> bool {
+    /// and dispatches. `prefix` is the already-consumed `r`/`br`, re-used
+    /// verbatim when the lookahead turns out not to be a literal at all.
+    /// Returns `true` if a token was consumed.
+    fn raw_prefix_body(&mut self, prefix: &str, line: u32) -> bool {
         let mut hashes = 0usize;
         while self.peek(hashes) == Some('#') {
             hashes += 1;
@@ -279,9 +286,18 @@ impl Lexer {
             self.ident();
             true
         } else {
-            // Lone `r`/`b` identifier followed by unrelated punctuation; the
-            // caller already consumed nothing, so lex it as an identifier.
-            self.ident();
+            // Not a literal after all (e.g. `r#2`, `br##`): the caller
+            // already consumed the prefix, so emit it as an identifier —
+            // including the consumed letters, which the v1 lexer dropped.
+            let mut text = String::from(prefix);
+            while let Some(c) = self.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            }
+            self.push(TokKind::Ident, text, line);
             true
         }
     }
@@ -324,15 +340,39 @@ impl Lexer {
 
     fn number(&mut self) {
         let line = self.line;
-        self.bump();
+        // A literal directly after a single `.` is a tuple index (`x.0`,
+        // and the chain `x.0.1`): always a plain integer, never a float.
+        // After `..` (a range bound) a float is still allowed.
+        let after_dot = {
+            let toks = &self.out.tokens;
+            toks.last().is_some_and(|t| t.is_punct('.'))
+                && !toks[..toks.len() - 1]
+                    .last()
+                    .is_some_and(|t| t.is_punct('.'))
+        };
+        let first = self.bump();
+        // `0x…`/`0b…`/`0o…` literals never carry an exponent; without
+        // this guard `0x1E-5` (hex, minus, int) would fuse into one token.
+        let radix_prefix =
+            first == Some('0') && matches!(self.peek(0), Some('x' | 'X' | 'b' | 'B' | 'o' | 'O'));
+        let mut prev = first;
         loop {
             match self.peek(0) {
                 Some(c) if is_ident_continue(c) => {
-                    self.bump();
+                    prev = self.bump();
                 }
-                // A float's decimal point — but not the `..` of a range.
-                Some('.') if self.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
-                    self.bump();
+                // A float's decimal point — but not the `..` of a range,
+                // and not inside a tuple-index chain.
+                Some('.') if !after_dot && self.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
+                    prev = self.bump();
+                }
+                // An exponent's sign: `1e-5`, `2.5E+10`.
+                Some('+' | '-')
+                    if !radix_prefix
+                        && matches!(prev, Some('e' | 'E'))
+                        && self.peek(1).is_some_and(|c| c.is_ascii_digit()) =>
+                {
+                    prev = self.bump();
                 }
                 _ => break,
             }

@@ -28,6 +28,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod determinism;
+pub mod itemtree;
 pub mod lexer;
 pub mod lints;
 

@@ -3,7 +3,10 @@
 //! Each lint guards a numeric or determinism invariant the compiler cannot
 //! see (see DESIGN.md §Static analysis). Lints are scoped by workspace
 //! path: the strictest set applies to `rock-core` library code, where a
-//! silent panic or lossy cast corrupts clustering results.
+//! silent panic or lossy cast corrupts clustering results. The
+//! determinism/concurrency pack ([`crate::determinism`]) additionally
+//! covers test suites and benches — a nondeterministic assertion flakes
+//! just as badly as a nondeterministic export.
 //!
 //! | lint            | scope                          | enforces |
 //! |-----------------|--------------------------------|----------|
@@ -12,6 +15,11 @@
 //! | `float-ord`     | all shipped `src/`             | no `partial_cmp` / raw float `Ord` shims outside the audited `GoodnessOrd` site |
 //! | `counter-flush` | `crates/core/src`              | hot-loop local telemetry counters must be flushed before scope exit |
 //! | `wall-clock`    | core (sans telemetry), datasets, baselines | no `SystemTime::now` / `Instant::now` — keeps runs reproducible |
+//! | `nondet-iter`   | everywhere linted              | no `HashMap`/`HashSet` iteration without sort/`BTree*`/justified allow |
+//! | `atomic-ordering` | everywhere linted            | atomic ops use their documented class ordering; no bare `SeqCst` |
+//! | `spawn-merge-order` | everywhere linted          | worker results merged in spawn order, never channel-arrival order |
+//! | `panic-path`    | `crates/serve/src`             | serve fails closed: no `panic!`/`unwrap`/`expect`/indexing |
+//! | `guard-loop`    | core phase files               | unbounded loops poll the `Guard` (`checkpoint`/`merge_tick`) |
 //!
 //! Any finding can be suppressed with a justified directive on the same
 //! or previous line:
@@ -23,11 +31,14 @@
 //! [`RockError`]: https://docs.rs/rock-core
 //!
 //! Suppressions *without* a justification are themselves reported (as
-//! `bare-allow`), so every exception in the tree documents its reason.
+//! `bare-allow`), and suppressions that no longer suppress anything are
+//! reported as `unused-allow` — every exception in the tree documents its
+//! reason, and no stale exception outlives the code it audited.
 
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 
+use crate::determinism::{self, FileCtx};
+use crate::itemtree::ItemTree;
 use crate::lexer::{lex, test_mask, Tok, TokKind};
 
 /// Static description of one lint.
@@ -40,7 +51,7 @@ pub struct LintInfo {
 }
 
 /// Every lint this analyzer knows, in report order.
-pub const LINTS: [LintInfo; 6] = [
+pub const LINTS: [LintInfo; 12] = [
     LintInfo {
         name: "core-unwrap",
         summary: "no .unwrap()/.expect() in rock-core library code; return a typed RockError",
@@ -62,8 +73,32 @@ pub const LINTS: [LintInfo; 6] = [
         summary: "no SystemTime::now/Instant::now outside telemetry; runs must be reproducible",
     },
     LintInfo {
+        name: "nondet-iter",
+        summary: "no HashMap/HashSet iteration without BTree*/explicit sort/justified allow",
+    },
+    LintInfo {
+        name: "atomic-ordering",
+        summary: "atomic ops use their documented class ordering (no bare SeqCst/mismatches)",
+    },
+    LintInfo {
+        name: "spawn-merge-order",
+        summary: "per-worker results merge by indexed loop in spawn order, never arrival order",
+    },
+    LintInfo {
+        name: "panic-path",
+        summary: "no panic!/unwrap/expect/indexing in rock-serve; the server fails closed",
+    },
+    LintInfo {
+        name: "guard-loop",
+        summary: "unbounded loops in core phase code must poll the Guard (checkpoint/merge_tick)",
+    },
+    LintInfo {
         name: "bare-allow",
         summary: "every rock-analyze: allow(...) directive must carry a justification",
+    },
+    LintInfo {
+        name: "unused-allow",
+        summary: "an allow(...) directive that suppresses nothing is itself an error",
     },
 ];
 
@@ -88,6 +123,38 @@ impl fmt::Display for Finding {
             self.path, self.line, self.lint, self.message
         )
     }
+}
+
+impl Finding {
+    /// Renders the finding as one JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"path\":{},\"line\":{},\"lint\":{},\"message\":{}}}",
+            json_str(&self.path),
+            self.line,
+            json_str(self.lint),
+            json_str(&self.message)
+        )
+    }
+}
+
+/// Minimal JSON string escaping (the workspace is dependency-free).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Integer and float primitive type names — the targets L2 refuses to see
@@ -119,26 +186,49 @@ fn is_flush_ident(name: &str) -> bool {
 
 /// Which lints apply to a file, given its workspace-relative path.
 ///
-/// Only shipped library/binary sources are linted; `tests/`, `examples/`,
-/// benches and the analyzer's own fixtures are exempt by location (test
-/// *modules* inside shipped files are exempted by the lexer's test mask).
+/// Shipped library/binary sources get the full set for their crate. Test
+/// suites, benches, and examples get the determinism pack plus the
+/// directive lints — a nondeterministic assertion flakes just as badly as
+/// a nondeterministic export, so `tests/` and `crates/bench` are scanned
+/// too. Only the analyzer's own fixture corpus is exempt by location
+/// (test *modules* inside shipped files are exempted per-lint by the
+/// lexer's test mask).
 pub fn applicable_lints(rel_path: &str) -> Vec<&'static str> {
     let p = rel_path.replace('\\', "/");
     if !p.ends_with(".rs") || p.contains("/fixtures/") || p.starts_with("target/") {
         return Vec::new();
     }
     let shipped = p.starts_with("src/") || (p.starts_with("crates/") && p.contains("/src/"));
-    if !shipped {
+    let test_code = p.starts_with("tests/")
+        || p.contains("/tests/")
+        || p.contains("/benches/")
+        || p.starts_with("examples/");
+    if !shipped && !test_code {
         return Vec::new();
     }
-    let mut lints = vec!["float-ord", "bare-allow"];
-    if p.starts_with("crates/core/src/") {
-        lints.extend(["core-unwrap", "core-bare-cast", "counter-flush"]);
-        if !p.starts_with("crates/core/src/telemetry/") {
+    // The determinism pack and the directive lints apply everywhere.
+    let mut lints = vec![
+        "nondet-iter",
+        "atomic-ordering",
+        "spawn-merge-order",
+        "bare-allow",
+        "unused-allow",
+    ];
+    if shipped {
+        lints.push("float-ord");
+        if p.starts_with("crates/core/src/") {
+            lints.extend(["core-unwrap", "core-bare-cast", "counter-flush"]);
+            if !p.starts_with("crates/core/src/telemetry/") {
+                lints.push("wall-clock");
+            }
+            if determinism::is_guard_scope(&p) {
+                lints.push("guard-loop");
+            }
+        } else if p.starts_with("crates/datasets/src/") || p.starts_with("crates/baselines/src/") {
             lints.push("wall-clock");
+        } else if p.starts_with("crates/serve/src/") {
+            lints.push("panic-path");
         }
-    } else if p.starts_with("crates/datasets/src/") || p.starts_with("crates/baselines/src/") {
-        lints.push("wall-clock");
     }
     lints
 }
@@ -154,6 +244,7 @@ pub fn analyze_source(rel_path: &str, source: &str) -> Vec<Finding> {
     let lexed = lex(source);
     let mask = test_mask(&lexed.tokens);
     let toks = &lexed.tokens;
+    let tree = ItemTree::build(toks);
 
     let mut findings: Vec<Finding> = Vec::new();
     let mut emit = |line: u32, lint: &'static str, message: String| {
@@ -252,22 +343,64 @@ pub fn analyze_source(rel_path: &str, source: &str) -> Vec<Finding> {
         }
     }
 
-    // Apply suppression directives: an allow on line L silences that lint
-    // on lines L and L+1 (so a standalone comment covers the next line).
-    let mut suppressed: HashMap<&str, HashSet<u32>> = HashMap::new();
-    for d in &lexed.directives {
-        for lint in &d.lints {
-            let entry = suppressed.entry(lint.as_str()).or_default();
-            entry.insert(d.line);
-            entry.insert(d.line + 1);
+    // The determinism/concurrency pack runs off the item tree.
+    findings.extend(determinism::run(&FileCtx {
+        path: rel_path,
+        toks,
+        mask: &mask,
+        tree: &tree,
+        lints: &lints,
+    }));
+
+    // Apply suppression directives — an allow on line L silences that
+    // lint on lines L and L+1 (a standalone comment covers the next
+    // line) — while tracking which directives actually suppress
+    // something. The directive lints themselves are never suppressible.
+    let mut used = vec![false; lexed.directives.len()];
+    findings.retain(|f| {
+        if f.lint == "bare-allow" || f.lint == "unused-allow" {
+            return true;
+        }
+        let mut keep = true;
+        for (d, u) in lexed.directives.iter().zip(used.iter_mut()) {
+            if (d.line == f.line || d.line + 1 == f.line) && d.lints.iter().any(|l| l == f.lint) {
+                *u = true;
+                keep = false;
+            }
+        }
+        keep
+    });
+
+    // A directive that suppressed nothing is stale: either the code it
+    // audited is gone, or it names a lint that cannot fire here.
+    if lints.contains(&"unused-allow") {
+        for (d, u) in lexed.directives.iter().zip(&used) {
+            if *u {
+                continue;
+            }
+            let unknown: Vec<&str> = d
+                .lints
+                .iter()
+                .map(String::as_str)
+                .filter(|l| !LINTS.iter().any(|li| li.name == *l))
+                .collect();
+            let detail = if unknown.is_empty() {
+                "nothing on this or the next line fires it — delete the stale directive".to_string()
+            } else {
+                format!("no such lint: {}", unknown.join(", "))
+            };
+            findings.push(Finding {
+                path: rel_path.to_string(),
+                line: d.line,
+                lint: "unused-allow",
+                message: format!(
+                    "allow({}) directive suppresses nothing ({detail})",
+                    d.lints.join(", ")
+                ),
+            });
         }
     }
-    findings.retain(|f| {
-        f.lint == "bare-allow"
-            || !suppressed
-                .get(f.lint)
-                .is_some_and(|lines| lines.contains(&f.line))
-    });
+
     findings.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
     findings
 }
@@ -340,8 +473,13 @@ mod tests {
         assert!(applicable_lints("crates/baselines/src/kmodes.rs").contains(&"wall-clock"));
         assert!(!applicable_lints("crates/core/src/telemetry/mod.rs").contains(&"wall-clock"));
         assert!(applicable_lints("src/lib.rs").contains(&"float-ord"));
-        assert!(applicable_lints("tests/pipeline.rs").is_empty());
-        assert!(applicable_lints("examples/quickstart.rs").is_empty());
+        // Test and example code carries the determinism pack (a flaky
+        // harness hides real regressions) but not the shipped-code lints.
+        assert!(applicable_lints("tests/pipeline.rs").contains(&"nondet-iter"));
+        assert!(!applicable_lints("tests/pipeline.rs").contains(&"core-unwrap"));
+        assert!(!applicable_lints("tests/pipeline.rs").contains(&"panic-path"));
+        assert!(applicable_lints("examples/quickstart.rs").contains(&"spawn-merge-order"));
+        assert!(applicable_lints("crates/bench/src/main.rs").contains(&"atomic-ordering"));
         assert!(applicable_lints("crates/analysis/tests/fixtures/l1.rs").is_empty());
         assert!(applicable_lints("crates/core/src/notes.md").is_empty());
     }

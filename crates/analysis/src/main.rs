@@ -2,7 +2,9 @@
 //!
 //! See the crate docs ([`rock_analyze`]) for the lint table. This binary
 //! is wired into `ci.sh` and the GitHub Actions workflow as a gate:
-//! `rock-analyze --deny` exits nonzero when any finding survives.
+//! `rock-analyze --deny` exits nonzero when any finding survives, and
+//! `--format=json` emits the findings as a machine-readable report that
+//! CI uploads as a failure artifact.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -10,15 +12,38 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use rock_analyze::{analyze_tree, LINTS};
+use rock_analyze::{analyze_tree, Finding, LINTS};
+
+/// Report format selected by `--format`.
+#[derive(PartialEq)]
+enum Format {
+    /// One `path:line: lint: message` line per finding (default).
+    Text,
+    /// A single JSON document: `{"findings": [...], "count": n}`.
+    Json,
+}
 
 fn main() -> ExitCode {
     let mut deny = false;
+    let mut format = Format::Text;
     let mut root = PathBuf::from(".");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny" => deny = true,
+            "--format=json" => format = Format::Json,
+            "--format=text" => format = Format::Text,
+            "--format" => match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                other => {
+                    eprintln!(
+                        "rock-analyze: --format takes `text` or `json`, got {}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
@@ -28,17 +53,18 @@ fn main() -> ExitCode {
             },
             "--list" => {
                 for lint in LINTS {
-                    println!("{:<16} {}", lint.name, lint.summary);
+                    println!("{:<18} {}", lint.name, lint.summary);
                 }
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
                 println!(
                     "rock-analyze: ROCK workspace lint pass\n\n\
-                     USAGE: rock-analyze [--root <dir>] [--deny] [--list]\n\n\
-                     --root <dir>  tree to analyze (default: current directory)\n\
-                     --deny        exit 1 when any finding is reported (CI gate)\n\
-                     --list        print the lint table and exit\n\n\
+                     USAGE: rock-analyze [--root <dir>] [--deny] [--format <text|json>] [--list]\n\n\
+                     --root <dir>     tree to analyze (default: current directory)\n\
+                     --deny           exit 1 when any finding is reported (CI gate)\n\
+                     --format <fmt>   report format: text (default) or json\n\
+                     --list           print the lint table and exit\n\n\
                      Suppress a finding with a justified directive on the same or\n\
                      previous line:\n  // rock-analyze: allow(<lint>) — <reason>"
                 );
@@ -58,10 +84,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for finding in &findings {
-        println!("{finding}");
-    }
     let n = findings.len();
+    match format {
+        Format::Text => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+        }
+        Format::Json => println!("{}", json_report(&findings)),
+    }
     eprintln!(
         "rock-analyze: {n} finding{} ",
         if n == 1 { "" } else { "s" }
@@ -71,4 +102,24 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Renders the full report as one stable JSON document. Findings arrive
+/// pre-sorted by `(path, line, lint)`, so identical trees always produce
+/// byte-identical reports — the analyzer holds itself to the same
+/// determinism bar it enforces.
+fn json_report(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&f.to_json());
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"count\": {}\n}}", findings.len()));
+    out
 }

@@ -75,15 +75,119 @@ fn l5_wall_clock_fixture_exact_lines() {
 }
 
 #[test]
+fn l6_nondet_iter_fixture_exact_lines() {
+    let src = include_str!("fixtures/l6_nondet_iter.rs");
+    // The `for` over a map (line 5), an `.iter()` chain with no sort in
+    // reach (line 13), and the indexed element of a `Vec<HashMap>`
+    // (line 31) fire; the sorted collect (line 18), the iteration over
+    // the containing `Vec` itself (line 27), and the justified
+    // commutative reduction (line 39) stay silent.
+    assert_eq!(
+        run_core("l6_nondet_iter.rs", src),
+        vec![(5, "nondet-iter"), (13, "nondet-iter"), (31, "nondet-iter"),]
+    );
+}
+
+#[test]
+fn l7_atomic_ordering_fixture_exact_lines() {
+    let src = include_str!("fixtures/l7_atomic_ordering.rs");
+    // `store(…, SeqCst)` (line 4) and a tally `fetch_add` with `Acquire`
+    // (line 5) violate the class table; the compliant class-table fn, the
+    // `Ordering`-free `store.load(path)` call, and the justified SeqCst
+    // fence (line 22) stay silent.
+    assert_eq!(
+        run_core("l7_atomic_ordering.rs", src),
+        vec![(4, "atomic-ordering"), (5, "atomic-ordering")]
+    );
+}
+
+#[test]
+fn l8_spawn_merge_fixture_exact_lines() {
+    let src = include_str!("fixtures/l8_spawn_merge.rs");
+    // In the spawning fn, both the `channel()` (line 4) and the `recv()`
+    // merge (line 10) are arrival-order; the indexed join loop and the
+    // spawn-free receiver helper stay silent.
+    assert_eq!(
+        run_core("l8_spawn_merge.rs", src),
+        vec![(4, "spawn-merge-order"), (10, "spawn-merge-order")]
+    );
+}
+
+#[test]
+fn l9_panic_path_fixture_exact_lines() {
+    let src = include_str!("fixtures/l9_panic_path.rs");
+    // Under a `crates/serve` path: `panic!` (line 5), `.unwrap()`
+    // (line 7) and indexing (line 8) fire; the fail-closed rewrite, the
+    // justified in-bounds slice (line 20), and the `#[cfg(test)]`
+    // harness (asserts + indexing + unwrap) stay silent.
+    let findings = analyze_source("crates/serve/src/l9_panic_path.rs", src);
+    let lines: Vec<(u32, &str)> = findings.iter().map(|f| (f.line, f.lint)).collect();
+    assert_eq!(
+        lines,
+        vec![(5, "panic-path"), (7, "panic-path"), (8, "panic-path")]
+    );
+}
+
+#[test]
+fn l10_guard_loop_fixture_exact_lines() {
+    let src = include_str!("fixtures/l10_guard_loop.rs");
+    // Analyzed under a core phase path (the lint's exact file scope):
+    // the poll-free `while` (line 4) fires; the `checkpoint`-polling
+    // loop, the justified bounded loop (line 21), and the `for` loop
+    // stay silent.
+    let findings = analyze_source("crates/core/src/sampling.rs", src);
+    let lines: Vec<(u32, &str)> = findings.iter().map(|f| (f.line, f.lint)).collect();
+    assert_eq!(lines, vec![(4, "guard-loop")]);
+    // Outside the phase files the lint is out of scope — and its allow
+    // directive, now suppressing nothing, is itself reported stale.
+    let elsewhere = analyze_source("crates/core/src/heap.rs", src);
+    let lines: Vec<(u32, &str)> = elsewhere.iter().map(|f| (f.line, f.lint)).collect();
+    assert_eq!(lines, vec![(20, "unused-allow")]);
+}
+
+#[test]
+fn unused_allow_fixture_exact_lines() {
+    let src = include_str!("fixtures/unused_allow.rs");
+    // A directive whose target was refactored away (line 4) and one
+    // naming a lint that does not exist (line 9) are both stale; the
+    // live justified directive (line 14) suppresses its unwrap and is
+    // not reported.
+    let findings = analyze_source("crates/core/src/unused_allow.rs", src);
+    let lines: Vec<(u32, &str)> = findings.iter().map(|f| (f.line, f.lint)).collect();
+    assert_eq!(lines, vec![(4, "unused-allow"), (9, "unused-allow")]);
+    // The unknown-name case says so explicitly.
+    assert!(findings[1].message.contains("no such lint: no-such-lint"));
+}
+
+#[test]
+fn pack_lints_apply_to_test_code() {
+    // Satellite scope: tests/, benches and examples carry the
+    // determinism pack (a flaky harness hides real regressions), but not
+    // the shipped-code lints.
+    let src = include_str!("fixtures/l6_nondet_iter.rs");
+    let findings = analyze_source("tests/l6_nondet_iter.rs", src);
+    let lines: Vec<(u32, &str)> = findings.iter().map(|f| (f.line, f.lint)).collect();
+    assert_eq!(
+        lines,
+        vec![(5, "nondet-iter"), (13, "nondet-iter"), (31, "nondet-iter"),]
+    );
+}
+
+#[test]
 fn allowlist_fixture_directive_semantics() {
     let src = include_str!("fixtures/allowlist.rs");
     // Justified allows suppress their own and the next line (lines 5 and
     // 10 stay silent). A directive for the *wrong* lint suppresses nothing
-    // (cast at line 15 fires), and a justification-free directive is
-    // itself reported (line 19) while still suppressing its target.
+    // — the cast at line 15 fires AND the stale directive itself is
+    // reported (line 14, `unused-allow`) — and a justification-free
+    // directive is reported (line 19) while still suppressing its target.
     assert_eq!(
         run_core("allowlist.rs", src),
-        vec![(15, "core-bare-cast"), (19, "bare-allow")]
+        vec![
+            (14, "unused-allow"),
+            (15, "core-bare-cast"),
+            (19, "bare-allow"),
+        ]
     );
 }
 

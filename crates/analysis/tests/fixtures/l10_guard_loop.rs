@@ -1,0 +1,32 @@
+//! Fixture: `guard-loop` — unbounded phase loops must poll the Guard.
+
+fn flagged(frontier: &mut Frontier) {
+    while let Some(node) = frontier.pop() {
+        frontier.expand(node);
+    }
+}
+
+fn polled(frontier: &mut Frontier, guard: &Guard) -> Result<(), RockError> {
+    let mut visited = 0u64;
+    while let Some(node) = frontier.pop() {
+        visited += 1;
+        guard.checkpoint(Phase::Neighbors, visited)?;
+        frontier.expand(node);
+    }
+    Ok(())
+}
+
+fn bounded_justified(bounds: &mut Vec<usize>, shards: usize, n: usize) {
+    // rock-analyze: allow(guard-loop) — bounded: every iteration grows bounds.len() toward shards.
+    while bounds.len() < shards {
+        bounds.push(n);
+    }
+}
+
+fn for_loops_are_bounded(rows: &[Row]) -> usize {
+    let mut links = 0;
+    for row in rows {
+        links += row.len();
+    }
+    links
+}

@@ -1,0 +1,40 @@
+//! Fixture: `nondet-iter` — hash-order iteration feeding output.
+
+fn flagged(counts: &HashMap<String, u32>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, v) in counts {
+        out.push(format!("{k}={v}"));
+    }
+    out
+}
+
+fn flagged_method(seen: &HashSet<u32>) -> u64 {
+    let mut acc = 0u64;
+    seen.iter().for_each(|&x| acc = acc.wrapping_mul(31).wrapping_add(u64::from(x)));
+    acc
+}
+
+fn sorted_escape(counts: &HashMap<String, u32>) -> Vec<(String, u32)> {
+    let mut pairs: Vec<(String, u32)> = counts.iter().map(|(k, &v)| (k.clone(), v)).collect();
+    pairs.sort();
+    pairs
+}
+
+fn container_rows(rows: &Vec<HashMap<u32, u64>>) -> (usize, u64) {
+    let mut n = 0;
+    // Iterating the Vec itself is deterministic…
+    for row in rows {
+        n += row.len();
+    }
+    // …but an indexed element is a hash iteration again.
+    let mut acc = 0u64;
+    for (_, &c) in &rows[0] {
+        acc += c;
+    }
+    (n, acc)
+}
+
+fn justified(tallies: &HashMap<u32, u64>) -> u64 {
+    // rock-analyze: allow(nondet-iter) — order-insensitive: u64 addition is commutative.
+    tallies.values().sum()
+}

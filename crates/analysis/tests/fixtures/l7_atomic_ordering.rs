@@ -1,0 +1,23 @@
+//! Fixture: `atomic-ordering` — atomic ops must use their class ordering.
+
+fn flagged(stop: &AtomicBool, tally: &AtomicU64) {
+    stop.store(true, Ordering::SeqCst);
+    tally.fetch_add(1, Ordering::Acquire);
+}
+
+fn class_table_ok(stop: &AtomicBool, tally: &AtomicU64, seq: &AtomicU64) -> u64 {
+    stop.store(true, Ordering::Relaxed);
+    tally.fetch_add(1, Ordering::Relaxed);
+    let published = seq.load(Ordering::Acquire);
+    seq.swap(published, Ordering::AcqRel)
+}
+
+fn not_an_atomic(store: &Store, path: &str) -> Model {
+    // `load`/`store` without an `Ordering` argument are ordinary calls.
+    store.load(path)
+}
+
+fn justified(gate: &AtomicU64) -> u64 {
+    // rock-analyze: allow(atomic-ordering) — audited: cross-crate fence documented in DESIGN.md §13.
+    gate.load(Ordering::SeqCst)
+}

@@ -1,0 +1,33 @@
+//! Fixture: `spawn-merge-order` — merge worker results in spawn order.
+
+fn flagged(parts: Vec<Work>) -> Vec<u64> {
+    let (tx, rx) = channel();
+    for part in parts {
+        let tx = tx.clone();
+        thread::spawn(move || tx.send(part.run()));
+    }
+    let mut merged = Vec::new();
+    while let Ok(result) = rx.recv() {
+        merged.push(result);
+    }
+    merged
+}
+
+fn spawn_order_ok(parts: Vec<Work>) -> Vec<u64> {
+    let handles: Vec<_> = parts
+        .into_iter()
+        .map(|part| thread::spawn(move || part.run()))
+        .collect();
+    let mut merged = Vec::new();
+    for handle in handles {
+        if let Ok(result) = handle.join() {
+            merged.push(result);
+        }
+    }
+    merged
+}
+
+fn recv_without_spawn_ok(rx: &Receiver<u64>) -> Option<u64> {
+    // Arrival order is fine when this function spawned nothing.
+    rx.recv().ok()
+}

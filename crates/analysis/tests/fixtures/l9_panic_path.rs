@@ -1,0 +1,31 @@
+//! Fixture: `panic-path` — rock-serve must fail closed, never crash.
+
+fn flagged(request: &Request, parts: &[Part]) -> Response {
+    if request.body.is_empty() {
+        panic!("empty body");
+    }
+    let first = parts.first().unwrap();
+    let verb = request.head[0];
+    respond(first, verb)
+}
+
+fn fail_closed(request: &Request, parts: &[Part]) -> Result<Response, Status> {
+    let first = parts.first().ok_or(Status::BadRequest)?;
+    let verb = request.head.first().copied().ok_or(Status::BadRequest)?;
+    Ok(respond(first, verb))
+}
+
+fn justified(body: &mut [u8], filled: usize) -> &mut [u8] {
+    // rock-analyze: allow(panic-path) — in-bounds: `filled` is clamped to `body.len()` by the caller.
+    &mut body[filled..]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn harness_may_assert() {
+        let parts = vec![1, 2];
+        assert_eq!(parts[0], 1);
+        parts.get(9).unwrap();
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: `unused-allow` — a directive that suppresses nothing is stale.
+
+fn stale_directive(xs: &[u32]) -> Option<u32> {
+    // rock-analyze: allow(core-unwrap) — stale: the unwrap below was refactored away.
+    xs.first().copied()
+}
+
+fn unknown_lint(xs: &[u32]) -> u32 {
+    // rock-analyze: allow(no-such-lint) — the lint name has a typo.
+    xs.iter().sum()
+}
+
+fn live_directive(xs: &[u32]) -> u32 {
+    // rock-analyze: allow(core-unwrap) — infallible: caller checks is_empty first.
+    *xs.first().unwrap()
+}

@@ -1,0 +1,188 @@
+//! Regression battery for lexer edge cases: raw strings, byte strings,
+//! nested block comments, char-literal escapes, tuple-index chains, and
+//! float exponents. The tuple-index and exponent cases were written
+//! failing-first against the v1 lexer (which fused `x.0.1` into one
+//! numeric token and split `1e-5` at the sign).
+
+use rock_analyze::lexer::{lex, TokKind};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn probe_raw_string_hash_mismatch() {
+    // body contains "# (fewer hashes than delimiter) — must not close early
+    let src = r###"let s = r##"inner "# quote"##; tail();"###;
+    let ids = idents(src);
+    assert!(ids.iter().any(|t| t == "tail"), "ids: {ids:?}");
+    assert!(!ids.iter().any(|t| t == "inner"), "ids: {ids:?}");
+    assert!(!ids.iter().any(|t| t == "quote"), "ids: {ids:?}");
+}
+
+#[test]
+fn probe_raw_byte_string_multi_hash() {
+    let src = r###"let s = br##"bytes "# here"##; tail();"###;
+    let ids = idents(src);
+    assert!(ids.iter().any(|t| t == "tail"), "ids: {ids:?}");
+    assert!(!ids.iter().any(|t| t == "bytes"), "ids: {ids:?}");
+}
+
+#[test]
+fn probe_byte_string_escaped_quote() {
+    let src = r#"let s = b"a\"b unwrap() c"; tail();"#;
+    let ids = idents(src);
+    assert!(ids.iter().any(|t| t == "tail"), "ids: {ids:?}");
+    assert!(!ids.iter().any(|t| t == "unwrap"), "ids: {ids:?}");
+}
+
+#[test]
+fn probe_nested_block_comment_deep() {
+    let src = "/* a /* b /* c */ d */ e */ tail();";
+    let ids = idents(src);
+    assert_eq!(ids, vec!["tail"], "ids: {ids:?}");
+}
+
+#[test]
+fn probe_block_comment_star_runs() {
+    // `**/` and `/**` runs — classic off-by-one fodder
+    let src = "/*** x ***/ tail(); /**/ after();";
+    let ids = idents(src);
+    assert_eq!(ids, vec!["tail", "after"], "ids: {ids:?}");
+}
+
+#[test]
+fn probe_char_escaped_quote_and_backslash() {
+    let src = r#"let a = '\''; let b = '\\'; tail();"#;
+    let toks = lex(src).tokens;
+    let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+    assert_eq!(chars, 2, "toks: {toks:?}");
+    assert!(toks.iter().any(|t| t.is_ident("tail")));
+}
+
+#[test]
+fn probe_byte_char_escapes() {
+    let src = r#"let a = b'\''; let b = b'\\'; let c = b'\xFF'; tail();"#;
+    let toks = lex(src).tokens;
+    let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+    assert_eq!(chars, 3, "toks: {toks:?}");
+    assert!(toks.iter().any(|t| t.is_ident("tail")));
+}
+
+#[test]
+fn probe_char_unicode_escape() {
+    let src = r#"let a = '\u{1F600}'; tail();"#;
+    let toks = lex(src).tokens;
+    assert_eq!(
+        toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+        1,
+        "toks: {toks:?}"
+    );
+    assert!(toks.iter().any(|t| t.is_ident("tail")));
+}
+
+#[test]
+fn probe_raw_string_immediately_followed_by_method() {
+    let src = r###"let n = r#"x"#.len(); tail();"###;
+    let ids = idents(src);
+    assert!(ids.iter().any(|t| t == "len"), "ids: {ids:?}");
+    assert!(ids.iter().any(|t| t == "tail"), "ids: {ids:?}");
+}
+
+#[test]
+fn probe_tuple_index_chain() {
+    // x.0.1 — the `0.1` must not lex as a float (two tuple indexes)
+    let toks = lex("let y = x.0.1; tail();").tokens;
+    let nums: Vec<u32> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Num)
+        .map(|t| t.line)
+        .collect();
+    assert_eq!(nums.len(), 2, "toks: {toks:?}");
+}
+
+#[test]
+fn probe_float_exponents() {
+    // 1e-5 / 2.5E+10 are single numeric tokens in rustc
+    let toks = lex("let a = 1e-5; let b = 2.5E+10; tail();").tokens;
+    let nums = toks.iter().filter(|t| t.kind == TokKind::Num).count();
+    assert_eq!(nums, 2, "toks: {toks:?}");
+}
+
+#[test]
+fn probe_hex_trailing_e_is_not_an_exponent() {
+    // 0x1E-5 is subtraction (hex literal, minus, int) — the `-5` must
+    // not be swallowed into the number by exponent handling.
+    let toks = lex("let a = 0x1E-5; tail();").tokens;
+    let nums = toks.iter().filter(|t| t.kind == TokKind::Num).count();
+    assert_eq!(nums, 2, "toks: {toks:?}");
+    assert!(toks.iter().any(|t| t.is_punct('-')), "toks: {toks:?}");
+}
+
+#[test]
+fn probe_exponent_with_suffix_and_underscores() {
+    let toks = lex("let a = 1_000.5e-3f64; tail();").tokens;
+    let nums = toks.iter().filter(|t| t.kind == TokKind::Num).count();
+    assert_eq!(nums, 1, "toks: {toks:?}");
+}
+
+#[test]
+fn probe_range_from_zero_to_float() {
+    // 0..0.5 — the leading 0 is an int, the bound 0.5 is one float.
+    let toks = lex("for _ in 0..0.5 as usize {} tail();").tokens;
+    let nums = toks.iter().filter(|t| t.kind == TokKind::Num).count();
+    assert_eq!(nums, 2, "toks: {toks:?}");
+    let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+    assert_eq!(dots, 2, "toks: {toks:?}");
+}
+
+#[test]
+fn probe_raw_string_line_tracking() {
+    let src = "let s = r#\"line one\nline two\"#;\ntail();";
+    let toks = lex(src).tokens;
+    let tail = toks.iter().find(|t| t.is_ident("tail")).unwrap();
+    assert_eq!(tail.line, 3, "toks: {toks:?}");
+}
+
+#[test]
+fn probe_lifetime_before_char() {
+    let src = "fn f<'a>(x: &'a u8) { let c = 'x'; let d = '\\n'; }";
+    let toks = lex(src).tokens;
+    assert_eq!(
+        toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+        2,
+        "toks: {toks:?}"
+    );
+    assert_eq!(
+        toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+        2,
+        "toks: {toks:?}"
+    );
+}
+
+#[test]
+fn probe_raw_ident_keyword() {
+    let ids = idents("let r#loop = 1; let r#match = r#loop;");
+    assert_eq!(
+        ids.iter().filter(|t| t.as_str() == "loop").count(),
+        2,
+        "ids: {ids:?}"
+    );
+}
+
+#[test]
+fn probe_empty_and_unterminated() {
+    // must not hang or panic
+    let _ = lex("let s = \"unterminated");
+    let _ = lex("let s = r#\"unterminated");
+    let _ = lex("/* unterminated");
+    let _ = lex("let c = '");
+    let _ = lex("r#");
+    let _ = lex("b");
+    let _ = lex("br##");
+}

@@ -415,6 +415,7 @@ impl<'a> Engine<'a> {
         for i in 0..n {
             let iu = cast::usize_to_u32(i);
             let mut h = IndexedHeap::with_capacity(rows[i].len());
+            // rock-analyze: allow(nondet-iter) — order-insensitive: heap pop order is a pure function of the strict GoodnessKey total order, not insertion order.
             for (&j, &c) in &rows[i] {
                 h.insert_or_update(j, GoodnessKey::new(goodness.merge_goodness(c, 1, 1), j));
             }
@@ -512,6 +513,7 @@ impl<'a> Engine<'a> {
         // and v, gaining the merged cluster (slot u) with updated goodness.
         let nw = nu + nv;
         let partners: Vec<(u32, u64, usize)> = self.rows[cast::u32_to_usize(u)]
+            // rock-analyze: allow(nondet-iter) — order-insensitive: each partner row/heap repair is independent and heap order follows the strict GoodnessKey total order.
             .iter()
             .map(|(&x, &c)| (x, c, self.members[cast::u32_to_usize(x)].len()))
             .collect();

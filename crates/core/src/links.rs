@@ -220,11 +220,13 @@ fn shard_boundaries(graph: &NeighborGraph, shards: usize) -> Vec<usize> {
     for (i, &w) in weights.iter().enumerate() {
         acc += w;
         // Cut after row i once this prefix holds its proportional share.
+        // rock-analyze: allow(guard-loop) — bounded: every iteration grows bounds.len() toward shards.
         while bounds.len() < shards && acc * shards_u64 >= total * cast::usize_to_u64(bounds.len())
         {
             bounds.push(i + 1);
         }
     }
+    // rock-analyze: allow(guard-loop) — bounded: every iteration grows bounds.len() toward shards.
     while bounds.len() < shards {
         bounds.push(n);
     }

@@ -181,10 +181,11 @@ fn read_line<R: BufRead>(
                     return Err(HttpError::Malformed("eof mid-line".into()));
                 }
                 _ => {
-                    if byte[0] == b'\n' {
+                    let [b] = byte;
+                    if b == b'\n' {
                         break;
                     }
-                    buf.push(byte[0]);
+                    buf.push(b);
                     if buf.len() > MAX_HEAD_BYTES {
                         return Err(HttpError::Malformed("line too long".into()));
                     }
@@ -208,6 +209,7 @@ fn read_body<R: BufRead>(reader: &mut R, len: usize) -> Result<Vec<u8>, HttpErro
     let mut body = vec![0u8; len];
     let mut filled = 0;
     while filled < len {
+        // rock-analyze: allow(panic-path) — in-bounds: `filled < len` is the loop condition and `body.len() == len`.
         match reader.read(&mut body[filled..])? {
             0 => {
                 return Err(HttpError::Malformed(format!(

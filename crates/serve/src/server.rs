@@ -296,7 +296,7 @@ impl ServerHandle {
     }
 
     fn stop_and_join(&mut self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.stop.store(true, Ordering::Relaxed);
         if let Some(acceptor) = self.acceptor.take() {
             // The acceptor observes the flag within one poll interval;
             // joining it first guarantees no connection is enqueued
@@ -338,7 +338,7 @@ impl Drop for ServerHandle {
 /// queue is full.
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
     loop {
-        if shared.stop.load(Ordering::SeqCst) {
+        if shared.stop.load(Ordering::Relaxed) {
             return;
         }
         match listener.accept() {
@@ -419,7 +419,7 @@ fn handle_connection(shared: &Shared, worker: u64, stream: TcpStream) {
             Ok(Some(request)) => {
                 // Stop keep-alive once shutdown begins so draining
                 // terminates after the in-flight request.
-                let keep = request.keep_alive && !shared.stop.load(Ordering::SeqCst);
+                let keep = request.keep_alive && !shared.stop.load(Ordering::Relaxed);
                 let span = shared.observer.tracer().begin();
                 let clock = Instant::now();
                 let response = route(shared, &request);
