@@ -562,14 +562,19 @@ fn panic_path(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 
 // ---------------------------------------------------------------- guard-loop
 
-/// Core phase files whose unbounded loops must poll the `Guard`.
-const GUARD_FILES: [&str; 6] = [
+/// Core phase files whose unbounded loops must poll the `Guard`. The
+/// out-of-core files (`stream.rs`, `retry.rs`) are in scope because
+/// their retry and resume loops run unattended for hours at 1M+ rows —
+/// a loop that cannot be tripped there is a hang, not a slowdown.
+const GUARD_FILES: [&str; 8] = [
     "crates/core/src/sampling.rs",
     "crates/core/src/neighbors.rs",
     "crates/core/src/outliers.rs",
     "crates/core/src/links.rs",
     "crates/core/src/agglomerate.rs",
     "crates/core/src/labeling.rs",
+    "crates/core/src/stream.rs",
+    "crates/core/src/retry.rs",
 ];
 
 /// Returns `true` when `path` is core phase code in scope for

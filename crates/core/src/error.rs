@@ -144,6 +144,20 @@ pub enum RockError {
         /// Human-readable description of the violated invariant.
         message: String,
     },
+    /// A `rock-cache/v1` binary dataset cache was unreadable: unknown
+    /// magic/version, malformed structure, or a chunk whose checksum did
+    /// not match its payload.
+    CacheInvalid {
+        /// Human-readable description of the defect.
+        message: String,
+    },
+    /// A `rock-checkpoint/v1` resume record was corrupt, truncated, or
+    /// inconsistent with the cache/model/partial output it describes.
+    /// Resume fails closed on this error — it never silently restarts.
+    CheckpointInvalid {
+        /// Human-readable description of the defect.
+        message: String,
+    },
 }
 
 impl RockError {
@@ -168,7 +182,9 @@ impl RockError {
             | RockError::SnapshotVersion { .. }
             | RockError::SnapshotChecksum { .. }
             | RockError::SnapshotFormat { .. }
-            | RockError::SnapshotInvalid { .. } => 4,
+            | RockError::SnapshotInvalid { .. }
+            | RockError::CacheInvalid { .. }
+            | RockError::CheckpointInvalid { .. } => 4,
             RockError::BudgetExhausted { .. } | RockError::Cancelled => 6,
             _ => 5,
         }
@@ -249,6 +265,12 @@ impl fmt::Display for RockError {
             }
             RockError::SnapshotInvalid { message } => {
                 write!(f, "snapshot invariant violated: {message}")
+            }
+            RockError::CacheInvalid { message } => {
+                write!(f, "dataset cache invalid: {message}")
+            }
+            RockError::CheckpointInvalid { message } => {
+                write!(f, "checkpoint invalid: {message}")
             }
         }
     }
@@ -367,6 +389,18 @@ mod tests {
                 },
                 "item 9",
             ),
+            (
+                RockError::CacheInvalid {
+                    message: "chunk 3 checksum mismatch".to_owned(),
+                },
+                "chunk 3",
+            ),
+            (
+                RockError::CheckpointInvalid {
+                    message: "partial output shorter than recorded".to_owned(),
+                },
+                "partial output",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
@@ -443,6 +477,20 @@ mod tests {
         );
         assert_eq!(
             RockError::SnapshotInvalid {
+                message: "m".into()
+            }
+            .exit_code(),
+            4
+        );
+        assert_eq!(
+            RockError::CacheInvalid {
+                message: "m".into()
+            }
+            .exit_code(),
+            4
+        );
+        assert_eq!(
+            RockError::CheckpointInvalid {
                 message: "m".into()
             }
             .exit_code(),

@@ -54,6 +54,7 @@
 
 pub mod agglomerate;
 pub mod cast;
+pub mod checkpoint;
 pub mod components;
 pub mod contracts;
 pub mod data;
@@ -62,17 +63,20 @@ pub mod error;
 pub mod export;
 pub mod goodness;
 pub mod guard;
+pub mod hash;
 pub mod heap;
 pub mod labeling;
 pub mod links;
 pub mod metrics;
 pub mod neighbors;
 pub mod outliers;
+pub mod retry;
 pub mod rng;
 pub mod rock;
 pub mod sampling;
 pub mod similarity;
 pub mod snapshot;
+pub mod stream;
 pub mod summary;
 pub mod telemetry;
 
@@ -81,6 +85,7 @@ pub use error::{Result, RockError};
 /// Convenient glob-import of the common public surface.
 pub mod prelude {
     pub use crate::agglomerate::{AgglomerateConfig, Agglomeration, MergeStep, PruneConfig};
+    pub use crate::checkpoint::StreamCheckpoint;
     pub use crate::components::connected_components;
     pub use crate::data::{
         AttrId, CategoricalTable, ClusterId, ItemId, Schema, Transaction, TransactionSet,
@@ -91,6 +96,7 @@ pub mod prelude {
     pub use crate::export::{read_assignments, write_assignments};
     pub use crate::goodness::{ConstantExponent, Goodness, LinkExponent, MarketBasket};
     pub use crate::guard::{CancelToken, Degradation, Guard, RunBudget, Trip, TripReason};
+    pub use crate::hash::{fnv1a64, Fnv1a64};
     pub use crate::labeling::{LabelingConfig, Representatives};
     pub use crate::links::LinkTable;
     pub use crate::metrics::{
@@ -98,6 +104,7 @@ pub mod prelude {
     };
     pub use crate::neighbors::NeighborGraph;
     pub use crate::outliers::NeighborFilter;
+    pub use crate::retry::{RetryOutcome, RetryPolicy};
     pub use crate::rng::{Rng, SliceRandom};
     pub use crate::rock::{
         Outcome, PhaseTimings, Rock, RockBuilder, RockConfig, RockModel, RockStats, SampleStrategy,
@@ -105,6 +112,7 @@ pub mod prelude {
     pub use crate::sampling::{chernoff_sample_size, sample_indices, seeded_rng};
     pub use crate::similarity::{Cosine, Dice, HammingRecord, Jaccard, Overlap, Similarity};
     pub use crate::snapshot::{ModelSnapshot, OutlierPolicy, SimilarityKind};
+    pub use crate::stream::{ChunkSource, StreamLabeler, StreamOutcome, StreamStats};
     pub use crate::summary::{ClusterSummary, ItemSupport};
     pub use crate::telemetry::{Level, MemoryEstimate, Metrics, Observer, Phase, RunInfo};
 }

@@ -1,0 +1,285 @@
+//! Bounded retry with deterministic backoff for disk I/O.
+//!
+//! The out-of-core pipeline touches disk constantly — cache chunk reads,
+//! partial-output appends, checkpoint writes — and transient I/O faults
+//! (NFS hiccups, the seeded `FaultInjector` in the chaos suite) must not
+//! kill a million-row run. [`RetryPolicy::run`] wraps one fallible
+//! operation in a bounded retry loop:
+//!
+//! - only [`RockError::Io`] is retried — malformed-data errors
+//!   (`CacheInvalid`, `CheckpointInvalid`, …) are *deterministic* and
+//!   retrying them would loop forever on the same bytes;
+//! - the backoff schedule is a deterministic function of the attempt
+//!   number (`base << attempt`, capped) — no clock reads, no jitter, so
+//!   two runs of the same seed sleep the same schedule;
+//! - the loop polls [`Guard::checkpoint`] before every attempt, so a
+//!   cancellation, deadline or memory trip interrupts the retry cycle
+//!   instead of sleeping through it (and the `rock-analyze` guard-loop
+//!   lint can verify the poll statically);
+//! - after the last attempt the original [`RockError::Io`] surfaces
+//!   unchanged — exit code 3, exactly as if no retry layer existed.
+
+use crate::error::{Result, RockError};
+use crate::guard::{Guard, Trip};
+use crate::telemetry::{Observer, Phase, PipelineCounters};
+
+/// How an operation wrapped in [`RetryPolicy::run`] concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetryOutcome<T> {
+    /// The operation succeeded (possibly after retries).
+    Done(T),
+    /// The guard tripped (cancellation, deadline, memory, injection)
+    /// before the operation could complete; the caller degrades.
+    Tripped(Trip),
+}
+
+/// A bounded, deterministic retry schedule for disk operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try + retries). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before retry `k` (1-based) is `base_delay_ms << (k - 1)`,
+    /// capped at [`max_delay_ms`](Self::max_delay_ms). `0` disables
+    /// sleeping entirely (the chaos suite's default — deterministic and
+    /// fast).
+    pub base_delay_ms: u64,
+    /// Upper bound on a single backoff sleep.
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 10,
+            max_delay_ms: 500,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no backoff).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        }
+    }
+
+    /// The backoff before 1-based retry `attempt`: `base << (attempt-1)`,
+    /// saturating, capped at `max_delay_ms`. Pure — the schedule is the
+    /// same every run.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        if self.base_delay_ms == 0 {
+            return 0;
+        }
+        let shift = attempt.saturating_sub(1).min(63);
+        self.base_delay_ms
+            .saturating_shl(shift)
+            .min(self.max_delay_ms)
+    }
+
+    /// Runs `op` under this policy. Transient [`RockError::Io`] failures
+    /// are retried up to [`max_attempts`](Self::max_attempts) total
+    /// tries, sleeping the deterministic backoff between attempts and
+    /// counting each retry into `observer`'s `io_retries`. Any other
+    /// error — and an `Io` that survives every attempt — is returned
+    /// as-is. The guard is polled before each attempt; a trip short-
+    /// circuits to [`RetryOutcome::Tripped`].
+    ///
+    /// # Errors
+    /// The last [`RockError::Io`] after exhausting all attempts, or any
+    /// non-retriable error from `op`, unchanged.
+    pub fn run<T>(
+        &self,
+        guard: &Guard,
+        observer: &Observer,
+        phase: Phase,
+        mut op: impl FnMut() -> Result<T>,
+    ) -> Result<RetryOutcome<T>> {
+        let attempts = self.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            if let Some(trip) = guard.checkpoint(phase, observer) {
+                return Ok(RetryOutcome::Tripped(trip));
+            }
+            match op() {
+                Ok(v) => return Ok(RetryOutcome::Done(v)),
+                Err(e @ RockError::Io { .. }) => {
+                    attempt += 1;
+                    if attempt >= attempts {
+                        return Err(e);
+                    }
+                    PipelineCounters::add(&observer.counters().io_retries, 1);
+                    let delay = self.backoff_ms(attempt);
+                    if delay > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(delay));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Saturating `u64 << u32` (stable Rust has no `saturating_shl`; a shift
+/// past the value's leading zeros would overflow).
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        if shift >= self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << shift
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::RunBudget;
+
+    fn io_err() -> RockError {
+        RockError::Io {
+            path: "/tmp/x".to_owned(),
+            message: "injected".to_owned(),
+        }
+    }
+
+    #[test]
+    fn succeeds_first_try_without_counting_retries() {
+        let guard = Guard::unlimited();
+        let obs = Observer::new();
+        let policy = RetryPolicy::none();
+        let out = policy
+            .run(&guard, &obs, Phase::Labeling, || Ok(42))
+            .unwrap();
+        assert_eq!(out, RetryOutcome::Done(42));
+        assert_eq!(obs.counters().snapshot().io_retries, 0);
+    }
+
+    #[test]
+    fn retries_transient_io_then_succeeds() {
+        let guard = Guard::unlimited();
+        let obs = Observer::new();
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        };
+        let mut failures_left = 2;
+        let out = policy
+            .run(&guard, &obs, Phase::Labeling, || {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err(io_err())
+                } else {
+                    Ok("done")
+                }
+            })
+            .unwrap();
+        assert_eq!(out, RetryOutcome::Done("done"));
+        assert_eq!(obs.counters().snapshot().io_retries, 2);
+    }
+
+    #[test]
+    fn exhaustion_surfaces_the_io_error() {
+        let guard = Guard::unlimited();
+        let obs = Observer::new();
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        };
+        let err = policy
+            .run::<()>(&guard, &obs, Phase::Labeling, || Err(io_err()))
+            .unwrap_err();
+        assert!(matches!(err, RockError::Io { .. }));
+        assert_eq!(err.exit_code(), 3);
+        // 3 attempts = 2 counted retries.
+        assert_eq!(obs.counters().snapshot().io_retries, 2);
+    }
+
+    #[test]
+    fn non_io_errors_are_not_retried() {
+        let guard = Guard::unlimited();
+        let obs = Observer::new();
+        let policy = RetryPolicy::default();
+        let mut calls = 0;
+        let err = policy
+            .run::<()>(&guard, &obs, Phase::Labeling, || {
+                calls += 1;
+                Err(RockError::CheckpointInvalid {
+                    message: "corrupt".to_owned(),
+                })
+            })
+            .unwrap_err();
+        assert!(matches!(err, RockError::CheckpointInvalid { .. }));
+        assert_eq!(calls, 1);
+        assert_eq!(obs.counters().snapshot().io_retries, 0);
+    }
+
+    #[test]
+    fn guard_trip_interrupts_the_retry_cycle() {
+        let guard = Guard::unlimited().inject_trip_at(Phase::Labeling);
+        let obs = Observer::new();
+        let mut calls = 0;
+        let out = RetryPolicy::default()
+            .run(&guard, &obs, Phase::Labeling, || {
+                calls += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert!(matches!(out, RetryOutcome::Tripped(_)));
+        // The op never ran: the guard is polled before each attempt.
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn cancellation_stops_retries_mid_cycle() {
+        let guard = Guard::new(RunBudget::unlimited());
+        let obs = Observer::new();
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        };
+        let mut calls = 0;
+        let out = policy
+            .run::<()>(&guard, &obs, Phase::Labeling, || {
+                calls += 1;
+                if calls == 2 {
+                    guard.cancel_token().cancel();
+                }
+                Err(io_err())
+            })
+            .unwrap();
+        assert!(matches!(out, RetryOutcome::Tripped(_)));
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_delay_ms: 10,
+            max_delay_ms: 100,
+        };
+        assert_eq!(p.backoff_ms(1), 10);
+        assert_eq!(p.backoff_ms(2), 20);
+        assert_eq!(p.backoff_ms(3), 40);
+        assert_eq!(p.backoff_ms(4), 80);
+        assert_eq!(p.backoff_ms(5), 100); // capped
+        assert_eq!(p.backoff_ms(64), 100); // shift saturates, still capped
+        let zero = RetryPolicy {
+            base_delay_ms: 0,
+            ..p
+        };
+        assert_eq!(zero.backoff_ms(9), 0);
+    }
+}

@@ -47,23 +47,14 @@ use crate::cast;
 use crate::data::{AttrId, Transaction, TransactionSet, Vocabulary};
 use crate::error::{Result, RockError};
 use crate::goodness::ConstantExponent;
-use crate::labeling::{label_point, LabelingConfig, Representatives};
+use crate::hash::fnv1a64;
+use crate::labeling::{label_many_parallel, label_point, LabelingConfig, Representatives};
 use crate::rock::RockModel;
 use crate::sampling::seeded_rng;
 use crate::similarity::{Cosine, Dice, Jaccard, Overlap, Similarity};
 
 /// Format header (and footer) line; the version is part of the name.
 const HEADER: &str = "rock-model/v1";
-
-/// FNV-1a 64-bit hash — the snapshot's dependency-free content checksum.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 /// Escapes a vocabulary value for single-line storage (`\` → `\\`,
 /// newline → `\n`, carriage return → `\r`).
@@ -365,6 +356,31 @@ impl ModelSnapshot {
         }
     }
 
+    /// Labels a chunk of points through the parallel labeling kernel
+    /// (`threads` workers over contiguous slices; `0` = one per CPU,
+    /// capped at 16), applying the snapshot's outlier policy to every
+    /// point. Deterministic: output order matches input order and is
+    /// independent of the thread count — the invariant the streaming
+    /// checkpoint layer's byte-identical-resume guarantee rests on.
+    pub fn label_chunk(&self, points: &[&Transaction], threads: usize) -> Vec<Option<usize>> {
+        let mut out = label_many_parallel(
+            points,
+            &self.reps,
+            &self.similarity,
+            &ConstantExponent(self.exponent),
+            self.theta,
+            threads,
+        );
+        if self.policy == OutlierPolicy::Nearest {
+            for (p, l) in points.iter().zip(out.iter_mut()) {
+                if l.is_none() {
+                    *l = self.nearest(p);
+                }
+            }
+        }
+        out
+    }
+
     /// Nearest-representative fallback: the cluster with the most similar
     /// representative, provided any similarity is positive.
     fn nearest(&self, point: &Transaction) -> Option<usize> {
@@ -491,6 +507,14 @@ impl ModelSnapshot {
     /// Propagates I/O errors from the writer.
     pub fn write_to<W: Write>(&self, out: &mut W) -> std::io::Result<()> {
         out.write_all(self.render().as_bytes())
+    }
+
+    /// Content fingerprint of the snapshot: FNV-1a 64 over the canonical
+    /// rendering. Two snapshots fingerprint equal iff they render to the
+    /// same bytes, so the streaming checkpoint layer uses this to refuse
+    /// resuming a run against a different model.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a64(self.render().as_bytes())
     }
 
     /// Saves the snapshot to `path`.

@@ -257,6 +257,10 @@ impl EventSink for StderrSink {
 /// | `outliers_pruned` | one point discarded by mid-merge pruning |
 /// | `labeling_evaluations` | one point-vs-representative similarity evaluation in the labeling phase |
 /// | `points_labeled` | one outside-sample point assigned to a cluster |
+/// | `chunks_labeled` | one dataset-cache chunk labeled end-to-end by the streaming labeler |
+/// | `io_retries` | one retried disk read/write in the streaming pipeline (a failure that a later attempt absorbed) |
+/// | `stream_resumes` | one streaming run resumed from an on-disk checkpoint instead of starting fresh |
+/// | `checkpoint_writes` | one durable `rock-checkpoint/v1` write (atomic temp-file + rename) |
 #[derive(Debug, Default)]
 pub struct PipelineCounters {
     /// See the table in the type docs.
@@ -285,6 +289,14 @@ pub struct PipelineCounters {
     pub labeling_evaluations: AtomicU64,
     /// Outside-sample points labeled into a cluster.
     pub points_labeled: AtomicU64,
+    /// Dataset-cache chunks labeled by the streaming labeler.
+    pub chunks_labeled: AtomicU64,
+    /// Disk reads/writes retried by the streaming retry policy.
+    pub io_retries: AtomicU64,
+    /// Streaming runs resumed from an on-disk checkpoint.
+    pub stream_resumes: AtomicU64,
+    /// Durable checkpoint writes performed by the streaming labeler.
+    pub checkpoint_writes: AtomicU64,
 }
 
 /// Plain-value snapshot of [`PipelineCounters`].
@@ -304,6 +316,10 @@ pub struct CounterSnapshot {
     pub outliers_pruned: u64,
     pub labeling_evaluations: u64,
     pub points_labeled: u64,
+    pub chunks_labeled: u64,
+    pub io_retries: u64,
+    pub stream_resumes: u64,
+    pub checkpoint_writes: u64,
 }
 
 impl PipelineCounters {
@@ -330,6 +346,10 @@ impl PipelineCounters {
             outliers_pruned: get(&self.outliers_pruned),
             labeling_evaluations: get(&self.labeling_evaluations),
             points_labeled: get(&self.points_labeled),
+            chunks_labeled: get(&self.chunks_labeled),
+            io_retries: get(&self.io_retries),
+            stream_resumes: get(&self.stream_resumes),
+            checkpoint_writes: get(&self.checkpoint_writes),
         }
     }
 }
@@ -347,6 +367,10 @@ pub struct MemoryGauges {
     pub heaps: AtomicU64,
     /// Recorded merge history / dendrogram steps.
     pub dendrogram: AtomicU64,
+    /// Streaming-labeler chunk buffers (the transactions of the chunk
+    /// currently in flight), so `--mem-budget` trips stay honest while
+    /// labeling data that never fully materializes.
+    pub stream_buffers: AtomicU64,
 }
 
 /// Plain-value snapshot of [`MemoryGauges`].
@@ -357,12 +381,13 @@ pub struct MemorySnapshot {
     pub link_table: u64,
     pub heaps: u64,
     pub dendrogram: u64,
+    pub stream_buffers: u64,
 }
 
 impl MemorySnapshot {
     /// Sum of all tracked structures.
     pub fn tracked_total(&self) -> u64 {
-        self.neighbor_graph + self.link_table + self.heaps + self.dendrogram
+        self.neighbor_graph + self.link_table + self.heaps + self.dendrogram + self.stream_buffers
     }
 }
 
@@ -381,6 +406,7 @@ impl MemoryGauges {
             link_table: get(&self.link_table),
             heaps: get(&self.heaps),
             dendrogram: get(&self.dendrogram),
+            stream_buffers: get(&self.stream_buffers),
         }
     }
 }
@@ -660,7 +686,11 @@ impl Metrics {
             .num_u64("outliers_filtered", c.outliers_filtered)
             .num_u64("outliers_pruned", c.outliers_pruned)
             .num_u64("labeling_evaluations", c.labeling_evaluations)
-            .num_u64("points_labeled", c.points_labeled);
+            .num_u64("points_labeled", c.points_labeled)
+            .num_u64("chunks_labeled", c.chunks_labeled)
+            .num_u64("io_retries", c.io_retries)
+            .num_u64("stream_resumes", c.stream_resumes)
+            .num_u64("checkpoint_writes", c.checkpoint_writes);
 
         let m = &self.memory;
         let mut memory = JsonObj::new(pretty, ind);
@@ -669,6 +699,7 @@ impl Metrics {
             .num_u64("link_table", m.link_table)
             .num_u64("heaps", m.heaps)
             .num_u64("dendrogram", m.dendrogram)
+            .num_u64("stream_buffers", m.stream_buffers)
             .num_u64("tracked_total", m.tracked_total());
 
         let mut doc = JsonObj::new(pretty, 0);
@@ -728,12 +759,17 @@ mod tests {
                 outliers_pruned: 1,
                 labeling_evaluations: 640,
                 points_labeled: 18,
+                chunks_labeled: 2,
+                io_retries: 1,
+                stream_resumes: 1,
+                checkpoint_writes: 2,
             },
             memory: MemorySnapshot {
                 neighbor_graph: 2048,
                 link_table: 4096,
                 heaps: 1024,
                 dendrogram: 512,
+                stream_buffers: 256,
             },
             degradation: None,
         }
@@ -852,7 +888,9 @@ mod tests {
                 Some(9900)
             );
             let memory = v.get("memory_bytes").unwrap();
-            assert_eq!(memory.get("tracked_total").unwrap().as_u64(), Some(7680));
+            assert_eq!(memory.get("tracked_total").unwrap().as_u64(), Some(7936));
+            assert_eq!(memory.get("stream_buffers").unwrap().as_u64(), Some(256));
+            assert_eq!(counters.get("io_retries").unwrap().as_u64(), Some(1));
         }
     }
 
@@ -902,6 +940,10 @@ mod tests {
                 "outliers_pruned",
                 "labeling_evaluations",
                 "points_labeled",
+                "chunks_labeled",
+                "io_retries",
+                "stream_resumes",
+                "checkpoint_writes",
             ]
         );
         let wall: Vec<&str> = v

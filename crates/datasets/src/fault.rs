@@ -5,10 +5,15 @@
 //! by a flaky proxy, disks that error mid-read — *reproducibly*, so a
 //! failing case can be replayed from its seed alone. [`FaultInjector`]
 //! wraps the crate's vendored RNG ([`rock_core::rng`], splitmix64-seeded)
-//! and offers three text-level corruptions plus an injectable I/O
-//! failure. Forced budget exhaustion, the fourth fault class, lives in
-//! the core layer (`rock_core::guard::Guard::inject_trip_at`) because it
-//! must fire inside the pipeline.
+//! and offers three text-level corruptions plus injectable I/O failures
+//! on both the read path ([`read_to_string`](FaultInjector::read_to_string),
+//! [`read`](FaultInjector::read)) and the write path
+//! ([`write`](FaultInjector::write), which can also *tear* a write,
+//! persisting only a prefix before failing — the crash mode the
+//! streaming checkpoint layer must survive). Forced budget exhaustion,
+//! the remaining fault class, lives in the core layer
+//! (`rock_core::guard::Guard::inject_trip_at`) because it must fire
+//! inside the pipeline.
 //!
 //! Everything here is pure: the same seed and inputs produce the same
 //! corruption, byte for byte.
@@ -23,6 +28,7 @@ use rock_core::{Result, RockError};
 pub struct FaultInjector {
     rng: Rng,
     io_failure_rate: f64,
+    write_failure_rate: f64,
 }
 
 impl FaultInjector {
@@ -31,14 +37,42 @@ impl FaultInjector {
         FaultInjector {
             rng: Rng::seed_from_u64(seed),
             io_failure_rate: 0.0,
+            write_failure_rate: 0.0,
         }
     }
 
-    /// Sets the probability that [`read_to_string`](Self::read_to_string)
-    /// fails with an injected I/O error (default 0).
+    /// Sets the probability that a read ([`read_to_string`](Self::read_to_string),
+    /// [`read`](Self::read), [`fail_io`](Self::fail_io)) fails with an
+    /// injected I/O error (default 0).
     pub fn io_failure_rate(mut self, rate: f64) -> Self {
         self.io_failure_rate = rate;
         self
+    }
+
+    /// Sets the probability that a [`write`](Self::write) fails with an
+    /// injected I/O error — half the time cleanly (nothing persisted),
+    /// half the time *torn* (a prefix persisted, then failure). Default 0.
+    pub fn write_failure_rate(mut self, rate: f64) -> Self {
+        self.write_failure_rate = rate;
+        self
+    }
+
+    /// Samples the read-failure gate alone: returns the injected
+    /// [`RockError::Io`] at the configured rate, `Ok` otherwise. This is
+    /// the hook the dataset cache and the streaming labeler's write
+    /// probe use to thread injected faults through code that performs
+    /// its own I/O.
+    ///
+    /// # Errors
+    /// The injected failure, at `io_failure_rate`.
+    pub fn fail_io(&mut self, path: &Path) -> Result<()> {
+        if self.rng.gen_bool(self.io_failure_rate) {
+            return Err(RockError::Io {
+                path: path.display().to_string(),
+                message: "injected i/o failure".to_owned(),
+            });
+        }
+        Ok(())
     }
 
     /// Reads a file, or fails with an injected [`RockError::Io`] at the
@@ -48,16 +82,54 @@ impl FaultInjector {
     /// # Errors
     /// The injected or real I/O failure.
     pub fn read_to_string(&mut self, path: &Path) -> Result<String> {
-        if self.rng.gen_bool(self.io_failure_rate) {
-            return Err(RockError::Io {
-                path: path.display().to_string(),
-                message: "injected i/o failure".to_owned(),
-            });
-        }
+        self.fail_io(path)?;
         std::fs::read_to_string(path).map_err(|e| RockError::Io {
             path: path.display().to_string(),
             message: e.to_string(),
         })
+    }
+
+    /// Binary sibling of [`read_to_string`](Self::read_to_string).
+    ///
+    /// # Errors
+    /// The injected or real I/O failure.
+    pub fn read(&mut self, path: &Path) -> Result<Vec<u8>> {
+        self.fail_io(path)?;
+        std::fs::read(path).map_err(|e| RockError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })
+    }
+
+    /// Writes `bytes` to `path`, or fails at the configured
+    /// [`write_failure_rate`](Self::write_failure_rate). An injected
+    /// failure is clean (nothing written) or torn (a random prefix
+    /// persisted before the error) with equal probability — the torn
+    /// case is the partial write a power cut leaves behind, which
+    /// checkpoint/resume must detect and repair.
+    ///
+    /// # Errors
+    /// The injected or real I/O failure.
+    pub fn write(&mut self, path: &Path, bytes: &[u8]) -> Result<()> {
+        let io = |e: std::io::Error| RockError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        if self.rng.gen_bool(self.write_failure_rate) {
+            if !bytes.is_empty() && self.rng.gen_bool(0.5) {
+                let keep = self.rng.gen_range(0..bytes.len());
+                std::fs::write(path, &bytes[..keep]).map_err(io)?;
+                return Err(RockError::Io {
+                    path: path.display().to_string(),
+                    message: format!("injected torn write ({keep} of {} bytes)", bytes.len()),
+                });
+            }
+            return Err(RockError::Io {
+                path: path.display().to_string(),
+                message: "injected write failure".to_owned(),
+            });
+        }
+        std::fs::write(path, bytes).map_err(io)
     }
 
     /// Corrupts roughly `fraction` of the lines in `text`, choosing per
@@ -171,6 +243,55 @@ mod tests {
         assert!(matches!(err, RockError::Io { .. }));
         assert!(err.to_string().contains("injected"));
         assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn injected_write_failures_are_deterministic_and_sometimes_torn() {
+        let dir = std::env::temp_dir().join("rock-fault-write-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.bin");
+        let payload = vec![0xabu8; 256];
+        // With rate 1.0 every write fails; over several attempts both the
+        // clean and the torn variant must appear, and the torn variant
+        // must leave a strict prefix on disk.
+        let mut inj = FaultInjector::new(11).write_failure_rate(1.0);
+        let mut saw_torn = false;
+        let mut saw_clean = false;
+        for _ in 0..32 {
+            std::fs::remove_file(&path).ok();
+            let err = inj.write(&path, &payload).unwrap_err();
+            assert_eq!(err.exit_code(), 3);
+            let on_disk = std::fs::read(&path).unwrap_or_default();
+            assert!(on_disk.len() < payload.len());
+            assert_eq!(on_disk, payload[..on_disk.len()]);
+            if err.to_string().contains("torn") {
+                saw_torn = true;
+                assert!(!on_disk.is_empty() || on_disk.is_empty()); // prefix may be empty
+            } else {
+                saw_clean = true;
+            }
+        }
+        assert!(saw_torn && saw_clean, "both failure shapes should occur");
+        // Same seed, same schedule.
+        let mut a = FaultInjector::new(99).write_failure_rate(0.5);
+        let mut b = FaultInjector::new(99).write_failure_rate(0.5);
+        let results_a: Vec<bool> = (0..16).map(|_| a.write(&path, &payload).is_ok()).collect();
+        let results_b: Vec<bool> = (0..16).map(|_| b.write(&path, &payload).is_ok()).collect();
+        assert_eq!(results_a, results_b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_passthrough_when_rate_is_zero() {
+        let dir = std::env::temp_dir().join("rock-fault-write-ok");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ok.bin");
+        let mut never = FaultInjector::new(5);
+        never.write(&path, b"payload").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"payload");
+        assert_eq!(never.read(&path).unwrap(), b"payload");
+        assert!(never.fail_io(&path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

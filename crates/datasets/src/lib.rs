@@ -15,7 +15,10 @@
 //! * [`timeseries`] — the paper's numeric-series → Up/Down categorical
 //!   conversion;
 //! * [`fault`] — deterministic fault injection (poisoned rows, truncated
-//!   files, injected I/O failures) for the chaos suite.
+//!   files, injected I/O failures on read and write) for the chaos suite;
+//! * [`cache`] — the `rock-cache/v1` chunked binary dataset cache, the
+//!   [`rock_core::stream::ChunkSource`] behind crash-safe out-of-core
+//!   labeling.
 //!
 //! Every fallible entry point returns [`rock_core::RockError`], so the
 //! CLI and tests handle one error type with one table of exit codes.
@@ -24,6 +27,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baskets;
+pub mod cache;
 pub mod csv;
 pub mod fault;
 pub mod loader;
@@ -32,6 +36,7 @@ pub mod timeseries;
 pub mod uci;
 
 pub use baskets::{load_baskets, parse_baskets};
+pub use cache::{build_cache, CacheBuilder, DatasetCache};
 pub use fault::FaultInjector;
 pub use loader::{
     IngestMode, IngestReport, LabelPosition, LabeledTable, LoadConfig, QuarantinedRow,

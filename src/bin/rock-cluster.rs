@@ -12,7 +12,9 @@
 //!
 //! rock-cluster label --model model.rockmodel --input new.csv \
 //!     [--format table|basket] [--label first|last|none|COLUMN] \
-//!     [--ignore 0,3] [--missing '?'] [--output labels.txt]
+//!     [--ignore 0,3] [--missing '?'] [--output labels.txt] \
+//!     [--stream] [--cache FILE] [--checkpoint FILE] [--chunk-rows N] \
+//!     [--mem-budget BYTES[K|M|G]] [--threads N]
 //! ```
 //!
 //! Reads a UCI-style categorical CSV, runs the full ROCK pipeline, prints
@@ -44,6 +46,17 @@
 //! stdout); the same snapshot also powers the `rock-serve` HTTP server.
 //! Labeling is deterministic: the same snapshot and input always produce
 //! byte-identical output.
+//!
+//! **Streaming.** `label --stream` labels out-of-core: the input is
+//! converted once into a chunked `rock-cache/v1` binary cache (or an
+//! existing cache is reused via `--cache`), then labeled chunk by chunk
+//! with bounded memory, appending to a crash-safe partial file and
+//! checkpointing after every chunk (`rock-checkpoint/v1`, `--checkpoint`,
+//! default `OUTPUT.ckpt`). A killed or budget-tripped run resumes from
+//! its checkpoint and produces byte-identical output to an uninterrupted
+//! run; a memory trip under `--mem-budget` degrades to a *valid* partial
+//! assignments file and exits 6, leaving the checkpoint in place so a
+//! rerun finishes the job. `--stream` requires `--output`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -55,6 +68,7 @@ use rock::core::metrics::{cluster_breakdown, densify_labels, matched_accuracy, p
 use rock::core::summary::ClusterSummary;
 use rock::core::telemetry::StderrSink;
 use rock::datasets::baskets::load_baskets;
+use rock::datasets::cache::{build_cache, DatasetCache};
 use rock::datasets::loader::{load_labeled, IngestMode, LabelPosition, LoadConfig};
 use rock::prelude::*;
 
@@ -119,6 +133,19 @@ struct LabelOptions {
     ignore: Vec<usize>,
     missing: String,
     output: Option<PathBuf>,
+    /// Label out-of-core through the chunked cache + checkpoint path.
+    stream: bool,
+    /// `rock-cache/v1` file to stream from (built from `--input` when
+    /// absent). Default: `INPUT.rockcache`.
+    cache: Option<PathBuf>,
+    /// `rock-checkpoint/v1` file. Default: `OUTPUT.ckpt`.
+    checkpoint: Option<PathBuf>,
+    /// Rows per streamed chunk.
+    chunk_rows: usize,
+    /// Memory ceiling for the streaming run (tracked bytes).
+    mem_budget: Option<u64>,
+    /// Workers for the chunk labeling kernel; 0 = one per CPU.
+    threads: usize,
 }
 
 /// Which entry point the command line selected.
@@ -127,7 +154,7 @@ enum Command {
     /// Fit a model (optionally saving a snapshot).
     Fit(Box<Options>),
     /// Batch-label a file against a saved snapshot.
-    Label(LabelOptions),
+    Label(Box<LabelOptions>),
 }
 
 const USAGE: &str = "usage: rock-cluster --input FILE --k K --theta T \
@@ -140,7 +167,8 @@ const USAGE: &str = "usage: rock-cluster --input FILE --k K --theta T \
 [--trace FILE]\n\
        rock-cluster label --model FILE --input FILE [--format table|basket] \
 [--label first|last|none|IDX] [--ignore i,j,...] [--missing TOKEN] \
-[--output FILE]";
+[--output FILE] [--stream] [--cache FILE] [--checkpoint FILE] \
+[--chunk-rows N] [--mem-budget BYTES[K|M|G]] [--threads N]";
 
 /// Parses a byte count with an optional K/M/G (binary) suffix.
 fn parse_mem_budget(s: &str) -> Result<u64, String> {
@@ -356,6 +384,12 @@ fn parse_label_args<I: IntoIterator<Item = String>>(args: I) -> Result<LabelOpti
     let mut ignore = Vec::new();
     let mut missing = "?".to_owned();
     let mut output = None;
+    let mut stream = false;
+    let mut cache = None;
+    let mut checkpoint = None;
+    let mut chunk_rows = 4096usize;
+    let mut mem_budget = None;
+    let mut threads = 0usize;
 
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -390,9 +424,29 @@ fn parse_label_args<I: IntoIterator<Item = String>>(args: I) -> Result<LabelOpti
             }
             "--missing" => missing = value("--missing")?,
             "--output" => output = Some(PathBuf::from(value("--output")?)),
+            "--stream" => stream = true,
+            "--cache" => cache = Some(PathBuf::from(value("--cache")?)),
+            "--checkpoint" => checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+            "--chunk-rows" => {
+                chunk_rows = value("--chunk-rows")?
+                    .parse()
+                    .map_err(|e| format!("--chunk-rows: {e}"))?;
+                if chunk_rows == 0 {
+                    return Err("--chunk-rows must be at least 1".to_owned());
+                }
+            }
+            "--mem-budget" => mem_budget = Some(parse_mem_budget(&value("--mem-budget")?)?),
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
+    }
+    if stream && output.is_none() {
+        return Err(format!("--stream requires --output\n{USAGE}"));
     }
     Ok(LabelOptions {
         model: model.ok_or_else(|| format!("--model is required\n{USAGE}"))?,
@@ -402,6 +456,12 @@ fn parse_label_args<I: IntoIterator<Item = String>>(args: I) -> Result<LabelOpti
         ignore,
         missing,
         output,
+        stream,
+        cache,
+        checkpoint,
+        chunk_rows,
+        mem_budget,
+        threads,
     })
 }
 
@@ -410,7 +470,7 @@ fn parse_command<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Str
     let mut it = args.into_iter().peekable();
     if it.peek().map(String::as_str) == Some("label") {
         it.next();
-        return parse_label_args(it).map(Command::Label);
+        return parse_label_args(it).map(|o| Command::Label(Box::new(o)));
     }
     parse_args(it).map(|o| Command::Fit(Box::new(o)))
 }
@@ -635,21 +695,14 @@ fn run(opts: &Options) -> Result<(), RockError> {
     Ok(())
 }
 
-/// Batch-labels `opts.input` against a saved snapshot: maps every record
-/// into item-id space via the snapshot's vocabulary, applies the §4.2
-/// rule and writes `rock-assignments v1` to `--output` or stdout. No RNG
-/// is involved — output is byte-identical across invocations.
-fn run_label(opts: &LabelOptions) -> Result<(), RockError> {
-    let snapshot = ModelSnapshot::load(&opts.model)?;
-    eprintln!(
-        "loaded rock-model/v1 snapshot: {} clusters, {} representatives, theta = {}, policy = {}",
-        snapshot.num_clusters(),
-        snapshot.representatives().total(),
-        snapshot.theta(),
-        snapshot.policy().name()
-    );
-
-    let transactions: Vec<Transaction> = match opts.format {
+/// Loads `opts.input` and maps every record into the snapshot's item-id
+/// space (table cells or basket item names, re-interned through the
+/// snapshot's vocabulary).
+fn load_label_input(
+    opts: &LabelOptions,
+    snapshot: &ModelSnapshot,
+) -> Result<Vec<Transaction>, RockError> {
+    match opts.format {
         Format::Table => {
             let load = LoadConfig {
                 label: opts.label,
@@ -677,7 +730,7 @@ fn run_label(opts: &LabelOptions) -> Result<(), RockError> {
                         .collect();
                     snapshot.transaction_from_cells(&cells, &opts.missing)
                 })
-                .collect::<Result<_, _>>()?
+                .collect::<Result<_, _>>()
         }
         Format::Basket => {
             let data = load_baskets(&opts.input, None)?;
@@ -691,9 +744,142 @@ fn run_label(opts: &LabelOptions) -> Result<(), RockError> {
                         .collect();
                     snapshot.transaction_from_basket(names)
                 })
-                .collect::<Result<_, _>>()?
+                .collect::<Result<_, _>>()
         }
+    }
+}
+
+/// Appends `suffix` to `path`'s file name (`out.txt` → `out.txt.ckpt`).
+fn sibling(path: &std::path::Path, suffix: &str) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// The `label --stream` path: ensure a `rock-cache/v1` cache exists for
+/// the input, then label it chunk-by-chunk through the crash-safe
+/// streaming pipeline. A pre-existing checkpoint resumes; a memory-budget
+/// trip degrades to a valid partial assignments file, keeps the
+/// checkpoint, and exits 6 so a rerun can finish.
+fn run_label_stream(opts: &LabelOptions, snapshot: &ModelSnapshot) -> Result<(), RockError> {
+    let Some(output) = &opts.output else {
+        // parse_label_args rejects this; keep the error path total anyway.
+        return Err(RockError::Io {
+            path: "<stdout>".to_owned(),
+            message: "--stream requires --output".to_owned(),
+        });
     };
+    let cache_path = opts
+        .cache
+        .clone()
+        .unwrap_or_else(|| sibling(&opts.input, ".rockcache"));
+    if !cache_path.exists() {
+        let data = load_label_input(opts, snapshot)?;
+        build_cache(&cache_path, snapshot.universe(), opts.chunk_rows, &data)?;
+        eprintln!(
+            "built cache {} ({} rows, {} rows/chunk)",
+            cache_path.display(),
+            data.len(),
+            opts.chunk_rows
+        );
+    }
+    let cache = DatasetCache::open(&cache_path)?;
+    eprintln!(
+        "streaming {} rows in {} chunks from {}",
+        cache.total_rows(),
+        cache.total_chunks(),
+        cache_path.display()
+    );
+
+    let checkpoint = opts
+        .checkpoint
+        .clone()
+        .unwrap_or_else(|| sibling(output, ".ckpt"));
+    let mut budget = RunBudget::unlimited();
+    if let Some(bytes) = opts.mem_budget {
+        budget = budget.memory(bytes);
+    }
+    let guard = Guard::new(budget);
+    let observer = Observer::new();
+    let outcome = StreamLabeler::new(snapshot).threads(opts.threads).run(
+        &cache,
+        output,
+        &checkpoint,
+        &guard,
+        &observer,
+    )?;
+    match outcome {
+        StreamOutcome::Complete(stats) => {
+            eprintln!(
+                "labeled {} rows in {} chunks{}: {} assigned, {} outliers -> {}",
+                stats.rows,
+                stats.chunks_done,
+                if stats.resumed { " (resumed)" } else { "" },
+                stats.labeled,
+                stats.outliers,
+                output.display()
+            );
+            Ok(())
+        }
+        StreamOutcome::Degraded { stats, degradation } => {
+            eprintln!(
+                "degraded after {} of {} rows: {degradation}",
+                stats.rows,
+                cache.total_rows()
+            );
+            if checkpoint.exists() {
+                eprintln!(
+                    "partial labeling written to {}; checkpoint kept at {} — rerun to finish",
+                    output.display(),
+                    checkpoint.display()
+                );
+            } else {
+                // Tripped before the first chunk was durable: nothing to
+                // resume from, a rerun starts over.
+                eprintln!(
+                    "partial labeling written to {}; no chunk completed — rerun to start over",
+                    output.display()
+                );
+            }
+            Err(match degradation.reason {
+                TripReason::Cancelled => RockError::Cancelled,
+                _ => RockError::BudgetExhausted {
+                    reason: degradation.reason.name().to_owned(),
+                    phase: degradation.phase.name().to_owned(),
+                },
+            })
+        }
+        StreamOutcome::Paused(stats) => {
+            // Unreachable from the CLI (no chunk cap is set), but keep the
+            // match total: report and let a rerun resume.
+            eprintln!(
+                "paused after {} chunks; rerun the same command to resume",
+                stats.chunks_done
+            );
+            Ok(())
+        }
+    }
+}
+
+/// Batch-labels `opts.input` against a saved snapshot: maps every record
+/// into item-id space via the snapshot's vocabulary, applies the §4.2
+/// rule and writes `rock-assignments v1` to `--output` or stdout. No RNG
+/// is involved — output is byte-identical across invocations.
+fn run_label(opts: &LabelOptions) -> Result<(), RockError> {
+    let snapshot = ModelSnapshot::load(&opts.model)?;
+    eprintln!(
+        "loaded rock-model/v1 snapshot: {} clusters, {} representatives, theta = {}, policy = {}",
+        snapshot.num_clusters(),
+        snapshot.representatives().total(),
+        snapshot.theta(),
+        snapshot.policy().name()
+    );
+
+    if opts.stream {
+        return run_label_stream(opts, &snapshot);
+    }
+
+    let transactions = load_label_input(opts, &snapshot)?;
 
     let assignments: Vec<Option<ClusterId>> = transactions
         .iter()
@@ -1282,6 +1468,12 @@ mod tests {
             ignore: vec![],
             missing: "?".into(),
             output: Some(labels_path.clone()),
+            stream: false,
+            cache: None,
+            checkpoint: None,
+            chunk_rows: 4096,
+            mem_budget: None,
+            threads: 1,
         };
         run_label(&label_opts).unwrap();
         let text = std::fs::read_to_string(&labels_path).unwrap();
@@ -1306,6 +1498,148 @@ mod tests {
     }
 
     #[test]
+    fn parses_streaming_label_flags() {
+        let args = [
+            "--model",
+            "m.rockmodel",
+            "--input",
+            "big.baskets",
+            "--format",
+            "basket",
+            "--output",
+            "out.txt",
+            "--stream",
+            "--cache",
+            "big.rockcache",
+            "--checkpoint",
+            "run.ckpt",
+            "--chunk-rows",
+            "1000",
+            "--mem-budget",
+            "64M",
+            "--threads",
+            "2",
+        ];
+        let o = parse_label_args(args.iter().map(|s| s.to_string())).unwrap();
+        assert!(o.stream);
+        assert_eq!(o.cache, Some(PathBuf::from("big.rockcache")));
+        assert_eq!(o.checkpoint, Some(PathBuf::from("run.ckpt")));
+        assert_eq!(o.chunk_rows, 1000);
+        assert_eq!(o.mem_budget, Some(64 << 20));
+        assert_eq!(o.threads, 2);
+        // Defaults.
+        let o = parse_label_args(
+            ["--model", "m", "--input", "i"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(!o.stream);
+        assert_eq!(o.chunk_rows, 4096);
+        // --stream without --output is a usage error, as is --chunk-rows 0.
+        assert!(parse_label_args(
+            ["--model", "m", "--input", "i", "--stream"]
+                .iter()
+                .map(|s| s.to_string())
+        )
+        .is_err());
+        assert!(parse_label_args(
+            ["--model", "m", "--input", "i", "--chunk-rows", "0"]
+                .iter()
+                .map(|s| s.to_string())
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn streamed_label_matches_batch_label() {
+        let dir = std::env::temp_dir().join("rock-cli-stream-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("toy.csv");
+        let mut csv = String::new();
+        for _ in 0..10 {
+            csv.push_str("a,b,c,left\n");
+            csv.push_str("x,y,z,right\n");
+        }
+        std::fs::write(&input, &csv).unwrap();
+        let model_path = dir.join("toy.rockmodel");
+        run(&Options {
+            input: input.clone(),
+            format: Format::Table,
+            k: 2,
+            theta: 0.5,
+            label: LabelPosition::Last,
+            ignore: vec![],
+            missing: "?".into(),
+            sample: SampleStrategy::All,
+            min_goodness: None,
+            seed: 1,
+            threads: 1,
+            summary_top: 0,
+            output: None,
+            metrics: None,
+            progress: false,
+            log_level: Level::Off,
+            time_budget: None,
+            step_budget: None,
+            mem_budget: None,
+            on_error: OnError::Fail,
+            save_model: Some(model_path.clone()),
+            outlier_policy: OutlierPolicy::Mark,
+            trace: None,
+        })
+        .unwrap();
+
+        let batch_out = dir.join("batch.txt");
+        let base = LabelOptions {
+            model: model_path.clone(),
+            input: input.clone(),
+            format: Format::Table,
+            label: LabelPosition::Last,
+            ignore: vec![],
+            missing: "?".into(),
+            output: Some(batch_out.clone()),
+            stream: false,
+            cache: None,
+            checkpoint: None,
+            chunk_rows: 7, // short final chunk exercised
+            mem_budget: None,
+            threads: 1,
+        };
+        run_label(&base).unwrap();
+
+        let stream_out = dir.join("stream.txt");
+        run_label(&LabelOptions {
+            output: Some(stream_out.clone()),
+            stream: true,
+            ..base.clone()
+        })
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&batch_out).unwrap(),
+            std::fs::read(&stream_out).unwrap(),
+            "streamed output must be byte-identical to batch output"
+        );
+        // The cache was built beside the input and the checkpoint removed.
+        assert!(sibling(&input, ".rockcache").exists());
+        assert!(!sibling(&stream_out, ".ckpt").exists());
+        // A second streamed run reuses the cache and stays identical.
+        let stream2 = dir.join("stream2.txt");
+        run_label(&LabelOptions {
+            output: Some(stream2.clone()),
+            stream: true,
+            ..base
+        })
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&stream_out).unwrap(),
+            std::fs::read(&stream2).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn label_subcommand_rejects_corrupt_snapshot() {
         let dir = std::env::temp_dir().join("rock-cli-corrupt-snapshot-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1319,6 +1653,12 @@ mod tests {
             ignore: vec![],
             missing: "?".into(),
             output: None,
+            stream: false,
+            cache: None,
+            checkpoint: None,
+            chunk_rows: 4096,
+            mem_budget: None,
+            threads: 1,
         })
         .unwrap_err();
         assert!(matches!(err, RockError::SnapshotVersion { .. }));

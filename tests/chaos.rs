@@ -409,3 +409,564 @@ fn cli_recovers_from_exhausted_step_budget_on_mushroom() {
     std::fs::remove_file(input).ok();
     std::fs::remove_file(metrics).ok();
 }
+
+// ---------------------------------------------------------------------
+// Streaming chaos: the crash-safe out-of-core labeling pipeline
+// (`rock_core::stream` + `rock_datasets::cache`). These tests carry the
+// `stream_` prefix so `ci.sh` can run them as a named gate.
+// ---------------------------------------------------------------------
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rock::core::stream::{partial_path, StreamLabeler, StreamOutcome, WriteProbe};
+use rock::datasets::cache::{build_cache, DatasetCache};
+use rock::datasets::synthetic::BasketModel;
+
+/// Planted baskets + a snapshot fitted on them: the streaming fixture.
+/// 3 clusters over disjoint 15-item pools; θ = 0.2 keeps within-cluster
+/// links dense and cross-cluster links absent.
+fn stream_fixture(rows: usize) -> (TransactionSet, ModelSnapshot) {
+    let (data, _) = BasketModel::disjoint(3, rows / 3, 15, (5, 8))
+        .seed(7)
+        .generate();
+    let labeling = LabelingConfig {
+        representative_fraction: 0.05,
+        max_representatives: 12,
+    };
+    let model = RockBuilder::new(3, 0.2)
+        .sample(SampleStrategy::All)
+        .labeling(labeling)
+        .seed(7)
+        .build()
+        .fit(&data)
+        .expect("fit fixture");
+    let snapshot = ModelSnapshot::from_model(
+        &data,
+        &model,
+        0.2,
+        MarketBasket.f(0.2),
+        SimilarityKind::Jaccard,
+        OutlierPolicy::Mark,
+        &labeling,
+        7,
+    )
+    .expect("snapshot");
+    (data, snapshot)
+}
+
+fn chaos_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rock-chaos-{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Parses a `rock-assignments v1` file and checks internal consistency:
+/// header counts match the body, every index appears exactly once.
+fn assert_valid_assignments(path: &std::path::Path) -> (usize, usize) {
+    let text = std::fs::read_to_string(path).expect("assignments file");
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("rock-assignments v1"));
+    let header = lines.next().expect("header line");
+    let mut n = 0usize;
+    let mut outliers = 0usize;
+    for field in header.split_whitespace() {
+        if let Some(v) = field.strip_prefix("n=") {
+            n = v.parse().unwrap();
+        } else if let Some(v) = field.strip_prefix("outliers=") {
+            outliers = v.parse().unwrap();
+        }
+    }
+    let mut seen_outliers = 0usize;
+    for (i, line) in lines.enumerate() {
+        let (idx, label) = line.split_once(' ').expect("row line");
+        assert_eq!(idx.parse::<usize>().unwrap(), i, "row indices in order");
+        if label == "-" {
+            seen_outliers += 1;
+        } else {
+            label.parse::<usize>().expect("cluster id");
+        }
+        assert!(i < n, "more rows than the header's n={n}");
+    }
+    assert_eq!(seen_outliers, outliers, "header outlier count matches body");
+    (n, outliers)
+}
+
+/// The central crash-safety contract: kill the stream at *every* chunk
+/// boundary, resume, and require output byte-identical to an
+/// uninterrupted run.
+#[test]
+fn stream_kill_at_every_chunk_boundary_resumes_byte_identical() {
+    let dir = chaos_dir("kill-resume");
+    let (data, snapshot) = stream_fixture(240);
+    let cache =
+        build_cache(&dir.join("d.rockcache"), data.universe(), 40, data.iter()).expect("cache");
+    let chunks = 6;
+    assert_eq!(cache.total_chunks(), chunks);
+
+    let reference = dir.join("reference.rockassign");
+    let outcome = StreamLabeler::new(&snapshot)
+        .run(
+            &cache,
+            &reference,
+            &dir.join("ref.ckpt"),
+            &Guard::unlimited(),
+            &Observer::new(),
+        )
+        .expect("reference run");
+    assert!(matches!(outcome, StreamOutcome::Complete(_)));
+    let reference_bytes = std::fs::read(&reference).unwrap();
+
+    for kill_after in 1..chunks {
+        let out = dir.join(format!("kill{kill_after}.rockassign"));
+        let ckpt = dir.join(format!("kill{kill_after}.ckpt"));
+        let paused = StreamLabeler::new(&snapshot)
+            .stop_after_chunks(kill_after)
+            .run(&cache, &out, &ckpt, &Guard::unlimited(), &Observer::new())
+            .expect("paused run");
+        assert!(
+            matches!(paused, StreamOutcome::Paused(_)),
+            "kill_after={kill_after}: expected a pause, got {paused:?}"
+        );
+        assert!(ckpt.exists(), "pause must leave its checkpoint behind");
+
+        let observer = Observer::new();
+        let resumed = StreamLabeler::new(&snapshot)
+            .run(&cache, &out, &ckpt, &Guard::unlimited(), &observer)
+            .expect("resumed run");
+        let StreamOutcome::Complete(stats) = resumed else {
+            panic!("kill_after={kill_after}: resume must complete, got {resumed:?}");
+        };
+        assert!(stats.resumed);
+        assert_eq!(
+            observer.counters().stream_resumes.load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            reference_bytes,
+            "kill_after={kill_after}: resumed output must be byte-identical"
+        );
+        assert!(!ckpt.exists(), "completion must remove the checkpoint");
+        assert!(!partial_path(&out).exists(), "and the partial file");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A memory-budget trip mid-stream degrades to a *valid* partial
+/// labeling (machine-readable `Degradation`), keeps the checkpoint, and
+/// a rerun finishes the job byte-identically.
+#[test]
+fn stream_memory_ceiling_trips_to_valid_partial_labeling() {
+    let dir = chaos_dir("mem-trip");
+    let (data, snapshot) = stream_fixture(240);
+    let cache =
+        build_cache(&dir.join("d.rockcache"), data.universe(), 40, data.iter()).expect("cache");
+
+    let out = dir.join("budgeted.rockassign");
+    let ckpt = dir.join("budgeted.ckpt");
+    // Get two chunks durably done first (the state a healthy run reaches
+    // before the machine comes under memory pressure)…
+    let paused = StreamLabeler::new(&snapshot)
+        .stop_after_chunks(2)
+        .run(&cache, &out, &ckpt, &Guard::unlimited(), &Observer::new())
+        .expect("healthy prefix");
+    assert!(matches!(paused, StreamOutcome::Paused(_)));
+    // …then resume under a ceiling of 8 bytes, which cannot hold the next
+    // chunk's buffer: the honest accounting must trip mid-stream.
+    let guard = Guard::new(RunBudget::unlimited().memory(8));
+    let outcome = StreamLabeler::new(&snapshot)
+        .run(&cache, &out, &ckpt, &guard, &Observer::new())
+        .expect("budgeted run must degrade, not error");
+    let StreamOutcome::Degraded { stats, degradation } = outcome else {
+        panic!("expected a degraded outcome, got {outcome:?}");
+    };
+    assert!(
+        matches!(degradation.reason, TripReason::MemoryBudget { .. }),
+        "unexpected trip reason: {:?}",
+        degradation.reason
+    );
+    assert_eq!(degradation.phase, Phase::Labeling);
+    assert!(
+        stats.rows >= 80 && stats.rows < 240,
+        "the trip must cut the stream short past the durable prefix, got {} rows",
+        stats.rows
+    );
+
+    // The partial output is complete and well-formed for the rows done.
+    let (n, _) = assert_valid_assignments(&out);
+    assert_eq!(n as u64, stats.rows);
+    assert!(ckpt.exists(), "degrade must keep the checkpoint for resume");
+    assert!(partial_path(&out).exists(), "and the partial body");
+
+    // Rerun without the ceiling: resumes and matches a clean one-shot run.
+    let resumed = StreamLabeler::new(&snapshot)
+        .run(&cache, &out, &ckpt, &Guard::unlimited(), &Observer::new())
+        .expect("resume");
+    assert!(matches!(resumed, StreamOutcome::Complete(_)));
+    let clean = dir.join("clean.rockassign");
+    StreamLabeler::new(&snapshot)
+        .run(
+            &cache,
+            &clean,
+            &dir.join("clean.ckpt"),
+            &Guard::unlimited(),
+            &Observer::new(),
+        )
+        .expect("clean run");
+    assert_eq!(std::fs::read(&out).unwrap(), std::fs::read(&clean).unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Corrupt or mismatched recovery state fails closed with the stable
+/// malformed-input exit code (4) — never a panic, never silent reuse.
+#[test]
+fn stream_corrupt_recovery_state_fails_closed() {
+    let dir = chaos_dir("corrupt-ckpt");
+    let (data, snapshot) = stream_fixture(240);
+    let cache =
+        build_cache(&dir.join("d.rockcache"), data.universe(), 40, data.iter()).expect("cache");
+    let out = dir.join("out.rockassign");
+    let ckpt = dir.join("out.ckpt");
+    let pause = |out: &std::path::Path, ckpt: &std::path::Path| {
+        // Each scenario starts from a fresh pause: clear the previous
+        // scenario's (deliberately damaged) working files first.
+        std::fs::remove_file(out).ok();
+        std::fs::remove_file(ckpt).ok();
+        std::fs::remove_file(partial_path(out)).ok();
+        let paused = StreamLabeler::new(&snapshot)
+            .stop_after_chunks(2)
+            .run(&cache, out, ckpt, &Guard::unlimited(), &Observer::new())
+            .expect("paused run");
+        assert!(matches!(paused, StreamOutcome::Paused(_)));
+    };
+
+    // (a) Bit-flip inside the checkpoint: checksum mismatch.
+    pause(&out, &ckpt);
+    let mut bytes = std::fs::read(&ckpt).unwrap();
+    let at = bytes.len() / 2;
+    bytes[at] ^= 0x20;
+    std::fs::write(&ckpt, &bytes).unwrap();
+    let err = StreamLabeler::new(&snapshot)
+        .run(&cache, &out, &ckpt, &Guard::unlimited(), &Observer::new())
+        .expect_err("corrupt checkpoint must fail");
+    assert_eq!(err.exit_code(), 4, "corrupt checkpoint: {err}");
+
+    // (b) Truncated checkpoint: parse failure.
+    std::fs::remove_file(&out).ok();
+    std::fs::remove_file(partial_path(&out)).ok();
+    pause(&out, &ckpt);
+    let bytes = std::fs::read(&ckpt).unwrap();
+    std::fs::write(&ckpt, &bytes[..bytes.len() / 3]).unwrap();
+    let err = StreamLabeler::new(&snapshot)
+        .run(&cache, &out, &ckpt, &Guard::unlimited(), &Observer::new())
+        .expect_err("truncated checkpoint must fail");
+    assert_eq!(err.exit_code(), 4, "truncated checkpoint: {err}");
+
+    // (c) Checkpoint from a different dataset: identity mismatch.
+    std::fs::remove_file(&out).ok();
+    std::fs::remove_file(partial_path(&out)).ok();
+    pause(&out, &ckpt);
+    let (other, _) = BasketModel::disjoint(3, 80, 15, (5, 8)).seed(8).generate();
+    let other_cache = build_cache(
+        &dir.join("other.rockcache"),
+        other.universe(),
+        40,
+        other.iter(),
+    )
+    .expect("other cache");
+    let err = StreamLabeler::new(&snapshot)
+        .run(
+            &other_cache,
+            &out,
+            &ckpt,
+            &Guard::unlimited(),
+            &Observer::new(),
+        )
+        .expect_err("checkpoint against the wrong cache must fail");
+    assert_eq!(err.exit_code(), 4, "wrong cache: {err}");
+
+    // (d) Corrupt cache chunk payload: detected on read, exit 4.
+    let cache_path = dir.join("d.rockcache");
+    let mut bytes = std::fs::read(&cache_path).unwrap();
+    bytes[64] ^= 0xff; // inside chunk 0's payload
+    std::fs::write(&cache_path, &bytes).unwrap();
+    let reopened = DatasetCache::open(&cache_path).expect("directory still valid");
+    let err = StreamLabeler::new(&snapshot)
+        .retry(RetryPolicy::none())
+        .run(
+            &reopened,
+            &dir.join("c.rockassign"),
+            &dir.join("c.ckpt"),
+            &Guard::unlimited(),
+            &Observer::new(),
+        )
+        .expect_err("corrupt chunk must fail");
+    assert_eq!(err.exit_code(), 4, "corrupt chunk: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Injected disk faults on both the read path (cache chunk reads) and
+/// the write path (partial/checkpoint writes) are retried with backoff
+/// and the stream still completes with byte-identical output; the
+/// retries are visible in the `io_retries` counter.
+#[test]
+fn stream_disk_faults_are_retried_to_byte_identical_completion() {
+    let dir = chaos_dir("disk-faults");
+    let (data, snapshot) = stream_fixture(240);
+    let cache_path = dir.join("d.rockcache");
+    let cache = build_cache(&cache_path, data.universe(), 40, data.iter()).expect("cache");
+
+    let clean = dir.join("clean.rockassign");
+    StreamLabeler::new(&snapshot)
+        .run(
+            &cache,
+            &clean,
+            &dir.join("clean.ckpt"),
+            &Guard::unlimited(),
+            &Observer::new(),
+        )
+        .expect("clean run");
+
+    // Reads: seeded injector fails ~40% of chunk reads. Writes: a probe
+    // driven by a second injector fails ~40% of probes. A retry budget of
+    // 12 attempts with deterministic backoff rides out both.
+    let faulty = DatasetCache::open(&cache_path)
+        .expect("reopen")
+        .with_fault_injector(FaultInjector::new(21).io_failure_rate(0.4));
+    let write_faults = Mutex::new(FaultInjector::new(22).io_failure_rate(0.4));
+    let probe: WriteProbe = Arc::new(move |path: &std::path::Path| {
+        write_faults
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .fail_io(path)
+    });
+    let observer = Observer::new();
+    let out = dir.join("faulty.rockassign");
+    let outcome = StreamLabeler::new(&snapshot)
+        .retry(RetryPolicy {
+            max_attempts: 12,
+            base_delay_ms: 0, // keep the test fast; backoff math is unit-tested
+            max_delay_ms: 0,
+        })
+        .write_probe(probe)
+        .run(
+            &faulty,
+            &out,
+            &dir.join("faulty.ckpt"),
+            &Guard::unlimited(),
+            &observer,
+        )
+        .expect("faulty run must still complete");
+    assert!(matches!(outcome, StreamOutcome::Complete(_)));
+    let retries = observer.counters().io_retries.load(Ordering::Relaxed);
+    assert!(retries > 0, "a 40% fault rate must force retries");
+    assert_eq!(
+        std::fs::read(&out).unwrap(),
+        std::fs::read(&clean).unwrap(),
+        "faults + retries must not change the output"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Exhausted retries surface `RockError::Io` (exit 3), keep the
+/// checkpoint, and a healthy rerun completes from where it left off.
+#[test]
+fn stream_exhausted_retries_keep_checkpoint_for_healthy_rerun() {
+    let dir = chaos_dir("exhausted");
+    let (data, snapshot) = stream_fixture(240);
+    let cache_path = dir.join("d.rockcache");
+    let cache = build_cache(&cache_path, data.universe(), 40, data.iter()).expect("cache");
+
+    // Probe: succeed for the first 3 calls, then fail forever — the
+    // stream gets partway, then every retry attempt is exhausted.
+    let calls = AtomicU64::new(0);
+    let probe: WriteProbe = Arc::new(move |path: &std::path::Path| {
+        if calls.fetch_add(1, Ordering::Relaxed) < 3 {
+            Ok(())
+        } else {
+            Err(RockError::Io {
+                path: path.display().to_string(),
+                message: "injected persistent write failure".to_owned(),
+            })
+        }
+    });
+    let out = dir.join("out.rockassign");
+    let ckpt = dir.join("out.ckpt");
+    let err = StreamLabeler::new(&snapshot)
+        .retry(RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        })
+        .write_probe(probe)
+        .run(&cache, &out, &ckpt, &Guard::unlimited(), &Observer::new())
+        .expect_err("persistent faults must surface after retries");
+    assert_eq!(
+        err.exit_code(),
+        3,
+        "exhausted retries are I/O errors: {err}"
+    );
+    assert!(ckpt.exists(), "the checkpoint survives the failure");
+
+    let resumed = StreamLabeler::new(&snapshot)
+        .run(&cache, &out, &ckpt, &Guard::unlimited(), &Observer::new())
+        .expect("healthy rerun");
+    let StreamOutcome::Complete(stats) = resumed else {
+        panic!("healthy rerun must complete, got {resumed:?}");
+    };
+    assert!(stats.resumed, "the rerun must pick up the checkpoint");
+    assert_eq!(stats.rows, 240);
+    assert_valid_assignments(&out);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// CLI acceptance criterion for streaming: `label --stream` under a
+/// starvation memory budget exits 6 leaving a valid partial labeling and
+/// a checkpoint; rerunning without the budget resumes and produces output
+/// byte-identical to the batch `label` path.
+#[test]
+fn stream_cli_mem_budget_degrades_exit_6_then_resumes() {
+    let dir = chaos_dir("cli-stream");
+    let input = dir.join("baskets.txt");
+    let mut text = String::new();
+    for ci in 0..2 {
+        for i in 0..40 {
+            // Two anchor items pin each cluster; three rotating items keep
+            // rows distinct. Within-cluster Jaccard ≥ 0.25, across = 0.
+            text.push_str(&format!(
+                "c{ci}a0 c{ci}a1 c{ci}x{} c{ci}x{} c{ci}x{}\n",
+                i % 7,
+                (i + 1) % 7,
+                (i + 3) % 7,
+            ));
+        }
+    }
+    // The third cluster's rows are ~6x wider (30 shared anchors + one
+    // rotating item). They sit at the *end* of the file, so the stream's
+    // chunk-buffer high-water mark jumps only when it reaches them —
+    // which makes a memory budget sized for the narrow chunks trip
+    // mid-stream, after several checkpoints are already durable.
+    for i in 0..40 {
+        for a in 0..30 {
+            text.push_str(&format!("c2a{a} "));
+        }
+        text.push_str(&format!("c2x{}\n", i % 7));
+    }
+    std::fs::write(&input, text).unwrap();
+
+    // Fit and save a snapshot with the shipped binary.
+    let model = dir.join("baskets.rockmodel");
+    let fit = std::process::Command::new(env!("CARGO_BIN_EXE_rock-cluster"))
+        .args([
+            "--input",
+            input.to_str().unwrap(),
+            "--format",
+            "basket",
+            "--k",
+            "3",
+            "--theta",
+            "0.2",
+            "--seed",
+            "9",
+            "--save-model",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .expect("fit should launch");
+    assert!(
+        fit.status.success(),
+        "{}",
+        String::from_utf8_lossy(&fit.stderr)
+    );
+
+    // Batch reference labeling.
+    let batch = dir.join("batch.txt");
+    let label = |extra: &[&str]| {
+        let mut args = vec![
+            "label",
+            "--model",
+            model.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--format",
+            "basket",
+        ];
+        args.extend_from_slice(extra);
+        std::process::Command::new(env!("CARGO_BIN_EXE_rock-cluster"))
+            .args(&args)
+            .output()
+            .expect("label should launch")
+    };
+    let out = label(&["--output", batch.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Streamed labeling under a memory ceiling sized for the narrow
+    // chunks (~1.3 KiB buffers) but not the wide ones (~5 KiB): the run
+    // labels the narrow prefix, then degrades — exit 6, valid partial
+    // output, checkpoint kept.
+    let streamed = dir.join("streamed.txt");
+    let ckpt = dir.join("streamed.ckpt");
+    let out = label(&[
+        "--output",
+        streamed.to_str().unwrap(),
+        "--stream",
+        "--chunk-rows",
+        "30",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--mem-budget",
+        "3500",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(6),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("checkpoint kept"),
+        "stderr should advertise the resume path:\n{stderr}"
+    );
+    let (n, _) = assert_valid_assignments(&streamed);
+    assert!(
+        n > 0 && n < 120,
+        "the trip must leave a partial labeling, got n={n}"
+    );
+    assert!(ckpt.exists());
+
+    // Rerun without the ceiling: resumes to completion, byte-identical
+    // to the batch path.
+    let out = label(&[
+        "--output",
+        streamed.to_str().unwrap(),
+        "--stream",
+        "--chunk-rows",
+        "30",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("(resumed)"),
+        "the rerun must resume from the checkpoint, not restart"
+    );
+    assert!(!ckpt.exists(), "completion removes the checkpoint");
+    assert_eq!(
+        std::fs::read(&streamed).unwrap(),
+        std::fs::read(&batch).unwrap(),
+        "streamed (degraded + resumed) output must match batch labeling"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
