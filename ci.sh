@@ -36,17 +36,25 @@ if [ "$bench" -eq 1 ]; then
     cargo build --offline --release -q -p rock-bench
     mkdir -p target/bench
     rm -f target/bench/BENCH_scalability.json target/bench/BENCH_links.json \
-        target/bench/BENCH_scale.json
+        target/bench/BENCH_scale.json target/bench/BENCH_serve.json
     echo "-- exp_scalability (full grid, min of 3 epochs)"
     ./target/release/exp_scalability --metrics target/bench/BENCH_scalability.json >/dev/null
     echo "-- exp_links (link kernel, 1/2/4/8 workers)"
     ./target/release/exp_links --metrics target/bench/BENCH_links.json >/dev/null
     echo "-- exp_scale (1M-row out-of-core labeling, 64 MiB ceiling)"
     ./target/release/exp_scale --metrics target/bench/BENCH_scale.json >/dev/null
+    echo "-- exp_serve (loopback load + batching + reload soak)"
+    cargo build --offline --release -q -p rock-serve
+    ./target/release/exp_serve --metrics target/bench/BENCH_serve.json >/dev/null
     echo "-- bench_check BENCH_scalability.json"
+    # --floor 0.35: the grid's sub-second cells swing well past 25% from
+    # scheduler noise on a shared core (different cells each run); the
+    # multi-second cells that carry the asymptotics argument still get
+    # the full ±25% band, which dwarfs this floor.
     ./target/release/bench_check \
         --baseline results/BENCH_scalability.json \
-        --fresh target/bench/BENCH_scalability.json
+        --fresh target/bench/BENCH_scalability.json \
+        --floor 0.35
     echo "-- bench_check BENCH_links.json"
     ./target/release/bench_check \
         --baseline results/BENCH_links.json \
@@ -55,6 +63,16 @@ if [ "$bench" -eq 1 ]; then
     ./target/release/bench_check \
         --baseline results/BENCH_scale.json \
         --fresh target/bench/BENCH_scale.json
+    # Loopback serving throughput swings ±30% run to run on small
+    # machines (the load generator and the server share the cores, so
+    # scheduler noise lands directly in the rps/pps columns); the wider
+    # tolerance still flags a real regression — the batching win being
+    # defended here is >5× the floor.
+    echo "-- bench_check BENCH_serve.json (tolerance 0.5: shared-core loopback noise)"
+    ./target/release/bench_check \
+        --baseline results/BENCH_serve.json \
+        --fresh target/bench/BENCH_serve.json \
+        --tolerance 0.5
     echo "== ci.sh --bench: all green"
     exit 0
 fi
@@ -115,13 +133,21 @@ cargo run --offline -q -p rock-bench --bin exp_scale -- \
     --scale 0.01 --epochs 1 >/dev/null
 
 # Serve gate: the labeling server must build, survive its chaos suite
-# (malformed HTTP, truncated bodies, poisoned snapshots, load shedding)
-# and answer the 10k-request loopback smoke with labels identical to
-# the offline `rock-cluster label` path.
+# (malformed HTTP, truncated bodies, poisoned snapshots, load shedding,
+# corrupt snapshots mid-swap, concurrent swap+label races) and answer
+# the 10k-request loopback smoke with labels identical to the offline
+# `rock-cluster label` path.
 echo "== serve gate (rock-serve build + chaos + loopback smoke)"
 cargo build --offline -q -p rock-serve
 cargo test --offline -q -p rock-serve
 cargo test --offline -q --test serve_smoke
+
+# Registry smoke gate: the multi-model admin plane end to end — load
+# two models, hot-swap between them, label against both, and verify
+# every response is byte-identical to the offline CLI labels for the
+# model that was active at dispatch.
+echo "== registry smoke gate (two models, hot swap, offline byte-equality)"
+cargo test --offline -q --test serve_registry
 
 # Trace gate: a real traced run must produce a canonical rock-trace/v1
 # stream (`rock-trace --check` is strict: emit → parse → re-emit must be

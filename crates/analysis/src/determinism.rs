@@ -11,7 +11,7 @@
 //! | `atomic-ordering` | an atomic op whose `Ordering` does not match its documented class (tallies/flags: `Relaxed`; publication: `Acquire`/`Release`/`AcqRel`); bare `SeqCst` anywhere |
 //! | `spawn-merge-order` | merging per-worker results by channel-arrival order (`recv`) instead of an indexed loop over the join handles in spawn order |
 //! | `panic-path` | `panic!`/`unwrap`/`expect`/indexing in `crates/serve` — the server must fail closed, never crash |
-//! | `guard-loop` | an unbounded `while`/`loop` in core phase code without a `Guard` `checkpoint`/`merge_tick` poll |
+//! | `guard-loop` | an unbounded `while`/`loop` without its cancellation poll: core phase code must poll the `Guard` (`checkpoint`/`merge_tick`), serve registry/admin loops must poll the shutdown flag (`stop`/`stopping`) |
 //!
 //! Each lint is best-effort and conservative in the direction of *more*
 //! findings: an order-insensitive `HashMap` reduction, for instance, is
@@ -577,14 +577,48 @@ const GUARD_FILES: [&str; 8] = [
     "crates/core/src/retry.rs",
 ];
 
-/// Returns `true` when `path` is core phase code in scope for
-/// `guard-loop`.
+/// Serve registry/admin files whose unbounded loops must poll the
+/// shutdown flag instead of the `Guard`: the accept loop, the worker
+/// pool, the batcher's leader/follower waits, and the registry swap
+/// path all run for the lifetime of the server — a loop there that
+/// cannot observe `stop`/`stopping` turns graceful shutdown into a
+/// hang with connections still pinned to a retired model.
+const SERVE_GUARD_FILES: [&str; 3] = [
+    "crates/serve/src/server.rs",
+    "crates/serve/src/batch.rs",
+    "crates/serve/src/registry.rs",
+];
+
+/// Returns `true` when `path` is core phase or serve registry/admin
+/// code in scope for `guard-loop`.
 pub fn is_guard_scope(path: &str) -> bool {
-    GUARD_FILES.contains(&path)
+    GUARD_FILES.contains(&path) || SERVE_GUARD_FILES.contains(&path)
+}
+
+/// The idents that count as "this loop polls its cancellation signal"
+/// for `path`, plus the remedy named in the finding. Core phase code
+/// polls the budget `Guard`; serve loops poll the shutdown flag.
+fn guard_poll_rule(path: &str) -> (&'static [&'static str], &'static str) {
+    if SERVE_GUARD_FILES.contains(&path) {
+        (
+            &["stop", "stopping"],
+            "unbounded loop in serve registry/admin code without a shutdown poll; \
+             check the `stop`/`stopping` flag in the body so graceful shutdown \
+             drains instead of hanging (or justify a bounded loop with an allow)",
+        )
+    } else {
+        (
+            &["checkpoint", "merge_tick"],
+            "unbounded loop in core phase code without a Guard poll; call \
+             `guard.checkpoint(..)`/`merge_tick(..)` in the body so budget trips \
+             degrade instead of hanging (or justify a bounded loop with an allow)",
+        )
+    }
 }
 
 fn guard_loop(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     let toks = ctx.toks;
+    let (polls, message) = guard_poll_rule(ctx.path);
     for l in &ctx.tree.loops {
         if l.kind == LoopKind::For {
             continue; // bounded by its iterator
@@ -593,19 +627,14 @@ fn guard_loop(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
         if ctx.mask.get(kw).copied().unwrap_or(false) {
             continue;
         }
-        let polled = toks[l.body.clone()].iter().any(|t| {
-            t.kind == TokKind::Ident && (t.text == "checkpoint" || t.text == "merge_tick")
-        });
+        // A `while` condition is re-evaluated every iteration, so a
+        // poll in the header counts the same as one in the body.
+        let polled = toks[l.header.clone()]
+            .iter()
+            .chain(&toks[l.body.clone()])
+            .any(|t| t.kind == TokKind::Ident && polls.contains(&t.text.as_str()));
         if !polled {
-            ctx.emit(
-                out,
-                l.line,
-                "guard-loop",
-                "unbounded loop in core phase code without a Guard poll; call \
-                 `guard.checkpoint(..)`/`merge_tick(..)` in the body so budget trips \
-                 degrade instead of hanging (or justify a bounded loop with an allow)"
-                    .to_string(),
-            );
+            ctx.emit(out, l.line, "guard-loop", message.to_string());
         }
     }
 }
@@ -726,5 +755,35 @@ mod tests {
         let src = "fn f(g: &Guard) {\n  while work() { step(); }\n  while work() { g.checkpoint(Phase::Links); }\n  for x in v { touch(x); }\n}";
         let hits = run_with("crates/core/src/links.rs", &["guard-loop"], src);
         assert_eq!(hits, vec![(2, "guard-loop".to_string())]);
+    }
+
+    #[test]
+    fn guard_loop_serve_scope_wants_shutdown_flag() {
+        // In serve registry/admin files the sanctioned poll is the
+        // shutdown flag, not the Guard — a checkpoint call does not
+        // satisfy it there, and vice versa.
+        let src = "fn f(s: &Shared) {\n  loop { step(); }\n  loop { if s.stop.load(Ordering::Relaxed) { return; } step(); }\n  loop { g.checkpoint(Phase::Links); }\n  while !queue.stopping { drain(); }\n}";
+        let hits = run_with("crates/serve/src/server.rs", &["guard-loop"], src);
+        assert_eq!(
+            hits,
+            vec![(2, "guard-loop".to_string()), (4, "guard-loop".to_string())]
+        );
+    }
+
+    #[test]
+    fn guard_loop_counts_header_polls() {
+        // `while !stop { … }` re-checks the flag every iteration; the
+        // poll living in the header must count.
+        let src = "fn f(s: &Shared) {\n  while !s.stop.load(Ordering::Acquire) { wait(); }\n}";
+        assert!(run_with("crates/serve/src/batch.rs", &["guard-loop"], src).is_empty());
+    }
+
+    #[test]
+    fn guard_scope_covers_core_and_serve() {
+        assert!(is_guard_scope("crates/core/src/links.rs"));
+        assert!(is_guard_scope("crates/serve/src/registry.rs"));
+        assert!(is_guard_scope("crates/serve/src/batch.rs"));
+        assert!(!is_guard_scope("crates/serve/src/http.rs"));
+        assert!(!is_guard_scope("crates/core/src/data.rs"));
     }
 }

@@ -19,7 +19,7 @@
 //! | `atomic-ordering` | everywhere linted            | atomic ops use their documented class ordering; no bare `SeqCst` |
 //! | `spawn-merge-order` | everywhere linted          | worker results merged in spawn order, never channel-arrival order |
 //! | `panic-path`    | `crates/serve/src`             | serve fails closed: no `panic!`/`unwrap`/`expect`/indexing |
-//! | `guard-loop`    | core phase files               | unbounded loops poll the `Guard` (`checkpoint`/`merge_tick`) |
+//! | `guard-loop`    | core phase + serve registry/admin files | unbounded loops poll their cancellation signal: the `Guard` (`checkpoint`/`merge_tick`) in core, the shutdown flag (`stop`/`stopping`) in serve |
 //!
 //! Any finding can be suppressed with a justified directive on the same
 //! or previous line:
@@ -90,7 +90,7 @@ pub const LINTS: [LintInfo; 12] = [
     },
     LintInfo {
         name: "guard-loop",
-        summary: "unbounded loops in core phase code must poll the Guard (checkpoint/merge_tick)",
+        summary: "unbounded loops poll their cancellation signal (core: Guard; serve: stop flag)",
     },
     LintInfo {
         name: "bare-allow",
@@ -228,6 +228,9 @@ pub fn applicable_lints(rel_path: &str) -> Vec<&'static str> {
             lints.push("wall-clock");
         } else if p.starts_with("crates/serve/src/") {
             lints.push("panic-path");
+            if determinism::is_guard_scope(&p) {
+                lints.push("guard-loop");
+            }
         }
     }
     lints
@@ -478,6 +481,11 @@ mod tests {
         assert!(applicable_lints("tests/pipeline.rs").contains(&"nondet-iter"));
         assert!(!applicable_lints("tests/pipeline.rs").contains(&"core-unwrap"));
         assert!(!applicable_lints("tests/pipeline.rs").contains(&"panic-path"));
+        // Serve registry/admin files carry guard-loop (shutdown-flag
+        // variant); the parser/CLI files do not.
+        assert!(applicable_lints("crates/serve/src/registry.rs").contains(&"guard-loop"));
+        assert!(applicable_lints("crates/serve/src/server.rs").contains(&"guard-loop"));
+        assert!(!applicable_lints("crates/serve/src/http.rs").contains(&"guard-loop"));
         assert!(applicable_lints("examples/quickstart.rs").contains(&"spawn-merge-order"));
         assert!(applicable_lints("crates/bench/src/main.rs").contains(&"atomic-ordering"));
         assert!(applicable_lints("crates/analysis/tests/fixtures/l1.rs").is_empty());

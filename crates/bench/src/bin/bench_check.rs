@@ -13,6 +13,15 @@
 //!   byte floor: the estimates include `HashMap` capacities, which grow
 //!   under a per-process random hash seed, so the high-water figures
 //!   wobble a little between identical runs.
+//! - `*_rps` / `*_pps` (requests/points per second) — one-sided lower
+//!   bound: the fresh throughput may fall at most `tolerance` below the
+//!   baseline; being faster is never a finding. This is how the
+//!   serving-throughput floor is locked in.
+//! - `*_ms` (latency percentiles) — one-sided upper bound with an
+//!   absolute millisecond floor: the log2-bucketed histogram quantizes
+//!   estimates, so one bucket step on a sub-millisecond percentile is
+//!   scheduler noise, not a regression. Being faster is never a
+//!   finding.
 //! - everything else (`counters.*`, `run.*`, schema, experiment,
 //!   degradation) — exact: the pipeline is deterministic, so any drift
 //!   in these is a real behavior change, not noise.
@@ -37,6 +46,10 @@ const DEFAULT_FLOOR_SECS: f64 = 0.075;
 /// Absolute memory floor in bytes (1 MiB): covers hash-map capacity
 /// jumps on structures too small for the relative band to matter.
 const DEFAULT_FLOOR_BYTES: f64 = 1_048_576.0;
+/// Absolute latency floor in milliseconds: one log2-histogram bucket on
+/// a sub-millisecond percentile doubles the estimate, so sub-floor
+/// jitter is exempted from the upper bound.
+const DEFAULT_FLOOR_MS: f64 = 1.0;
 
 struct Options {
     baseline: String,
@@ -44,11 +57,13 @@ struct Options {
     tolerance: f64,
     floor: f64,
     mem_floor: f64,
+    ms_floor: f64,
 }
 
 fn usage() -> String {
     "usage: bench_check --baseline <FILE> --fresh <FILE> \
-     [--tolerance <frac>] [--floor <secs>] [--mem-floor <bytes>]"
+     [--tolerance <frac>] [--floor <secs>] [--mem-floor <bytes>] \
+     [--ms-floor <ms>]"
         .to_owned()
 }
 
@@ -58,6 +73,7 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut floor = DEFAULT_FLOOR_SECS;
     let mut mem_floor = DEFAULT_FLOOR_BYTES;
+    let mut ms_floor = DEFAULT_FLOOR_MS;
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -77,6 +93,7 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
             "--tolerance" => tolerance = non_negative("--tolerance", take("--tolerance")?)?,
             "--floor" => floor = non_negative("--floor", take("--floor")?)?,
             "--mem-floor" => mem_floor = non_negative("--mem-floor", take("--mem-floor")?)?,
+            "--ms-floor" => ms_floor = non_negative("--ms-floor", take("--ms-floor")?)?,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -87,7 +104,19 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
         tolerance,
         floor,
         mem_floor,
+        ms_floor,
     })
+}
+
+/// Throughput metrics get the one-sided lower-bound policy.
+fn is_throughput(path: &str) -> bool {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    leaf.ends_with("_rps") || leaf.ends_with("_pps")
+}
+
+/// Latency metrics get the one-sided upper-bound policy.
+fn is_latency_ms(path: &str) -> bool {
+    path.rsplit('.').next().unwrap_or(path).ends_with("_ms")
 }
 
 /// One out-of-tolerance metric, formatted as `file:line:metric: message`.
@@ -124,6 +153,8 @@ struct Bands {
     wall_floor: f64,
     /// Absolute memory floor, bytes.
     mem_floor: f64,
+    /// Absolute latency floor, milliseconds.
+    ms_floor: f64,
 }
 
 /// Recursively compares `fresh` against `base`, appending findings. Keys
@@ -170,6 +201,43 @@ fn compare_value(
                         message: "present in fresh run, missing from baseline".to_owned(),
                     });
                 }
+            }
+        }
+        (Json::Num(b), Json::Num(f)) if is_throughput(path) => {
+            // Lower bound only: a faster run is an improvement, never a
+            // finding; the committed baseline is the throughput floor.
+            let band = bands.tolerance * b;
+            if *f < b - band {
+                let pct = if *b > 0.0 {
+                    100.0 * (f - b) / b
+                } else {
+                    f64::NEG_INFINITY
+                };
+                findings.push(Finding {
+                    line,
+                    metric: path.to_owned(),
+                    message: format!(
+                        "throughput regression: {f:.2}/s vs baseline {b:.2}/s \
+                         ({pct:+.1}%, floor {:.2}/s)",
+                        b - band
+                    ),
+                });
+            }
+        }
+        (Json::Num(b), Json::Num(f)) if is_latency_ms(path) => {
+            // Upper bound only, with an absolute floor absorbing log2
+            // bucket quantization on sub-millisecond percentiles.
+            let band = (bands.tolerance * b).max(bands.ms_floor);
+            if *f > b + band {
+                findings.push(Finding {
+                    line,
+                    metric: path.to_owned(),
+                    message: format!(
+                        "latency regression: {f:.3}ms vs baseline {b:.3}ms \
+                         (ceiling {:.3}ms)",
+                        b + band
+                    ),
+                });
             }
         }
         (Json::Num(b), Json::Num(f))
@@ -258,6 +326,7 @@ fn run(opts: &Options) -> Result<Vec<Finding>, String> {
         tolerance: opts.tolerance,
         wall_floor: opts.floor,
         mem_floor: opts.mem_floor,
+        ms_floor: opts.ms_floor,
     };
     compare_files(&base_text, &fresh_text, bands)
 }
@@ -273,7 +342,8 @@ fn main() -> ExitCode {
     match run(&opts) {
         Ok(findings) if findings.is_empty() => {
             println!(
-                "bench_check: {} within tolerance of {} (wall ±{:.0}% / {:.3}s floor, rest exact)",
+                "bench_check: {} within tolerance of {} (wall ±{:.0}% / {:.3}s floor; \
+                 _rps/_pps ≥ floor, _ms ≤ ceiling, rest exact)",
                 opts.fresh,
                 opts.baseline,
                 100.0 * opts.tolerance,
@@ -310,6 +380,7 @@ mod tests {
         tolerance: 0.25,
         wall_floor: 0.0,
         mem_floor: 0.0,
+        ms_floor: 0.0,
     };
 
     fn edited(from: &str, to: &str) -> String {
@@ -372,6 +443,56 @@ mod tests {
             ..TIGHT
         };
         assert!(compare_files(LINE, &far, bands).unwrap().is_empty());
+    }
+
+    const SERVE_LINE: &str = r#"{"schema":"rock-serve-bench/v2","sequential_rps":8000.0,"batched_pps":30000.0,"latency_p99_ms":0.5}"#;
+
+    fn serve_edited(from: &str, to: &str) -> String {
+        SERVE_LINE.replace(from, to)
+    }
+
+    #[test]
+    fn throughput_is_a_one_sided_lower_bound() {
+        // Faster than baseline: never a finding, however large the gain.
+        let faster = serve_edited("\"sequential_rps\":8000.0", "\"sequential_rps\":80000.0");
+        assert!(compare_files(SERVE_LINE, &faster, TIGHT)
+            .unwrap()
+            .is_empty());
+        // Within tolerance below: fine.
+        let near = serve_edited("\"sequential_rps\":8000.0", "\"sequential_rps\":6500.0");
+        assert!(compare_files(SERVE_LINE, &near, TIGHT).unwrap().is_empty());
+        // Below the floor: finding, for both _rps and _pps suffixes.
+        let slow = serve_edited("\"sequential_rps\":8000.0", "\"sequential_rps\":5000.0");
+        let findings = compare_files(SERVE_LINE, &slow, TIGHT).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].metric, "sequential_rps");
+        assert!(findings[0].message.contains("throughput regression"));
+        let slow = serve_edited("\"batched_pps\":30000.0", "\"batched_pps\":10000.0");
+        let findings = compare_files(SERVE_LINE, &slow, TIGHT).unwrap();
+        assert_eq!(findings[0].metric, "batched_pps");
+    }
+
+    #[test]
+    fn latency_is_a_one_sided_upper_bound_with_ms_floor() {
+        // Faster: never a finding.
+        let faster = serve_edited("\"latency_p99_ms\":0.5", "\"latency_p99_ms\":0.1");
+        assert!(compare_files(SERVE_LINE, &faster, TIGHT)
+            .unwrap()
+            .is_empty());
+        // Slower beyond tolerance: finding at zero floor…
+        let slower = serve_edited("\"latency_p99_ms\":0.5", "\"latency_p99_ms\":1.0");
+        let findings = compare_files(SERVE_LINE, &slower, TIGHT).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].metric, "latency_p99_ms");
+        assert!(findings[0].message.contains("latency regression"));
+        // …but exempted by the millisecond floor (bucket quantization).
+        let bands = Bands {
+            ms_floor: 1.0,
+            ..TIGHT
+        };
+        assert!(compare_files(SERVE_LINE, &slower, bands)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

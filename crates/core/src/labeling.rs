@@ -154,6 +154,131 @@ pub fn label_point<S: Similarity, F: LinkExponent>(
     best.map(|(_, i)| i)
 }
 
+/// Largest universe (in items) the bit-packed labeling index covers.
+/// Beyond it the per-representative bitsets stop paying for themselves
+/// (64 words each) and labeling falls back to sorted-merge
+/// intersections.
+pub const MAX_DENSE_UNIVERSE: usize = 4096;
+
+/// Bit-packed representative index: one bitset per representative over
+/// the item universe, so the θ-neighbor test of the labeling rule
+/// becomes a handful of `AND` + popcount words instead of a branchy
+/// sorted merge per representative.
+///
+/// The index is exact, not approximate: transactions are sorted
+/// deduplicated sets, so popcounting `point ∧ rep` yields the same
+/// integer `|A ∩ B|` the merge in
+/// [`Transaction::intersection_len`](crate::data::Transaction::intersection_len)
+/// produces, and the similarity formulas are evaluated through the very
+/// same `from_counts` definitions the scalar path uses
+/// ([`crate::similarity::Jaccard::from_counts`] et al.) — identical
+/// floats, identical labels, only faster. Built once per
+/// [`ModelSnapshot`](crate::snapshot::ModelSnapshot); queries reuse a
+/// caller-provided scratch bitset so the hot path allocates nothing.
+#[derive(Debug, Clone)]
+pub struct DenseReps {
+    /// Words per bitset row (`ceil(universe / 64)`).
+    words: usize,
+    /// Rep-major bit matrix: representative `r` is
+    /// `bits[r * words .. (r + 1) * words]`.
+    bits: Vec<u64>,
+    /// `|B|` of each representative, in row order.
+    lens: Vec<usize>,
+    /// Per cluster: (first row, representative count).
+    clusters: Vec<(usize, usize)>,
+}
+
+impl DenseReps {
+    /// Builds the index, or `None` when the universe is empty or too
+    /// large to pack profitably (> [`MAX_DENSE_UNIVERSE`]).
+    pub fn build(reps: &Representatives, universe: usize) -> Option<DenseReps> {
+        if universe == 0 || universe > MAX_DENSE_UNIVERSE {
+            return None;
+        }
+        let words = universe.div_ceil(64);
+        let total = reps.total();
+        let mut bits = vec![0u64; total * words];
+        let mut lens = Vec::with_capacity(total);
+        let mut clusters = Vec::with_capacity(reps.num_clusters());
+        let mut row = 0usize;
+        for set in &reps.sets {
+            clusters.push((row, set.len()));
+            for rep in set {
+                let base = row * words;
+                for &item in rep.items() {
+                    let i = cast::u32_to_usize(item);
+                    if i / 64 < words {
+                        bits[base + i / 64] |= 1u64 << (i % 64);
+                    }
+                }
+                lens.push(rep.len());
+                row += 1;
+            }
+        }
+        Some(DenseReps {
+            words,
+            bits,
+            lens,
+            clusters,
+        })
+    }
+
+    /// Resizes `scratch` to this index's row width (idempotent).
+    pub fn prepare_scratch(&self, scratch: &mut Vec<u64>) {
+        scratch.resize(self.words, 0);
+    }
+
+    /// [`label_point`] over the packed index: same scores, same
+    /// deterministic lower-index tie-break, same `None`-for-outlier
+    /// contract. `sim` maps `(|A∩B|, |A|, |B|)` to the similarity —
+    /// pass the measure's `from_counts` so both paths share one
+    /// definition. `scratch` must come through
+    /// [`DenseReps::prepare_scratch`].
+    pub fn label_point(
+        &self,
+        point: &Transaction,
+        sim: impl Fn(usize, usize, usize) -> f64,
+        theta: f64,
+        exponent: f64,
+        scratch: &mut [u64],
+    ) -> Option<usize> {
+        for w in scratch.iter_mut() {
+            *w = 0;
+        }
+        for &item in point.items() {
+            let i = cast::u32_to_usize(item);
+            // Items outside the universe can never match a validated
+            // representative; they still count toward |A| below.
+            if i / 64 < self.words {
+                scratch[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        let a_len = point.len();
+        let mut best: Option<(f64, usize)> = None;
+        for (c, &(start, count)) in self.clusters.iter().enumerate() {
+            let mut n_i = 0usize;
+            for r in start..start + count {
+                let row = &self.bits[r * self.words..(r + 1) * self.words];
+                let mut inter = 0usize;
+                for (pw, rw) in scratch.iter().zip(row) {
+                    inter += cast::u32_to_usize((pw & rw).count_ones());
+                }
+                if sim(inter, a_len, self.lens[r]) >= theta {
+                    n_i += 1;
+                }
+            }
+            if n_i == 0 {
+                continue;
+            }
+            let score = cast::usize_to_f64(n_i) / cast::usize_to_f64(count + 1).powf(exponent);
+            if best.is_none_or(|(b, _)| score > b) {
+                best = Some((score, c));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+}
+
 /// Labels every point of `data`, returning per-point cluster assignments
 /// (`None` = outlier).
 pub fn label_all<S: Similarity, F: LinkExponent>(
@@ -444,6 +569,110 @@ mod tests {
                 .map(|(_, l)| l)
                 .collect();
         assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn dense_index_matches_scalar_labeling() {
+        // The bit-packed index must reproduce the scalar path bit for
+        // bit: same integer intersection counts through the shared
+        // `from_counts` formulas, so identical labels for every
+        // measure, θ, and point — including points carrying items
+        // outside the indexed universe.
+        use crate::similarity::{Cosine, Dice, Overlap};
+
+        let mut rng = seeded_rng(7);
+        let universe = 96usize;
+        let item = |rng: &mut crate::rng::Rng, lo: usize, span: usize| {
+            u32::try_from(lo + rng.gen_range(0..span)).expect("small test universe")
+        };
+        let sets: Vec<Vec<Transaction>> = (0..5)
+            .map(|c| {
+                (0..8)
+                    .map(|_| Transaction::new((0..6).map(|_| item(&mut rng, c * 16, 20) % 96)))
+                    .collect()
+            })
+            .collect();
+        let reps = Representatives::from_sets(sets);
+        let dense = DenseReps::build(&reps, universe).expect("fits");
+        let mut scratch = Vec::new();
+        dense.prepare_scratch(&mut scratch);
+
+        let points: Vec<Transaction> = (0..200)
+            .map(|i| {
+                let len = 1 + rng.gen_range(0..6usize);
+                Transaction::new((0..len).map(|_| {
+                    if i % 7 == 0 {
+                        // Out-of-universe items: in |A|, never in a rep.
+                        item(&mut rng, universe, 50)
+                    } else {
+                        item(&mut rng, 0, universe)
+                    }
+                }))
+            })
+            .collect();
+
+        fn check<S: Similarity>(
+            measure: &S,
+            from_counts: fn(usize, usize, usize) -> f64,
+            reps: &Representatives,
+            dense: &DenseReps,
+            points: &[Transaction],
+            theta: f64,
+            scratch: &mut [u64],
+        ) {
+            let exponent = MarketBasket.f(theta);
+            for p in points {
+                let scalar = label_point(p, reps, measure, &MarketBasket, theta);
+                let fast = dense.label_point(p, from_counts, theta, exponent, scratch);
+                assert_eq!(
+                    scalar,
+                    fast,
+                    "measure {} theta {theta} point {:?}",
+                    measure.name(),
+                    p.items()
+                );
+            }
+        }
+
+        for theta in [0.2, 0.5, 0.8] {
+            let s = &mut scratch;
+            check(
+                &Jaccard,
+                Jaccard::from_counts,
+                &reps,
+                &dense,
+                &points,
+                theta,
+                s,
+            );
+            check(&Dice, Dice::from_counts, &reps, &dense, &points, theta, s);
+            check(
+                &Overlap,
+                Overlap::from_counts,
+                &reps,
+                &dense,
+                &points,
+                theta,
+                s,
+            );
+            check(
+                &Cosine,
+                Cosine::from_counts,
+                &reps,
+                &dense,
+                &points,
+                theta,
+                s,
+            );
+        }
+    }
+
+    #[test]
+    fn dense_index_gates_on_universe_size() {
+        let reps = Representatives::from_sets(vec![vec![Transaction::new([0, 1])]]);
+        assert!(DenseReps::build(&reps, 0).is_none());
+        assert!(DenseReps::build(&reps, MAX_DENSE_UNIVERSE + 1).is_none());
+        assert!(DenseReps::build(&reps, MAX_DENSE_UNIVERSE).is_some());
     }
 
     #[test]

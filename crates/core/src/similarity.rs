@@ -26,16 +26,27 @@ pub trait Similarity: Sync {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Jaccard;
 
-impl Similarity for Jaccard {
+impl Jaccard {
+    /// The coefficient from precomputed set sizes. This is the single
+    /// definition [`Similarity::sim`] and the bit-packed labeling index
+    /// ([`crate::labeling::DenseReps`]) both evaluate, so the two paths
+    /// cannot drift.
     #[inline]
-    fn sim(&self, a: &Transaction, b: &Transaction) -> f64 {
-        let inter = a.intersection_len(b);
-        let union = a.len() + b.len() - inter;
+    #[must_use]
+    pub fn from_counts(inter: usize, a_len: usize, b_len: usize) -> f64 {
+        let union = a_len + b_len - inter;
         if union == 0 {
             1.0
         } else {
             cast::usize_to_f64(inter) / cast::usize_to_f64(union)
         }
+    }
+}
+
+impl Similarity for Jaccard {
+    #[inline]
+    fn sim(&self, a: &Transaction, b: &Transaction) -> f64 {
+        Self::from_counts(a.intersection_len(b), a.len(), b.len())
     }
 
     fn name(&self) -> &'static str {
@@ -47,15 +58,25 @@ impl Similarity for Jaccard {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Dice;
 
-impl Similarity for Dice {
+impl Dice {
+    /// The coefficient from precomputed set sizes (see
+    /// [`Jaccard::from_counts`] for why this form exists).
     #[inline]
-    fn sim(&self, a: &Transaction, b: &Transaction) -> f64 {
-        let denom = a.len() + b.len();
+    #[must_use]
+    pub fn from_counts(inter: usize, a_len: usize, b_len: usize) -> f64 {
+        let denom = a_len + b_len;
         if denom == 0 {
             1.0
         } else {
-            2.0 * cast::usize_to_f64(a.intersection_len(b)) / cast::usize_to_f64(denom)
+            2.0 * cast::usize_to_f64(inter) / cast::usize_to_f64(denom)
         }
+    }
+}
+
+impl Similarity for Dice {
+    #[inline]
+    fn sim(&self, a: &Transaction, b: &Transaction) -> f64 {
+        Self::from_counts(a.intersection_len(b), a.len(), b.len())
     }
 
     fn name(&self) -> &'static str {
@@ -67,15 +88,25 @@ impl Similarity for Dice {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Overlap;
 
-impl Similarity for Overlap {
+impl Overlap {
+    /// The coefficient from precomputed set sizes (see
+    /// [`Jaccard::from_counts`] for why this form exists).
     #[inline]
-    fn sim(&self, a: &Transaction, b: &Transaction) -> f64 {
-        let denom = a.len().min(b.len());
+    #[must_use]
+    pub fn from_counts(inter: usize, a_len: usize, b_len: usize) -> f64 {
+        let denom = a_len.min(b_len);
         if denom == 0 {
             1.0
         } else {
-            cast::usize_to_f64(a.intersection_len(b)) / cast::usize_to_f64(denom)
+            cast::usize_to_f64(inter) / cast::usize_to_f64(denom)
         }
+    }
+}
+
+impl Similarity for Overlap {
+    #[inline]
+    fn sim(&self, a: &Transaction, b: &Transaction) -> f64 {
+        Self::from_counts(a.intersection_len(b), a.len(), b.len())
     }
 
     fn name(&self) -> &'static str {
@@ -87,16 +118,26 @@ impl Similarity for Overlap {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Cosine;
 
+impl Cosine {
+    /// The coefficient from precomputed set sizes (see
+    /// [`Jaccard::from_counts`] for why this form exists).
+    #[inline]
+    #[must_use]
+    pub fn from_counts(inter: usize, a_len: usize, b_len: usize) -> f64 {
+        if a_len == 0 && b_len == 0 {
+            return 1.0;
+        }
+        if a_len == 0 || b_len == 0 {
+            return 0.0;
+        }
+        cast::usize_to_f64(inter) / cast::usize_to_f64(a_len * b_len).sqrt()
+    }
+}
+
 impl Similarity for Cosine {
     #[inline]
     fn sim(&self, a: &Transaction, b: &Transaction) -> f64 {
-        if a.is_empty() && b.is_empty() {
-            return 1.0;
-        }
-        if a.is_empty() || b.is_empty() {
-            return 0.0;
-        }
-        cast::usize_to_f64(a.intersection_len(b)) / cast::usize_to_f64(a.len() * b.len()).sqrt()
+        Self::from_counts(a.intersection_len(b), a.len(), b.len())
     }
 
     fn name(&self) -> &'static str {

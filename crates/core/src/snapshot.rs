@@ -48,7 +48,7 @@ use crate::data::{AttrId, Transaction, TransactionSet, Vocabulary};
 use crate::error::{Result, RockError};
 use crate::goodness::ConstantExponent;
 use crate::hash::fnv1a64;
-use crate::labeling::{label_many_parallel, label_point, LabelingConfig, Representatives};
+use crate::labeling::{label_point, DenseReps, LabelingConfig, Representatives};
 use crate::rock::RockModel;
 use crate::sampling::seeded_rng;
 use crate::similarity::{Cosine, Dice, Jaccard, Overlap, Similarity};
@@ -123,6 +123,24 @@ impl SimilarityKind {
     }
 }
 
+impl SimilarityKind {
+    /// The measure from precomputed set sizes — the dispatch the
+    /// bit-packed labeling index uses. Every arm calls the same
+    /// `from_counts` definition [`Similarity::sim`] is built on, so the
+    /// packed and merge-based labeling paths produce bit-identical
+    /// floats.
+    #[inline]
+    #[must_use]
+    pub fn sim_from_counts(self, inter: usize, a_len: usize, b_len: usize) -> f64 {
+        match self {
+            SimilarityKind::Jaccard => Jaccard::from_counts(inter, a_len, b_len),
+            SimilarityKind::Dice => Dice::from_counts(inter, a_len, b_len),
+            SimilarityKind::Overlap => Overlap::from_counts(inter, a_len, b_len),
+            SimilarityKind::Cosine => Cosine::from_counts(inter, a_len, b_len),
+        }
+    }
+}
+
 impl Similarity for SimilarityKind {
     fn sim(&self, a: &Transaction, b: &Transaction) -> f64 {
         match self {
@@ -186,6 +204,10 @@ pub struct ModelSnapshot {
     universe: usize,
     vocabulary: Option<Vocabulary>,
     reps: Representatives,
+    /// Bit-packed representative index, built at construction for small
+    /// universes. Derived from `reps` — never rendered, never compared;
+    /// [`ModelSnapshot::label`] answers identically with or without it.
+    dense: Option<DenseReps>,
 }
 
 impl ModelSnapshot {
@@ -205,7 +227,7 @@ impl ModelSnapshot {
         vocabulary: Option<Vocabulary>,
         reps: Representatives,
     ) -> Result<Self> {
-        let snapshot = ModelSnapshot {
+        let mut snapshot = ModelSnapshot {
             theta,
             exponent,
             similarity,
@@ -213,8 +235,10 @@ impl ModelSnapshot {
             universe,
             vocabulary,
             reps,
+            dense: None,
         };
         snapshot.validate()?;
+        snapshot.dense = DenseReps::build(&snapshot.reps, snapshot.universe);
         Ok(snapshot)
     }
 
@@ -342,17 +366,39 @@ impl ModelSnapshot {
     /// snapshot's outlier policy. Deterministic: no RNG, ties break to
     /// the lower cluster index.
     pub fn label(&self, point: &Transaction) -> Option<usize> {
-        let hit = label_point(
-            point,
-            &self.reps,
-            &self.similarity,
-            &ConstantExponent(self.exponent),
-            self.theta,
-        );
+        let mut scratch = Vec::new();
+        let hit = self.hit_with(point, &mut scratch);
         match (hit, self.policy) {
             (Some(c), _) => Some(c),
             (None, OutlierPolicy::Mark) => None,
             (None, OutlierPolicy::Nearest) => self.nearest(point),
+        }
+    }
+
+    /// The §4.2 threshold rule without the outlier policy, through the
+    /// bit-packed index when one was built (small universes) and the
+    /// sorted-merge kernel otherwise. Both paths evaluate the same
+    /// `from_counts` similarity definitions on the same integer counts,
+    /// so the answer is identical either way.
+    fn hit_with(&self, point: &Transaction, scratch: &mut Vec<u64>) -> Option<usize> {
+        match &self.dense {
+            Some(dense) => {
+                dense.prepare_scratch(scratch);
+                dense.label_point(
+                    point,
+                    |inter, a, b| self.similarity.sim_from_counts(inter, a, b),
+                    self.theta,
+                    self.exponent,
+                    scratch,
+                )
+            }
+            None => label_point(
+                point,
+                &self.reps,
+                &self.similarity,
+                &ConstantExponent(self.exponent),
+                self.theta,
+            ),
         }
     }
 
@@ -363,14 +409,33 @@ impl ModelSnapshot {
     /// independent of the thread count — the invariant the streaming
     /// checkpoint layer's byte-identical-resume guarantee rests on.
     pub fn label_chunk(&self, points: &[&Transaction], threads: usize) -> Vec<Option<usize>> {
-        let mut out = label_many_parallel(
-            points,
-            &self.reps,
-            &self.similarity,
-            &ConstantExponent(self.exponent),
-            self.theta,
-            threads,
-        );
+        let n = points.len();
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(16);
+        let threads = if threads == 0 { hw } else { threads };
+        let mut out = if threads <= 1 || n < 256 {
+            let mut scratch = Vec::new();
+            points
+                .iter()
+                .map(|p| self.hit_with(p, &mut scratch))
+                .collect()
+        } else {
+            let mut out: Vec<Option<usize>> = vec![None; n];
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (slice_in, slice_out) in points.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        let mut scratch = Vec::new();
+                        for (p, o) in slice_in.iter().zip(slice_out.iter_mut()) {
+                            *o = self.hit_with(p, &mut scratch);
+                        }
+                    });
+                }
+            });
+            out
+        };
         if self.policy == OutlierPolicy::Nearest {
             for (p, l) in points.iter().zip(out.iter_mut()) {
                 if l.is_none() {
@@ -515,6 +580,15 @@ impl ModelSnapshot {
     /// resuming a run against a different model.
     pub fn fingerprint(&self) -> u64 {
         fnv1a64(self.render().as_bytes())
+    }
+
+    /// [`ModelSnapshot::fingerprint`] rendered the canonical way every
+    /// subsystem prints it: 16 lowercase hex digits, zero-padded. The
+    /// checkpoint `model` line and the serve registry's model-identity
+    /// headers both use this form, so logs and traces cross-reference
+    /// byte-for-byte.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint())
     }
 
     /// Saves the snapshot to `path`.

@@ -1,0 +1,412 @@
+//! Per-model micro-batching: group-commit for the labeling kernel.
+//!
+//! Labeling one point is cheap; the per-request overhead around it
+//! (parsing, queueing, syscalls) is not. When several requests arrive
+//! together, labeling them as one kernel call amortizes that overhead —
+//! the same leader/follower group-commit idea write-ahead logs use:
+//!
+//! * The first submitter becomes the **leader**: it waits a bounded
+//!   interval (`max_wait`) for followers to pile on — or not at all
+//!   when it is alone (`solo`), so an idle server keeps its
+//!   single-request latency — then drains *every* pending job and runs
+//!   the labeling kernel once per pinned model entry.
+//! * Later submitters are **followers**: they enqueue their points,
+//!   wake the leader, and sleep until their job's results are filled.
+//!
+//! Each job carries the [`ModelEntry`] it pinned at dispatch time, so a
+//! hot swap mid-batch is harmless: the drained batch is grouped by
+//! entry and every job is labeled by exactly the model that was active
+//! when its request resolved — the zero-downtime invariant the reload
+//! soak in `exp_serve` asserts.
+//!
+//! The batcher is deadlock-free by construction: a leader always exists
+//! while jobs are queued (the drain clears the queue and the leader
+//! flag together under one lock), and [`Batcher::shutdown`] lets a
+//! follower whose job was never drained reclaim it and label inline.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use rock_core::cast::usize_to_u64;
+use rock_core::prelude::Transaction;
+
+use crate::registry::ModelEntry;
+
+/// Knobs for one submission (the server threads its config through).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Stop waiting for followers once this many points are pending.
+    /// The drain still takes *all* pending jobs — the cap bounds the
+    /// wait, never strands work.
+    pub max_points: usize,
+    /// Upper bound on how long a leader waits for followers.
+    pub max_wait: Duration,
+    /// Worker threads for the labeling kernel (`label_chunk`) per
+    /// batch; 1 keeps labeling on the submitting thread.
+    pub threads: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            max_points: 256,
+            max_wait: Duration::from_micros(200),
+            threads: 1,
+        }
+    }
+}
+
+/// What a leader reports after executing a batch (followers report
+/// nothing — their work is counted by their leader).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchReport {
+    /// Jobs coalesced into the batch (≥ 1).
+    pub jobs: u64,
+    /// Points labeled across those jobs.
+    pub points: u64,
+    /// Wall time from submission to batch completion, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// One submission: the points, the model entry pinned at dispatch, and
+/// the completion flag + results the leader fills.
+struct Job {
+    entry: Arc<ModelEntry>,
+    points: Vec<Transaction>,
+    results: Mutex<Vec<Option<usize>>>,
+    done: AtomicBool,
+}
+
+/// Pending jobs plus the leader election flag, under one mutex.
+struct BatchState {
+    jobs: Vec<Arc<Job>>,
+    points: usize,
+    leader: bool,
+}
+
+/// A per-model group-commit queue. See the module docs for protocol.
+pub struct Batcher {
+    state: Mutex<BatchState>,
+    /// Wakes a waiting leader when a follower enqueues work.
+    work: Condvar,
+    /// Wakes followers when a leader finishes their jobs.
+    ready: Condvar,
+    stop: AtomicBool,
+}
+
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Default for Batcher {
+    fn default() -> Self {
+        Batcher::new()
+    }
+}
+
+impl Batcher {
+    /// An empty batcher.
+    pub fn new() -> Self {
+        Batcher {
+            state: Mutex::new(BatchState {
+                jobs: Vec::new(),
+                points: 0,
+                leader: false,
+            }),
+            work: Condvar::new(),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Tells waiting leaders/followers to drain and exit promptly
+    /// (server shutdown). Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        let state = lock(&self.state);
+        self.work.notify_all();
+        self.ready.notify_all();
+        drop(state);
+    }
+
+    /// Labels `points` against `entry`, coalescing with concurrent
+    /// submissions. Blocks until this submission's results are ready;
+    /// output order matches input order. `solo` is the caller's hint
+    /// that no other labeling request is in flight, which skips the
+    /// follower wait so an idle server pays no batching latency.
+    pub fn submit(
+        &self,
+        entry: &Arc<ModelEntry>,
+        points: Vec<Transaction>,
+        opts: &BatchOptions,
+        solo: bool,
+    ) -> (Vec<Option<usize>>, Option<BatchReport>) {
+        let n = points.len();
+        if n == 0 {
+            return (Vec::new(), None);
+        }
+        let started = Instant::now();
+        let job = Arc::new(Job {
+            entry: Arc::clone(entry),
+            points,
+            results: Mutex::new(Vec::new()),
+            done: AtomicBool::new(false),
+        });
+        let lead = {
+            let mut state = lock(&self.state);
+            state.jobs.push(Arc::clone(&job));
+            state.points += n;
+            if state.leader {
+                // A leader is collecting: ride its batch and wake it in
+                // case it is waiting on the point threshold.
+                self.work.notify_one();
+                false
+            } else {
+                state.leader = true;
+                true
+            }
+        };
+        if lead {
+            self.lead(&job, opts, solo, started)
+        } else {
+            (self.follow(&job, opts), None)
+        }
+    }
+
+    /// Leader path: bounded wait for followers, drain everything,
+    /// execute, publish.
+    fn lead(
+        &self,
+        job: &Arc<Job>,
+        opts: &BatchOptions,
+        solo: bool,
+        started: Instant,
+    ) -> (Vec<Option<usize>>, Option<BatchReport>) {
+        let deadline = started + opts.max_wait;
+        let (batch, points) = {
+            let mut state = lock(&self.state);
+            while !solo && state.points < opts.max_points && !self.stop.load(Ordering::Acquire) {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let wait = deadline.saturating_duration_since(now);
+                let (next, timed_out) = match self.work.wait_timeout(state, wait) {
+                    Ok((guard, result)) => (guard, result.timed_out()),
+                    Err(poisoned) => {
+                        let (guard, result) = poisoned.into_inner();
+                        (guard, result.timed_out())
+                    }
+                };
+                state = next;
+                if timed_out {
+                    break;
+                }
+            }
+            // Drain ALL pending jobs (not just max_points worth) and
+            // release leadership in the same critical section, so the
+            // next submitter elects itself leader of the next batch.
+            let batch = std::mem::take(&mut state.jobs);
+            let points = state.points;
+            state.points = 0;
+            state.leader = false;
+            (batch, points)
+        };
+        let jobs = usize_to_u64(batch.len());
+        Self::execute(batch, opts.threads);
+        // Lock-then-notify so a follower between its done-check and its
+        // wait cannot miss the wakeup.
+        let state = lock(&self.state);
+        self.ready.notify_all();
+        drop(state);
+        let results = std::mem::take(&mut *lock(&job.results));
+        let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let report = BatchReport {
+            jobs,
+            points: usize_to_u64(points),
+            elapsed_ns,
+        };
+        (results, Some(report))
+    }
+
+    /// Follower path: sleep until the leader fills our results. If
+    /// shutdown fires while our job is still queued (leader already
+    /// drained without us and exited), reclaim it and label inline.
+    fn follow(&self, job: &Arc<Job>, opts: &BatchOptions) -> Vec<Option<usize>> {
+        let mut state = lock(&self.state);
+        while !job.done.load(Ordering::Acquire) {
+            if self.stop.load(Ordering::Acquire) {
+                if let Some(pos) = state.jobs.iter().position(|j| Arc::ptr_eq(j, job)) {
+                    let mine = state.jobs.remove(pos);
+                    state.points = state.points.saturating_sub(mine.points.len());
+                    drop(state);
+                    let refs: Vec<&Transaction> = mine.points.iter().collect();
+                    return mine.entry.snapshot().label_chunk(&refs, opts.threads);
+                }
+                // Already drained: a leader is executing it; keep
+                // waiting for the done flag.
+            }
+            let (next, _) = match self.ready.wait_timeout(state, Duration::from_millis(10)) {
+                Ok((guard, result)) => (guard, result),
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            state = next;
+        }
+        drop(state);
+        std::mem::take(&mut *lock(&job.results))
+    }
+
+    /// Runs the labeling kernel once per pinned entry: consecutive jobs
+    /// sharing an entry label as one kernel call; a batch straddling a
+    /// hot swap splits into one call per model version, so every job is
+    /// answered by exactly the entry it pinned at dispatch.
+    fn execute(batch: Vec<Arc<Job>>, threads: usize) {
+        let mut groups: Vec<Vec<Arc<Job>>> = Vec::new();
+        for job in batch {
+            match groups.last_mut() {
+                Some(group)
+                    if group
+                        .last()
+                        .is_some_and(|prev| Arc::ptr_eq(&prev.entry, &job.entry)) =>
+                {
+                    group.push(job);
+                }
+                _ => groups.push(vec![job]),
+            }
+        }
+        for group in &groups {
+            let Some(first) = group.first() else {
+                continue;
+            };
+            let refs: Vec<&Transaction> = group.iter().flat_map(|j| j.points.iter()).collect();
+            let labels = first.entry.snapshot().label_chunk(&refs, threads);
+            let mut it = labels.into_iter();
+            for j in group {
+                *lock(&j.results) = it.by_ref().take(j.points.len()).collect();
+                j.done.store(true, Ordering::Release);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelEntry;
+    use rock_core::labeling::Representatives;
+    use rock_core::snapshot::{ModelSnapshot, OutlierPolicy, SimilarityKind};
+
+    fn entry(first: [u32; 3], second: [u32; 3], version: u64) -> Arc<ModelEntry> {
+        let reps = Representatives::from_sets(vec![
+            vec![Transaction::new(first)],
+            vec![Transaction::new(second)],
+        ]);
+        let snapshot = ModelSnapshot::new(
+            0.5,
+            1.0,
+            SimilarityKind::Jaccard,
+            OutlierPolicy::Mark,
+            6,
+            None,
+            reps,
+        )
+        .unwrap();
+        Arc::new(ModelEntry::new(snapshot, version))
+    }
+
+    fn points(reps: &[[u32; 3]]) -> Vec<Transaction> {
+        reps.iter().map(|r| Transaction::new(*r)).collect()
+    }
+
+    #[test]
+    fn solo_submit_labels_inline_with_a_report() {
+        let b = Batcher::new();
+        let e = entry([0, 1, 2], [3, 4, 5], 1);
+        let (out, report) = b.submit(
+            &e,
+            points(&[[0, 1, 2], [3, 4, 5]]),
+            &BatchOptions::default(),
+            true,
+        );
+        assert_eq!(out, vec![Some(0), Some(1)]);
+        let report = report.expect("leader reports");
+        assert_eq!(report.jobs, 1);
+        assert_eq!(report.points, 2);
+    }
+
+    #[test]
+    fn empty_submission_is_a_no_op() {
+        let b = Batcher::new();
+        let e = entry([0, 1, 2], [3, 4, 5], 1);
+        let (out, report) = b.submit(&e, Vec::new(), &BatchOptions::default(), true);
+        assert!(out.is_empty());
+        assert!(report.is_none());
+    }
+
+    #[test]
+    fn concurrent_submissions_all_answer_correctly_and_every_point_is_counted() {
+        let b = Arc::new(Batcher::new());
+        let e = entry([0, 1, 2], [3, 4, 5], 1);
+        let opts = BatchOptions {
+            max_wait: Duration::from_millis(5),
+            ..BatchOptions::default()
+        };
+        let total: u64 = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let b = Arc::clone(&b);
+                let e = Arc::clone(&e);
+                handles.push(scope.spawn(move || {
+                    let mut batched = 0u64;
+                    for _ in 0..50 {
+                        let (out, report) =
+                            b.submit(&e, points(&[[0, 1, 2], [3, 4, 5]]), &opts, false);
+                        assert_eq!(out, vec![Some(0), Some(1)]);
+                        if let Some(r) = report {
+                            batched += r.points;
+                        }
+                    }
+                    batched
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        // Leaders collectively accounted for every submitted point.
+        assert_eq!(total, 8 * 50 * 2);
+    }
+
+    #[test]
+    fn mixed_entry_batch_labels_each_job_with_its_pinned_model() {
+        // Two entries with opposite cluster order: same probe, opposite
+        // labels. Execute them as one drained batch.
+        let a = entry([0, 1, 2], [3, 4, 5], 1);
+        let b = entry([3, 4, 5], [0, 1, 2], 2);
+        let probe = points(&[[0, 1, 2]]);
+        let job = |e: &Arc<ModelEntry>| {
+            Arc::new(Job {
+                entry: Arc::clone(e),
+                points: probe.clone(),
+                results: Mutex::new(Vec::new()),
+                done: AtomicBool::new(false),
+            })
+        };
+        let jobs = vec![job(&a), job(&b), job(&a)];
+        Batcher::execute(jobs.clone(), 1);
+        let got: Vec<Vec<Option<usize>>> = jobs.iter().map(|j| lock(&j.results).clone()).collect();
+        assert_eq!(got, vec![vec![Some(0)], vec![Some(1)], vec![Some(0)]]);
+        assert!(jobs.iter().all(|j| j.done.load(Ordering::Acquire)));
+    }
+
+    #[test]
+    fn shutdown_keeps_submissions_answering() {
+        let b = Batcher::new();
+        b.shutdown();
+        let e = entry([0, 1, 2], [3, 4, 5], 1);
+        let (out, _) = b.submit(&e, points(&[[3, 4, 5]]), &BatchOptions::default(), false);
+        assert_eq!(out, vec![Some(1)]);
+    }
+}

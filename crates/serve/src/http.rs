@@ -61,6 +61,41 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
+/// Per-path request-body ceilings.
+///
+/// Labeling bodies are small (one JSON object per line), but admin-
+/// plane snapshot uploads carry a whole `rock-model/v1` rendering, so
+/// `/admin/` paths get their own, much larger ceiling. The split lives
+/// here because the limit must be enforced when `Content-Length` is
+/// parsed — before a single body byte is read — and the request path is
+/// already known at that point.
+#[derive(Debug, Clone, Copy)]
+pub struct BodyLimits {
+    /// Ceiling for every non-admin path (→ 413 beyond it).
+    pub default: usize,
+    /// Ceiling for `/admin/…` paths (snapshot uploads).
+    pub admin: usize,
+}
+
+impl BodyLimits {
+    /// The same ceiling for every path.
+    pub fn uniform(limit: usize) -> Self {
+        BodyLimits {
+            default: limit,
+            admin: limit,
+        }
+    }
+
+    /// The ceiling that applies to `path`.
+    pub fn limit_for(&self, path: &str) -> usize {
+        if path.starts_with("/admin/") {
+            self.admin
+        } else {
+            self.default
+        }
+    }
+}
+
 /// A parsed request.
 #[derive(Debug)]
 pub struct Request {
@@ -81,12 +116,12 @@ pub struct Request {
 ///
 /// # Errors
 /// [`HttpError::Malformed`] for grammar violations,
-/// [`HttpError::BodyTooLarge`] when `Content-Length` exceeds
-/// `max_body`, [`HttpError::Unsupported`] for chunked transfer
-/// encoding, [`HttpError::Io`] for socket failures.
+/// [`HttpError::BodyTooLarge`] when `Content-Length` exceeds the
+/// path's [`BodyLimits`] ceiling, [`HttpError::Unsupported`] for
+/// chunked transfer encoding, [`HttpError::Io`] for socket failures.
 pub fn read_request<R: BufRead>(
     reader: &mut R,
-    max_body: usize,
+    limits: &BodyLimits,
 ) -> Result<Option<Request>, HttpError> {
     let Some(request_line) = read_line(reader, true)? else {
         return Ok(None);
@@ -108,6 +143,7 @@ pub fn read_request<R: BufRead>(
         return Err(HttpError::Malformed(format!("http version {version:?}")));
     }
 
+    let max_body = limits.limit_for(path);
     let mut content_length: usize = 0;
     let mut keep_alive = version == "HTTP/1.1";
     let mut head_bytes = request_line.len();
@@ -293,7 +329,40 @@ mod tests {
     use std::io::Cursor;
 
     fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
-        read_request(&mut Cursor::new(raw.as_bytes().to_vec()), 1024)
+        read_request(
+            &mut Cursor::new(raw.as_bytes().to_vec()),
+            &BodyLimits::uniform(1024),
+        )
+    }
+
+    #[test]
+    fn admin_paths_get_their_own_body_ceiling() {
+        let limits = BodyLimits {
+            default: 8,
+            admin: 4096,
+        };
+        assert_eq!(limits.limit_for("/label"), 8);
+        assert_eq!(limits.limit_for("/models/a/label"), 8);
+        assert_eq!(limits.limit_for("/admin/models/a"), 4096);
+        // A snapshot-sized upload passes on the admin path…
+        let raw = format!(
+            "POST /admin/models/a HTTP/1.1\r\nContent-Length: 100\r\n\r\n{}",
+            "x".repeat(100)
+        );
+        let r = read_request(&mut Cursor::new(raw.into_bytes()), &limits)
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.body.len(), 100);
+        // …and is refused, before any body byte is read, elsewhere.
+        let raw = "POST /label HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        let err = read_request(&mut Cursor::new(raw.as_bytes().to_vec()), &limits).unwrap_err();
+        assert!(matches!(
+            err,
+            HttpError::BodyTooLarge {
+                declared: 100,
+                limit: 8
+            }
+        ));
     }
 
     #[test]

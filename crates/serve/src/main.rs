@@ -1,10 +1,22 @@
-//! `rock-serve` — serve a fitted ROCK model snapshot over HTTP.
+//! `rock-serve` — serve fitted ROCK model snapshots over HTTP.
 //!
 //! ```text
 //! rock-cluster --input data.csv --k 8 --theta 0.7 --save-model m.rockmodel
 //! rock-serve --model m.rockmodel --addr 127.0.0.1:7700
 //! curl -s http://127.0.0.1:7700/label -d '{"record":["a","b","c"]}'
 //! ```
+//!
+//! `--model` is repeatable and takes `NAME=PATH` (a bare `PATH` mounts
+//! as `default`), so one process can serve many models:
+//!
+//! ```text
+//! rock-serve --model votes.rockmodel --model mushroom=m2.rockmodel
+//! curl -s http://127.0.0.1:7700/models/mushroom/label -d '{"items":[0,3]}'
+//! ```
+//!
+//! More models can be uploaded (or hot-swapped, atomically) at runtime
+//! through `POST /admin/models/{name}` with the `rock-model/v1` text as
+//! the request body.
 //!
 //! The server runs until **stdin closes** (ctrl-D, or the supervisor
 //! closing the pipe) — the dependency-free stand-in for a SIGTERM
@@ -18,39 +30,68 @@
 use std::io::Read;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use rock_core::snapshot::ModelSnapshot;
+use rock_serve::registry::{Registry, DEFAULT_MODEL};
 use rock_serve::server::{flush_metrics, ServeConfig, Server};
 
 /// Parsed command line.
 #[derive(Debug)]
 struct Options {
-    model: PathBuf,
+    /// `(registry name, snapshot path)` mounts, in flag order.
+    models: Vec<(String, PathBuf)>,
     metrics: Option<PathBuf>,
     config: ServeConfig,
 }
 
 const USAGE: &str = "\
-usage: rock-serve --model <path> [options]
+usage: rock-serve --model [NAME=]<path> [options]
 
-  --model <path>        rock-model/v1 snapshot to serve (required)
+  --model [NAME=]<path> rock-model/v1 snapshot to serve (repeatable;
+                        bare paths mount as \"default\"; required)
   --addr <host:port>    bind address            [default 127.0.0.1:7700]
   --threads <n>         worker threads, 0 = one per CPU  [default 4]
   --queue <n>           accept-queue capacity   [default 64]
+  --accept-shards <n>   acceptor threads (1-8)  [default 2]
   --deadline-ms <n>     per-request deadline    [default 1000]
   --max-body <bytes>    request body limit      [default 1048576]
+  --admin-max-body <bytes>
+                        /admin/ body limit (snapshot uploads)
+                        [default 67108864]
+  --batch-max <n>       micro-batch point cap   [default 256]
+  --batch-wait-us <n>   micro-batch max wait    [default 200]
   --metrics <path>      write final metrics JSON here (default: stderr)
   --trace <path>        write a rock-trace/v1 NDJSON event stream here
-                        (one serve.request span per request; analyze
-                        with rock-trace)
+                        (serve.request/serve.batch/serve.swap spans;
+                        analyze with rock-trace)
   --slow-ms <n>         flag requests slower than this in the trace
                         [default 100]
 
 The server shuts down gracefully when stdin reaches EOF.";
 
+/// Splits a `--model` value into `(name, path)`; bare paths mount as
+/// the default model. The name is validated here so a typo fails at
+/// startup, not at first request.
+fn parse_model_mount(value: &str) -> Result<(String, PathBuf), String> {
+    let (name, path) = match value.split_once('=') {
+        Some((name, path)) => (name.to_owned(), path),
+        None => (DEFAULT_MODEL.to_owned(), value),
+    };
+    if !Registry::valid_name(&name) {
+        return Err(format!(
+            "invalid model name {name:?} in --model (1-64 chars of [A-Za-z0-9._-])\n{USAGE}"
+        ));
+    }
+    if path.is_empty() {
+        return Err(format!("--model {value:?} has an empty path\n{USAGE}"));
+    }
+    Ok((name, PathBuf::from(path)))
+}
+
 fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, String> {
-    let mut model: Option<PathBuf> = None;
+    let mut models: Vec<(String, PathBuf)> = Vec::new();
     let mut metrics: Option<PathBuf> = None;
     let mut config = ServeConfig {
         addr: "127.0.0.1:7700".into(),
@@ -62,7 +103,13 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, String
                 .ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
         };
         match flag.as_str() {
-            "--model" => model = Some(PathBuf::from(value("--model")?)),
+            "--model" => {
+                let mount = parse_model_mount(&value("--model")?)?;
+                if models.iter().any(|(name, _)| *name == mount.0) {
+                    return Err(format!("duplicate --model name {:?}\n{USAGE}", mount.0));
+                }
+                models.push(mount);
+            }
             "--addr" => config.addr = value("--addr")?,
             "--threads" => {
                 config.threads = value("--threads")?
@@ -74,6 +121,11 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, String
                     .parse()
                     .map_err(|_| format!("--queue expects an integer\n{USAGE}"))?;
             }
+            "--accept-shards" => {
+                config.accept_shards = value("--accept-shards")?
+                    .parse()
+                    .map_err(|_| format!("--accept-shards expects an integer\n{USAGE}"))?;
+            }
             "--deadline-ms" => {
                 let ms: u64 = value("--deadline-ms")?
                     .parse()
@@ -84,6 +136,22 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, String
                 config.max_body = value("--max-body")?
                     .parse()
                     .map_err(|_| format!("--max-body expects an integer\n{USAGE}"))?;
+            }
+            "--admin-max-body" => {
+                config.admin_max_body = value("--admin-max-body")?
+                    .parse()
+                    .map_err(|_| format!("--admin-max-body expects an integer\n{USAGE}"))?;
+            }
+            "--batch-max" => {
+                config.batch_max = value("--batch-max")?
+                    .parse()
+                    .map_err(|_| format!("--batch-max expects an integer\n{USAGE}"))?;
+            }
+            "--batch-wait-us" => {
+                let us: u64 = value("--batch-wait-us")?
+                    .parse()
+                    .map_err(|_| format!("--batch-wait-us expects an integer\n{USAGE}"))?;
+                config.batch_wait = Duration::from_micros(us);
             }
             "--metrics" => metrics = Some(PathBuf::from(value("--metrics")?)),
             "--trace" => config.trace = Some(PathBuf::from(value("--trace")?)),
@@ -97,24 +165,30 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Options, String
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
-    let model = model.ok_or_else(|| format!("--model is required\n{USAGE}"))?;
+    if models.is_empty() {
+        return Err(format!("--model is required\n{USAGE}"));
+    }
     Ok(Options {
-        model,
+        models,
         metrics,
         config,
     })
 }
 
 fn run(opts: &Options) -> rock_core::Result<()> {
-    let snapshot = ModelSnapshot::load(&opts.model)?;
-    eprintln!(
-        "rock-serve: loaded {} ({} clusters, {} representatives, theta {})",
-        opts.model.display(),
-        snapshot.num_clusters(),
-        snapshot.representatives().total(),
-        snapshot.theta(),
-    );
-    let handle = Server::start(snapshot, opts.config.clone())?;
+    let registry = Arc::new(Registry::new());
+    for (name, path) in &opts.models {
+        let snapshot = ModelSnapshot::load(path)?;
+        eprintln!(
+            "rock-serve: mounted {name} from {} ({} clusters, {} representatives, theta {})",
+            path.display(),
+            snapshot.num_clusters(),
+            snapshot.representatives().total(),
+            snapshot.theta(),
+        );
+        registry.install(name, snapshot)?;
+    }
+    let handle = Server::start_with_registry(registry, opts.config.clone())?;
     eprintln!("rock-serve: listening on {}", handle.addr());
     eprintln!("rock-serve: close stdin (ctrl-D) to shut down");
 
@@ -173,16 +247,26 @@ mod tests {
         let o = parse(&[
             "--model",
             "m.rockmodel",
+            "--model",
+            "votes=v.rockmodel",
             "--addr",
             "0.0.0.0:9000",
             "--threads",
             "8",
             "--queue",
             "128",
+            "--accept-shards",
+            "4",
             "--deadline-ms",
             "250",
             "--max-body",
             "4096",
+            "--admin-max-body",
+            "8192",
+            "--batch-max",
+            "512",
+            "--batch-wait-us",
+            "50",
             "--metrics",
             "serve.json",
             "--trace",
@@ -191,15 +275,44 @@ mod tests {
             "40",
         ])
         .unwrap();
-        assert_eq!(o.model, PathBuf::from("m.rockmodel"));
+        assert_eq!(
+            o.models,
+            vec![
+                (DEFAULT_MODEL.to_owned(), PathBuf::from("m.rockmodel")),
+                ("votes".to_owned(), PathBuf::from("v.rockmodel")),
+            ]
+        );
         assert_eq!(o.config.addr, "0.0.0.0:9000");
         assert_eq!(o.config.threads, 8);
         assert_eq!(o.config.queue_capacity, 128);
+        assert_eq!(o.config.accept_shards, 4);
         assert_eq!(o.config.deadline, Duration::from_millis(250));
         assert_eq!(o.config.max_body, 4096);
+        assert_eq!(o.config.admin_max_body, 8192);
+        assert_eq!(o.config.batch_max, 512);
+        assert_eq!(o.config.batch_wait, Duration::from_micros(50));
         assert_eq!(o.metrics, Some(PathBuf::from("serve.json")));
         assert_eq!(o.config.trace, Some(PathBuf::from("serve.trace")));
         assert_eq!(o.config.slow_request, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn model_mounts_validate_names_and_reject_duplicates() {
+        assert!(parse(&["--model", "bad name=m.rockmodel"])
+            .unwrap_err()
+            .contains("invalid model name"));
+        assert!(parse(&["--model", "votes="])
+            .unwrap_err()
+            .contains("empty path"));
+        assert!(parse(&["--model", "a.rockmodel", "--model", "b.rockmodel"])
+            .unwrap_err()
+            .contains("duplicate --model name"));
+        // NAME=PATH with '=' inside the path splits on the first '='.
+        let o = parse(&["--model", "m=a=b.rockmodel"]).unwrap();
+        assert_eq!(
+            o.models,
+            vec![("m".to_owned(), PathBuf::from("a=b.rockmodel"))]
+        );
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! Chaos coverage for the labeling server: malformed HTTP, truncated
-//! bodies, oversized payloads, poisoned snapshots and load shedding.
-//! The invariant throughout: clean 4xx/5xx responses, zero panics, and
-//! a metrics document that still renders afterwards.
+//! bodies, oversized payloads, poisoned snapshots, load shedding and —
+//! for the registry — corrupt uploads mid-swap and concurrent
+//! swap/label races. The invariant throughout: clean 4xx/5xx
+//! responses, zero panics, the previously serving model untouched by
+//! any failed activation, and a metrics document that still renders
+//! afterwards.
 
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use rock_core::labeling::Representatives;
@@ -36,15 +40,44 @@ fn start_server(config: ServeConfig) -> ServerHandle {
     Server::start(toy_snapshot(), config).unwrap()
 }
 
+/// The same universe with the cluster order flipped: the probe
+/// `{0,1,2}` labels `0` under [`toy_snapshot`] and `1` under this one,
+/// so responses reveal exactly which model answered.
+fn flipped_snapshot() -> ModelSnapshot {
+    let reps = Representatives::from_sets(vec![
+        vec![Transaction::new([3, 4, 5])],
+        vec![Transaction::new([0, 1, 2]), Transaction::new([0, 1, 2])],
+    ]);
+    ModelSnapshot::new(
+        0.5,
+        1.0,
+        SimilarityKind::Jaccard,
+        OutlierPolicy::Mark,
+        6,
+        None,
+        reps,
+    )
+    .unwrap()
+}
+
 /// Writes `raw` to the server and returns the full response text.
 fn raw_roundtrip(handle: &ServerHandle, raw: &[u8]) -> String {
-    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    raw_roundtrip_addr(handle.addr(), raw)
+}
+
+/// [`raw_roundtrip`] against a bare address (usable from spawned
+/// threads that must not borrow the handle).
+fn raw_roundtrip_addr(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
         .unwrap();
     stream.write_all(raw).unwrap();
-    // Half-close so a parser waiting for more bytes sees EOF.
-    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    // Half-close so a parser waiting for more bytes sees EOF. A shed
+    // connection may already be reset by the server (its close carries
+    // an RST when our bytes sit unread), so a failed shutdown is fine —
+    // the read below still returns whatever arrived first.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
     let mut out = String::new();
     stream.read_to_string(&mut out).unwrap_or(0);
     out
@@ -192,9 +225,10 @@ fn queue_overflow_sheds_with_503_retry_after() {
     let _queued = TcpStream::connect(handle.addr()).unwrap();
     std::thread::sleep(Duration::from_millis(150));
 
-    // Everything beyond the queue is answered 503 inline.
+    // Everything beyond the queue is answered 503 inline. A reset can
+    // eat an individual 503 body, so probe several times.
     let mut shed_seen = 0;
-    for _ in 0..3 {
+    for _ in 0..6 {
         let resp = raw_roundtrip(&handle, b"GET /healthz HTTP/1.1\r\n\r\n");
         if resp.starts_with("HTTP/1.1 503") {
             assert!(resp.contains("Retry-After: 1"), "{resp:?}");
@@ -297,4 +331,181 @@ fn read_one_response(stream: &mut TcpStream) -> String {
     stream.read_exact(&mut body).unwrap();
     buf.extend_from_slice(&body);
     String::from_utf8(buf).unwrap()
+}
+
+/// Uploads `body` to `POST /admin/models/{name}` and returns the
+/// response text.
+fn admin_upload(addr: SocketAddr, name: &str, body: &str) -> String {
+    let raw = format!(
+        "POST /admin/models/{name} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    raw_roundtrip_addr(addr, raw.as_bytes())
+}
+
+/// The value of header `name` in a raw response, if present.
+fn header_value(resp: &str, name: &str) -> Option<String> {
+    let prefix = format!("{name}: ");
+    resp.lines()
+        .take_while(|l| !l.trim_end().is_empty())
+        .find_map(|l| l.strip_prefix(&prefix).map(|v| v.trim_end().to_owned()))
+}
+
+#[test]
+fn corrupt_truncated_and_mismatched_uploads_mid_swap_keep_old_model_serving() {
+    let handle = start_server(ServeConfig::default());
+    let addr = handle.addr();
+    let good = flipped_snapshot().render();
+
+    // Three distinct failure classes: checksum corruption, truncation,
+    // and a snapshot-format version the parser does not speak.
+    let corrupt = good.replace("similarity jaccard", "similarity jaccarD");
+    let truncated = good[..good.len() / 2].to_owned();
+    let mismatched = good.replacen("rock-model/v1", "rock-model/v9", 1);
+    for (what, upload) in [
+        ("corrupt", &corrupt),
+        ("truncated", &truncated),
+        ("version-mismatched", &mismatched),
+    ] {
+        let resp = admin_upload(addr, "default", upload);
+        assert!(
+            resp.starts_with("HTTP/1.1 400"),
+            "{what} upload -> {resp:?}"
+        );
+        assert!(resp.contains("snapshot rejected"), "{what}: {resp:?}");
+        // The original model keeps serving, byte-for-byte the same
+        // labels as before the failed swap.
+        let labeled = post_label(&handle, "{\"items\":[0,1,2]}\n");
+        assert!(labeled.starts_with("HTTP/1.1 200"), "{what}: {labeled:?}");
+        assert!(labeled.contains("{\"cluster\":0}"), "{what}: {labeled:?}");
+        assert_eq!(
+            header_value(&labeled, "X-Rock-Model").as_deref(),
+            Some("default@v1"),
+            "{what}: a failed swap must not advance the version"
+        );
+    }
+
+    // The failures are visible: degraded health, counted rejections.
+    let health = raw_roundtrip(&handle, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health:?}");
+    assert!(health.contains("\"degraded\""), "{health:?}");
+    let listing = raw_roundtrip(&handle, b"GET /admin/models HTTP/1.1\r\n\r\n");
+    assert!(listing.contains("\"rejected_swaps\": 3"), "{listing:?}");
+
+    // A good upload then activates atomically and recovers health.
+    let resp = admin_upload(addr, "default", &good);
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp:?}");
+    let labeled = post_label(&handle, "{\"items\":[0,1,2]}\n");
+    assert!(labeled.contains("{\"cluster\":1}"), "{labeled:?}");
+    assert_eq!(
+        header_value(&labeled, "X-Rock-Model").as_deref(),
+        Some("default@v2")
+    );
+    let health = raw_roundtrip(&handle, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert!(health.contains("\"ready\""), "{health:?}");
+}
+
+#[test]
+fn deleting_the_default_model_sheds_labels_until_reupload() {
+    let handle = start_server(ServeConfig::default());
+    let addr = handle.addr();
+    let resp = raw_roundtrip(&handle, b"DELETE /admin/models/default HTTP/1.1\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp:?}");
+
+    // No model mounted: labeling sheds softly, health says unavailable.
+    let labeled = post_label(&handle, "{\"items\":[0,1,2]}\n");
+    assert!(labeled.starts_with("HTTP/1.1 503"), "{labeled:?}");
+    assert!(labeled.contains("Retry-After: 1"), "{labeled:?}");
+    let health = raw_roundtrip(&handle, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert!(health.starts_with("HTTP/1.1 503"), "{health:?}");
+    assert!(health.contains("Retry-After: 1"), "{health:?}");
+    assert!(health.contains("\"unavailable\""), "{health:?}");
+
+    // Re-upload restores service; the version sequence restarts with a
+    // fresh slot.
+    let resp = admin_upload(addr, "default", &toy_snapshot().render());
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp:?}");
+    let labeled = post_label(&handle, "{\"items\":[0,1,2]}\n");
+    assert!(labeled.starts_with("HTTP/1.1 200"), "{labeled:?}");
+    assert!(handle.counters().shed >= 1);
+}
+
+#[test]
+fn concurrent_hot_swaps_and_labels_never_mix_models() {
+    // 4 labeling clients hammer a probe whose cluster differs between
+    // the two models while a fifth thread hot-swaps back and forth.
+    // Every response must be 200 and must carry the fingerprint of the
+    // model that produced its label — never a torn combination.
+    let config = ServeConfig {
+        threads: 6,
+        queue_capacity: 256,
+        ..ServeConfig::default()
+    };
+    let handle = start_server(config);
+    let addr = handle.addr();
+    let fp_a = toy_snapshot().fingerprint_hex();
+    let fp_b = flipped_snapshot().fingerprint_hex();
+    let upload_a = toy_snapshot().render();
+    let upload_b = flipped_snapshot().render();
+    let stop = AtomicBool::new(false);
+    let total: u64 = std::thread::scope(|scope| {
+        let swapper = scope.spawn(|| {
+            for i in 0..40 {
+                let body = if i % 2 == 0 { &upload_b } else { &upload_a };
+                let resp = admin_upload(addr, "default", body);
+                assert!(resp.starts_with("HTTP/1.1 200"), "swap {i}: {resp:?}");
+            }
+            stop.store(true, Ordering::Release);
+        });
+        let mut checkers = Vec::new();
+        for worker in 0..4 {
+            let stop = &stop;
+            let (fp_a, fp_b) = (&fp_a, &fp_b);
+            checkers.push(scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                let body = "{\"items\":[0,1,2]}";
+                let raw = format!(
+                    "POST /label HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                    body.len(),
+                    body
+                );
+                let mut answered = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    stream.write_all(raw.as_bytes()).unwrap();
+                    let resp = read_one_response(&mut stream);
+                    assert!(
+                        resp.starts_with("HTTP/1.1 200"),
+                        "worker {worker}: {resp:?}"
+                    );
+                    let fp = header_value(&resp, "X-Rock-Model-Fingerprint").unwrap();
+                    let expected = if fp == *fp_a {
+                        "{\"cluster\":0}"
+                    } else {
+                        assert_eq!(fp, *fp_b, "worker {worker}: unknown model");
+                        "{\"cluster\":1}"
+                    };
+                    assert!(
+                        resp.contains(expected),
+                        "worker {worker}: label from a different model than \
+                         the fingerprint header claims: {resp:?}"
+                    );
+                    answered += 1;
+                }
+                answered
+            }));
+        }
+        swapper.join().unwrap();
+        checkers.into_iter().map(|c| c.join().unwrap()).sum()
+    });
+    assert!(total > 0, "checkers never got a response in");
+    // Zero dropped: every labeled point is accounted for.
+    let counters = handle.counters();
+    assert_eq!(counters.labeled, total);
+    assert_eq!(counters.shed, 0, "no request may be shed mid-swap");
+    let metrics = handle.shutdown();
+    assert!(metrics.contains("\"swaps\": 41"), "{metrics}");
 }

@@ -1,0 +1,328 @@
+//! Registry smoke test: fit two different models offline with
+//! `rock-cluster`, serve both from one `rock-serve` registry, hot-swap
+//! the default through the admin plane, and require every NDJSON
+//! response body to be **byte-identical** to the offline
+//! `rock-cluster label` output for whichever model was active.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+
+use rock::core::data::{AttrId, CategoricalTable, ClusterId};
+use rock::core::export::read_assignments;
+use rock::core::snapshot::ModelSnapshot;
+use rock::core::telemetry::json::{escape, Json};
+use rock::datasets::synthetic::MushroomModel;
+use rock_serve::server::{ServeConfig, Server, ServerHandle};
+
+const RECORDS: usize = 300;
+
+fn table_to_csv(table: &CategoricalTable, labels: &[&'static str]) -> String {
+    let mut out = String::new();
+    for (i, row) in table.rows().enumerate() {
+        out.push_str(labels[i]);
+        for (j, cell) in row.iter().enumerate() {
+            out.push(',');
+            match cell {
+                Some(code) => {
+                    let attr = table
+                        .schema()
+                        .attribute(AttrId(u16::try_from(j).unwrap()))
+                        .unwrap();
+                    out.push_str(attr.value(*code).unwrap());
+                }
+                None => out.push('?'),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// `{"record":["v1","v2",…]}` for row `i` of the table.
+fn record_body(table: &CategoricalTable, i: usize) -> String {
+    let row: Vec<Option<u16>> = table.rows().nth(i).unwrap().to_vec();
+    let mut body = String::from("{\"record\":[");
+    for (j, cell) in row.iter().enumerate() {
+        if j > 0 {
+            body.push(',');
+        }
+        let text = match cell {
+            Some(code) => table
+                .schema()
+                .attribute(AttrId(u16::try_from(j).unwrap()))
+                .unwrap()
+                .value(*code)
+                .unwrap(),
+            None => "?",
+        };
+        body.push('"');
+        body.push_str(&escape(text));
+        body.push('"');
+    }
+    body.push_str("]}");
+    body
+}
+
+/// One keep-alive client connection speaking raw HTTP/1.1.
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.set_nodelay(true).unwrap();
+        Client { stream }
+    }
+
+    /// Sends `body` to `path` and returns the full response text.
+    fn post(&mut self, path: &str, body: &str) -> String {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        self.stream.write_all(raw.as_bytes()).unwrap();
+        self.read_response()
+    }
+
+    fn get(&mut self, path: &str) -> String {
+        let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
+        self.stream.write_all(raw.as_bytes()).unwrap();
+        self.read_response()
+    }
+
+    /// Reads one HTTP response using its `Content-Length` framing.
+    fn read_response(&mut self) -> String {
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            assert_eq!(
+                self.stream.read(&mut byte).unwrap(),
+                1,
+                "connection closed mid-response (dropped response)"
+            );
+            head.push(byte[0]);
+        }
+        let text = String::from_utf8(head.clone()).unwrap();
+        let len: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; len];
+        self.stream.read_exact(&mut body).unwrap();
+        head.extend_from_slice(&body);
+        String::from_utf8(head).unwrap()
+    }
+}
+
+fn body_of(response: &str) -> &str {
+    response.split("\r\n\r\n").nth(1).unwrap()
+}
+
+fn header_of<'a>(response: &'a str, name: &str) -> Option<&'a str> {
+    response
+        .lines()
+        .take_while(|l| !l.trim_end().is_empty())
+        .find_map(|l| l.strip_prefix(name).and_then(|v| v.strip_prefix(": ")))
+        .map(str::trim_end)
+}
+
+/// Fits a model on `input` with `rock-cluster`, labels `input` offline
+/// with the same binary, and returns the snapshot path plus the offline
+/// assignments — the ground truth the server must match byte-for-byte.
+fn fit_and_label_offline(
+    dir: &Path,
+    input: &Path,
+    tag: &str,
+    theta: &str,
+) -> (PathBuf, Vec<Option<ClusterId>>) {
+    let model = dir.join(format!("{tag}.rockmodel"));
+    let output = Command::new(env!("CARGO_BIN_EXE_rock-cluster"))
+        .args([
+            "--input",
+            input.to_str().unwrap(),
+            "--k",
+            "3",
+            "--theta",
+            theta,
+            "--label",
+            "first",
+            "--seed",
+            "42",
+            "--save-model",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "fit failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let labels = dir.join(format!("{tag}-offline-labels.txt"));
+    let output = Command::new(env!("CARGO_BIN_EXE_rock-cluster"))
+        .args([
+            "label",
+            "--model",
+            model.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--label",
+            "first",
+            "--output",
+            labels.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "offline label failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let expected = read_assignments(BufReader::new(std::fs::File::open(&labels).unwrap())).unwrap();
+    std::fs::remove_file(&labels).ok();
+    (model, expected)
+}
+
+/// The exact NDJSON body the server must return for `expected`.
+fn expected_ndjson(expected: &[Option<ClusterId>]) -> String {
+    let mut out = String::new();
+    for label in expected {
+        match label {
+            Some(c) => out.push_str(&format!("{{\"cluster\":{}}}\n", c.0)),
+            None => out.push_str("{\"cluster\":null}\n"),
+        }
+    }
+    out
+}
+
+#[test]
+fn two_models_swap_and_label_byte_identical_to_offline_cli() {
+    let dir = std::env::temp_dir().join("rock-serve-registry-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Two genuinely different fits of the same data: θ=0.8 vs θ=0.6
+    // draw different representative sets, so the two models are
+    // distinguishable by their labels and fingerprints.
+    let input = dir.join("data.csv");
+    let (table, classes, _) = MushroomModel::scaled(RECORDS, 3).seed(7).generate();
+    std::fs::write(&input, table_to_csv(&table, &classes)).unwrap();
+    let (alpha_path, alpha_expected) = fit_and_label_offline(&dir, &input, "alpha", "0.8");
+    let (beta_path, beta_expected) = fit_and_label_offline(&dir, &input, "beta", "0.6");
+
+    let alpha = ModelSnapshot::load(&alpha_path).unwrap();
+    let beta = ModelSnapshot::load(&beta_path).unwrap();
+    assert_ne!(
+        alpha.fingerprint(),
+        beta.fingerprint(),
+        "the two fits must be distinct models"
+    );
+    let beta_text = beta.render();
+    let alpha_fp = alpha.fingerprint_hex();
+    let beta_fp = beta.fingerprint_hex();
+
+    // Mount alpha as the default; beta arrives over the admin plane.
+    let handle = Server::start(alpha, ServeConfig::default()).unwrap();
+    let mut client = Client::connect(&handle);
+    let resp = client.post("/admin/models/beta", &beta_text);
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp:?}");
+
+    // Health: both models ready.
+    let health = client.get("/healthz");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health:?}");
+    let doc = Json::parse(body_of(&health)).unwrap();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(doc.get("models_loaded").and_then(Json::as_u64), Some(2));
+
+    // One NDJSON batch with every record.
+    let batch: String = (0..RECORDS)
+        .map(|i| {
+            let mut line = record_body(&table, i);
+            line.push('\n');
+            line
+        })
+        .collect();
+    let alpha_ndjson = expected_ndjson(&alpha_expected);
+    let beta_ndjson = expected_ndjson(&beta_expected);
+    assert_ne!(
+        alpha_ndjson, beta_ndjson,
+        "θ=0.8 and θ=0.6 must label at least one record differently"
+    );
+
+    // The default route answers with alpha, byte-identical to the
+    // offline CLI, and says so in its model headers.
+    let resp = client.post("/label", &batch);
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp:?}");
+    assert_eq!(body_of(&resp), alpha_ndjson);
+    assert_eq!(header_of(&resp, "X-Rock-Model"), Some("default@v1"));
+    assert_eq!(
+        header_of(&resp, "X-Rock-Model-Fingerprint"),
+        Some(alpha_fp.as_str())
+    );
+
+    // The named route answers with beta.
+    let resp = client.post("/models/beta/label", &batch);
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp:?}");
+    assert_eq!(body_of(&resp), beta_ndjson);
+    assert_eq!(header_of(&resp, "X-Rock-Model"), Some("beta@v1"));
+
+    // Hot-swap the default to beta: same route, new model, still
+    // byte-identical to beta's offline labels.
+    let resp = client.post("/admin/models/default", &beta_text);
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp:?}");
+    let resp = client.post("/label", &batch);
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp:?}");
+    assert_eq!(body_of(&resp), beta_ndjson);
+    assert_eq!(header_of(&resp, "X-Rock-Model"), Some("default@v2"));
+    assert_eq!(
+        header_of(&resp, "X-Rock-Model-Fingerprint"),
+        Some(beta_fp.as_str())
+    );
+
+    // The registry listing reflects the swap.
+    let listing = client.get("/admin/models");
+    let doc = Json::parse(body_of(&listing)).unwrap();
+    let models = doc.get("models").unwrap();
+    assert_eq!(
+        models
+            .get("default")
+            .and_then(|m| m.get("version"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+    assert_eq!(
+        models
+            .get("beta")
+            .and_then(|m| m.get("state"))
+            .and_then(Json::as_str),
+        Some("ready")
+    );
+    drop(client);
+
+    let counters = handle.counters();
+    assert_eq!(
+        counters.labeled + counters.outlier,
+        (RECORDS as u64) * 3,
+        "every batched point answered exactly once"
+    );
+    assert_eq!(counters.shed, 0);
+    let metrics = handle.shutdown();
+    let doc = Json::parse(&metrics).unwrap();
+    let registry = doc.get("registry").unwrap();
+    assert_eq!(registry.get("swaps").and_then(Json::as_u64), Some(3));
+
+    std::fs::remove_file(&input).ok();
+    std::fs::remove_file(&alpha_path).ok();
+    std::fs::remove_file(&beta_path).ok();
+}
