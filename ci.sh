@@ -2,31 +2,160 @@
 # Local CI gate — everything runs offline (the workspace has no external
 # dependencies by design; see DESIGN.md §Dependencies).
 #
-#   ./ci.sh            # format check, clippy, rock-analyze, build, tests
-#   ./ci.sh --quick    # same gates, but skip the release build (debug
-#                      # tests only) — the fast pre-push loop
-#   ./ci.sh --bench    # performance-regression gate only: regenerate
-#                      # telemetry metrics and compare them against the
-#                      # committed results/BENCH_*.json baselines
+#   ./ci.sh                # every correctness gate, release build
+#   ./ci.sh --quick        # same gates, but skip the release build
+#                          # (debug tests only) — the fast pre-push loop
+#   ./ci.sh --bench        # performance-regression gate only: regenerate
+#                          # telemetry metrics and compare them against
+#                          # the committed results/BENCH_*.json baselines
+#   ./ci.sh --gate <name>  # run exactly one named gate (see --gate help)
+#
+# A full run appends one line per gate to target/ci/gate_times.txt and
+# prints the wall-time table at the end; CI uploads the file as an
+# artifact so slow gates are visible without re-reading the log.
 #
 # The same steps run in .github/workflows/ci.yml.
 set -eu
 
 quick=0
 bench=0
-for arg in "$@"; do
-    case "$arg" in
+gate=""
+while [ "$#" -gt 0 ]; do
+    case "$1" in
         --quick) quick=1 ;;
         --bench) bench=1 ;;
-        *) echo "ci.sh: unknown argument '$arg' (supported: --quick, --bench)" >&2; exit 2 ;;
+        --gate)
+            if [ "$#" -lt 2 ]; then
+                echo "ci.sh: --gate needs a name (try --gate help)" >&2
+                exit 2
+            fi
+            shift
+            gate="$1"
+            ;;
+        *)
+            echo "ci.sh: unknown argument '$1' (supported: --quick, --bench, --gate <name>)" >&2
+            exit 2
+            ;;
     esac
+    shift
 done
 if [ "$quick" -eq 1 ] && [ "$bench" -eq 1 ]; then
     echo "ci.sh: --quick and --bench are mutually exclusive" >&2
     exit 2
 fi
+if [ -n "$gate" ] && { [ "$quick" -eq 1 ] || [ "$bench" -eq 1 ]; }; then
+    echo "ci.sh: --gate is mutually exclusive with --quick/--bench" >&2
+    exit 2
+fi
 
-if [ "$bench" -eq 1 ]; then
+# ---------------------------------------------------------------- gates
+# Each gate is one shell function named gate_<name>. `--gate <name>`
+# runs exactly one; a full run executes them all in order, timed.
+
+gate_fmt() {
+    echo "== cargo fmt --check"
+    cargo fmt --all -- --check
+}
+
+gate_clippy() {
+    echo "== cargo clippy (all targets, warnings are errors)"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+}
+
+gate_analyze() {
+    echo "== rock-analyze --deny (workspace lint pass)"
+    # The JSON report lands in target/analyze/ so CI can upload it as an
+    # artifact when the gate fails (same pattern as the bench gate).
+    mkdir -p target/analyze
+    if ! cargo run --offline -q -p rock-analyze -- --deny --format=json \
+        > target/analyze/findings.json; then
+        echo "-- rock-analyze findings (target/analyze/findings.json):" >&2
+        cat target/analyze/findings.json >&2
+        return 1
+    fi
+}
+
+gate_tier1() {
+    # Unit tests (lib + bin targets), doc tests, and every integration
+    # suite that has no gate of its own — each suite runs exactly once.
+    if [ "$quick" -eq 1 ]; then
+        echo "== tier-1 (quick): cargo test -q (debug, no release build)"
+    else
+        echo "== tier-1: cargo build --release && cargo test -q"
+        cargo build --offline --release --workspace
+    fi
+    cargo test --offline --workspace --exclude rock-serve -q --lib --bins
+    cargo test --offline --workspace --exclude rock-serve -q --doc
+    echo "== integration suites (pipeline, proptests, extensions, telemetry, snapshot, neighbors_join, analyzer fixtures)"
+    cargo test --offline -q --test pipeline --test proptests --test extensions \
+        --test telemetry --test snapshot --test neighbors_join
+    cargo test --offline -q -p rock-analyze --test fixtures
+}
+
+gate_chaos() {
+    # Chaos gate: the robustness contract as a named line in CI output —
+    # no fault (poisoned input, budget trip, cancellation, injected I/O
+    # failure) may panic, and every degraded outcome is a valid partition.
+    echo "== chaos suite (fault injection, budgets, degradation)"
+    cargo test --offline -q --test chaos -- --skip stream_
+}
+
+gate_stream() {
+    # Streaming resume gate: the crash-safe out-of-core contract
+    # (DESIGN.md §15) — kill-at-every-chunk-boundary resume is
+    # byte-identical, memory trips degrade to valid partial labelings,
+    # corrupt recovery state fails closed, injected disk faults are
+    # retried.
+    echo "== streaming resume suite (checkpoint/resume, degraded mode, disk faults)"
+    cargo test --offline -q --test chaos stream_
+    # Out-of-core smoke: exp_scale at 1% scale exercises the full cache →
+    # stream → checkpoint → resume path end to end, including its
+    # built-in pause/resume byte-identity assertion. (The 1M-row run is
+    # the separate bench gate.)
+    echo "== out-of-core smoke (exp_scale --scale 0.01)"
+    cargo run --offline -q -p rock-bench --bin exp_scale -- \
+        --scale 0.01 --epochs 1 >/dev/null
+}
+
+gate_serve() {
+    # Serve gate: the labeling server must build, survive its chaos suite
+    # (malformed HTTP, truncated bodies, poisoned snapshots, load
+    # shedding, corrupt snapshots mid-swap, concurrent swap+label races)
+    # and answer the 10k-request loopback smoke with labels identical to
+    # the offline `rock-cluster label` path.
+    echo "== serve gate (rock-serve build + chaos + loopback smoke)"
+    cargo build --offline -q -p rock-serve
+    cargo test --offline -q -p rock-serve
+    cargo test --offline -q --test serve_smoke
+}
+
+gate_registry() {
+    # Registry smoke gate: the multi-model admin plane end to end — load
+    # two models, hot-swap between them, label against both, and verify
+    # every response is byte-identical to the offline CLI labels for the
+    # model that was active at dispatch.
+    echo "== registry smoke gate (two models, hot swap, offline byte-equality)"
+    cargo test --offline -q --test serve_registry
+}
+
+gate_trace() {
+    # Trace gate: a real traced run must produce a canonical
+    # rock-trace/v1 stream (`rock-trace --check` is strict: emit → parse
+    # → re-emit must be byte-identical on every line), render, and export
+    # to Chrome JSON.
+    echo "== trace gate (traced run + rock-trace --check / report / export)"
+    cargo build --offline -q -p rock-trace
+    mkdir -p target/trace
+    rm -f target/trace/ci.trace target/trace/ci-chrome.json
+    cargo run --offline -q -p rock-bench --bin exp_scalability -- \
+        --scale 0.05 --epochs 1 --trace target/trace/ci.trace >/dev/null
+    cargo run --offline -q -p rock-trace -- target/trace/ci.trace --check
+    cargo run --offline -q -p rock-trace -- target/trace/ci.trace >/dev/null
+    cargo run --offline -q -p rock-trace -- target/trace/ci.trace \
+        --export-chrome target/trace/ci-chrome.json >/dev/null
+}
+
+gate_bench() {
     # Wall-time baselines are machine-specific, so this gate is separate
     # from the correctness gates: run it on the machine that committed
     # the baselines (or regenerate them first, see EXPERIMENTS.md).
@@ -35,10 +164,11 @@ if [ "$bench" -eq 1 ]; then
     echo "== bench gate: fresh metrics vs committed results/BENCH_*.json"
     cargo build --offline --release -q -p rock-bench
     mkdir -p target/bench
-    rm -f target/bench/BENCH_scalability.json target/bench/BENCH_links.json \
-        target/bench/BENCH_scale.json target/bench/BENCH_serve.json
+    rm -f target/bench/BENCH_*.json
     echo "-- exp_scalability (full grid, min of 3 epochs)"
     ./target/release/exp_scalability --metrics target/bench/BENCH_scalability.json >/dev/null
+    echo "-- exp_neighbors (indexed join vs brute force, 1/2/4/8 workers)"
+    ./target/release/exp_neighbors --metrics target/bench/BENCH_neighbors.json >/dev/null
     echo "-- exp_links (link kernel, 1/2/4/8 workers)"
     ./target/release/exp_links --metrics target/bench/BENCH_links.json >/dev/null
     echo "-- exp_scale (1M-row out-of-core labeling, 64 MiB ceiling)"
@@ -54,6 +184,14 @@ if [ "$bench" -eq 1 ]; then
     ./target/release/bench_check \
         --baseline results/BENCH_scalability.json \
         --fresh target/bench/BENCH_scalability.json \
+        --floor 0.35
+    echo "-- bench_check BENCH_neighbors.json"
+    # Same floor rationale: the 1k join cells finish in tens of
+    # milliseconds; the 20k cells that carry the speedup argument keep
+    # the full relative band.
+    ./target/release/bench_check \
+        --baseline results/BENCH_neighbors.json \
+        --fresh target/bench/BENCH_neighbors.json \
         --floor 0.35
     echo "-- bench_check BENCH_links.json"
     ./target/release/bench_check \
@@ -73,94 +211,67 @@ if [ "$bench" -eq 1 ]; then
         --baseline results/BENCH_serve.json \
         --fresh target/bench/BENCH_serve.json \
         --tolerance 0.5
+}
+
+# Full-run gate order. `bench` is deliberately absent: wall-time
+# baselines are machine-specific, so it only runs when asked for
+# (--bench or --gate bench) — same contract as before the selector.
+GATES="fmt clippy analyze tier1 chaos stream serve registry trace"
+
+list_gates() {
+    echo "ci.sh gates (run one with --gate <name>):"
+    echo "  fmt       cargo fmt --check"
+    echo "  clippy    cargo clippy, warnings are errors"
+    echo "  analyze   rock-analyze --deny lint pass"
+    echo "  tier1     release build + unit/doc tests + integration suites"
+    echo "  chaos     fault-injection suite (budgets, degradation)"
+    echo "  stream    streaming resume suite + out-of-core smoke"
+    echo "  serve     rock-serve build + chaos + loopback smoke"
+    echo "  registry  multi-model admin plane smoke"
+    echo "  trace     traced run + rock-trace check/report/export"
+    echo "  bench     regression gate vs results/BENCH_*.json (not in full runs)"
+}
+
+if [ "$gate" = "help" ]; then
+    list_gates
+    exit 0
+fi
+
+if [ -n "$gate" ]; then
+    case " $GATES bench " in
+        *" $gate "*) "gate_$gate" ;;
+        *)
+            echo "ci.sh: unknown gate '$gate'" >&2
+            list_gates >&2
+            exit 2
+            ;;
+    esac
+    echo "== ci.sh --gate $gate: green"
+    exit 0
+fi
+
+if [ "$bench" -eq 1 ]; then
+    gate_bench
     echo "== ci.sh --bench: all green"
     exit 0
 fi
 
-echo "== cargo fmt --check"
-cargo fmt --all -- --check
+# ------------------------------------------------------------- full run
+# Each gate is timed; the per-gate wall times accumulate in
+# target/ci/gate_times.txt as gates finish (a failed run keeps the
+# lines of every gate that completed) and the table prints at the end.
+times_file="target/ci/gate_times.txt"
+mkdir -p target/ci
+: > "$times_file"
 
-echo "== cargo clippy (all targets, warnings are errors)"
-cargo clippy --offline --workspace --all-targets -- -D warnings
+for g in $GATES; do
+    start=$(date +%s)
+    "gate_$g"
+    end=$(date +%s)
+    printf '%-10s %5ss\n' "$g" "$((end - start))" >> "$times_file"
+done
 
-echo "== rock-analyze --deny (workspace lint pass)"
-# The JSON report lands in target/analyze/ so CI can upload it as an
-# artifact when the gate fails (same pattern as the bench gate).
-mkdir -p target/analyze
-if ! cargo run --offline -q -p rock-analyze -- --deny --format=json \
-    > target/analyze/findings.json; then
-    echo "-- rock-analyze findings (target/analyze/findings.json):" >&2
-    cat target/analyze/findings.json >&2
-    exit 1
-fi
-
-# Unit tests (lib + bin targets) run here; every integration suite runs
-# exactly once, each as its own named gate below, so nothing is tested
-# twice and each contract stays visible as a line in the CI log.
-if [ "$quick" -eq 1 ]; then
-    echo "== tier-1 (quick): cargo test -q (debug, no release build)"
-else
-    echo "== tier-1: cargo build --release && cargo test -q"
-    cargo build --offline --release --workspace
-fi
-cargo test --offline --workspace --exclude rock-serve -q --lib --bins
-cargo test --offline --workspace --exclude rock-serve -q --doc
-
-echo "== integration suites (pipeline, proptests, extensions, telemetry, snapshot, analyzer fixtures)"
-cargo test --offline -q --test pipeline --test proptests --test extensions \
-    --test telemetry --test snapshot
-cargo test --offline -q -p rock-analyze --test fixtures
-
-# Chaos gate: the robustness contract as a named line in CI output —
-# no fault (poisoned input, budget trip, cancellation, injected I/O
-# failure) may panic, and every degraded outcome is a valid partition.
-echo "== chaos suite (fault injection, budgets, degradation)"
-cargo test --offline -q --test chaos -- --skip stream_
-
-# Streaming resume gate: the crash-safe out-of-core contract (DESIGN.md
-# §15) as its own named line — kill-at-every-chunk-boundary resume is
-# byte-identical, memory trips degrade to valid partial labelings,
-# corrupt recovery state fails closed, injected disk faults are retried.
-echo "== streaming resume suite (checkpoint/resume, degraded mode, disk faults)"
-cargo test --offline -q --test chaos stream_
-
-# Out-of-core smoke: exp_scale at 1% scale exercises the full cache →
-# stream → checkpoint → resume path end to end, including its built-in
-# pause/resume byte-identity assertion. (The 1M-row run is the separate
-# --bench gate.)
-echo "== out-of-core smoke (exp_scale --scale 0.01)"
-cargo run --offline -q -p rock-bench --bin exp_scale -- \
-    --scale 0.01 --epochs 1 >/dev/null
-
-# Serve gate: the labeling server must build, survive its chaos suite
-# (malformed HTTP, truncated bodies, poisoned snapshots, load shedding,
-# corrupt snapshots mid-swap, concurrent swap+label races) and answer
-# the 10k-request loopback smoke with labels identical to the offline
-# `rock-cluster label` path.
-echo "== serve gate (rock-serve build + chaos + loopback smoke)"
-cargo build --offline -q -p rock-serve
-cargo test --offline -q -p rock-serve
-cargo test --offline -q --test serve_smoke
-
-# Registry smoke gate: the multi-model admin plane end to end — load
-# two models, hot-swap between them, label against both, and verify
-# every response is byte-identical to the offline CLI labels for the
-# model that was active at dispatch.
-echo "== registry smoke gate (two models, hot swap, offline byte-equality)"
-cargo test --offline -q --test serve_registry
-
-# Trace gate: a real traced run must produce a canonical rock-trace/v1
-# stream (`rock-trace --check` is strict: emit → parse → re-emit must be
-# byte-identical on every line), render, and export to Chrome JSON.
-echo "== trace gate (traced run + rock-trace --check / report / export)"
-cargo build --offline -q -p rock-trace
-mkdir -p target/trace
-rm -f target/trace/ci.trace target/trace/ci-chrome.json
-cargo run --offline -q -p rock-bench --bin exp_scalability -- \
-    --scale 0.05 --epochs 1 --trace target/trace/ci.trace >/dev/null
-cargo run --offline -q -p rock-trace -- target/trace/ci.trace --check
-cargo run --offline -q -p rock-trace -- target/trace/ci.trace >/dev/null
-cargo run --offline -q -p rock-trace -- target/trace/ci.trace \
-    --export-chrome target/trace/ci-chrome.json >/dev/null
-
+echo ""
+echo "== gate wall times ($times_file)"
+cat "$times_file"
 echo "== ci.sh: all green"

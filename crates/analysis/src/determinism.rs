@@ -566,9 +566,11 @@ fn panic_path(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 /// out-of-core files (`stream.rs`, `retry.rs`) are in scope because
 /// their retry and resume loops run unattended for hours at 1M+ rows —
 /// a loop that cannot be tripped there is a hang, not a slowdown.
-const GUARD_FILES: [&str; 8] = [
+const GUARD_FILES: [&str; 10] = [
     "crates/core/src/sampling.rs",
     "crates/core/src/neighbors.rs",
+    "crates/core/src/neighbors/index.rs",
+    "crates/core/src/shard.rs",
     "crates/core/src/outliers.rs",
     "crates/core/src/links.rs",
     "crates/core/src/agglomerate.rs",
@@ -781,6 +783,8 @@ mod tests {
     #[test]
     fn guard_scope_covers_core_and_serve() {
         assert!(is_guard_scope("crates/core/src/links.rs"));
+        assert!(is_guard_scope("crates/core/src/neighbors/index.rs"));
+        assert!(is_guard_scope("crates/core/src/shard.rs"));
         assert!(is_guard_scope("crates/serve/src/registry.rs"));
         assert!(is_guard_scope("crates/serve/src/batch.rs"));
         assert!(!is_guard_scope("crates/serve/src/http.rs"));

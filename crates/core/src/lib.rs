@@ -74,6 +74,7 @@ pub mod retry;
 pub mod rng;
 pub mod rock;
 pub mod sampling;
+mod shard;
 pub mod similarity;
 pub mod snapshot;
 pub mod stream;
@@ -102,7 +103,7 @@ pub mod prelude {
     pub use crate::metrics::{
         cluster_breakdown, densify_labels, matched_accuracy, mean_std, purity, ContingencyTable,
     };
-    pub use crate::neighbors::NeighborGraph;
+    pub use crate::neighbors::{JoinStrategy, NeighborGraph};
     pub use crate::outliers::NeighborFilter;
     pub use crate::retry::{RetryOutcome, RetryPolicy};
     pub use crate::rng::{Rng, SliceRandom};

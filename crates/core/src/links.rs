@@ -199,11 +199,11 @@ fn compute_range(
 /// Splits `0..n` into `shards` contiguous ranges balanced by the per-row
 /// work estimate `Σ_{l∈N(i)} deg(l)` (+1 so empty rows still carry their
 /// loop cost). Returns `shards + 1` non-decreasing boundaries starting at
-/// 0 and ending at `n`. Purely a function of the graph, so the partition
-/// — and hence each worker's output slice — is deterministic.
+/// 0 and ending at `n`. Purely a function of the graph (via
+/// [`crate::shard::shard_by_weights`]), so the partition — and hence each
+/// worker's output slice — is deterministic.
 fn shard_boundaries(graph: &NeighborGraph, shards: usize) -> Vec<usize> {
-    let n = graph.len();
-    let weights: Vec<u64> = (0..n)
+    let weights: Vec<u64> = (0..graph.len())
         .map(|i| {
             1 + graph
                 .neighbors(i)
@@ -212,26 +212,7 @@ fn shard_boundaries(graph: &NeighborGraph, shards: usize) -> Vec<usize> {
                 .sum::<u64>()
         })
         .collect();
-    let total: u64 = weights.iter().sum();
-    let shards_u64 = cast::usize_to_u64(shards);
-    let mut bounds = Vec::with_capacity(shards + 1);
-    bounds.push(0);
-    let mut acc = 0u64;
-    for (i, &w) in weights.iter().enumerate() {
-        acc += w;
-        // Cut after row i once this prefix holds its proportional share.
-        // rock-analyze: allow(guard-loop) — bounded: every iteration grows bounds.len() toward shards.
-        while bounds.len() < shards && acc * shards_u64 >= total * cast::usize_to_u64(bounds.len())
-        {
-            bounds.push(i + 1);
-        }
-    }
-    // rock-analyze: allow(guard-loop) — bounded: every iteration grows bounds.len() toward shards.
-    while bounds.len() < shards {
-        bounds.push(n);
-    }
-    bounds.push(n);
-    bounds
+    crate::shard::shard_by_weights(&weights, shards)
 }
 
 impl LinkTable {

@@ -5,19 +5,55 @@
 //! maximum) drive the complexity of the whole algorithm, so we also expose
 //! degree statistics.
 //!
-//! Computing the graph is the `O(n²)` hot spot of ROCK; rows are
-//! independent, so the work is chunked over a small scoped thread pool
-//! (`std::thread::scope`). Results are deterministic regardless of
-//! thread count: each row's list is built in index order.
+//! Computing the graph is the `O(n²)` hot spot of ROCK. Two kernels are
+//! available behind [`JoinStrategy`]:
+//!
+//! * **Brute force** — every ordered pair, rows chunked over a small
+//!   scoped thread pool. Works for any [`Similarity`]; kept as the
+//!   oracle the index kernel is tested against and as the path for
+//!   tiny inputs and custom measures.
+//! * **Inverted-index join** ([`index`], DESIGN.md §17) — for the
+//!   count-based measures (those reporting a
+//!   [`Similarity::count_kind`]), candidates come from posting lists
+//!   over a frequency-ranked prefix of each row, are pruned by exact
+//!   size bounds and verified with the same counts predicate the brute
+//!   scan evaluates. Orders of magnitude fewer `sim()` evaluations at
+//!   identical output.
+//!
+//! Both kernels are deterministic regardless of thread count: the graph
+//! (and every counter flushed) is byte-identical for 1..k workers.
+
+mod index;
 
 use std::sync::atomic::AtomicU64;
 
 use crate::cast;
 use crate::data::TransactionSet;
 use crate::error::{Result, RockError};
+use crate::guard::{Guard, Trip};
 use crate::similarity::Similarity;
 use crate::telemetry::trace::Payload;
 use crate::telemetry::{MemoryEstimate, MemoryGauges, Observer, Phase, PipelineCounters};
+
+/// Below this row count [`JoinStrategy::Auto`] stays brute force: index
+/// construction has a fixed cost that only pays for itself once the
+/// quadratic scan is measurably bigger.
+const INDEX_MIN_N: usize = 128;
+
+/// Which kernel [`NeighborGraph::compute_strategy`] runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Index join when the measure supports it and the input is large
+    /// enough ([`INDEX_MIN_N`] rows); brute force otherwise.
+    #[default]
+    Auto,
+    /// Force the inverted-index join. Falls back to brute force when the
+    /// measure reports no [`Similarity::count_kind`] (the index needs
+    /// the counts-based predicate).
+    Index,
+    /// Force the brute-force scan (the test oracle).
+    BruteForce,
+}
 
 /// θ-threshold neighbor graph: for each point, the sorted list of its
 /// neighbors (excluding itself).
@@ -45,10 +81,110 @@ impl NeighborGraph {
     }
 
     /// [`compute`](Self::compute) with telemetry: similarity comparisons
-    /// and stored edges flow into `observer`'s counters (flushed once per
-    /// row chunk), the finished graph's size into its memory gauge, and
-    /// per-chunk [`Phase::Neighbors`] progress events to its sink.
+    /// and stored edges flow into `observer`'s counters, the finished
+    /// graph's size into its memory gauge, and [`Phase::Neighbors`]
+    /// progress events to its sink. Kernel selection is
+    /// [`JoinStrategy::Auto`].
     pub fn compute_observed<S: Similarity>(
+        data: &TransactionSet,
+        sim: &S,
+        theta: f64,
+        threads: usize,
+        observer: &Observer,
+    ) -> Result<Self> {
+        // An unlimited guard never trips, so the graph is always complete.
+        let (graph, _) =
+            Self::compute_guarded(data, sim, theta, threads, observer, &Guard::unlimited())?;
+        Ok(graph)
+    }
+
+    /// [`compute_observed`](Self::compute_observed) under an execution
+    /// [`Guard`] with [`JoinStrategy::Auto`] kernel selection. On the
+    /// index path every worker polls [`Guard::checkpoint`] every few
+    /// rows, so budget trips and cancellation stop the kernel mid-phase;
+    /// the partially filled graph is returned together with the trip and
+    /// the caller is expected to discard it (the pipeline degrades to an
+    /// all-outlier partition). The brute-force path checks the guard only
+    /// at phase boundaries.
+    pub fn compute_guarded<S: Similarity>(
+        data: &TransactionSet,
+        sim: &S,
+        theta: f64,
+        threads: usize,
+        observer: &Observer,
+        guard: &Guard,
+    ) -> Result<(Self, Option<Trip>)> {
+        Self::compute_strategy(
+            data,
+            sim,
+            theta,
+            threads,
+            observer,
+            guard,
+            JoinStrategy::Auto,
+        )
+    }
+
+    /// [`compute_guarded`](Self::compute_guarded) with an explicit kernel
+    /// choice. Every strategy produces a byte-identical graph for every
+    /// thread count — and the index join is byte-identical to the brute
+    /// scan, because its filters only ever *narrow* the candidate set and
+    /// survivors are accepted by the very same counts predicate
+    /// (see `crates/core/src/neighbors/index.rs`).
+    ///
+    /// # Errors
+    /// * [`RockError::InvalidTheta`] unless `0 < θ < 1`.
+    /// * [`RockError::EmptyDataset`] for an empty input.
+    pub fn compute_strategy<S: Similarity>(
+        data: &TransactionSet,
+        sim: &S,
+        theta: f64,
+        threads: usize,
+        observer: &Observer,
+        guard: &Guard,
+        strategy: JoinStrategy,
+    ) -> Result<(Self, Option<Trip>)> {
+        if !(theta > 0.0 && theta < 1.0) {
+            return Err(RockError::InvalidTheta(theta));
+        }
+        let n = data.len();
+        if n == 0 {
+            return Err(RockError::EmptyDataset);
+        }
+        let threads = effective_threads(threads, n);
+        let use_index = match strategy {
+            JoinStrategy::Auto => n >= INDEX_MIN_N,
+            JoinStrategy::Index => true,
+            JoinStrategy::BruteForce => false,
+        };
+        if use_index {
+            if let Some(kind) = sim.count_kind() {
+                let (lists, trip) = index::compute(data, kind, theta, threads, observer, guard);
+                let graph = NeighborGraph { lists, theta };
+                if trip.is_none() {
+                    // Only a finished graph publishes its full
+                    // (capacity-based) footprint; a tripped run leaves the
+                    // gauge at the bytes already streamed by the workers.
+                    MemoryGauges::observe(
+                        &observer.memory().neighbor_graph,
+                        cast::usize_to_u64(graph.estimated_bytes()),
+                    );
+                }
+                return Ok((graph, trip));
+            }
+        }
+        let graph = Self::brute_force_scan(data, sim, theta, threads, observer);
+        Ok((graph, None))
+    }
+
+    /// The brute-force `O(n²)` scan, for any [`Similarity`] — the oracle
+    /// the index join is verified against, and the kernel behind
+    /// [`JoinStrategy::BruteForce`].
+    ///
+    /// # Errors
+    /// * [`RockError::InvalidTheta`] unless `0 < θ < 1`.
+    /// * [`RockError::EmptyDataset`] for an empty input.
+    pub fn compute_brute_force<S: Similarity>(
         data: &TransactionSet,
         sim: &S,
         theta: f64,
@@ -63,6 +199,19 @@ impl NeighborGraph {
             return Err(RockError::EmptyDataset);
         }
         let threads = effective_threads(threads, n);
+        Ok(Self::brute_force_scan(data, sim, theta, threads, observer))
+    }
+
+    /// Scans all ordered pairs with `threads` pre-resolved workers and
+    /// publishes the finished graph's footprint to the memory gauge.
+    fn brute_force_scan<S: Similarity>(
+        data: &TransactionSet,
+        sim: &S,
+        theta: f64,
+        threads: usize,
+        observer: &Observer,
+    ) -> Self {
+        let n = data.len();
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
         let counters = observer.counters();
         if threads <= 1 {
@@ -137,7 +286,7 @@ impl NeighborGraph {
             &observer.memory().neighbor_graph,
             cast::usize_to_u64(graph.estimated_bytes()),
         );
-        Ok(graph)
+        graph
     }
 
     /// Number of points.

@@ -550,14 +550,17 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
         // ── Phase 2: neighbors on the sample ──────────────────────────
         let span = observer.phase(Phase::Neighbors);
         let tspan = observer.tracer().begin_scope();
-        let graph = NeighborGraph::compute_observed(
+        // The index-join kernel polls the guard from inside its build and
+        // probe loops, so a trip stops the phase mid-flight; the partial
+        // graph is discarded below and the run degrades.
+        let (graph, neighbors_trip) = NeighborGraph::compute_guarded(
             &sample,
             &self.sim,
             self.config.theta,
             self.config.threads,
             observer,
+            guard,
         )?;
-        contracts::check_neighbor_graph(&graph);
         if let Some(ts) = tspan {
             observer.tracer().end_scope(
                 ts,
@@ -567,9 +570,13 @@ impl<S: Similarity, F: LinkExponent> Rock<S, F> {
             );
         }
         span.finish();
-        if let Some(trip) = guard.checkpoint(Phase::Neighbors, observer) {
+        if let Some(trip) = neighbors_trip.or_else(|| guard.checkpoint(Phase::Neighbors, observer))
+        {
             return Ok(degraded_all_outliers(n, start, observer, guard, trip));
         }
+        // Only a completed graph satisfies the symmetry contract; a
+        // tripped partial graph was discarded above.
+        contracts::check_neighbor_graph(&graph);
 
         // Up-front outlier filter.
         let span = observer.phase(Phase::Outliers);

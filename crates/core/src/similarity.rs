@@ -8,6 +8,7 @@
 
 use crate::cast;
 use crate::data::Transaction;
+use crate::snapshot::SimilarityKind;
 
 /// A symmetric similarity measure on transactions with range `[0, 1]`.
 ///
@@ -19,6 +20,23 @@ pub trait Similarity: Sync {
 
     /// Short human-readable name, used in experiment output.
     fn name(&self) -> &'static str;
+
+    /// The count-based measure this implementation evaluates, if any.
+    ///
+    /// Returning `Some(kind)` is a promise that `self.sim(a, b)` is
+    /// **bit-for-bit equal** to
+    /// `kind.sim_from_counts(a.intersection_len(b), a.len(), b.len())`.
+    /// The neighbor phase uses it to route the graph build through the
+    /// inverted-index similarity join (DESIGN.md §17), whose size/prefix
+    /// filters and candidate verification evaluate exactly that
+    /// expression — so the joined graph is byte-identical to the
+    /// brute-force scan. Measures without a faithful count form (e.g.
+    /// [`HammingRecord`], whose denominator is the schema arity rather
+    /// than the set sizes) keep the default `None` and the brute-force
+    /// scan.
+    fn count_kind(&self) -> Option<SimilarityKind> {
+        None
+    }
 }
 
 /// Jaccard coefficient `|A ∩ B| / |A ∪ B|` — the measure used throughout
@@ -47,6 +65,10 @@ impl Similarity for Jaccard {
     #[inline]
     fn sim(&self, a: &Transaction, b: &Transaction) -> f64 {
         Self::from_counts(a.intersection_len(b), a.len(), b.len())
+    }
+
+    fn count_kind(&self) -> Option<SimilarityKind> {
+        Some(SimilarityKind::Jaccard)
     }
 
     fn name(&self) -> &'static str {
@@ -79,6 +101,10 @@ impl Similarity for Dice {
         Self::from_counts(a.intersection_len(b), a.len(), b.len())
     }
 
+    fn count_kind(&self) -> Option<SimilarityKind> {
+        Some(SimilarityKind::Dice)
+    }
+
     fn name(&self) -> &'static str {
         "dice"
     }
@@ -107,6 +133,10 @@ impl Similarity for Overlap {
     #[inline]
     fn sim(&self, a: &Transaction, b: &Transaction) -> f64 {
         Self::from_counts(a.intersection_len(b), a.len(), b.len())
+    }
+
+    fn count_kind(&self) -> Option<SimilarityKind> {
+        Some(SimilarityKind::Overlap)
     }
 
     fn name(&self) -> &'static str {
@@ -138,6 +168,10 @@ impl Similarity for Cosine {
     #[inline]
     fn sim(&self, a: &Transaction, b: &Transaction) -> f64 {
         Self::from_counts(a.intersection_len(b), a.len(), b.len())
+    }
+
+    fn count_kind(&self) -> Option<SimilarityKind> {
+        Some(SimilarityKind::Cosine)
     }
 
     fn name(&self) -> &'static str {

@@ -159,6 +159,10 @@ impl Similarity for SimilarityKind {
             SimilarityKind::Cosine => Cosine.name(),
         }
     }
+
+    fn count_kind(&self) -> Option<SimilarityKind> {
+        Some(*self)
+    }
 }
 
 /// What a loaded model does with points that have no θ-neighbor in any

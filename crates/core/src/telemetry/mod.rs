@@ -246,6 +246,9 @@ impl EventSink for StderrSink {
 /// |---|---|
 /// | `similarity_comparisons` | one `sim(p, q)` evaluation in the neighbor phase (ordered pairs: a full graph build on `n` points performs `n·(n−1)`) |
 /// | `neighbor_edges` | one directed edge stored in the neighbor graph |
+/// | `neighbor_candidates` | one candidate row surfaced (deduplicated) by the inverted-index join's posting lists (DESIGN.md §17; 0 on brute-force runs) |
+/// | `neighbor_candidates_pruned` | one join candidate discarded by the exact size filter before any intersection work |
+/// | `neighbor_pairs_verified` | one join candidate whose intersection was computed and checked against θ (each is also one `similarity_comparisons` unit) |
 /// | `link_kernel_steps` | one visit of the link kernel's inner loop (`Σ_i Σ_{l∈N(i)} deg(l)` — the paper's `Σ deg²` cost) |
 /// | `link_entries` | one nonzero upper-triangle entry in the link table |
 /// | `heap_pushes` | one `insert_or_update` on a merge-engine heap |
@@ -267,6 +270,12 @@ pub struct PipelineCounters {
     pub similarity_comparisons: AtomicU64,
     /// Directed neighbor edges stored.
     pub neighbor_edges: AtomicU64,
+    /// Deduplicated candidates surfaced by the inverted-index join.
+    pub neighbor_candidates: AtomicU64,
+    /// Join candidates discarded by the exact size filter.
+    pub neighbor_candidates_pruned: AtomicU64,
+    /// Join candidates verified by an exact intersection count.
+    pub neighbor_pairs_verified: AtomicU64,
     /// Inner-kernel visits of link computation.
     pub link_kernel_steps: AtomicU64,
     /// Nonzero link-table entries.
@@ -305,6 +314,9 @@ pub struct PipelineCounters {
 pub struct CounterSnapshot {
     pub similarity_comparisons: u64,
     pub neighbor_edges: u64,
+    pub neighbor_candidates: u64,
+    pub neighbor_candidates_pruned: u64,
+    pub neighbor_pairs_verified: u64,
     pub link_kernel_steps: u64,
     pub link_entries: u64,
     pub heap_pushes: u64,
@@ -335,6 +347,9 @@ impl PipelineCounters {
         CounterSnapshot {
             similarity_comparisons: get(&self.similarity_comparisons),
             neighbor_edges: get(&self.neighbor_edges),
+            neighbor_candidates: get(&self.neighbor_candidates),
+            neighbor_candidates_pruned: get(&self.neighbor_candidates_pruned),
+            neighbor_pairs_verified: get(&self.neighbor_pairs_verified),
             link_kernel_steps: get(&self.link_kernel_steps),
             link_entries: get(&self.link_entries),
             heap_pushes: get(&self.heap_pushes),
@@ -676,6 +691,9 @@ impl Metrics {
         counters
             .num_u64("similarity_comparisons", c.similarity_comparisons)
             .num_u64("neighbor_edges", c.neighbor_edges)
+            .num_u64("neighbor_candidates", c.neighbor_candidates)
+            .num_u64("neighbor_candidates_pruned", c.neighbor_candidates_pruned)
+            .num_u64("neighbor_pairs_verified", c.neighbor_pairs_verified)
             .num_u64("link_kernel_steps", c.link_kernel_steps)
             .num_u64("link_entries", c.link_entries)
             .num_u64("heap_pushes", c.heap_pushes)
@@ -748,6 +766,9 @@ mod tests {
             counters: CounterSnapshot {
                 similarity_comparisons: 9900,
                 neighbor_edges: 420,
+                neighbor_candidates: 900,
+                neighbor_candidates_pruned: 200,
+                neighbor_pairs_verified: 700,
                 link_kernel_steps: 1234,
                 link_entries: 300,
                 heap_pushes: 777,
@@ -929,6 +950,9 @@ mod tests {
             [
                 "similarity_comparisons",
                 "neighbor_edges",
+                "neighbor_candidates",
+                "neighbor_candidates_pruned",
+                "neighbor_pairs_verified",
                 "link_kernel_steps",
                 "link_entries",
                 "heap_pushes",

@@ -189,6 +189,32 @@ fn memory_budget_trips_mid_link_phase_under_parallel_workers() {
 }
 
 #[test]
+fn memory_budget_trips_inside_the_neighbor_index_build() {
+    // The inverted-index join streams its build-buffer bytes into the
+    // neighbor-graph gauge and polls the guard between passes and every
+    // few rows, so a ceiling far below the index footprint must trip in
+    // the Neighbors phase *before any candidate is generated* — not
+    // after a full (quadratic or indexed) scan.
+    let (data, n) = mushroom_like(600, 4, 11);
+    let guard = Guard::new(RunBudget::unlimited().memory(256));
+    let observer = Observer::new();
+    let outcome = RockBuilder::new(4, 0.8)
+        .sample(SampleStrategy::All)
+        .threads(4)
+        .seed(11)
+        .build()
+        .fit_guarded(&data, &observer, &guard)
+        .unwrap();
+    assert!(outcome.is_degraded());
+    let d = outcome.degradation().unwrap();
+    assert_eq!(d.phase, Phase::Neighbors);
+    assert!(matches!(d.reason, TripReason::MemoryBudget { .. }));
+    // Tripped during index construction: the probe never ran.
+    assert_eq!(observer.counters().snapshot().neighbor_candidates, 0);
+    assert_valid_partition(outcome.model(), n);
+}
+
+#[test]
 fn degraded_prefix_agrees_with_unbudgeted_run() {
     // The anytime property, end to end: a step-budgeted run's merges are a
     // prefix of the unbudgeted run's, so its sample-phase history matches.
